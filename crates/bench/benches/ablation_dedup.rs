@@ -1,0 +1,40 @@
+//! **Ablation** — the FIFO duplicate filter (Thompson set semantics).
+//!
+//! With deduplication disabled, alternation-heavy patterns re-execute the
+//! same (PC, position) pairs; this quantifies how much work the filter
+//! saves and why the hardware includes it.
+
+use cicero_bench::{banner, f2, suites, CompiledSuite, Scale, Table};
+use cicero_sim::{simulate_batch, ArchConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablation", "FIFO duplicate filter on vs off (OLD 1x1)", scale);
+    let mut table =
+        Table::new(vec!["suite", "instr (dedup)", "instr (no dedup)", "work ratio"]);
+    for bench in suites(scale) {
+        let s = CompiledSuite::build(&bench);
+        let mut with = 0u64;
+        let mut without = 0u64;
+        let on = ArchConfig::old_organization(1);
+        let mut off = ArchConfig::old_organization(1);
+        off.dedup = false;
+        off.max_cycles = 3_000_000;
+        for program in &s.new_opt {
+            for r in simulate_batch(program, &s.chunks, &on) {
+                with += r.instructions;
+            }
+            for r in simulate_batch(program, &s.chunks, &off) {
+                without += r.instructions;
+            }
+        }
+        table.row(vec![
+            s.name.to_owned(),
+            with.to_string(),
+            without.to_string(),
+            f2(without as f64 / with as f64),
+        ]);
+    }
+    table.print();
+    println!("\n  expectation: ratio > 1, largest on the alternate suites");
+}

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the compiler pipelines (statistical
+//! backing for the Figure 9 comparisons).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn representative_patterns() -> Vec<String> {
+    workloads::Benchmark::all(cicero_bench::SEED, 4, 1)
+        .into_iter()
+        .flat_map(|b| b.patterns)
+        .collect()
+}
+
+fn bench_compilers(c: &mut Criterion) {
+    let patterns = representative_patterns();
+    let mut group = c.benchmark_group("compile_16_patterns");
+    group.sample_size(20);
+
+    group.bench_function("new_optimized", |b| {
+        let compiler = cicero_core::Compiler::new();
+        b.iter_batched(
+            || patterns.clone(),
+            |patterns| {
+                for p in &patterns {
+                    std::hint::black_box(compiler.compile(p).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("new_unoptimized", |b| {
+        let compiler =
+            cicero_core::Compiler::with_options(cicero_core::CompilerOptions::unoptimized());
+        b.iter_batched(
+            || patterns.clone(),
+            |patterns| {
+                for p in &patterns {
+                    std::hint::black_box(compiler.compile(p).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("old_optimized", |b| {
+        let compiler = cicero_legacy::LegacyCompiler::new(true);
+        b.iter_batched(
+            || patterns.clone(),
+            |patterns| {
+                for p in &patterns {
+                    std::hint::black_box(compiler.compile(p).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("old_unoptimized", |b| {
+        let compiler = cicero_legacy::LegacyCompiler::new(false);
+        b.iter_batched(
+            || patterns.clone(),
+            |patterns| {
+                for p in &patterns {
+                    std::hint::black_box(compiler.compile(p).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let program = cicero_core::compile("[ab][bc][cd][de][ef][fg]").unwrap().into_program();
+    let input: Vec<u8> = b"abcde".iter().cycle().take(500).copied().collect();
+    let mut group = c.benchmark_group("simulate_500B_chunk");
+    group.sample_size(30);
+    for config in [
+        cicero_sim::ArchConfig::old_organization(1),
+        cicero_sim::ArchConfig::old_organization(9),
+        cicero_sim::ArchConfig::new_organization(16, 1),
+    ] {
+        group.bench_function(config.name(), |b| {
+            b.iter(|| std::hint::black_box(cicero_sim::simulate(&program, &input, &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compilers, bench_simulator);
+criterion_main!(benches);

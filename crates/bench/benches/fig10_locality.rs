@@ -1,0 +1,37 @@
+//! **Figure 10** — code locality `D_offset` (Equation 1, lower is better)
+//! for both compilers, with and without optimizations.
+//!
+//! Reproduction target: the new compiler "excels in consolidating code
+//! paths" — its optimized code has a much lower `D_offset` than the old
+//! compiler's, whose Code Restructuring *hurts* locality.
+
+use cicero_bench::{banner, f2, paper, suites, CompiledSuite, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 10", "code locality D_offset (lower is better)", scale);
+    let mut table = Table::new(vec![
+        "suite", "old w/o", "old w/", "new w/o", "new w/", "old/new (w/)", "(paper)",
+    ]);
+    for (i, bench) in suites(scale).iter().enumerate() {
+        let s = CompiledSuite::build(bench);
+        let avg = |programs: &[cicero_isa::Program]| {
+            programs.iter().map(|p| p.total_jump_offset() as f64).sum::<f64>()
+                / programs.len() as f64
+        };
+        let (ou, oo, nu, no) =
+            (avg(&s.old_unopt), avg(&s.old_opt), avg(&s.new_unopt), avg(&s.new_opt));
+        table.row(vec![
+            s.name.to_owned(),
+            f2(ou),
+            f2(oo),
+            f2(nu),
+            f2(no),
+            f2(oo / no),
+            format!("({})", f2(paper::LOCALITY_IMPROVEMENT[i])),
+        ]);
+    }
+    table.print();
+    println!("\n  expectation: old/new (w/) > 1 everywhere; Code Restructuring increases");
+    println!("  the old compiler's D_offset while Jump Simplification shrinks the new one's");
+}

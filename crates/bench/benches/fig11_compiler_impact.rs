@@ -1,0 +1,34 @@
+//! **Figure 11** — compiler impact on the *old* architecture (9 and 16
+//! engines): average execution time per RE with old-compiled vs
+//! new-compiled code.
+//!
+//! Reproduction target: the new compiler alone yields ~1.7x on
+//! Protomata(4) and ~1.2x on Brill(4), purely from better code locality.
+
+use cicero_bench::{banner, f2, measure, paper, suites, CompiledSuite, Scale, Table};
+use cicero_sim::ArchConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 11", "compiler impact on the old architecture (avg us per RE)", scale);
+    let mut table = Table::new(vec![
+        "suite", "arch", "old compiler", "new compiler", "speedup", "(paper)",
+    ]);
+    for (i, bench) in suites(scale).iter().enumerate() {
+        let s = CompiledSuite::build(bench);
+        for engines in [9usize, 16] {
+            let config = ArchConfig::old_organization(engines);
+            let old = measure(&s.old_opt, &s.chunks, &config);
+            let new = measure(&s.new_opt, &s.chunks, &config);
+            table.row(vec![
+                s.name.to_owned(),
+                config.name(),
+                f2(old.avg_time_us),
+                f2(new.avg_time_us),
+                f2(old.avg_time_us / new.avg_time_us),
+                format!("(~{})", f2(paper::FIG11_SPEEDUP[i])),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,29 @@
+//! **Figure 12** — total on-chip power (static + dynamic) for every
+//! architecture configuration. Pure static analysis of the calibrated
+//! power model (no Vivado here; see DESIGN.md).
+
+use cicero_bench::{banner, f2, Scale, Table};
+use cicero_sim::{power_watts, ArchConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 12", "power consumption per configuration (W)", scale);
+    let mut table = Table::new(vec!["configuration", "power [W]", "clock [MHz]"]);
+    let mut configs: Vec<ArchConfig> =
+        [1, 4, 9, 16, 32].iter().map(|m| ArchConfig::old_organization(*m)).collect();
+    for (n, ms) in [(8usize, vec![1usize, 4, 9, 16]), (16, vec![1, 4, 9]), (32, vec![1, 4])] {
+        for m in ms {
+            configs.push(ArchConfig::new_organization(n, m));
+        }
+    }
+    for config in &configs {
+        table.row(vec![
+            config.name(),
+            f2(power_watts(config)),
+            format!("{:.0}", config.clock_mhz()),
+        ]);
+    }
+    table.print();
+    println!("\n  calibration anchors (paper Table 6 implied): OLD 1x9 = 2.42 W,");
+    println!("  OLD 1x16 = 2.66 W, NEW 8x1 = 2.20 W, NEW 16x1 = 2.39 W");
+}

@@ -1,0 +1,27 @@
+//! **Figure 13** — FPGA resource usage (%) on the XCZU3EG for the
+//! configurations selected by the micro-benchmark pre-filtering.
+//!
+//! Reproduction target: "NEW 8x1 is the most resource-efficient", and the
+//! new organization uses fewer resources than the old at equal core count
+//! (no replicated FIFOs or balancer stations).
+
+use cicero_bench::{banner, selected_configs, Scale, Table};
+use cicero_sim::resource_usage;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 13", "resource usage (%) on the XCZU3EG", scale);
+    let mut table = Table::new(vec!["configuration", "LUT %", "REG %", "BRAM %", "clock"]);
+    for config in selected_configs() {
+        let usage = resource_usage(&config);
+        table.row(vec![
+            config.name(),
+            format!("{:.1}", usage.lut_fraction * 100.0),
+            format!("{:.1}", usage.reg_fraction * 100.0),
+            format!("{:.1}", usage.bram_fraction * 100.0),
+            format!("{:.0} MHz", config.clock_mhz()),
+        ]);
+    }
+    table.print();
+    println!("\n  expectation: NEW 8x1 minimal on all three; NEW 16x1 well below OLD 1x16");
+}

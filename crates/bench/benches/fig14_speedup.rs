@@ -1,0 +1,34 @@
+//! **Figure 14** — RE execution speedup of every selected configuration,
+//! normalized against OLD 1x9 CORES (new compiler everywhere).
+//!
+//! Reproduction targets: NEW 16x1 always improves on the best old
+//! configurations, with the largest wins on the alternate suites
+//! (the paper's headline 2.27x is Protomata4, Table 6).
+
+use cicero_bench::{banner, f2, measure, selected_configs, suites, CompiledSuite, Scale, Table};
+use cicero_sim::ArchConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 14", "speedup normalized to OLD 1x9 CORES", scale);
+    let compiled: Vec<CompiledSuite> = suites(scale).iter().map(CompiledSuite::build).collect();
+    let baseline_config = ArchConfig::old_organization(9);
+
+    let mut headers = vec!["configuration".to_owned()];
+    headers.extend(compiled.iter().map(|s| s.name.to_owned()));
+    let mut table = Table::new(headers);
+    let baselines: Vec<f64> = compiled
+        .iter()
+        .map(|s| measure(&s.new_opt, &s.chunks, &baseline_config).avg_time_us)
+        .collect();
+    for config in selected_configs() {
+        let mut cells = vec![config.name()];
+        for (i, suite) in compiled.iter().enumerate() {
+            let m = measure(&suite.new_opt, &suite.chunks, &config);
+            cells.push(format!("{}x", f2(baselines[i] / m.avg_time_us)));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\n  expectation: NEW 16x1 >= 1.0x everywhere, largest on PROTOMATA4/BRILL4");
+}

@@ -1,0 +1,51 @@
+//! **Figure 15** — energy-efficiency improvement of every selected
+//! configuration, normalized against OLD 1x9 CORES (new compiler).
+//!
+//! Reproduction targets: NEW 8x1 wins the single-RE suites on energy
+//! thanks to its resource efficiency; NEW 16x1 wins the alternate suites
+//! (paper: 1.44x Protomata4, 1.27x Brill4 vs the old organization).
+
+use cicero_bench::{banner, f2, measure, selected_configs, suites, CompiledSuite, Scale, Table};
+use cicero_sim::ArchConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 15", "energy efficiency normalized to OLD 1x9 CORES", scale);
+    let compiled: Vec<CompiledSuite> = suites(scale).iter().map(CompiledSuite::build).collect();
+    let baseline_config = ArchConfig::old_organization(9);
+
+    let mut headers = vec!["configuration".to_owned()];
+    headers.extend(compiled.iter().map(|s| s.name.to_owned()));
+    let mut table = Table::new(headers);
+    let baselines: Vec<f64> = compiled
+        .iter()
+        .map(|s| measure(&s.new_opt, &s.chunks, &baseline_config).avg_energy_wus)
+        .collect();
+    let mut best_simple = (String::new(), 0.0f64);
+    let mut best_alt = (String::new(), 0.0f64);
+    for config in selected_configs() {
+        let mut cells = vec![config.name()];
+        let mut simple_score = 0.0;
+        let mut alt_score = 0.0;
+        for (i, suite) in compiled.iter().enumerate() {
+            let m = measure(&suite.new_opt, &suite.chunks, &config);
+            let improvement = baselines[i] / m.avg_energy_wus;
+            if i < 2 {
+                simple_score += improvement;
+            } else {
+                alt_score += improvement;
+            }
+            cells.push(format!("{}x", f2(improvement)));
+        }
+        if simple_score > best_simple.1 {
+            best_simple = (config.name(), simple_score);
+        }
+        if alt_score > best_alt.1 {
+            best_alt = (config.name(), alt_score);
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\n  best on single-RE suites: {} (paper: NEW 8x1)", best_simple.0);
+    println!("  best on alternate suites:  {} (paper: NEW 16x1)", best_alt.0);
+}

@@ -1,0 +1,50 @@
+//! **Figure 9** — compile time comparison of the old and new compilers,
+//! with and without optimizations.
+//!
+//! Reproduction targets (see DESIGN.md for the Python-substitution
+//! caveat): the old compiler's optimizations slow it down by large,
+//! suite-dependent factors (the paper reports 6.5x / 2.1x / 39x / 2.2x),
+//! while the new compiler's multi-level passes cost only 1.1-1.5x.
+
+use cicero_bench::{banner, f2, paper, suites, CompiledSuite, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 9", "compile time per suite (seconds, log-scale in the paper)", scale);
+    let mut table = Table::new(vec![
+        "suite",
+        "new w/o [s]",
+        "new w/ [s]",
+        "old w/o [s]",
+        "old w/ [s]",
+        "old slowdown",
+        "(paper)",
+        "new overhead",
+        "(paper)",
+        "new w/o speedup",
+        "(paper)",
+    ]);
+    for (i, bench) in suites(scale).iter().enumerate() {
+        // Compile twice and keep the faster run to damp warm-up noise.
+        let a = CompiledSuite::build(bench);
+        let b = CompiledSuite::build(bench);
+        let t: Vec<f64> = (0..4).map(|k| a.compile_seconds[k].min(b.compile_seconds[k])).collect();
+        let (new_opt, new_unopt, old_opt, old_unopt) = (t[0], t[1], t[2], t[3]);
+        table.row(vec![
+            bench.name.to_owned(),
+            format!("{:.4}", new_unopt),
+            format!("{:.4}", new_opt),
+            format!("{:.4}", old_unopt),
+            format!("{:.4}", old_opt),
+            f2(old_opt / old_unopt),
+            format!("({})", f2(paper::OLD_OPT_SLOWDOWN[i])),
+            f2(new_opt / new_unopt),
+            format!("({})", f2(paper::NEW_OPT_OVERHEAD[i])),
+            f2(old_unopt / new_unopt),
+            format!("({})", f2(paper::NEW_UNOPT_SPEEDUP[i])),
+        ]);
+    }
+    table.print();
+    println!("\n  note: the paper's absolute w/o-optimization gap partly reflects Python vs");
+    println!("  C++; here the old compiler's dynamic-object style stands in for it (DESIGN.md)");
+}

@@ -1,0 +1,59 @@
+//! **Table 5** — micro-benchmark pre-filtering: average energy per RE
+//! (W·µs) for every feasible architecture configuration.
+//!
+//! Reproduction targets: every NEW NxM (M > 1) is less efficient than its
+//! NEW Nx1 counterpart (in-engine balancing beats adding engines), and
+//! the overall winners are NEW 8x1 / NEW 16x1.
+
+use cicero_bench::{banner, f2, measure, paper, suites, CompiledSuite, Scale, Table};
+use cicero_sim::ArchConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table 5", "average energy per RE (W·µs) per configuration", scale);
+    let compiled: Vec<CompiledSuite> = suites(scale).iter().map(CompiledSuite::build).collect();
+
+    let mut configs: Vec<(ArchConfig, Option<[f64; 4]>)> = Vec::new();
+    for (row, (_, p)) in paper::TABLE2.iter().enumerate() {
+        let engines = [1, 4, 9, 16, 32][row];
+        configs.push((ArchConfig::old_organization(engines), Some(*p)));
+    }
+    for (name, p) in paper::TABLE5_NEW {
+        let parts: Vec<&str> = name.split_whitespace().nth(1).unwrap().split('x').collect();
+        let n: usize = parts[0].parse().unwrap();
+        let m: usize = parts[1].parse().unwrap();
+        configs.push((ArchConfig::new_organization(n, m), Some(p)));
+    }
+
+    let mut table = Table::new(vec![
+        "configuration", "PROTOMATA", "(paper)", "BRILL", "(paper)", "PROTOMATA4", "(paper)",
+        "BRILL4", "(paper)", "AVG",
+    ]);
+    let mut best: Option<(String, f64)> = None;
+    for (config, paper_row) in &configs {
+        // Table 5 uses the *new* compiler ("we now consider only the
+        // proposed compiler", §6.2).
+        let mut cells = vec![config.name()];
+        let mut sum = 0.0;
+        for (i, suite) in compiled.iter().enumerate() {
+            let m = measure(&suite.new_opt, &suite.chunks, config);
+            sum += m.avg_energy_wus;
+            cells.push(f2(m.avg_energy_wus));
+            cells.push(match paper_row {
+                Some(p) => format!("({})", f2(p[i])),
+                None => "-".to_owned(),
+            });
+        }
+        let avg = sum / compiled.len() as f64;
+        cells.push(f2(avg));
+        if best.as_ref().is_none_or(|(_, b)| avg < *b) {
+            best = Some((config.name(), avg));
+        }
+        table.row(cells);
+    }
+    table.print();
+    let (name, avg) = best.expect("at least one configuration");
+    println!("\n  overall most efficient: {name} at {} W·µs avg (paper: NEW 16x1, 47.86)", f2(avg));
+    println!("  note: paper Table 2 rows were measured with the old compiler; this table");
+    println!("  recompiles everything with the new one, as §6.2 does for Table 5");
+}

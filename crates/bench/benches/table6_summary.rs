@@ -1,0 +1,75 @@
+//! **Table 6** — the end-to-end result: best old configuration + old
+//! compiler versus best new configuration + new compiler.
+//!
+//! Reproduction targets: ~2.27x speedup and ~2.30x energy improvement on
+//! PROTOMATA4, ~1.35x/1.49x on BRILL4, ~1.48x/1.56x averaged overall.
+
+use cicero_bench::{banner, f2, measure, paper, suites, CompiledSuite, Measurement, Scale, Table};
+use cicero_sim::ArchConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table 6", "old compiler + old arch vs new compiler + new arch", scale);
+    let compiled: Vec<CompiledSuite> = suites(scale).iter().map(CompiledSuite::build).collect();
+
+    let old_configs = [ArchConfig::old_organization(9), ArchConfig::old_organization(16)];
+    let new_configs = [ArchConfig::new_organization(8, 1), ArchConfig::new_organization(16, 1)];
+
+    let mut table = Table::new(vec![
+        "configuration", "P4 [us]", "P4 [W·µs]", "B4 [us]", "B4 [W·µs]", "AVG [us]", "AVG [W·µs]",
+    ]);
+    let run = |programs: &dyn Fn(&CompiledSuite) -> &[cicero_isa::Program],
+               config: &ArchConfig|
+     -> Vec<Measurement> {
+        compiled.iter().map(|s| measure(programs(s), &s.chunks, config)).collect()
+    };
+    let summarize = |ms: &[Measurement]| -> [f64; 6] {
+        let avg_t = ms.iter().map(|m| m.avg_time_us).sum::<f64>() / ms.len() as f64;
+        let avg_e = ms.iter().map(|m| m.avg_energy_wus).sum::<f64>() / ms.len() as f64;
+        [
+            ms[2].avg_time_us,
+            ms[2].avg_energy_wus,
+            ms[3].avg_time_us,
+            ms[3].avg_energy_wus,
+            avg_t,
+            avg_e,
+        ]
+    };
+
+    let mut best_old = [f64::INFINITY; 6];
+    let mut best_new = [f64::INFINITY; 6];
+    for config in &old_configs {
+        let row = summarize(&run(&|s: &CompiledSuite| s.old_opt.as_slice(), config));
+        for k in 0..6 {
+            best_old[k] = best_old[k].min(row[k]);
+        }
+        table.row(
+            std::iter::once(format!("Old Compiler, {}", config.name()))
+                .chain(row.iter().map(|x| f2(*x)))
+                .collect::<Vec<String>>(),
+        );
+    }
+    for config in &new_configs {
+        let row = summarize(&run(&|s: &CompiledSuite| s.new_opt.as_slice(), config));
+        for k in 0..6 {
+            best_new[k] = best_new[k].min(row[k]);
+        }
+        table.row(
+            std::iter::once(format!("New Compiler, {}", config.name()))
+                .chain(row.iter().map(|x| f2(*x)))
+                .collect::<Vec<String>>(),
+        );
+    }
+    let ratios: Vec<String> = (0..6).map(|k| format!("{}x", f2(best_old[k] / best_new[k]))).collect();
+    table.row(std::iter::once("Best(old) / Best(new)".to_owned()).chain(ratios).collect::<Vec<_>>());
+    table.print();
+    println!(
+        "\n  paper ratios: P4 {}x time / {}x energy; B4 {}x/{}x; overall {}x/{}x",
+        paper::TABLE6_SPEEDUP[0],
+        paper::TABLE6_ENERGY[0],
+        paper::TABLE6_SPEEDUP[1],
+        paper::TABLE6_ENERGY[1],
+        paper::TABLE6_SPEEDUP[2],
+        paper::TABLE6_ENERGY[2],
+    );
+}

@@ -1,0 +1,201 @@
+//! Code generation: `cicero.program` → binary-ready [`cicero_isa::Program`].
+//!
+//! Thanks to the dialect's one-to-one mapping onto the ISA (§3.3), code
+//! generation is a single linear walk: assign each op its address (its
+//! position), resolve symbols, and translate op-for-instruction. "The
+//! one-to-one mapping reduces the complexity of the code generation step."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cicero_isa::{Instruction, Program, ProgramError};
+use mlir_lite::{Attribute, Operation};
+
+use crate::ops::{attrs, names};
+
+/// Code-generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// The root op was not a `cicero.program`.
+    NotAProgram {
+        /// The op name found instead.
+        found: String,
+    },
+    /// A `split`/`jump` referenced a symbol no op defines.
+    UndefinedSymbol {
+        /// The dangling symbol.
+        symbol: String,
+        /// Index of the referencing op.
+        index: usize,
+    },
+    /// An op was not translatable (wrong dialect, missing attributes).
+    MalformedOp {
+        /// Index of the offending op.
+        index: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The translated program failed ISA-level validation (e.g. exceeds
+    /// the 8192-instruction address space).
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::NotAProgram { found } => {
+                write!(f, "expected cicero.program, found {found}")
+            }
+            CodegenError::UndefinedSymbol { symbol, index } => {
+                write!(f, "op {index} references undefined symbol `{symbol}`")
+            }
+            CodegenError::MalformedOp { index, message } => {
+                write!(f, "op {index} is malformed: {message}")
+            }
+            CodegenError::Invalid(e) => write!(f, "generated program is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<ProgramError> for CodegenError {
+    fn from(e: ProgramError) -> CodegenError {
+        CodegenError::Invalid(e)
+    }
+}
+
+/// Translate a `cicero.program` into a validated ISA program.
+///
+/// # Errors
+///
+/// See [`CodegenError`]. IR that passed
+/// [`mlir_lite::Context::verify`] against [`crate::dialect`] can only fail
+/// with [`CodegenError::Invalid`] (address-space overflow).
+pub fn codegen(program: &Operation) -> Result<Program, CodegenError> {
+    if !program.is(names::PROGRAM) {
+        return Err(CodegenError::NotAProgram { found: program.name().as_str().to_owned() });
+    }
+    let body = &program.only_region().ops;
+    let mut symbols: BTreeMap<&str, u16> = BTreeMap::new();
+    for (index, op) in body.iter().enumerate() {
+        if let Some(sym) = crate::ops::sym_name(op) {
+            let address = u16::try_from(index).map_err(|_| {
+                CodegenError::Invalid(ProgramError::TooLong { len: body.len() })
+            })?;
+            symbols.insert(sym, address);
+        }
+    }
+    let mut instructions = Vec::with_capacity(body.len());
+    for (index, op) in body.iter().enumerate() {
+        instructions.push(translate(op, index, &symbols)?);
+    }
+    Ok(Program::from_instructions(instructions)?)
+}
+
+fn translate(
+    op: &Operation,
+    index: usize,
+    symbols: &BTreeMap<&str, u16>,
+) -> Result<Instruction, CodegenError> {
+    let char_attr = || {
+        op.attr(attrs::TARGET_CHAR).and_then(Attribute::as_char).ok_or_else(|| {
+            CodegenError::MalformedOp { index, message: "missing target_char".to_owned() }
+        })
+    };
+    let target_attr = || -> Result<u16, CodegenError> {
+        let symbol = op.attr(attrs::TARGET).and_then(Attribute::as_symbol).ok_or_else(|| {
+            CodegenError::MalformedOp { index, message: "missing target symbol".to_owned() }
+        })?;
+        symbols.get(symbol).copied().ok_or_else(|| CodegenError::UndefinedSymbol {
+            symbol: symbol.to_owned(),
+            index,
+        })
+    };
+    Ok(match op.name().as_str() {
+        names::ACCEPT => Instruction::Accept,
+        names::ACCEPT_PARTIAL => Instruction::AcceptPartial,
+        names::ACCEPT_PARTIAL_ID => {
+            let id = op
+                .attr(attrs::ID)
+                .and_then(Attribute::as_int)
+                .and_then(|i| u16::try_from(i).ok())
+                .ok_or_else(|| CodegenError::MalformedOp {
+                    index,
+                    message: "missing or invalid id".to_owned(),
+                })?;
+            Instruction::AcceptPartialId(id)
+        }
+        names::MATCH_ANY => Instruction::MatchAny,
+        names::MATCH_CHAR => Instruction::Match(char_attr()?),
+        names::NOT_MATCH_CHAR => Instruction::NotMatch(char_attr()?),
+        names::SPLIT => Instruction::Split(target_attr()?),
+        names::JUMP => Instruction::Jump(target_attr()?),
+        other => {
+            return Err(CodegenError::MalformedOp {
+                index,
+                message: format!("unknown op {other}"),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use mlir_lite::Attribute;
+
+    fn labeled(mut op: Operation, sym: &str) -> Operation {
+        op.set_attr(attrs::SYM_NAME, Attribute::Str(sym.to_owned()));
+        op
+    }
+
+    #[test]
+    fn translates_every_op_kind() {
+        let program = ops::program(vec![
+            labeled(ops::split("end"), "start"),
+            ops::match_char(b'a'),
+            ops::not_match_char(b'b'),
+            ops::match_any(),
+            ops::jump("start"),
+            labeled(ops::accept_partial(), "end"),
+            ops::accept(),
+        ]);
+        let compiled = codegen(&program).unwrap();
+        use Instruction::*;
+        assert_eq!(
+            compiled.instructions(),
+            &[
+                Split(5),
+                Match(b'a'),
+                NotMatch(b'b'),
+                MatchAny,
+                Jump(0),
+                AcceptPartial,
+                Accept,
+            ]
+        );
+    }
+
+    #[test]
+    fn undefined_symbol_reported() {
+        let program = ops::program(vec![ops::jump("ghost"), ops::accept()]);
+        assert_eq!(
+            codegen(&program),
+            Err(CodegenError::UndefinedSymbol { symbol: "ghost".to_owned(), index: 0 })
+        );
+    }
+
+    #[test]
+    fn non_program_rejected() {
+        let err = codegen(&ops::accept()).unwrap_err();
+        assert!(matches!(err, CodegenError::NotAProgram { .. }));
+    }
+
+    #[test]
+    fn fall_off_end_rejected_via_isa_validation() {
+        let program = ops::program(vec![ops::match_char(b'a')]);
+        assert!(matches!(codegen(&program), Err(CodegenError::Invalid(_))));
+    }
+}

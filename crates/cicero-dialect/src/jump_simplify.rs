@@ -1,0 +1,371 @@
+//! The *Jump Simplification* back-end optimization (§5).
+//!
+//! Applied to each `JumpOp` of a `cicero.program`, to a fixed point:
+//!
+//! 1. a jump targeting the next operation is removed;
+//! 2. a jump targeting an acceptance op is **replaced by a copy of that
+//!    acceptance op** — "we relax the condition of a single acceptance
+//!    state", letting the NFA traversal stop as soon as possible;
+//! 3. a jump targeting another jump is retargeted to the final destination
+//!    of the chain (unconditional jump threading, applied recursively).
+//!
+//! `SplitOp` targets are threaded through jump chains too — the same
+//! always-safe unconditional threading the paper's footnote relates to
+//! LLVM's JumpThreading.
+//!
+//! After the rules converge, unreachable operations are removed (the
+//! orphaned shared-acceptance block of Listing 2's middle layout); this is
+//! what shrinks `ab|cd` from 11 to 10 instructions while dropping
+//! `D_offset` from 14 to 9.
+//!
+//! Because control flow is still symbolic at this level, none of these
+//! rewrites re-patch addresses — the optimization the old compiler could
+//! not express cheaply after its premature lowering (§2.1).
+
+use std::collections::BTreeMap;
+
+use mlir_lite::{Attribute, Context, Operation, Pass, PassError};
+
+use crate::ops::{self, attrs, names};
+
+/// Run Jump Simplification on a `cicero.program` in place.
+///
+/// # Panics
+///
+/// Panics if `program` is not a verified `cicero.program` (undefined
+/// symbols, foreign ops).
+pub fn jump_simplify(program: &mut Operation) {
+    assert!(program.is(names::PROGRAM), "expected cicero.program, got {}", program.name());
+    loop {
+        let mut changed = false;
+        changed |= thread_jump_chains(program);
+        changed |= duplicate_acceptances(program);
+        changed |= remove_jumps_to_next(program);
+        changed |= remove_unreachable(program);
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// [`jump_simplify`] as a pass for pipeline assembly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JumpSimplificationPass;
+
+impl Pass for JumpSimplificationPass {
+    fn name(&self) -> &'static str {
+        "cicero-jump-simplification"
+    }
+
+    fn run(&self, root: &mut Operation, _ctx: &Context) -> Result<(), PassError> {
+        if !root.is(names::PROGRAM) {
+            return Err(PassError::new(format!("expected cicero.program, got {}", root.name())));
+        }
+        jump_simplify(root);
+        Ok(())
+    }
+}
+
+/// Map symbol → defining index.
+fn symbol_table(body: &[Operation]) -> BTreeMap<String, usize> {
+    body.iter()
+        .enumerate()
+        .filter_map(|(i, op)| ops::sym_name(op).map(|s| (s.to_owned(), i)))
+        .collect()
+}
+
+/// Rule 3 (+ split extension): follow chains of unconditional jumps.
+fn thread_jump_chains(program: &mut Operation) -> bool {
+    let body = &mut program.only_region_mut().ops;
+    let symbols = symbol_table(body);
+    let resolve_final = |start: &str| -> Option<String> {
+        let mut current = start.to_owned();
+        // Bounded walk: cycles of jumps (degenerate but representable)
+        // terminate at the bound and are left alone.
+        for _ in 0..body.len() {
+            let index = *symbols.get(&current)?;
+            let target_op = &body[index];
+            if !target_op.is(names::JUMP) {
+                break;
+            }
+            current = ops::branch_target(target_op)?.to_owned();
+        }
+        Some(current)
+    };
+    let mut updates = Vec::new();
+    for (i, op) in body.iter().enumerate() {
+        if let Some(target) = ops::branch_target(op) {
+            if let Some(final_target) = resolve_final(target) {
+                if final_target != target {
+                    updates.push((i, final_target));
+                }
+            }
+        }
+    }
+    let changed = !updates.is_empty();
+    for (i, target) in updates {
+        body[i].set_attr(attrs::TARGET, Attribute::Symbol(target));
+    }
+    changed
+}
+
+/// Rule 2: replace jumps to acceptance ops with the acceptance itself.
+fn duplicate_acceptances(program: &mut Operation) -> bool {
+    let body = &mut program.only_region_mut().ops;
+    let symbols = symbol_table(body);
+    let mut replacements = Vec::new();
+    for (i, op) in body.iter().enumerate() {
+        if !op.is(names::JUMP) {
+            continue;
+        }
+        let target = ops::branch_target(op).expect("verified jump");
+        let Some(&target_index) = symbols.get(target) else { continue };
+        if ops::is_acceptance(&body[target_index]) {
+            // Clone the acceptance wholesale: `accept_partial_id` carries
+            // the RE identifier that the duplicate must preserve.
+            let mut clone = body[target_index].clone();
+            clone.take_attr(attrs::SYM_NAME);
+            replacements.push((i, clone));
+        }
+    }
+    let changed = !replacements.is_empty();
+    for (i, mut replacement) in replacements {
+        if let Some(sym) = ops::sym_name(&body[i]) {
+            replacement.set_attr(attrs::SYM_NAME, Attribute::Str(sym.to_owned()));
+        }
+        body[i] = replacement;
+    }
+    changed
+}
+
+/// Rule 1: remove jumps that target the very next operation.
+///
+/// All removable jumps are collected in one scan and removed in one
+/// rebuild — the scan-per-removal alternative would make this pass
+/// quadratic on the alternation-heavy suites.
+fn remove_jumps_to_next(program: &mut Operation) -> bool {
+    let body = &mut program.only_region_mut().ops;
+    let symbols = symbol_table(body);
+    let removable: Vec<usize> = body
+        .iter()
+        .enumerate()
+        .filter(|(index, op)| {
+            op.is(names::JUMP)
+                && ops::branch_target(op)
+                    .and_then(|t| symbols.get(t))
+                    .is_some_and(|&t| t == index + 1)
+        })
+        .map(|(index, _)| index)
+        .collect();
+    if removable.is_empty() {
+        return false;
+    }
+    // Symbols on removed jumps migrate to the next kept op: either adopt
+    // the symbol, or fold it into the op's existing one.
+    let mut folds: Vec<(String, String)> = Vec::new(); // (from, into)
+    for &index in removable.iter().rev() {
+        let Some(sym) = ops::sym_name(&body[index]).map(str::to_owned) else { continue };
+        // `index + 1` exists: the jump targets it.
+        match ops::sym_name(&body[index + 1]).map(str::to_owned) {
+            Some(existing) => folds.push((sym, existing)),
+            None => {
+                let owned = sym.clone();
+                body[index + 1].set_attr(attrs::SYM_NAME, Attribute::Str(owned));
+            }
+        }
+    }
+    let mut keep = (0..body.len()).map(|i| !removable.contains(&i));
+    body.retain(|_| keep.next().expect("one flag per op"));
+    if !folds.is_empty() {
+        // Resolve fold chains (a folded-into symbol may itself be folded).
+        let resolve = |start: &str| -> String {
+            let mut current = start.to_owned();
+            for _ in 0..folds.len() + 1 {
+                match folds.iter().find(|(from, _)| *from == current) {
+                    Some((_, into)) => current = into.clone(),
+                    None => break,
+                }
+            }
+            current
+        };
+        for op in body.iter_mut() {
+            if let Some(target) = ops::branch_target(op).map(str::to_owned) {
+                let resolved = resolve(&target);
+                if resolved != target {
+                    op.set_attr(attrs::TARGET, Attribute::Symbol(resolved));
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Remove operations unreachable from the entry (index 0): acceptance and
+/// jump ops do not fall through, so code after them is dead unless
+/// branched to.
+fn remove_unreachable(program: &mut Operation) -> bool {
+    let body = &mut program.only_region_mut().ops;
+    if body.is_empty() {
+        return false;
+    }
+    let symbols = symbol_table(body);
+    let mut reachable = vec![false; body.len()];
+    let mut worklist = vec![0usize];
+    while let Some(index) = worklist.pop() {
+        if index >= body.len() || reachable[index] {
+            continue;
+        }
+        reachable[index] = true;
+        let op = &body[index];
+        if ops::falls_through(op) {
+            worklist.push(index + 1);
+        }
+        if let Some(target) = ops::branch_target(op) {
+            if let Some(&t) = symbols.get(target) {
+                worklist.push(t);
+            }
+        }
+    }
+    if reachable.iter().all(|r| *r) {
+        return false;
+    }
+    let mut keep = reachable.iter();
+    body.retain(|_| *keep.next().expect("one flag per op"));
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::codegen;
+    use crate::lowering::lower_to_cicero;
+    use cicero_isa::Instruction;
+    use mlir_lite::Context;
+
+    fn simplified(pattern: &str) -> cicero_isa::Program {
+        let ast = regex_frontend::parse(pattern).unwrap();
+        let ir = regex_dialect::ast_to_ir(&ast);
+        let mut program = lower_to_cicero(&ir);
+        jump_simplify(&mut program);
+        let mut ctx = Context::new();
+        ctx.register_dialect(crate::dialect());
+        ctx.verify(&program).expect("simplified IR must verify");
+        codegen(&program).unwrap()
+    }
+
+    #[test]
+    fn listing2_jump_simplification_column() {
+        use Instruction::*;
+        // The exact right column of Listing 2: D_offset 9, 10 instructions.
+        let program = simplified("ab|cd");
+        assert_eq!(
+            program.instructions(),
+            &[
+                Split(3),
+                MatchAny,
+                Jump(0),
+                Split(7),
+                Match(b'a'),
+                Match(b'b'),
+                AcceptPartial,
+                Match(b'c'),
+                Match(b'd'),
+                AcceptPartial,
+            ]
+        );
+        assert_eq!(program.total_jump_offset(), 9);
+    }
+
+    #[test]
+    fn loop_back_jumps_survive() {
+        use Instruction::*;
+        // The `.*` prefix loop's back jump is load-bearing.
+        let program = simplified("^a*$");
+        assert_eq!(program.instructions(), &[Split(3), Match(b'a'), Jump(0), Accept]);
+    }
+
+    #[test]
+    fn jump_chains_are_threaded() {
+        use crate::ops::*;
+        use mlir_lite::Attribute;
+        let labeled = |mut op: Operation, s: &str| {
+            op.set_attr(attrs::SYM_NAME, Attribute::Str(s.to_owned()));
+            op
+        };
+        // match a; jmp @x; …; x: jmp @y; …; y: match b; accept
+        let mut program = program(vec![
+            match_char(b'a'),
+            jump("x"),
+            labeled(jump("y"), "x"),
+            labeled(match_char(b'b'), "y"),
+            accept_partial(),
+        ]);
+        jump_simplify(&mut program);
+        let compiled = codegen(&program).unwrap();
+        use Instruction::*;
+        // jmp@x threads to y; x: jmp@y becomes unreachable and is removed;
+        // then jmp@y targets next and is removed too.
+        assert_eq!(
+            compiled.instructions(),
+            &[Match(b'a'), Match(b'b'), AcceptPartial]
+        );
+    }
+
+    #[test]
+    fn symbol_on_removed_jump_migrates() {
+        use crate::ops::*;
+        use mlir_lite::Attribute;
+        let labeled = |mut op: Operation, s: &str| {
+            op.set_attr(attrs::SYM_NAME, Attribute::Str(s.to_owned()));
+            op
+        };
+        // split targets the jump that will be removed.
+        let mut program = program(vec![
+            split("j"),
+            match_char(b'a'),
+            labeled(jump("k"), "j"),
+            labeled(match_char(b'b'), "k"),
+            accept_partial(),
+        ]);
+        jump_simplify(&mut program);
+        let compiled = codegen(&program).unwrap();
+        use Instruction::*;
+        assert_eq!(
+            compiled.instructions(),
+            &[Split(2), Match(b'a'), Match(b'b'), AcceptPartial]
+        );
+    }
+
+    #[test]
+    fn simplification_is_idempotent() {
+        for pattern in ["ab|cd", "a|b|c", "(ab)+x?", "th(is|at|ose)"] {
+            let ast = regex_frontend::parse(pattern).unwrap();
+            let ir = regex_dialect::ast_to_ir(&ast);
+            let mut once = lower_to_cicero(&ir);
+            jump_simplify(&mut once);
+            let mut twice = once.clone();
+            jump_simplify(&mut twice);
+            assert_eq!(once, twice, "not idempotent on {pattern}");
+        }
+    }
+
+    #[test]
+    fn simplification_never_grows_code_or_d_offset() {
+        for pattern in ["ab|cd", "a|b|c|d", "x(y|z)+w", "[abc]{2,3}", "a*b*c*"] {
+            let ast = regex_frontend::parse(pattern).unwrap();
+            let ir = regex_dialect::ast_to_ir(&ast);
+            let baseline = lower_to_cicero(&ir);
+            let unopt = codegen(&baseline).unwrap();
+            let mut optimized = baseline.clone();
+            jump_simplify(&mut optimized);
+            let opt = codegen(&optimized).unwrap();
+            assert!(opt.len() <= unopt.len(), "{pattern}: grew");
+            assert!(
+                opt.total_jump_offset() <= unopt.total_jump_offset(),
+                "{pattern}: D_offset grew from {} to {}",
+                unopt.total_jump_offset(),
+                opt.total_jump_offset()
+            );
+        }
+    }
+}

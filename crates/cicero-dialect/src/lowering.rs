@@ -1,0 +1,678 @@
+//! Lowering from the `regex` dialect to the `cicero` dialect.
+//!
+//! The lowering is a Thompson-style construction emitted directly in
+//! instruction-memory order ("the process maps basic blocks to instruction
+//! memory and inserts control instructions", §3). The layout discipline
+//! reproduces the paper's Listing 2 exactly:
+//!
+//! * the implicit `.*` prefix becomes `L: SPLIT @body; MATCH_ANY; JMP @L`;
+//! * an alternation emits its first branch, then the **shared
+//!   continuation** (e.g. the acceptance op), then the remaining branches,
+//!   each ending in a jump back to the continuation;
+//! * every quantifier expands by copy (`min` mandatory copies, then a
+//!   star/plus loop or a chain of optionals sharing one exit label).
+//!
+//! Character classes pick the cheaper of the two encodings of §3.3: a
+//! split-tree of `MatchCharOp`s for the member set, or a
+//! `NotMatchCharOp` chain over the complement followed by `MatchAnyOp`
+//! (the encoding the paper shows for `[^ab]`).
+
+use mlir_lite::{Attribute, Context, Operation, Pass, PassError};
+use regex_dialect::ops as rx;
+
+use crate::ops::{self, attrs};
+
+/// Lower verified `regex.root` IR into a `cicero.program`.
+///
+/// # Panics
+///
+/// Panics if `root` is not well-formed `regex` dialect IR — run
+/// [`mlir_lite::Context::verify`] first when handling untrusted IR.
+pub fn lower_to_cicero(root: &Operation) -> Operation {
+    assert!(root.is(rx::names::ROOT), "expected regex.root, got {}", root.name());
+    let has_prefix =
+        root.attr(rx::attrs::HAS_PREFIX).and_then(Attribute::as_bool).expect("verified");
+    let has_suffix =
+        root.attr(rx::attrs::HAS_SUFFIX).and_then(Attribute::as_bool).expect("verified");
+    let mut e = Emitter::new();
+    if has_prefix {
+        let loop_label = e.fresh();
+        let body = e.fresh();
+        e.define_label(loop_label.clone());
+        e.emit(ops::split(body.clone()));
+        e.emit(ops::match_any());
+        e.emit(ops::jump(loop_label));
+        e.define_label(body);
+    }
+    let alternatives = &root.only_region().ops;
+    let accept = move |e: &mut Emitter| {
+        e.emit(if has_suffix { ops::accept_partial() } else { ops::accept() });
+    };
+    lower_branches(
+        &mut e,
+        alternatives.len(),
+        BranchStyle::Root,
+        &mut |e, i, next| lower_concat(e, &alternatives[i], next),
+        Next::Inline(Box::new(accept)),
+    );
+    e.finish()
+}
+
+/// The lowering as a pass: replaces the `regex.root` tree under a wrapper
+/// module with a `cicero.program`. Provided for completeness; the compiler
+/// driver calls [`lower_to_cicero`] directly between its two dialects.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowerToCiceroPass;
+
+impl Pass for LowerToCiceroPass {
+    fn name(&self) -> &'static str {
+        "lower-regex-to-cicero"
+    }
+
+    fn run(&self, root: &mut Operation, _ctx: &Context) -> Result<(), PassError> {
+        if !root.is(rx::names::ROOT) {
+            return Err(PassError::new(format!("expected regex.root, got {}", root.name())));
+        }
+        *root = lower_to_cicero(root);
+        Ok(())
+    }
+}
+
+/// How a lowered fragment continues.
+enum Next<'a> {
+    /// Emit the continuation inline, exactly once.
+    Inline(Box<dyn FnOnce(&mut Emitter) + 'a>),
+    /// The continuation already has a home: jump to it.
+    Goto(String),
+}
+
+impl<'a> Next<'a> {
+    fn resolve(self, e: &mut Emitter) {
+        match self {
+            Next::Inline(f) => f(e),
+            Next::Goto(label) => e.emit(ops::jump(label)),
+        }
+    }
+}
+
+/// Instruction emitter with pending-label bookkeeping.
+struct Emitter {
+    body: Vec<Operation>,
+    next_label: usize,
+    /// Labels waiting to be attached to the next emitted op.
+    pending: Vec<String>,
+    /// Secondary labels folded into the canonical one they share an op with.
+    aliases: Vec<(String, String)>,
+}
+
+impl Emitter {
+    fn new() -> Emitter {
+        Emitter { body: Vec::new(), next_label: 0, pending: Vec::new(), aliases: Vec::new() }
+    }
+
+    fn fresh(&mut self) -> String {
+        let label = format!("L{}", self.next_label);
+        self.next_label += 1;
+        label
+    }
+
+    /// Attach `label` to the next emitted op.
+    fn define_label(&mut self, label: String) {
+        self.pending.push(label);
+    }
+
+    fn emit(&mut self, mut op: Operation) {
+        if let Some(canonical) = self.pending.first().cloned() {
+            op.set_attr(attrs::SYM_NAME, Attribute::Str(canonical.clone()));
+            for extra in self.pending.drain(1..) {
+                self.aliases.push((extra, canonical.clone()));
+            }
+            self.pending.clear();
+        }
+        self.body.push(op);
+    }
+
+    fn finish(mut self) -> Operation {
+        assert!(self.pending.is_empty(), "labels defined past the end of the program");
+        // Rewrite references through the alias map (a label that landed on
+        // an op already carrying one).
+        if !self.aliases.is_empty() {
+            use std::collections::BTreeMap;
+            let map: BTreeMap<&str, &str> =
+                self.aliases.iter().map(|(a, c)| (a.as_str(), c.as_str())).collect();
+            for op in &mut self.body {
+                let target = ops::branch_target(op).map(str::to_owned);
+                if let Some(target) = target {
+                    let mut current = target.as_str();
+                    while let Some(next) = map.get(current) {
+                        current = next;
+                    }
+                    if current != target {
+                        let resolved = current.to_owned();
+                        op.set_attr(attrs::TARGET, Attribute::Symbol(resolved));
+                    }
+                }
+            }
+        }
+        ops::program(self.body)
+    }
+}
+
+/// Layout discipline for an alternation's shared continuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BranchStyle {
+    /// Listing-2 root layout: branch 0, then the continuation (the
+    /// acceptance op), then branches 1…n−1 jumping back to it.
+    Root,
+    /// Classic layout for nested alternations: all branches first, each
+    /// ending in a jump to the join, continuation after the last branch.
+    /// This keeps every enclosing construct contiguous in memory.
+    Inner,
+}
+
+/// Lower an `n`-way branch list (alternation or positive character class).
+fn lower_branches<'a>(
+    e: &mut Emitter,
+    n: usize,
+    style: BranchStyle,
+    emit_branch: &mut dyn FnMut(&mut Emitter, usize, Next<'a>),
+    next: Next<'a>,
+) {
+    assert!(n > 0, "branch list cannot be empty");
+    if n == 1 {
+        emit_branch(e, 0, next);
+        return;
+    }
+    let join = e.fresh();
+    match style {
+        BranchStyle::Root => {
+            let rest = e.fresh();
+            e.emit(ops::split(rest.clone()));
+            emit_branch(e, 0, Next::Goto(join.clone()));
+            e.define_label(join.clone());
+            next.resolve(e);
+            e.define_label(rest);
+            for i in 1..n {
+                if i + 1 < n {
+                    let after = e.fresh();
+                    e.emit(ops::split(after.clone()));
+                    emit_branch(e, i, Next::Goto(join.clone()));
+                    e.define_label(after);
+                } else {
+                    emit_branch(e, i, Next::Goto(join.clone()));
+                }
+            }
+        }
+        BranchStyle::Inner => {
+            for i in 0..n {
+                if i + 1 < n {
+                    let after = e.fresh();
+                    e.emit(ops::split(after.clone()));
+                    emit_branch(e, i, Next::Goto(join.clone()));
+                    e.define_label(after);
+                } else {
+                    // The last branch also jumps (Jump Simplification later
+                    // removes the jump-to-next, as Listing 2 shows for the
+                    // unoptimized layout).
+                    emit_branch(e, i, Next::Goto(join.clone()));
+                }
+            }
+            e.define_label(join);
+            next.resolve(e);
+        }
+    }
+}
+
+/// Lower one `regex.concatenation`.
+fn lower_concat<'a>(e: &mut Emitter, concat: &'a Operation, next: Next<'a>) {
+    lower_pieces(e, &concat.only_region().ops, next)
+}
+
+fn lower_pieces<'a>(e: &mut Emitter, pieces: &'a [Operation], next: Next<'a>) {
+    match pieces.split_first() {
+        None => next.resolve(e),
+        Some((first, rest)) => {
+            let continuation = Next::Inline(Box::new(move |e: &mut Emitter| {
+                lower_pieces(e, rest, next);
+            }));
+            lower_piece(e, first, continuation);
+        }
+    }
+}
+
+fn lower_piece<'a>(e: &mut Emitter, piece: &'a Operation, next: Next<'a>) {
+    let (atom, quant) = rx::piece_parts(piece);
+    match quant {
+        None => lower_atom(e, atom, next),
+        Some(q) => {
+            let (min, max) = rx::quantifier_bounds(q);
+            lower_quantified(e, atom, min, max, next);
+        }
+    }
+}
+
+/// Expand `atom{min,max}` by copy.
+fn lower_quantified<'a>(
+    e: &mut Emitter,
+    atom: &'a Operation,
+    min: u32,
+    max: Option<u32>,
+    next: Next<'a>,
+) {
+    if min > 0 {
+        if max.is_none() && min == 1 {
+            // `X+` gets the tight two-op form: `L: X; SPLIT @L` with the
+            // split falling through to the continuation.
+            let back = e.fresh();
+            e.define_label(back.clone());
+            let after = Next::Inline(Box::new(move |e: &mut Emitter| {
+                e.emit(ops::split(back));
+                next.resolve(e);
+            }));
+            lower_atom(e, atom, after);
+            return;
+        }
+        let continuation = Next::Inline(Box::new(move |e: &mut Emitter| {
+            lower_quantified(e, atom, min - 1, max.map(|m| m - 1), next);
+        }));
+        lower_atom(e, atom, continuation);
+        return;
+    }
+    match max {
+        // `X*`: `L: SPLIT @exit; X; JMP @L; exit:`.
+        None => {
+            let head = e.fresh();
+            let exit = e.fresh();
+            e.define_label(head.clone());
+            e.emit(ops::split(exit.clone()));
+            lower_atom(e, atom, Next::Goto(head));
+            e.define_label(exit);
+            next.resolve(e);
+        }
+        Some(0) => next.resolve(e),
+        // `X{0,k}`: a chain of optionals sharing one exit label.
+        Some(k) => {
+            let exit = e.fresh();
+            lower_optional_chain(e, atom, k, exit, next);
+        }
+    }
+}
+
+fn lower_optional_chain<'a>(
+    e: &mut Emitter,
+    atom: &'a Operation,
+    remaining: u32,
+    exit: String,
+    next: Next<'a>,
+) {
+    if remaining == 0 {
+        e.define_label(exit);
+        next.resolve(e);
+        return;
+    }
+    e.emit(ops::split(exit.clone()));
+    let continuation = Next::Inline(Box::new(move |e: &mut Emitter| {
+        lower_optional_chain(e, atom, remaining - 1, exit, next);
+    }));
+    lower_atom(e, atom, continuation);
+}
+
+fn lower_atom<'a>(e: &mut Emitter, atom: &'a Operation, next: Next<'a>) {
+    match atom.name().as_str() {
+        rx::names::MATCH_CHAR => {
+            let c = atom
+                .attr(rx::attrs::TARGET_CHAR)
+                .and_then(Attribute::as_char)
+                .expect("verified");
+            e.emit(ops::match_char(c));
+            next.resolve(e);
+        }
+        rx::names::MATCH_ANY_CHAR => {
+            e.emit(ops::match_any());
+            next.resolve(e);
+        }
+        rx::names::DOLLAR => {
+            // `$` asserts end-of-input; in the ISA that is exact acceptance.
+            // Anything after it is unreachable but continuations must still
+            // be emitted exactly once.
+            e.emit(ops::accept());
+            next.resolve(e);
+        }
+        rx::names::GROUP => lower_group(e, atom, next),
+        rx::names::SUB_REGEX => {
+            let alternatives = &atom.only_region().ops;
+            lower_branches(
+                e,
+                alternatives.len(),
+                BranchStyle::Inner,
+                &mut |e, i, next| lower_concat(e, &alternatives[i], next),
+                next,
+            );
+        }
+        other => panic!("unexpected regex atom {other}"),
+    }
+}
+
+/// Lower a character class, choosing the cheaper §3.3 encoding.
+fn lower_group<'a>(e: &mut Emitter, group: &Operation, next: Next<'a>) {
+    let bits = group
+        .attr(rx::attrs::TARGET_CHARS)
+        .and_then(Attribute::as_bool_array)
+        .expect("verified");
+    let members: Vec<u8> = (0..=255u8).filter(|c| bits[usize::from(*c)]).collect();
+    let complement: Vec<u8> = (0..=255u8).filter(|c| !bits[usize::from(*c)]).collect();
+    // A positive branch costs ~3 ops per member (split, match, jump); the
+    // negated encoding costs 1 op per excluded char plus one MATCH_ANY.
+    let positive_cost = 3 * members.len();
+    let negated_cost = complement.len() + 1;
+    if positive_cost <= negated_cost || complement.is_empty() {
+        lower_branches(
+            e,
+            members.len(),
+            BranchStyle::Inner,
+            &mut |e, i, next| {
+                e.emit(ops::match_char(members[i]));
+                next.resolve(e);
+            },
+            next,
+        );
+    } else {
+        // `[^ab]` → `NotMatch(a); NotMatch(b); MatchAny` (§3.3).
+        for c in complement {
+            e.emit(ops::not_match_char(c));
+        }
+        e.emit(ops::match_any());
+        next.resolve(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::codegen;
+    use cicero_isa::Instruction;
+    use mlir_lite::Context;
+
+    fn lower(pattern: &str) -> Operation {
+        let ast = regex_frontend::parse(pattern).unwrap();
+        let ir = regex_dialect::ast_to_ir(&ast);
+        let program = lower_to_cicero(&ir);
+        let mut ctx = Context::new();
+        ctx.register_dialect(crate::dialect());
+        ctx.verify(&program).expect("lowering must produce verified IR");
+        program
+    }
+
+    fn asm(pattern: &str) -> Vec<Instruction> {
+        codegen(&lower(pattern)).unwrap().instructions().to_vec()
+    }
+
+    #[test]
+    fn listing2_no_opt_layout() {
+        use Instruction::*;
+        // `ab|cd` with implicit `.*` — the exact left column of Listing 2.
+        assert_eq!(
+            asm("ab|cd"),
+            vec![
+                Split(3),
+                MatchAny,
+                Jump(0),
+                Split(8),
+                Match(b'a'),
+                Match(b'b'),
+                Jump(7),
+                AcceptPartial,
+                Match(b'c'),
+                Match(b'd'),
+                Jump(7),
+            ]
+        );
+    }
+
+    #[test]
+    fn anchored_pattern_uses_exact_accept_and_no_prefix_loop() {
+        use Instruction::*;
+        assert_eq!(asm("^ab$"), vec![Match(b'a'), Match(b'b'), Accept]);
+    }
+
+    #[test]
+    fn star_and_plus_forms() {
+        use Instruction::*;
+        // `^a*$`: L: SPLIT @exit; MATCH a; JMP @L; exit: ACCEPT.
+        assert_eq!(asm("^a*$"), vec![Split(3), Match(b'a'), Jump(0), Accept]);
+        // `^a+$`: L: MATCH a; SPLIT @L; ACCEPT.
+        assert_eq!(asm("^a+$"), vec![Match(b'a'), Split(0), Accept]);
+    }
+
+    #[test]
+    fn counted_quantifiers_expand_by_copy() {
+        use Instruction::*;
+        // `^a{2,4}$` = a a (a (a)?)? with one shared exit.
+        assert_eq!(
+            asm("^a{2,4}$"),
+            vec![
+                Match(b'a'),
+                Match(b'a'),
+                Split(6),
+                Match(b'a'),
+                Split(6),
+                Match(b'a'),
+                Accept,
+            ]
+        );
+    }
+
+    #[test]
+    fn unbounded_min_form() {
+        use Instruction::*;
+        // `^a{2,}$` = a then the tight plus loop on the second copy.
+        assert_eq!(
+            asm("^a{2,}$"),
+            vec![Match(b'a'), Match(b'a'), Split(1), Accept]
+        );
+    }
+
+    #[test]
+    fn negated_class_lowering_matches_paper() {
+        use Instruction::*;
+        // `[^ab]` (anchored to skip the prefix loop):
+        // NotMatch(a); NotMatch(b); MatchAny (§3.3).
+        assert_eq!(
+            asm("^[^ab]$"),
+            vec![NotMatch(b'a'), NotMatch(b'b'), MatchAny, Accept]
+        );
+    }
+
+    #[test]
+    fn small_positive_class_uses_split_tree() {
+        // Inner alternations use the classic join-at-end layout, keeping
+        // the class contiguous in instruction memory.
+        let code = asm("^[ab]$");
+        use Instruction::*;
+        assert_eq!(
+            code,
+            vec![Split(3), Match(b'a'), Jump(5), Match(b'b'), Jump(5), Accept]
+        );
+    }
+
+    #[test]
+    fn wide_positive_class_uses_negated_encoding() {
+        // `[a-z]` has 26 members (78 ops positive) vs 230 excluded + 1 —
+        // positive wins; `.`-minus-two (254 members) must flip to negated.
+        let code = asm("^[^\\n\\r]$");
+        assert_eq!(code.len(), 4, "{code:?}"); // NotMatch, NotMatch, MatchAny, Accept
+    }
+
+    #[test]
+    fn three_way_alternation_shares_one_acceptance() {
+        let code = asm("^a|b|c$");
+        let accepts = code
+            .iter()
+            .filter(|i| i.is_acceptance())
+            .count();
+        assert_eq!(accepts, 1, "{code:?}");
+    }
+
+    #[test]
+    fn empty_alternative_jumps_straight_to_join() {
+        // `ab|` — second branch is empty.
+        let program = lower("^ab|$");
+        let body = &program.only_region().ops;
+        assert!(body.last().unwrap().is(crate::names::JUMP), "{program}");
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        assert_eq!(lower("a(b|c)*d"), lower("a(b|c)*d"));
+    }
+
+    #[test]
+    fn pass_wrapper_rejects_wrong_root() {
+        let mut op = ops::accept();
+        assert!(LowerToCiceroPass.run(&mut op, &Context::new()).is_err());
+    }
+}
+
+/// Lower a *set* of patterns into one multi-matching `cicero.program`
+/// (the paper's Future Work: "the execution engine could return the RE
+/// identifiers when a match occurs").
+///
+/// Each pattern `i`'s branches terminate in `cicero.accept_partial_id(i)`,
+/// so the engine halts on the first match and reports which RE fired. A
+/// single shared `.*` scan loop feeds all patterns.
+///
+/// # Errors
+///
+/// Returns an error message if any pattern is anchored (`^`/`$`): in a
+/// combined scan every pattern is re-entered at every input position, so
+/// only match-anywhere patterns compose. (This mirrors multi-pattern DPI
+/// engines, which operate on unanchored signatures.)
+pub fn lower_multi(roots: &[&Operation]) -> Result<Operation, String> {
+    if roots.is_empty() {
+        return Err("multi-matching needs at least one pattern".to_owned());
+    }
+    if roots.len() > usize::from(cicero_isa::MAX_OPERAND) {
+        return Err(format!("at most {} patterns are addressable", cicero_isa::MAX_OPERAND));
+    }
+    for (i, root) in roots.iter().enumerate() {
+        assert!(root.is(rx::names::ROOT), "expected regex.root, got {}", root.name());
+        let anchored = |key| root.attr(key).and_then(Attribute::as_bool) != Some(true);
+        if anchored(rx::attrs::HAS_PREFIX) || anchored(rx::attrs::HAS_SUFFIX) {
+            return Err(format!("pattern {i} is anchored; multi-matching requires unanchored patterns"));
+        }
+    }
+    let mut e = Emitter::new();
+    // One shared scan loop.
+    let loop_label = e.fresh();
+    let body = e.fresh();
+    e.define_label(loop_label.clone());
+    e.emit(ops::split(body.clone()));
+    e.emit(ops::match_any());
+    e.emit(ops::jump(loop_label));
+    e.define_label(body);
+    // Chain of splits fanning out to each pattern's body; each body ends
+    // in its own identified acceptance.
+    for (i, root) in roots.iter().enumerate() {
+        let next_pattern = if i + 1 < roots.len() {
+            let label = e.fresh();
+            e.emit(ops::split(label.clone()));
+            Some(label)
+        } else {
+            None
+        };
+        let alternatives = &root.only_region().ops;
+        let id = i as u16;
+        lower_branches(
+            &mut e,
+            alternatives.len(),
+            BranchStyle::Inner,
+            &mut |e, k, next| lower_concat(e, &alternatives[k], next),
+            Next::Inline(Box::new(move |e: &mut Emitter| {
+                e.emit(ops::accept_partial_id(id));
+            })),
+        );
+        if let Some(label) = next_pattern {
+            e.define_label(label);
+        }
+    }
+    Ok(e.finish())
+}
+
+#[cfg(test)]
+mod multi_tests {
+    use super::*;
+    use crate::codegen::codegen;
+    use crate::jump_simplify::jump_simplify;
+    use cicero_isa::Instruction;
+    use mlir_lite::Context;
+
+    fn lower_set(patterns: &[&str]) -> cicero_isa::Program {
+        let irs: Vec<Operation> = patterns
+            .iter()
+            .map(|p| regex_dialect::ast_to_ir(&regex_frontend::parse(p).unwrap()))
+            .collect();
+        let refs: Vec<&Operation> = irs.iter().collect();
+        let mut program = lower_multi(&refs).unwrap();
+        let mut ctx = Context::new();
+        ctx.register_dialect(crate::dialect());
+        ctx.verify(&program).expect("multi lowering must verify");
+        jump_simplify(&mut program);
+        ctx.verify(&program).expect("still valid after simplification");
+        codegen(&program).unwrap()
+    }
+
+    #[test]
+    fn reports_the_matching_pattern_id() {
+        let program = lower_set(&["abc", "xyz", "q+r"]);
+        assert_eq!(cicero_isa::run(&program, b"__abc__").matched_id, Some(0));
+        assert_eq!(cicero_isa::run(&program, b"__xyz__").matched_id, Some(1));
+        assert_eq!(cicero_isa::run(&program, b"__qqr__").matched_id, Some(2));
+        let miss = cicero_isa::run(&program, b"nothing");
+        assert!(!miss.accepted);
+        assert_eq!(miss.matched_id, None);
+    }
+
+    #[test]
+    fn single_program_is_smaller_than_the_sum_of_parts() {
+        // The shared scan loop is emitted once instead of once per RE.
+        let combined = lower_set(&["abc", "xyz"]);
+        let separate: usize = ["abc", "xyz"]
+            .iter()
+            .map(|p| {
+                let ir = regex_dialect::ast_to_ir(&regex_frontend::parse(p).unwrap());
+                let mut prog = lower_to_cicero(&ir);
+                jump_simplify(&mut prog);
+                codegen(&prog).unwrap().len()
+            })
+            .sum();
+        assert!(combined.len() < separate, "{} vs {separate}", combined.len());
+    }
+
+    #[test]
+    fn acceptance_ids_survive_jump_simplification() {
+        let program = lower_set(&["aa|bb", "cc"]);
+        use Instruction::*;
+        let ids: Vec<u16> = program
+            .instructions()
+            .iter()
+            .filter_map(|i| match i {
+                AcceptPartialId(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert!(ids.contains(&0) && ids.contains(&1), "{program}");
+        // Jump Simplification's acceptance duplication must have preserved
+        // ids: both `aa` and `bb` branches report 0.
+        assert!(ids.iter().filter(|id| **id == 0).count() >= 2, "{program}");
+    }
+
+    #[test]
+    fn anchored_patterns_are_rejected() {
+        let irs: Vec<Operation> = ["^abc", "xyz"]
+            .iter()
+            .map(|p| regex_dialect::ast_to_ir(&regex_frontend::parse(p).unwrap()))
+            .collect();
+        let refs: Vec<&Operation> = irs.iter().collect();
+        assert!(lower_multi(&refs).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Operation definitions and verifiers for the `cicero` dialect.
+
+use std::collections::BTreeMap;
+
+use mlir_lite::{Attribute, AttrKind, AttrSpec, Dialect, OpDefinition, Operation, RegionCount};
+
+/// Fully-qualified operation names.
+pub mod names {
+    /// The container: a flat instruction list in one region.
+    pub const PROGRAM: &str = "cicero.program";
+    /// Accept iff at end of input.
+    pub const ACCEPT: &str = "cicero.accept";
+    /// Accept at any point of the input.
+    pub const ACCEPT_PARTIAL: &str = "cicero.accept_partial";
+    /// Accept anywhere and report the matched RE's identifier (the
+    /// Future-Work multi-matching extension).
+    pub const ACCEPT_PARTIAL_ID: &str = "cicero.accept_partial_id";
+    /// Fork: fall through and jump to `target`.
+    pub const SPLIT: &str = "cicero.split";
+    /// Unconditional jump to `target`.
+    pub const JUMP: &str = "cicero.jump";
+    /// Consume any character.
+    pub const MATCH_ANY: &str = "cicero.match_any";
+    /// Consume a specific character.
+    pub const MATCH_CHAR: &str = "cicero.match_char";
+    /// Assert (without consuming) the character differs.
+    pub const NOT_MATCH_CHAR: &str = "cicero.not_match_char";
+}
+
+/// Attribute keys.
+pub mod attrs {
+    /// Optional label defining a symbol at this op.
+    pub const SYM_NAME: &str = "sym_name";
+    /// `cicero.split`/`cicero.jump`: the referenced symbol.
+    pub const TARGET: &str = "target";
+    /// `cicero.match_char`/`cicero.not_match_char`: the character.
+    pub const TARGET_CHAR: &str = "target_char";
+    /// `cicero.accept_partial_id`: the reported RE identifier.
+    pub const ID: &str = "id";
+}
+
+/// Build the `cicero` dialect with all op definitions and verifiers.
+pub fn dialect() -> Dialect {
+    let sym = || AttrSpec::optional(attrs::SYM_NAME, AttrKind::Str);
+    let mut d = Dialect::new("cicero");
+    d.register_op(OpDefinition {
+        name: "program",
+        attrs: vec![],
+        regions: RegionCount::Exact(1),
+        verifier: Some(verify_program),
+    });
+    for simple in ["accept", "accept_partial", "match_any"] {
+        d.register_op(OpDefinition {
+            name: simple,
+            attrs: vec![sym()],
+            regions: RegionCount::Exact(0),
+            verifier: None,
+        });
+    }
+    for branch in ["split", "jump"] {
+        d.register_op(OpDefinition {
+            name: branch,
+            attrs: vec![sym(), AttrSpec::required(attrs::TARGET, AttrKind::Symbol)],
+            regions: RegionCount::Exact(0),
+            verifier: None,
+        });
+    }
+    d.register_op(OpDefinition {
+        name: "accept_partial_id",
+        attrs: vec![sym(), AttrSpec::required(attrs::ID, AttrKind::Int)],
+        regions: RegionCount::Exact(0),
+        verifier: Some(|op| {
+            let id = op.attr(attrs::ID).and_then(Attribute::as_int).expect("declared");
+            if (0..=i64::from(cicero_isa::MAX_OPERAND)).contains(&id) {
+                Ok(())
+            } else {
+                Err(format!("id {id} does not fit the 13-bit operand"))
+            }
+        }),
+    });
+    for matcher in ["match_char", "not_match_char"] {
+        d.register_op(OpDefinition {
+            name: matcher,
+            attrs: vec![sym(), AttrSpec::required(attrs::TARGET_CHAR, AttrKind::Char)],
+            regions: RegionCount::Exact(0),
+            verifier: None,
+        });
+    }
+    d
+}
+
+/// `cicero.program` verifier: children are instruction ops, symbols are
+/// unique, and every `target` reference resolves.
+fn verify_program(op: &Operation) -> Result<(), String> {
+    let body = &op.only_region().ops;
+    let mut defined: BTreeMap<&str, usize> = BTreeMap::new();
+    for (index, child) in body.iter().enumerate() {
+        if child.name().dialect() != "cicero" || child.is(names::PROGRAM) {
+            return Err(format!("op {index} ({}) is not a cicero instruction", child.name()));
+        }
+        if !child.regions().is_empty() {
+            return Err(format!("instruction op {index} must not have regions"));
+        }
+        if let Some(sym) = sym_name(child) {
+            if defined.insert(sym, index).is_some() {
+                return Err(format!("symbol `{sym}` defined more than once"));
+            }
+        }
+    }
+    for (index, child) in body.iter().enumerate() {
+        if let Some(target) = branch_target(child) {
+            if !defined.contains_key(target) {
+                return Err(format!("op {index} references undefined symbol `{target}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The `sym_name` of an op, if labeled.
+pub fn sym_name(op: &Operation) -> Option<&str> {
+    op.attr(attrs::SYM_NAME).and_then(Attribute::as_str)
+}
+
+/// The `target` symbol of a `split`/`jump`, if applicable.
+pub fn branch_target(op: &Operation) -> Option<&str> {
+    op.attr(attrs::TARGET).and_then(Attribute::as_symbol)
+}
+
+/// Whether the op is an acceptance (`accept`, `accept_partial`, or the
+/// multi-matching `accept_partial_id`).
+pub fn is_acceptance(op: &Operation) -> bool {
+    op.is(names::ACCEPT) || op.is(names::ACCEPT_PARTIAL) || op.is(names::ACCEPT_PARTIAL_ID)
+}
+
+/// Whether execution can fall through from this op to the next one.
+/// Acceptance ops and unconditional jumps never fall through; everything
+/// else does (a failed match kills the thread, which is not a transfer).
+pub fn falls_through(op: &Operation) -> bool {
+    !(is_acceptance(op) || op.is(names::JUMP))
+}
+
+// ---- construction helpers -------------------------------------------------
+
+use mlir_lite::Region;
+
+/// Build `cicero.program` from a flat instruction list.
+pub fn program(body: Vec<Operation>) -> Operation {
+    Operation::new(names::PROGRAM).with_region(Region::with_ops(body))
+}
+
+/// Build `cicero.accept`.
+pub fn accept() -> Operation {
+    Operation::new(names::ACCEPT)
+}
+
+/// Build `cicero.accept_partial`.
+pub fn accept_partial() -> Operation {
+    Operation::new(names::ACCEPT_PARTIAL)
+}
+
+/// Build `cicero.accept_partial_id` reporting `id` on match.
+pub fn accept_partial_id(id: u16) -> Operation {
+    Operation::new(names::ACCEPT_PARTIAL_ID).with_attr(attrs::ID, i64::from(id))
+}
+
+/// Build `cicero.split` targeting `symbol`.
+pub fn split(symbol: impl Into<String>) -> Operation {
+    Operation::new(names::SPLIT).with_attr(attrs::TARGET, Attribute::Symbol(symbol.into()))
+}
+
+/// Build `cicero.jump` targeting `symbol`.
+pub fn jump(symbol: impl Into<String>) -> Operation {
+    Operation::new(names::JUMP).with_attr(attrs::TARGET, Attribute::Symbol(symbol.into()))
+}
+
+/// Build `cicero.match_any`.
+pub fn match_any() -> Operation {
+    Operation::new(names::MATCH_ANY)
+}
+
+/// Build `cicero.match_char`.
+pub fn match_char(c: u8) -> Operation {
+    Operation::new(names::MATCH_CHAR).with_attr(attrs::TARGET_CHAR, Attribute::Char(c))
+}
+
+/// Build `cicero.not_match_char`.
+pub fn not_match_char(c: u8) -> Operation {
+    Operation::new(names::NOT_MATCH_CHAR).with_attr(attrs::TARGET_CHAR, Attribute::Char(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlir_lite::Context;
+
+    fn ctx() -> Context {
+        let mut c = Context::new();
+        c.register_dialect(dialect());
+        c
+    }
+
+    fn labeled(mut op: Operation, sym: &str) -> Operation {
+        op.set_attr(attrs::SYM_NAME, sym);
+        op
+    }
+
+    #[test]
+    fn valid_program_verifies() {
+        let p = program(vec![
+            labeled(split("body"), "loop"),
+            match_any(),
+            jump("loop"),
+            labeled(match_char(b'a'), "body"),
+            accept_partial(),
+        ]);
+        ctx().verify(&p).unwrap();
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let p = program(vec![jump("nowhere"), accept()]);
+        let err = ctx().verify(&p).unwrap_err();
+        assert!(err.message.contains("undefined symbol `nowhere`"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let p = program(vec![
+            labeled(match_any(), "x"),
+            labeled(accept(), "x"),
+        ]);
+        let err = ctx().verify(&p).unwrap_err();
+        assert!(err.message.contains("defined more than once"), "{err}");
+    }
+
+    #[test]
+    fn foreign_ops_rejected() {
+        let p = program(vec![Operation::new("regex.match_any_char")]);
+        let err = ctx().verify(&p).unwrap_err();
+        assert!(err.message.contains("not a cicero instruction"), "{err}");
+    }
+
+    #[test]
+    fn fall_through_classification() {
+        assert!(falls_through(&match_any()));
+        assert!(falls_through(&match_char(b'a')));
+        assert!(falls_through(&not_match_char(b'a')));
+        assert!(falls_through(&split("x")));
+        assert!(!falls_through(&jump("x")));
+        assert!(!falls_through(&accept()));
+        assert!(!falls_through(&accept_partial()));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(branch_target(&jump("next")), Some("next"));
+        assert_eq!(branch_target(&match_any()), None);
+        assert_eq!(sym_name(&labeled(accept(), "end")), Some("end"));
+        assert!(is_acceptance(&accept_partial()));
+        assert!(!is_acceptance(&jump("x")));
+    }
+}

@@ -1,0 +1,601 @@
+//! The new multi-dialect Cicero compiler (§3 of the paper).
+//!
+//! A linear pipeline transforming a textual RE into a Cicero binary:
+//!
+//! ```text
+//! pattern ──parse──▶ AST ──convert──▶ regex dialect ──{canonicalize,
+//!   factorize, shortest-match}──▶ regex dialect ──lower──▶ cicero dialect
+//!   ──jump-simplification──▶ cicero dialect ──codegen──▶ ISA program
+//! ```
+//!
+//! High-level (architecture-agnostic) optimizations run on the `regex`
+//! dialect; the back-end Jump Simplification runs on the `cicero` dialect,
+//! after basic blocks have been mapped to instruction memory — avoiding
+//! the *premature lowering* of the original single-IR compiler (§2.1).
+//!
+//! Every optimization is individually toggleable via [`CompilerOptions`],
+//! matching the paper's per-transformation compiler flags, and every stage
+//! is timed ([`CompileStats`]) to support the Figure 9 compile-time
+//! experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use cicero_core::Compiler;
+//!
+//! let compiler = Compiler::new();
+//! let compiled = compiler.compile("(ab)|c{3,6}d+")?;
+//! assert!(compiled.program().len() > 0);
+//! assert!(cicero_isa::accepts(compiled.program(), b"xx ccccd yy"));
+//! # Ok::<(), cicero_core::CompileError>(())
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use cicero_dialect::CodegenError;
+use cicero_isa::Program;
+use mlir_lite::{Context, Operation, PassError};
+use regex_frontend::ParseRegexError;
+
+/// Per-transformation toggles (§3.2's "each transformation is optional and
+/// can be enabled or disabled individually").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompilerOptions {
+    /// Set 1: sub-regex simplification / canonicalization.
+    pub canonicalize: bool,
+    /// Set 2: alternation prefix factorization.
+    pub factorize: bool,
+    /// Set 3: shortest-match boundary quantifier reduction.
+    pub shortest_match: bool,
+    /// Extension beyond the paper: the same reduction applied at the
+    /// *leading* boundary (sound under the implicit `.*` prefix). Off by
+    /// default to match the paper's pipeline.
+    pub shortest_match_leading: bool,
+    /// Back-end Jump Simplification on the `cicero` dialect (§5).
+    pub jump_simplification: bool,
+    /// Verify the IR after every pass (slower; invaluable in tests).
+    pub verify_each: bool,
+}
+
+impl CompilerOptions {
+    /// All optimizations enabled (the paper's "w/ optimizations"
+    /// configuration).
+    pub fn optimized() -> CompilerOptions {
+        CompilerOptions {
+            canonicalize: true,
+            factorize: true,
+            shortest_match: true,
+            shortest_match_leading: false,
+            jump_simplification: true,
+            verify_each: false,
+        }
+    }
+
+    /// All optimizations disabled (the paper's "w/o optimizations").
+    pub fn unoptimized() -> CompilerOptions {
+        CompilerOptions {
+            canonicalize: false,
+            factorize: false,
+            shortest_match: false,
+            shortest_match_leading: false,
+            jump_simplification: false,
+            verify_each: false,
+        }
+    }
+}
+
+impl Default for CompilerOptions {
+    fn default() -> CompilerOptions {
+        CompilerOptions::optimized()
+    }
+}
+
+/// Per-stage wall-clock timings for one compilation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileStats {
+    /// Parsing (ANTLR-equivalent front-end).
+    pub parse: Duration,
+    /// AST → `regex` dialect conversion.
+    pub convert: Duration,
+    /// High-level `regex` dialect passes.
+    pub high_level: Duration,
+    /// `regex` → `cicero` lowering (basic-block mapping + control insts).
+    pub lowering: Duration,
+    /// Low-level `cicero` dialect passes (Jump Simplification).
+    pub low_level: Duration,
+    /// Code generation to the binary ISA format.
+    pub codegen: Duration,
+}
+
+impl CompileStats {
+    /// End-to-end compile time.
+    pub fn total(&self) -> Duration {
+        self.parse + self.convert + self.high_level + self.lowering + self.low_level + self.codegen
+    }
+}
+
+/// A compiled regular expression: the binary program plus compile metadata.
+#[derive(Debug, Clone)]
+pub struct CompiledRegex {
+    program: Program,
+    stats: CompileStats,
+}
+
+impl CompiledRegex {
+    /// The executable Cicero program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Consume and return the program.
+    pub fn into_program(self) -> Program {
+        self.program
+    }
+
+    /// Code size in instructions (the Figure 8 metric).
+    pub fn code_size(&self) -> usize {
+        self.program.len()
+    }
+
+    /// Code locality `D_offset` (the Figure 10 metric, Equation 1).
+    pub fn d_offset(&self) -> u64 {
+        self.program.total_jump_offset()
+    }
+
+    /// Per-stage compile timings (the Figure 9 metric).
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+}
+
+/// Intermediate artifacts of one compilation, for tooling and debugging.
+#[derive(Debug, Clone)]
+pub struct CompilationArtifacts {
+    /// The parsed AST, rendered back to canonical pattern syntax.
+    pub canonical_pattern: String,
+    /// `regex` dialect IR right after conversion.
+    pub regex_ir_initial: Operation,
+    /// `regex` dialect IR after the enabled high-level transforms.
+    pub regex_ir_optimized: Operation,
+    /// `cicero` dialect IR right after lowering.
+    pub cicero_ir_initial: Operation,
+    /// `cicero` dialect IR after Jump Simplification (if enabled).
+    pub cicero_ir_optimized: Operation,
+    /// The final compiled program.
+    pub compiled: CompiledRegex,
+}
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The pattern was rejected by the front-end.
+    Parse(ParseRegexError),
+    /// A pass failed or produced invalid IR.
+    Pass(PassError),
+    /// Code generation failed (e.g. the program exceeds instruction
+    /// memory).
+    Codegen(CodegenError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Pass(e) => write!(f, "{e}"),
+            CompileError::Codegen(e) => write!(f, "codegen error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseRegexError> for CompileError {
+    fn from(e: ParseRegexError) -> CompileError {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<PassError> for CompileError {
+    fn from(e: PassError) -> CompileError {
+        CompileError::Pass(e)
+    }
+}
+
+impl From<CodegenError> for CompileError {
+    fn from(e: CodegenError) -> CompileError {
+        CompileError::Codegen(e)
+    }
+}
+
+/// The multi-dialect compiler.
+#[derive(Debug)]
+pub struct Compiler {
+    options: CompilerOptions,
+    ctx: Context,
+}
+
+impl Default for Compiler {
+    fn default() -> Compiler {
+        Compiler::new()
+    }
+}
+
+impl Compiler {
+    /// A compiler with all optimizations enabled.
+    pub fn new() -> Compiler {
+        Compiler::with_options(CompilerOptions::optimized())
+    }
+
+    /// A compiler with explicit options.
+    pub fn with_options(options: CompilerOptions) -> Compiler {
+        let mut ctx = Context::new();
+        ctx.register_dialect(regex_dialect::dialect());
+        ctx.register_dialect(cicero_dialect::dialect());
+        Compiler { options, ctx }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// Compile a pattern to a Cicero program.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile(&self, pattern: &str) -> Result<CompiledRegex, CompileError> {
+        Ok(self.compile_with_artifacts(pattern)?.compiled)
+    }
+
+    /// Compile, retaining every intermediate representation.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_with_artifacts(
+        &self,
+        pattern: &str,
+    ) -> Result<CompilationArtifacts, CompileError> {
+        let mut stats = CompileStats::default();
+
+        let start = Instant::now();
+        let ast = regex_frontend::parse(pattern)?;
+        stats.parse = start.elapsed();
+
+        let start = Instant::now();
+        let mut regex_ir = regex_dialect::ast_to_ir(&ast);
+        stats.convert = start.elapsed();
+        let regex_ir_initial = regex_ir.clone();
+
+        let start = Instant::now();
+        let mut high = mlir_lite::PassManager::new();
+        high.verify_each(self.options.verify_each);
+        if self.options.canonicalize {
+            high.add_pass(Box::new(regex_dialect::transforms::CanonicalizePass));
+        }
+        if self.options.factorize {
+            high.add_pass(Box::new(regex_dialect::transforms::FactorizeAlternationsPass));
+        }
+        if self.options.shortest_match {
+            high.add_pass(Box::new(regex_dialect::transforms::ShortestMatchPass));
+        }
+        if self.options.shortest_match_leading {
+            high.add_pass(Box::new(regex_dialect::transforms::ShortestMatchLeadingPass));
+        }
+        if self.options.canonicalize && (self.options.factorize || self.options.shortest_match) {
+            // Clean up wrappers the structural transforms introduce.
+            high.add_pass(Box::new(regex_dialect::transforms::CanonicalizePass));
+        }
+        high.run(&mut regex_ir, &self.ctx)?;
+        stats.high_level = start.elapsed();
+        let regex_ir_optimized = regex_ir.clone();
+
+        let start = Instant::now();
+        let mut cicero_ir = cicero_dialect::lower_to_cicero(&regex_ir);
+        stats.lowering = start.elapsed();
+        let cicero_ir_initial = cicero_ir.clone();
+
+        let start = Instant::now();
+        if self.options.jump_simplification {
+            let mut low = mlir_lite::PassManager::new();
+            low.verify_each(self.options.verify_each);
+            low.add_pass(Box::new(cicero_dialect::JumpSimplificationPass));
+            low.run(&mut cicero_ir, &self.ctx)?;
+        }
+        stats.low_level = start.elapsed();
+        let cicero_ir_optimized = cicero_ir.clone();
+
+        let start = Instant::now();
+        let program = cicero_dialect::codegen(&cicero_ir)?;
+        stats.codegen = start.elapsed();
+
+        Ok(CompilationArtifacts {
+            canonical_pattern: ast.to_pattern(),
+            regex_ir_initial,
+            regex_ir_optimized,
+            cicero_ir_initial,
+            cicero_ir_optimized,
+            compiled: CompiledRegex { program, stats },
+        })
+    }
+}
+
+/// A multi-matching set compiled into one program (the paper's Future
+/// Work ISA extension): the engine scans once and reports *which* RE
+/// matched via `AcceptPartialId`.
+#[derive(Debug, Clone)]
+pub struct CompiledSet {
+    program: Program,
+    patterns: Vec<String>,
+}
+
+impl CompiledSet {
+    /// The combined executable program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The pattern with the given identifier (as reported in
+    /// [`cicero_isa::ExecOutcome::matched_id`]).
+    pub fn pattern(&self, id: u16) -> Option<&str> {
+        self.patterns.get(usize::from(id)).map(String::as_str)
+    }
+
+    /// Number of patterns in the set.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set is empty (never true for a compiled set).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}
+
+impl Compiler {
+    /// Compile a set of patterns into one multi-matching program.
+    ///
+    /// Each pattern gets the full high-level optimization pipeline, then
+    /// all are lowered together around a single shared scan loop with
+    /// identified acceptances.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Compiler::compile`], and additionally for anchored
+    /// patterns (`^`/`$`), which cannot participate in a combined scan.
+    pub fn compile_set<S: AsRef<str>>(&self, patterns: &[S]) -> Result<CompiledSet, CompileError> {
+        let mut optimized_irs = Vec::with_capacity(patterns.len());
+        for pattern in patterns {
+            let artifacts = self.compile_with_artifacts(pattern.as_ref())?;
+            optimized_irs.push(artifacts.regex_ir_optimized);
+        }
+        let refs: Vec<&Operation> = optimized_irs.iter().collect();
+        let mut cicero_ir = cicero_dialect::lower_multi(&refs).map_err(PassError::new)?;
+        if self.options.jump_simplification {
+            cicero_dialect::jump_simplify(&mut cicero_ir);
+        }
+        let program = cicero_dialect::codegen(&cicero_ir)?;
+        Ok(CompiledSet {
+            program,
+            patterns: patterns.iter().map(|p| p.as_ref().to_owned()).collect(),
+        })
+    }
+}
+
+/// Convenience: compile with default (optimized) options.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn compile(pattern: &str) -> Result<CompiledRegex, CompileError> {
+    Compiler::new().compile(pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_never_worse_than_unoptimized() {
+        let opt = Compiler::new();
+        let unopt = Compiler::with_options(CompilerOptions::unoptimized());
+        for pattern in [
+            "ab|cd",
+            "this|that|those",
+            "(ab)|c{3,6}d+",
+            "a{2,3}|b{4,5}",
+            "abcd*|efgh+",
+            "[^xyz]+end",
+        ] {
+            let o = opt.compile(pattern).unwrap();
+            let u = unopt.compile(pattern).unwrap();
+            assert!(
+                o.d_offset() <= u.d_offset(),
+                "{pattern}: D_offset {} > {}",
+                o.d_offset(),
+                u.d_offset()
+            );
+        }
+    }
+
+    #[test]
+    fn listing2_end_to_end() {
+        let opt = compile("ab|cd").unwrap();
+        assert_eq!(opt.d_offset(), 9);
+        assert_eq!(opt.code_size(), 10);
+        let unopt = Compiler::with_options(CompilerOptions::unoptimized())
+            .compile("ab|cd")
+            .unwrap();
+        assert_eq!(unopt.d_offset(), 14);
+        assert_eq!(unopt.code_size(), 11);
+    }
+
+    #[test]
+    fn compiled_programs_execute_correctly() {
+        let compiled = compile("th(is|at|ose)").unwrap();
+        assert!(cicero_isa::accepts(compiled.program(), b"take that!"));
+        assert!(!cicero_isa::accepts(compiled.program(), b"nothing here"));
+    }
+
+    #[test]
+    fn individual_toggles_apply() {
+        let mut only_factorize = CompilerOptions::unoptimized();
+        only_factorize.factorize = true;
+        let c = Compiler::with_options(only_factorize);
+        let artifacts = c.compile_with_artifacts("this|that").unwrap();
+        assert_eq!(regex_dialect::ir_to_pattern(&artifacts.regex_ir_optimized), "th(is|at)");
+    }
+
+    #[test]
+    fn artifacts_capture_all_stages() {
+        let artifacts = Compiler::new().compile_with_artifacts("ab|cd").unwrap();
+        assert_eq!(artifacts.canonical_pattern, "ab|cd");
+        assert!(artifacts.regex_ir_initial.is("regex.root"));
+        assert!(artifacts.cicero_ir_initial.is("cicero.program"));
+        assert!(
+            artifacts.cicero_ir_optimized.only_region().len()
+                <= artifacts.cicero_ir_initial.only_region().len()
+        );
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(matches!(compile("("), Err(CompileError::Parse(_))));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let compiled = compile("a(b|c)*d").unwrap();
+        assert!(compiled.stats().total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn differential_against_oracle_on_random_patterns() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x51CE80);
+        let compilers = [
+            Compiler::with_options(CompilerOptions::unoptimized()),
+            Compiler::new(),
+        ];
+        let mut tested = 0;
+        while tested < 120 {
+            let pattern = random_pattern(&mut rng);
+            let Ok(oracle) = regex_oracle::Oracle::new(&pattern) else { continue };
+            tested += 1;
+            let programs: Vec<_> = compilers
+                .iter()
+                .map(|c| c.compile(&pattern).unwrap_or_else(|e| panic!("{pattern:?}: {e}")))
+                .collect();
+            for _ in 0..30 {
+                let len = rng.random_range(0..20);
+                let input: Vec<u8> = (0..len).map(|_| rng.random_range(b'a'..=b'f')).collect();
+                let expected = oracle.is_match(&input);
+                for (c, compiled) in programs.iter().enumerate() {
+                    assert_eq!(
+                        cicero_isa::accepts(compiled.program(), &input),
+                        expected,
+                        "compiler {c} on {pattern:?} with input {:?}",
+                        String::from_utf8_lossy(&input)
+                    );
+                }
+            }
+        }
+    }
+
+    fn random_pattern(rng: &mut rand::rngs::StdRng) -> String {
+        use rand::RngExt;
+        let mut out = String::new();
+        let alts = rng.random_range(1..=3);
+        for i in 0..alts {
+            if i > 0 {
+                out.push('|');
+            }
+            for _ in 0..rng.random_range(1..=4) {
+                match rng.random_range(0..8) {
+                    0 => out.push('.'),
+                    1 => {
+                        out.push('[');
+                        if rng.random_bool(0.4) {
+                            out.push('^');
+                        }
+                        for _ in 0..rng.random_range(1..=3) {
+                            out.push(rng.random_range(b'a'..=b'e') as char);
+                        }
+                        out.push(']');
+                    }
+                    2 => {
+                        out.push('(');
+                        out.push(rng.random_range(b'a'..=b'e') as char);
+                        out.push('|');
+                        out.push(rng.random_range(b'a'..=b'e') as char);
+                        out.push(')');
+                    }
+                    _ => out.push(rng.random_range(b'a'..=b'e') as char),
+                }
+                match rng.random_range(0..6) {
+                    0 => out.push('*'),
+                    1 => out.push('+'),
+                    2 => out.push('?'),
+                    3 => out.push_str(&format!(
+                        "{{{},{}}}",
+                        rng.random_range(0..2),
+                        rng.random_range(2..4)
+                    )),
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod compile_set_tests {
+    use super::*;
+
+    #[test]
+    fn multi_match_reports_ids_end_to_end() {
+        let set = Compiler::new()
+            .compile_set(&["GET /", "POST /", r"\.\./\.\./"])
+            .unwrap();
+        assert_eq!(set.len(), 3);
+        let out = cicero_isa::run(set.program(), b"xx POST /api yy");
+        assert!(out.accepted);
+        assert_eq!(out.matched_id, Some(1));
+        assert_eq!(set.pattern(1), Some("POST /"));
+        assert!(!cicero_isa::run(set.program(), b"clean payload").accepted);
+    }
+
+    #[test]
+    fn set_verdict_equals_disjunction_of_singles() {
+        let patterns = ["ab+c", "x[yz]", "qq"];
+        let set = Compiler::new().compile_set(&patterns).unwrap();
+        let singles: Vec<Program> = patterns
+            .iter()
+            .map(|p| compile(p).unwrap().into_program())
+            .collect();
+        let inputs: [&[u8]; 6] =
+            [b"abbbc", b"xz", b"qq", b"none", b"", b"abxq"];
+        for input in inputs {
+            let expected = singles.iter().any(|p| cicero_isa::accepts(p, input));
+            let out = cicero_isa::run(set.program(), input);
+            assert_eq!(out.accepted, expected, "{:?}", String::from_utf8_lossy(input));
+            if let Some(id) = out.matched_id {
+                // The reported pattern must genuinely match.
+                assert!(
+                    cicero_isa::accepts(&singles[usize::from(id)], input),
+                    "reported id {id} does not match"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anchored_patterns_rejected_in_sets() {
+        let err = Compiler::new().compile_set(&["^abc", "xyz"]).unwrap_err();
+        assert!(matches!(err, CompileError::Pass(_)));
+    }
+}

@@ -1,0 +1,240 @@
+//! 16-bit binary encoding of Cicero programs.
+//!
+//! Each instruction packs into one little-endian `u16`: the top 3 bits carry
+//! the [`Opcode`], the low 13 bits the operand (a character for matching
+//! instructions, an absolute address for control flow). This mirrors the
+//! instruction-memory word width of the RTL design, where programs are
+//! streamed into the engines' central instruction memory at reconfiguration
+//! time.
+
+use std::fmt;
+
+use crate::instruction::{Instruction, Opcode, MAX_OPERAND};
+use crate::program::Program;
+
+/// Number of bits used by the operand field.
+pub const OPERAND_BITS: u32 = 13;
+
+/// A binary-encoded Cicero program, as loaded into instruction memory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct EncodedProgram {
+    words: Vec<u16>,
+}
+
+/// Error produced when decoding a binary program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A matching instruction carried an operand above `u8::MAX`.
+    OperandNotAChar {
+        /// Instruction-memory address of the offending word.
+        address: usize,
+        /// The 13-bit operand value found.
+        operand: u16,
+    },
+    /// A control-flow instruction targeted an address outside the program.
+    TargetOutOfRange {
+        /// Instruction-memory address of the offending word.
+        address: usize,
+        /// The out-of-range target.
+        target: u16,
+        /// Program length in instructions.
+        len: usize,
+    },
+    /// The byte stream had an odd number of bytes.
+    TruncatedWord,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::OperandNotAChar { address, operand } => write!(
+                f,
+                "matching instruction at address {address} has non-character operand {operand}"
+            ),
+            DecodeError::TargetOutOfRange { address, target, len } => write!(
+                f,
+                "control-flow target {target} at address {address} exceeds program length {len}"
+            ),
+            DecodeError::TruncatedWord => write!(f, "byte stream ends mid-word"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl EncodedProgram {
+    /// Encode a validated [`Program`].
+    pub fn from_program(program: &Program) -> EncodedProgram {
+        let words = program
+            .instructions()
+            .iter()
+            .map(|ins| encode_instruction(*ins))
+            .collect();
+        EncodedProgram { words }
+    }
+
+    /// The raw instruction-memory words.
+    pub fn words(&self) -> &[u16] {
+        &self.words
+    }
+
+    /// Serialize to little-endian bytes (the on-wire format the PYNQ runtime
+    /// streams to the FPGA in the original artifact).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.words.len() * 2);
+        for w in &self.words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        bytes
+    }
+
+    /// Deserialize from little-endian bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::TruncatedWord`] if `bytes` has odd length.
+    /// Word-level validation happens in [`EncodedProgram::decode`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<EncodedProgram, DecodeError> {
+        if !bytes.len().is_multiple_of(2) {
+            return Err(DecodeError::TruncatedWord);
+        }
+        let words = bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        Ok(EncodedProgram { words })
+    }
+
+    /// Decode back into a validated [`Program`] (the disassembler).
+    ///
+    /// # Errors
+    ///
+    /// Rejects reserved opcodes, character operands above 255 and
+    /// control-flow targets past the end of the program.
+    pub fn decode(&self) -> Result<Program, DecodeError> {
+        let len = self.words.len();
+        let mut instructions = Vec::with_capacity(len);
+        for (address, word) in self.words.iter().enumerate() {
+            instructions.push(decode_word(*word, address, len)?);
+        }
+        Ok(Program::from_instructions_unchecked(instructions))
+    }
+}
+
+/// Encode one instruction into its 16-bit word.
+pub fn encode_instruction(ins: Instruction) -> u16 {
+    let opcode = ins.opcode() as u16;
+    let operand = ins.operand();
+    debug_assert!(operand <= MAX_OPERAND);
+    (opcode << OPERAND_BITS) | operand
+}
+
+/// Decode one word, validating operands against the program length.
+fn decode_word(word: u16, address: usize, len: usize) -> Result<Instruction, DecodeError> {
+    let opcode_bits = (word >> OPERAND_BITS) as u8;
+    let operand = word & MAX_OPERAND;
+    let opcode = Opcode::from_bits(opcode_bits).expect("3-bit field is always a known opcode");
+    let char_operand = || {
+        u8::try_from(operand).map_err(|_| DecodeError::OperandNotAChar { address, operand })
+    };
+    let target_operand = || {
+        if usize::from(operand) < len {
+            Ok(operand)
+        } else {
+            Err(DecodeError::TargetOutOfRange { address, target: operand, len })
+        }
+    };
+    Ok(match opcode {
+        Opcode::Accept => Instruction::Accept,
+        Opcode::AcceptPartial => Instruction::AcceptPartial,
+        Opcode::AcceptPartialId => Instruction::AcceptPartialId(operand),
+        Opcode::MatchAny => Instruction::MatchAny,
+        Opcode::Match => Instruction::Match(char_operand()?),
+        Opcode::NotMatch => Instruction::NotMatch(char_operand()?),
+        Opcode::Split => Instruction::Split(target_operand()?),
+        Opcode::Jump => Instruction::Jump(target_operand()?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    fn sample() -> Program {
+        Program::from_instructions(vec![
+            Instruction::Split(3),
+            Instruction::MatchAny,
+            Instruction::Jump(0),
+            Instruction::Match(b'a'),
+            Instruction::NotMatch(b'b'),
+            Instruction::Accept,
+            Instruction::AcceptPartial,
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = sample();
+        let enc = EncodedProgram::from_program(&p);
+        assert_eq!(enc.decode().unwrap(), p);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let p = sample();
+        let enc = EncodedProgram::from_program(&p);
+        let bytes = enc.to_bytes();
+        assert_eq!(bytes.len(), p.len() * 2);
+        let back = EncodedProgram::from_bytes(&bytes).unwrap();
+        assert_eq!(back, enc);
+    }
+
+    #[test]
+    fn odd_byte_stream_is_rejected() {
+        assert_eq!(
+            EncodedProgram::from_bytes(&[0x01]),
+            Err(DecodeError::TruncatedWord)
+        );
+    }
+
+    #[test]
+    fn word_layout_matches_spec() {
+        // MATCH 'a' = opcode 2 in the top 3 bits, 0x61 in the low 13.
+        assert_eq!(encode_instruction(Instruction::Match(b'a')), (2 << 13) | 0x61);
+        // SPLIT 3 = opcode 1.
+        assert_eq!(encode_instruction(Instruction::Split(3)), (1 << 13) | 3);
+        assert_eq!(encode_instruction(Instruction::Accept), 0);
+    }
+
+    #[test]
+    fn accept_id_roundtrips() {
+        let p = Program::from_instructions(vec![
+            Instruction::Match(b'a'),
+            Instruction::AcceptPartialId(42),
+        ])
+        .unwrap();
+        let enc = EncodedProgram::from_program(&p);
+        assert_eq!(enc.words()[1], (4 << 13) | 42);
+        assert_eq!(enc.decode().unwrap(), p);
+    }
+
+    #[test]
+    fn bad_char_operand_rejected() {
+        let enc = EncodedProgram { words: vec![(2 << 13) | 300] };
+        assert!(matches!(
+            enc.decode(),
+            Err(DecodeError::OperandNotAChar { address: 0, operand: 300 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        let enc = EncodedProgram { words: vec![(3 << 13) | 7] };
+        assert!(matches!(
+            enc.decode(),
+            Err(DecodeError::TargetOutOfRange { target: 7, len: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,301 @@
+//! Instruction and opcode definitions (Table 1 of the paper).
+
+use std::fmt;
+
+/// Maximum value of the 13-bit instruction operand (jump targets and, with
+/// room to spare, 8-bit characters). Programs are therefore limited to
+/// `MAX_OPERAND + 1 = 8192` instructions.
+pub const MAX_OPERAND: u16 = (1 << 13) - 1;
+
+/// A single Cicero instruction.
+///
+/// `PC` below is the thread's program counter, `cc` its pointer into the
+/// input stream (the *current character*). Semantics follow Table 1 of the
+/// paper exactly:
+///
+/// | Instruction        | Effect                                                        |
+/// |--------------------|---------------------------------------------------------------|
+/// | `MatchAny`         | `PC+1`, `cc+1`                                                |
+/// | `Match(op)`        | if `op == *cc` then `PC+1`, `cc+1`; else kill the thread      |
+/// | `NotMatch(op)`     | if `op != *cc` then `PC+1` (cc **unchanged**); else kill      |
+/// | `Split(op)`        | produce two threads: `PC+1` and `op`, both at the same `cc`   |
+/// | `Jump(op)`         | `PC = op`                                                     |
+/// | `Accept`           | accept iff `cc` is at the end of the input                    |
+/// | `AcceptPartial`    | accept at any point of the input                              |
+/// | `AcceptPartialId`  | as `AcceptPartial`, reporting the matched RE's identifier     |
+///
+/// `NotMatch` deliberately does **not** advance through the input: negated
+/// character groups `[^ab]` lower to
+/// `NotMatch(a); NotMatch(b); MatchAny` (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Instruction {
+    /// Consume any character.
+    MatchAny,
+    /// Consume the given character, or kill the thread.
+    Match(u8),
+    /// Assert the current character is *not* the given one; does not consume.
+    NotMatch(u8),
+    /// Fork the thread: continue at `PC+1` and at the absolute target.
+    Split(u16),
+    /// Unconditional jump to the absolute target.
+    Jump(u16),
+    /// Accept only when the whole input has been consumed (exact match mode).
+    Accept,
+    /// Accept at any point in the input (partial match mode).
+    AcceptPartial,
+    /// Accept at any point in the input and report which RE of a
+    /// multi-matching set matched — the ISA extension sketched in the
+    /// paper's Future Work ("extend the current ISA for acceptance
+    /// instructions to support RE identification in multi-matching
+    /// scenarios"). The identifier occupies the 13-bit operand.
+    AcceptPartialId(u16),
+}
+
+/// The 3-bit opcode space of the 16-bit binary encoding.
+///
+/// Values match the discriminants used by [`crate::encoding`]. Slot 4,
+/// reserved in the original ISA, now carries the multi-matching
+/// acceptance extension from the paper's Future Work section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Opcode {
+    /// [`Instruction::Accept`].
+    Accept = 0,
+    /// [`Instruction::Split`].
+    Split = 1,
+    /// [`Instruction::Match`].
+    Match = 2,
+    /// [`Instruction::Jump`].
+    Jump = 3,
+    /// [`Instruction::AcceptPartialId`] — the multi-matching extension
+    /// (this slot was reserved in the original ISA).
+    AcceptPartialId = 4,
+    /// [`Instruction::MatchAny`].
+    MatchAny = 5,
+    /// [`Instruction::AcceptPartial`].
+    AcceptPartial = 6,
+    /// [`Instruction::NotMatch`].
+    NotMatch = 7,
+}
+
+impl Opcode {
+    /// All opcodes that correspond to a real instruction.
+    pub const ALL: [Opcode; 8] = [
+        Opcode::Accept,
+        Opcode::Split,
+        Opcode::Match,
+        Opcode::Jump,
+        Opcode::AcceptPartialId,
+        Opcode::MatchAny,
+        Opcode::AcceptPartial,
+        Opcode::NotMatch,
+    ];
+
+    /// Decode a 3-bit field into an opcode.
+    ///
+    /// Returns `None` for values above 7 (impossible for a 3-bit field).
+    pub fn from_bits(bits: u8) -> Option<Opcode> {
+        Some(match bits {
+            0 => Opcode::Accept,
+            1 => Opcode::Split,
+            2 => Opcode::Match,
+            3 => Opcode::Jump,
+            4 => Opcode::AcceptPartialId,
+            5 => Opcode::MatchAny,
+            6 => Opcode::AcceptPartial,
+            7 => Opcode::NotMatch,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Opcode::Accept => "ACCEPT",
+            Opcode::Split => "SPLIT",
+            Opcode::Match => "MATCH",
+            Opcode::Jump => "JMP",
+            Opcode::AcceptPartialId => "ACCEPT_ID",
+            Opcode::MatchAny => "MATCH_ANY",
+            Opcode::AcceptPartial => "ACCEPT_PARTIAL",
+            Opcode::NotMatch => "NOT_MATCH",
+        };
+        f.write_str(name)
+    }
+}
+
+impl Instruction {
+    /// The opcode of this instruction.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Instruction::MatchAny => Opcode::MatchAny,
+            Instruction::Match(_) => Opcode::Match,
+            Instruction::NotMatch(_) => Opcode::NotMatch,
+            Instruction::Split(_) => Opcode::Split,
+            Instruction::Jump(_) => Opcode::Jump,
+            Instruction::Accept => Opcode::Accept,
+            Instruction::AcceptPartial => Opcode::AcceptPartial,
+            Instruction::AcceptPartialId(_) => Opcode::AcceptPartialId,
+        }
+    }
+
+    /// The raw 13-bit operand (0 for operand-less instructions).
+    pub fn operand(&self) -> u16 {
+        match *self {
+            Instruction::Match(c) | Instruction::NotMatch(c) => u16::from(c),
+            Instruction::Split(t) | Instruction::Jump(t) => t,
+            Instruction::AcceptPartialId(id) => id,
+            _ => 0,
+        }
+    }
+
+    /// True for `Accept`, `AcceptPartial` and `AcceptPartialId`.
+    pub fn is_acceptance(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Accept
+                | Instruction::AcceptPartial
+                | Instruction::AcceptPartialId(_)
+        )
+    }
+
+    /// True for `Split` and `Jump`.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(self, Instruction::Split(_) | Instruction::Jump(_))
+    }
+
+    /// True for `MatchAny`, `Match` and `NotMatch`.
+    pub fn is_matching(&self) -> bool {
+        matches!(
+            self,
+            Instruction::MatchAny | Instruction::Match(_) | Instruction::NotMatch(_)
+        )
+    }
+
+    /// True if executing this instruction consumes an input character
+    /// (advances `cc`). Note `NotMatch` does *not*.
+    pub fn consumes_input(&self) -> bool {
+        matches!(self, Instruction::MatchAny | Instruction::Match(_))
+    }
+
+    /// The control-flow target, if any (`Split`/`Jump`).
+    pub fn branch_target(&self) -> Option<u16> {
+        match *self {
+            Instruction::Split(t) | Instruction::Jump(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Return a copy with the control-flow target replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction has no branch target — callers are expected
+    /// to have checked [`Instruction::branch_target`] first.
+    pub fn with_branch_target(&self, target: u16) -> Instruction {
+        match *self {
+            Instruction::Split(_) => Instruction::Split(target),
+            Instruction::Jump(_) => Instruction::Jump(target),
+            other => panic!("instruction {other:?} has no branch target"),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    /// Assembly rendering in the Listing-2 style of the paper, e.g.
+    /// `SPLIT {5,8}` is printed when the next PC is unknown as `SPLIT 8`;
+    /// use [`crate::Program::to_asm`] for the address-annotated listing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::MatchAny => write!(f, "MATCH_ANY"),
+            Instruction::Match(c) => write!(f, "MATCH char {}", render_char(c)),
+            Instruction::NotMatch(c) => write!(f, "NOT_MATCH char {}", render_char(c)),
+            Instruction::Split(t) => write!(f, "SPLIT {t}"),
+            Instruction::Jump(t) => write!(f, "JMP to {t}"),
+            Instruction::Accept => write!(f, "ACCEPT"),
+            Instruction::AcceptPartial => write!(f, "ACCEPT_PARTIAL"),
+            Instruction::AcceptPartialId(id) => write!(f, "ACCEPT_ID {id}"),
+        }
+    }
+}
+
+/// Render a byte as a printable character or an escaped hex form.
+pub(crate) fn render_char(c: u8) -> String {
+    if c.is_ascii_graphic() {
+        (c as char).to_string()
+    } else {
+        format!("0x{c:02x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_bits(op as u8), Some(op));
+        }
+        assert_eq!(Opcode::from_bits(4), Some(Opcode::AcceptPartialId));
+        assert_eq!(Opcode::from_bits(8), None);
+    }
+
+    #[test]
+    fn classes_partition_the_isa() {
+        let samples = [
+            Instruction::MatchAny,
+            Instruction::Match(b'a'),
+            Instruction::NotMatch(b'z'),
+            Instruction::Split(3),
+            Instruction::Jump(0),
+            Instruction::Accept,
+            Instruction::AcceptPartial,
+            Instruction::AcceptPartialId(7),
+        ];
+        for ins in samples {
+            let classes = [ins.is_matching(), ins.is_control_flow(), ins.is_acceptance()];
+            assert_eq!(
+                classes.iter().filter(|c| **c).count(),
+                1,
+                "{ins:?} must belong to exactly one class"
+            );
+        }
+    }
+
+    #[test]
+    fn not_match_does_not_consume() {
+        assert!(Instruction::Match(b'a').consumes_input());
+        assert!(Instruction::MatchAny.consumes_input());
+        assert!(!Instruction::NotMatch(b'a').consumes_input());
+        assert!(!Instruction::Split(0).consumes_input());
+    }
+
+    #[test]
+    fn branch_target_replacement() {
+        assert_eq!(
+            Instruction::Split(3).with_branch_target(9),
+            Instruction::Split(9)
+        );
+        assert_eq!(
+            Instruction::Jump(3).with_branch_target(0),
+            Instruction::Jump(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no branch target")]
+    fn branch_target_replacement_rejects_match() {
+        let _ = Instruction::Match(b'x').with_branch_target(1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instruction::Match(b'a').to_string(), "MATCH char a");
+        assert_eq!(Instruction::Match(0x07).to_string(), "MATCH char 0x07");
+        assert_eq!(Instruction::Split(12).to_string(), "SPLIT 12");
+        assert_eq!(Instruction::Jump(3).to_string(), "JMP to 3");
+        assert_eq!(Instruction::AcceptPartial.to_string(), "ACCEPT_PARTIAL");
+    }
+}

@@ -1,0 +1,297 @@
+//! Functional (architecture-free) executor for Cicero programs.
+//!
+//! This is the ISA's reference semantics: a breadth-first Thompson
+//! simulation with per-position thread deduplication, independent of any
+//! microarchitectural detail (pipelines, FIFOs, caches). The cycle-level
+//! simulator in `cicero-sim` must produce exactly the same accept/reject
+//! verdicts; both compilers are differentially tested against it and
+//! against the AST-level oracle in `regex-oracle`.
+//!
+//! # End-of-input semantics
+//!
+//! When the input is exhausted there is no current character, so **all
+//! three matching instructions kill the thread** (including the
+//! non-consuming `NotMatch`); only `Accept`/`AcceptPartial` can fire. This
+//! matches the RTL, where the engine raises an end-of-stream flag that
+//! gates the match units.
+
+use crate::instruction::Instruction;
+use crate::program::Program;
+
+/// Result of executing a program over an input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Whether the program accepted.
+    pub accepted: bool,
+    /// Input position (byte index) at which acceptance fired, if any.
+    /// For `Accept` this is always the input length.
+    pub match_position: Option<usize>,
+    /// The RE identifier reported by `AcceptPartialId`, when the program
+    /// was compiled for multi-matching (Future Work ISA extension).
+    pub matched_id: Option<u16>,
+    /// Total instructions executed across all threads (a work metric; the
+    /// cycle simulator reports real cycles instead).
+    pub instructions_executed: u64,
+}
+
+/// Execute `program` over `input`, stopping at the first acceptance.
+///
+/// Threads all start at PC 0 on the first character. Acceptance is
+/// immediate: like the hardware, the engine halts the whole execution as
+/// soon as any thread accepts (§3.3 "the NFA traversal can stop as soon as
+/// possible").
+pub fn run(program: &Program, input: &[u8]) -> ExecOutcome {
+    Executor::new(program).run(input)
+}
+
+/// Convenience wrapper returning only the verdict.
+pub fn accepts(program: &Program, input: &[u8]) -> bool {
+    run(program, input).accepted
+}
+
+struct Executor<'p> {
+    program: &'p Program,
+    /// Dedup filter: whether a PC is already in the current frontier.
+    in_current: Vec<bool>,
+    /// Dedup filter for the next frontier.
+    in_next: Vec<bool>,
+}
+
+impl<'p> Executor<'p> {
+    fn new(program: &'p Program) -> Executor<'p> {
+        Executor {
+            program,
+            in_current: vec![false; program.len()],
+            in_next: vec![false; program.len()],
+        }
+    }
+
+    fn run(&mut self, input: &[u8]) -> ExecOutcome {
+        let mut executed: u64 = 0;
+        let mut current: Vec<u16> = Vec::with_capacity(self.program.len());
+        let mut next: Vec<u16> = Vec::with_capacity(self.program.len());
+        self.push(&mut current, 0, Frontier::Current);
+
+        for position in 0..=input.len() {
+            let ch = input.get(position).copied();
+            // Drain the current frontier; Split/Jump/NotMatch push back
+            // onto it (same position), Match/MatchAny push onto `next`.
+            let mut i = 0;
+            while i < current.len() {
+                let pc = current[i];
+                i += 1;
+                executed += 1;
+                let ins = self.program.get(pc).expect("validated program");
+                match ins {
+                    Instruction::Accept => {
+                        if ch.is_none() {
+                            return ExecOutcome {
+                                accepted: true,
+                                match_position: Some(position),
+                                matched_id: None,
+                                instructions_executed: executed,
+                            };
+                        }
+                        // Not at end: thread dies.
+                    }
+                    Instruction::AcceptPartial => {
+                        return ExecOutcome {
+                            accepted: true,
+                            match_position: Some(position),
+                            matched_id: None,
+                            instructions_executed: executed,
+                        };
+                    }
+                    Instruction::AcceptPartialId(id) => {
+                        return ExecOutcome {
+                            accepted: true,
+                            match_position: Some(position),
+                            matched_id: Some(id),
+                            instructions_executed: executed,
+                        };
+                    }
+                    Instruction::Split(target) => {
+                        self.push(&mut current, pc + 1, Frontier::Current);
+                        self.push(&mut current, target, Frontier::Current);
+                    }
+                    Instruction::Jump(target) => {
+                        self.push(&mut current, target, Frontier::Current);
+                    }
+                    Instruction::MatchAny => {
+                        if ch.is_some() {
+                            self.push(&mut next, pc + 1, Frontier::Next);
+                        }
+                    }
+                    Instruction::Match(expected) => {
+                        if ch == Some(expected) {
+                            self.push(&mut next, pc + 1, Frontier::Next);
+                        }
+                    }
+                    Instruction::NotMatch(unexpected) => {
+                        // Non-consuming: stays at this position.
+                        if ch.is_some() && ch != Some(unexpected) {
+                            self.push(&mut current, pc + 1, Frontier::Current);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            for pc in current.drain(..) {
+                self.in_current[usize::from(pc)] = false;
+            }
+            std::mem::swap(&mut current, &mut next);
+            std::mem::swap(&mut self.in_current, &mut self.in_next);
+        }
+
+        ExecOutcome {
+            accepted: false,
+            match_position: None,
+            matched_id: None,
+            instructions_executed: executed,
+        }
+    }
+
+    fn push(&mut self, frontier: &mut Vec<u16>, pc: u16, which: Frontier) {
+        let seen = match which {
+            Frontier::Current => &mut self.in_current[usize::from(pc)],
+            Frontier::Next => &mut self.in_next[usize::from(pc)],
+        };
+        if !*seen {
+            *seen = true;
+            frontier.push(pc);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Frontier {
+    Current,
+    Next,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Instruction::*;
+    use crate::program::Program;
+
+    /// `ab|cd` with implicit `.*` prefix and partial acceptance
+    /// (Listing 2, jump-simplified column).
+    fn ab_or_cd() -> Program {
+        Program::from_instructions(vec![
+            Split(3),
+            MatchAny,
+            Jump(0),
+            Split(7),
+            Match(b'a'),
+            Match(b'b'),
+            AcceptPartial,
+            Match(b'c'),
+            Match(b'd'),
+            AcceptPartial,
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_substring_matches() {
+        let p = ab_or_cd();
+        assert!(accepts(&p, b"ab"));
+        assert!(accepts(&p, b"xxabyy"));
+        assert!(accepts(&p, b"xxcd"));
+        assert!(!accepts(&p, b"ac"));
+        assert!(!accepts(&p, b""));
+        assert!(!accepts(&p, b"ba"));
+    }
+
+    #[test]
+    fn match_position_is_earliest_end() {
+        let p = ab_or_cd();
+        let out = run(&p, b"xcdab");
+        assert_eq!(out.match_position, Some(3)); // `cd` ends at index 3.
+    }
+
+    #[test]
+    fn exact_accept_requires_end() {
+        // `^ab$` — Match a, Match b, Accept.
+        let p = Program::from_instructions(vec![Match(b'a'), Match(b'b'), Accept]).unwrap();
+        assert!(accepts(&p, b"ab"));
+        assert!(!accepts(&p, b"abx"));
+        assert!(!accepts(&p, b"xab"));
+    }
+
+    #[test]
+    fn not_match_chain_is_non_consuming() {
+        // `[^ab]` = NotMatch a; NotMatch b; MatchAny; AcceptPartial — with
+        // no implicit prefix.
+        let p = Program::from_instructions(vec![
+            NotMatch(b'a'),
+            NotMatch(b'b'),
+            MatchAny,
+            AcceptPartial,
+        ])
+        .unwrap();
+        assert!(accepts(&p, b"z"));
+        assert!(!accepts(&p, b"a"));
+        assert!(!accepts(&p, b"b"));
+        assert!(!accepts(&p, b""));
+    }
+
+    #[test]
+    fn matching_kills_at_end_of_input() {
+        // NotMatch at end of input kills the thread rather than passing.
+        let p = Program::from_instructions(vec![
+            Match(b'x'),
+            NotMatch(b'a'),
+            Accept,
+        ])
+        .unwrap();
+        assert!(!accepts(&p, b"x"), "NotMatch must not fire at end of input");
+        // With "xz": NotMatch(a) passes without consuming, so Accept then
+        // sees position 1 of 2 and the thread dies.
+        assert!(!accepts(&p, b"xz"));
+    }
+
+    #[test]
+    fn split_loops_terminate_via_dedup() {
+        // `(a*)*`-style pathological loop: Split(0) at 0 jumping to itself
+        // through a cycle must terminate thanks to dedup.
+        let p = Program::from_instructions(vec![
+            Split(2),
+            Jump(0),
+            Match(b'a'),
+            Jump(0),
+            Accept,
+        ])
+        .unwrap();
+        let out = run(&p, b"aaa");
+        assert!(!out.accepted);
+        // Bounded work: at most program.len() distinct PCs per position.
+        assert!(out.instructions_executed <= 5 * 5);
+    }
+
+    #[test]
+    fn acceptance_halts_execution_early() {
+        let p = Program::from_instructions(vec![
+            Split(2),
+            AcceptPartial,
+            MatchAny,
+            Jump(0),
+        ])
+        .unwrap();
+        let out = run(&p, &[b'x'; 1000]);
+        assert!(out.accepted);
+        assert_eq!(out.match_position, Some(0));
+        assert!(out.instructions_executed < 10);
+    }
+
+    #[test]
+    fn work_metric_counts_all_threads() {
+        let p = ab_or_cd();
+        let out = run(&p, b"zzzz");
+        assert!(!out.accepted);
+        assert!(out.instructions_executed > 4, "{out:?}");
+    }
+}

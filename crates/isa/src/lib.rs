@@ -1,0 +1,58 @@
+//! The Cicero domain-specific instruction set architecture.
+//!
+//! Cicero ([Parravicini et al., TECS 2021]) executes regular expressions by
+//! enumerating the execution threads of a Thompson NFA in lockstep over an
+//! input character stream. Its ISA (Table 1 of the CGO'25 paper) has three
+//! operation classes:
+//!
+//! * **matching** — [`Instruction::MatchAny`], [`Instruction::Match`],
+//!   [`Instruction::NotMatch`]: consume (or peek at) the current character,
+//!   killing the thread on mismatch;
+//! * **control flow** — [`Instruction::Split`], [`Instruction::Jump`]:
+//!   enumerate alternative paths / move the program counter;
+//! * **acceptance** — [`Instruction::Accept`], [`Instruction::AcceptPartial`]:
+//!   finish with a positive match (at end-of-input only, or anywhere).
+//!
+//! This crate is the shared vocabulary of the whole workspace: both
+//! compilers (`cicero-core` and the legacy single-IR `cicero-legacy`) emit
+//! a [`Program`], and the cycle-level simulator (`cicero-sim`) executes it.
+//!
+//! It also implements the paper's *code-locality proxy metric*
+//! `D_offset` (Equation 1) in [`locality`], and a binary [`encoding`]
+//! (16-bit words: 3-bit opcode, 13-bit operand) with an assembler and a
+//! disassembler for round-tripping programs as text or bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use cicero_isa::{Instruction, Program};
+//!
+//! // `ab|cd` with an implicit `.*` prefix, as in Listing 2 of the paper.
+//! let program = Program::from_instructions(vec![
+//!     Instruction::Split(3),
+//!     Instruction::MatchAny,
+//!     Instruction::Jump(0),
+//!     Instruction::Split(7),
+//!     Instruction::Match(b'a'),
+//!     Instruction::Match(b'b'),
+//!     Instruction::AcceptPartial,
+//!     Instruction::Match(b'c'),
+//!     Instruction::Match(b'd'),
+//!     Instruction::AcceptPartial,
+//! ])?;
+//! assert_eq!(program.total_jump_offset(), 3 + 2 + 4);
+//! # Ok::<(), cicero_isa::ProgramError>(())
+//! ```
+//!
+//! [Parravicini et al., TECS 2021]: https://doi.org/10.1145/3476982
+
+pub mod encoding;
+pub mod instruction;
+pub mod interp;
+pub mod locality;
+pub mod program;
+
+pub use encoding::{DecodeError, EncodedProgram};
+pub use instruction::{Instruction, Opcode, MAX_OPERAND};
+pub use interp::{accepts, run, ExecOutcome};
+pub use program::{ParseAsmError, Program, ProgramError};

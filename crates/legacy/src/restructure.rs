@@ -1,0 +1,452 @@
+//! The old compiler's *Code Restructuring* optimization (§5, Figure 5).
+//!
+//! "This optimization reorganizes the sequences of Split instructions into
+//! a tree with minimal depth, with the goal of minimizing the longest
+//! instruction path to execute any of the leaves."
+//!
+//! Operating on already-mapped code (the premature-lowering handicap), the
+//! pass:
+//!
+//! 1. flattens the root alternation — a branch that is exactly one
+//!    unquantified group expands into that group's branches, recursively
+//!    (so `(a|(b|(c|d)))` yields four leaves, Figure 5);
+//! 2. treats the implicit `.*` prefix loop as **one more leaf** (Figure 6:
+//!    "it now executes two SPLIT instead of one" for the implicit term);
+//! 3. re-emits the program as a balanced binary tree of `SPLIT`s over the
+//!    leaves, with the shared acceptance placed after the first leaf and
+//!    every other leaf jumping back to it;
+//! 4. re-patches **every** absolute address in the program — the cost that
+//!    symbolic IRs avoid.
+//!
+//! The result reduces jump count and split depth but scatters basic
+//! blocks, *increasing* `D_offset` (Listing 2 middle column: 21 vs 14).
+//!
+//! # Cost structure (the §2.1 premature-lowering tax)
+//!
+//! Every nested split chain (alternations *and* character classes) is
+//! balanced by one in-place permutation of its span — but because
+//! operands are absolute addresses, **each** permutation must re-patch
+//! every branch target in the whole program and remap every other
+//! alternation's recorded metadata. Optimizing `A` alternations in a
+//! program of `n` instructions therefore costs `O(A·(n + A·B))`, which is
+//! why the old compiler's optimize flag slows Protomata4-style inputs
+//! down so dramatically (Figure 9).
+
+use std::collections::HashMap;
+
+use crate::emit::{EmitMeta, MappedProgram};
+use crate::value::Value;
+use crate::LegacyError;
+
+/// Apply Code Restructuring in place.
+///
+/// Programs with fewer than two leaves (a single-alternative pattern with
+/// no implicit prefix) only have their nested chains balanced.
+///
+/// # Errors
+///
+/// Returns [`LegacyError`] if the metadata is inconsistent with the code
+/// (which emission never produces).
+pub fn code_restructuring(mapped: &mut MappedProgram) -> Result<(), LegacyError> {
+    // Alternations consumed by root flattening are rebuilt with the root,
+    // and the root alternation itself uses the Listing-2 layout (its
+    // acceptance sits mid-span); every other split chain is balanced in
+    // place first.
+    let flattened = flattened_alt_set(&mapped.meta);
+    for index in 0..mapped.meta.alts.len() {
+        let alt = &mapped.meta.alts[index];
+        let is_root =
+            alt.splits == mapped.meta.root_splits && alt.join == mapped.meta.join_addr;
+        if is_root || flattened.contains(&index) {
+            continue;
+        }
+        balance_chain_in_place(mapped, index)?;
+    }
+    let leaves = flatten_leaves(&mapped.meta);
+    let leaf_count = leaves.len() + usize::from(mapped.meta.has_prefix);
+    if leaf_count < 2 {
+        return Ok(());
+    }
+    let rebuilt = Rebuilder::new(&mapped.code, &mapped.meta, leaves).run()?;
+    mapped.code = rebuilt;
+    Ok(())
+}
+
+/// Indices of alternations that the root flattening will consume.
+fn flattened_alt_set(meta: &EmitMeta) -> Vec<usize> {
+    let mut set = Vec::new();
+    let mut stack: Vec<&crate::emit::BranchMeta> = meta.root_branches.iter().collect();
+    while let Some(branch) = stack.pop() {
+        if let Some(alt_index) = branch.nested {
+            set.push(alt_index);
+            stack.extend(meta.alts[alt_index].branches.iter());
+        }
+    }
+    set
+}
+
+/// Balance one nested split chain into a minimal-depth tree, in place.
+///
+/// The chain and the balanced tree have identical instruction counts
+/// (k−1 splits, k branches each ending in a jump to the join), so this is
+/// a permutation of the span `[first_split, join)` — followed by the
+/// mapped-IR tax: re-patching every branch target in the program and
+/// remapping all other alternations' metadata through the move map.
+fn balance_chain_in_place(
+    mapped: &mut MappedProgram,
+    alt_index: usize,
+) -> Result<(), LegacyError> {
+    let alt = mapped.meta.alts[alt_index].clone();
+    if alt.branches.len() < 2 {
+        return Ok(());
+    }
+    let span_start = *alt.splits.first().expect("multi-branch chains have splits");
+    let span_end = alt.join;
+
+    // Emit the balanced tree into a scratch buffer, tracking where every
+    // old instruction moved.
+    let mut scratch: Vec<Value> = Vec::with_capacity(span_end - span_start);
+    let mut moves: HashMap<usize, usize> = HashMap::new();
+    let mut fresh_splits: Vec<usize> = Vec::new();
+    emit_balanced(
+        &mapped.code,
+        &alt.branches,
+        0,
+        alt.branches.len(),
+        span_start,
+        &mut scratch,
+        &mut moves,
+        &mut fresh_splits,
+    );
+    if scratch.len() != span_end - span_start {
+        return Err(LegacyError::new(format!(
+            "balanced tree length {} does not match span {}..{}",
+            scratch.len(),
+            span_start,
+            span_end
+        )));
+    }
+    // The chain entry stays the entry of the tree.
+    moves.insert(span_start, span_start);
+    mapped.code.splice(span_start..span_end, scratch);
+
+    // Mapped-IR tax 1: re-patch every branch target in the whole program.
+    // The tree splits created just now already carry final addresses and
+    // must be skipped (an old address can coincide with a new one).
+    for (index, ins) in mapped.code.iter_mut().enumerate() {
+        if fresh_splits.contains(&index) {
+            continue;
+        }
+        let op = ins.get("op").and_then(Value::as_str).unwrap_or("");
+        if op != "JMP" && op != "SPLIT" {
+            continue;
+        }
+        let target = ins
+            .get("arg")
+            .and_then(Value::as_int)
+            .ok_or_else(|| LegacyError::new(format!("branch without target at {index}")))?
+            as usize;
+        if let Some(new_target) = moves.get(&target) {
+            ins.set("arg", Value::Int(*new_target as i64));
+        }
+    }
+
+    // Mapped-IR tax 2: remap every alternation's recorded addresses.
+    let remap = |address: &mut usize| {
+        if let Some(new) = moves.get(address) {
+            *address = *new;
+        }
+    };
+    for other in &mut mapped.meta.alts {
+        for split in &mut other.splits {
+            remap(split);
+        }
+        remap(&mut other.join);
+        for branch in &mut other.branches {
+            // Ranges move as a block; the move map records starts.
+            if let Some(new_start) = moves.get(&branch.range.0) {
+                let len = branch.range.1 - branch.range.0;
+                branch.range = (*new_start, *new_start + len);
+            }
+        }
+    }
+    for branch in &mut mapped.meta.root_branches {
+        if let Some(new_start) = moves.get(&branch.range.0) {
+            let len = branch.range.1 - branch.range.0;
+            branch.range = (*new_start, *new_start + len);
+        }
+    }
+    Ok(())
+}
+
+/// Recursively emit the balanced tree over `branches[lo..hi)` at
+/// `base + scratch.len()`, recording instruction moves.
+#[allow(clippy::too_many_arguments)]
+fn emit_balanced(
+    code: &[Value],
+    branches: &[crate::emit::BranchMeta],
+    lo: usize,
+    hi: usize,
+    base: usize,
+    scratch: &mut Vec<Value>,
+    moves: &mut HashMap<usize, usize>,
+    fresh_splits: &mut Vec<usize>,
+) {
+    if hi - lo == 1 {
+        let (start, end) = branches[lo].range;
+        for (old, instruction) in code.iter().enumerate().take(end).skip(start) {
+            moves.insert(old, base + scratch.len());
+            scratch.push(instruction.clone());
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let split_at = scratch.len();
+    fresh_splits.push(base + split_at);
+    let mut split = Value::dict();
+    split.set("op", Value::Str("SPLIT".to_owned()));
+    split.set("arg", Value::Int(-1));
+    scratch.push(split);
+    emit_balanced(code, branches, lo, mid, base, scratch, moves, fresh_splits);
+    let right_start = base + scratch.len();
+    scratch[split_at].set("arg", Value::Int(right_start as i64));
+    emit_balanced(code, branches, mid, hi, base, scratch, moves, fresh_splits);
+}
+
+/// Collect the flattened leaf ranges of the root alternation, plus the
+/// set of join addresses whose targets must redirect to the new join.
+fn flatten_leaves(meta: &EmitMeta) -> Vec<(usize, usize)> {
+    let mut leaves = Vec::new();
+    let mut stack: Vec<&crate::emit::BranchMeta> = meta.root_branches.iter().rev().collect();
+    while let Some(branch) = stack.pop() {
+        match branch.nested {
+            Some(alt_index) => {
+                for inner in meta.alts[alt_index].branches.iter().rev() {
+                    stack.push(inner);
+                }
+            }
+            None => leaves.push(branch.range),
+        }
+    }
+    leaves
+}
+
+/// All join addresses involved in the flattened structure: the root join
+/// plus every flattened nested alternation's intermediate join.
+fn join_class(meta: &EmitMeta) -> Vec<usize> {
+    let mut joins = vec![meta.join_addr];
+    // Walk the same flattening to find which alts participate.
+    let mut stack: Vec<&crate::emit::BranchMeta> = meta.root_branches.iter().collect();
+    while let Some(branch) = stack.pop() {
+        if let Some(alt_index) = branch.nested {
+            let alt = &meta.alts[alt_index];
+            joins.push(alt.join);
+            stack.extend(alt.branches.iter());
+        }
+    }
+    joins
+}
+
+struct Rebuilder<'a> {
+    old: &'a [Value],
+    meta: &'a EmitMeta,
+    /// Leaf code ranges; `None` marks the synthetic `.*` loop leaf.
+    leaves: Vec<Option<(usize, usize)>>,
+    new: Vec<Value>,
+    /// old address → new address for every copied instruction.
+    mapping: HashMap<usize, usize>,
+    /// Join-class addresses (old) that redirect to the new acceptance.
+    joins: Vec<usize>,
+    new_join: Option<usize>,
+    emitted_first_leaf: bool,
+}
+
+impl<'a> Rebuilder<'a> {
+    fn new(old: &'a [Value], meta: &'a EmitMeta, leaves: Vec<(usize, usize)>) -> Rebuilder<'a> {
+        let mut all: Vec<Option<(usize, usize)>> = leaves.into_iter().map(Some).collect();
+        if meta.has_prefix {
+            all.push(None); // the `.*` loop becomes the last leaf
+        }
+        Rebuilder {
+            old,
+            meta,
+            leaves: all,
+            new: Vec::new(),
+            mapping: HashMap::new(),
+            joins: join_class(meta),
+            new_join: None,
+            emitted_first_leaf: false,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Value>, LegacyError> {
+        self.emit_tree(0, self.leaves.len());
+        self.patch()?;
+        Ok(self.new)
+    }
+
+    /// In-order balanced emission over `leaves[lo..hi]`.
+    fn emit_tree(&mut self, lo: usize, hi: usize) {
+        if hi - lo == 1 {
+            self.emit_leaf(lo);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let split_at = self.new.len();
+        let mut split = Value::dict();
+        split.set("op", Value::Str("SPLIT".to_owned()));
+        split.set("arg", Value::Int(-1));
+        self.new.push(split);
+        self.emit_tree(lo, mid);
+        let right_start = self.new.len();
+        self.new[split_at].set("arg", Value::Int(right_start as i64));
+        self.emit_tree(mid, hi);
+    }
+
+    fn emit_leaf(&mut self, index: usize) {
+        match self.leaves[index] {
+            None => {
+                // The `.*` loop leaf: MATCH_ANY then JMP back to the tree
+                // top, so the implicit term now re-traverses the splits.
+                let mut any = Value::dict();
+                any.set("op", Value::Str("MATCH_ANY".to_owned()));
+                self.new.push(any);
+                let mut jmp = Value::dict();
+                jmp.set("op", Value::Str("JMP".to_owned()));
+                jmp.set("arg", Value::Int(0));
+                self.new.push(jmp);
+            }
+            Some((start, end)) => {
+                let first = !self.emitted_first_leaf;
+                self.emitted_first_leaf = true;
+                for old_index in start..end {
+                    // The first leaf's trailing jump-to-join is dropped:
+                    // it falls through into the relocated acceptance.
+                    let is_trailing_join_jump = old_index + 1 == end
+                        && self.old[old_index].get("op").and_then(Value::as_str) == Some("JMP")
+                        && self.old[old_index]
+                            .get("arg")
+                            .and_then(Value::as_int)
+                            .is_some_and(|t| self.joins.contains(&(t as usize)));
+                    if first && is_trailing_join_jump {
+                        // Anything that targeted this jump continues to the
+                        // join.
+                        self.joins.push(old_index);
+                        continue;
+                    }
+                    self.mapping.insert(old_index, self.new.len());
+                    self.new.push(self.old[old_index].clone());
+                }
+                if first {
+                    let mut accept = Value::dict();
+                    let op = if self.meta.accept_partial { "ACCEPT_PARTIAL" } else { "ACCEPT" };
+                    accept.set("op", Value::Str(op.to_owned()));
+                    self.new_join = Some(self.new.len());
+                    self.new.push(accept);
+                }
+            }
+        }
+    }
+
+    /// Re-patch every control-flow operand of the copied instructions.
+    fn patch(&mut self) -> Result<(), LegacyError> {
+        let new_join = self
+            .new_join
+            .ok_or_else(|| LegacyError::new("restructuring produced no acceptance"))?;
+        // Only copied instructions need re-patching; tree splits and the
+        // loop leaf were created with final addresses.
+        let copied: Vec<(usize, usize)> = self.mapping.iter().map(|(o, n)| (*o, *n)).collect();
+        for (old_index, new_index) in copied {
+            let op = self.new[new_index].get("op").and_then(Value::as_str).unwrap_or("");
+            if op != "JMP" && op != "SPLIT" {
+                continue;
+            }
+            let old_target = self.new[new_index]
+                .get("arg")
+                .and_then(Value::as_int)
+                .ok_or_else(|| LegacyError::new("branch without target"))?
+                as usize;
+            let new_target = if let Some(mapped) = self.mapping.get(&old_target) {
+                *mapped
+            } else if self.joins.contains(&old_target) {
+                new_join
+            } else {
+                return Err(LegacyError::new(format!(
+                    "instruction {old_index} targets {old_target}, which was deleted by \
+                     restructuring"
+                )));
+            };
+            self.new[new_index].set("arg", Value::Int(new_target as i64));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{emit, parser};
+
+    fn restructured(pattern: &str) -> Vec<(String, Option<i64>)> {
+        let ast = parser::parse(pattern).unwrap();
+        let mut mapped = emit::emit(&ast).unwrap();
+        code_restructuring(&mut mapped).unwrap();
+        mapped
+            .code
+            .iter()
+            .map(|i| {
+                (
+                    i.get("op").and_then(Value::as_str).unwrap().to_owned(),
+                    i.get("arg").and_then(Value::as_int),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn listing2_middle_column() {
+        let ops = restructured("ab|cd");
+        let expected: Vec<(String, Option<i64>)> = vec![
+            ("SPLIT".into(), Some(4)),
+            ("MATCH".into(), Some(97)),
+            ("MATCH".into(), Some(98)),
+            ("ACCEPT_PARTIAL".into(), None),
+            ("SPLIT".into(), Some(8)),
+            ("MATCH".into(), Some(99)),
+            ("MATCH".into(), Some(100)),
+            ("JMP".into(), Some(3)),
+            ("MATCH_ANY".into(), None),
+            ("JMP".into(), Some(0)),
+        ];
+        assert_eq!(ops, expected);
+    }
+
+    #[test]
+    fn single_branch_unanchored_still_restructures_with_prefix_leaf() {
+        // `abc` has one real branch plus the implicit `.*` leaf.
+        let ops = restructured("abc");
+        assert_eq!(ops[0].0, "SPLIT");
+        assert_eq!(
+            ops.last().unwrap(),
+            &("JMP".to_owned(), Some(0)),
+            "loop leaf jumps to tree top"
+        );
+    }
+
+    #[test]
+    fn fully_anchored_single_branch_untouched() {
+        let ast = parser::parse("^abc$").unwrap();
+        let mut mapped = emit::emit(&ast).unwrap();
+        let before = mapped.code.clone();
+        code_restructuring(&mut mapped).unwrap();
+        assert_eq!(mapped.code, before);
+    }
+
+    #[test]
+    fn figure5_flattening_produces_four_leaves() {
+        let ast = parser::parse("^(a|(b|(c|d)))$").unwrap();
+        let mapped = emit::emit(&ast).unwrap();
+        let leaves = flatten_leaves(&mapped.meta);
+        assert_eq!(leaves.len(), 4);
+    }
+}

@@ -1,0 +1,177 @@
+//! Dynamically typed values — the "Python object" layer of the legacy
+//! compiler.
+//!
+//! The original Cicero compiler was a Python program: every AST node and
+//! every mapped instruction was a dictionary of tagged fields. This module
+//! recreates that representation so the legacy flow pays comparable
+//! constant factors (allocation, hashing, tag dispatch) instead of
+//! benefiting from Rust's typed structs — see DESIGN.md ("Old compiler in
+//! Python" substitution).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dynamically typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Python `None`.
+    None,
+    /// Python `bool`.
+    Bool(bool),
+    /// Python `int`.
+    Int(i64),
+    /// Python `str`.
+    Str(String),
+    /// Python `list`.
+    List(Vec<Value>),
+    /// Python `dict` with string keys.
+    Dict(HashMap<String, Value>),
+}
+
+impl Value {
+    /// An empty dictionary.
+    pub fn dict() -> Value {
+        Value::Dict(HashMap::new())
+    }
+
+    /// A dictionary with one `"type"` tag, the idiomatic AST-node shape.
+    pub fn node(node_type: &str) -> Value {
+        let mut d = HashMap::new();
+        d.insert("type".to_owned(), Value::Str(node_type.to_owned()));
+        Value::Dict(d)
+    }
+
+    /// Dictionary field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Dict(d) => d.get(key),
+            _ => None,
+        }
+    }
+
+    /// Dictionary field insertion (no-op with a debug panic on non-dicts,
+    /// like an attribute error).
+    pub fn set(&mut self, key: &str, value: Value) {
+        match self {
+            Value::Dict(d) => {
+                d.insert(key.to_owned(), value);
+            }
+            other => panic!("set on non-dict value {other:?}"),
+        }
+    }
+
+    /// The `"type"` tag of a node dictionary.
+    pub fn node_type(&self) -> Option<&str> {
+        self.get("type").and_then(Value::as_str)
+    }
+
+    /// Extract a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extract an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract a list slice.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Mutable list access.
+    pub fn as_list_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::None => write!(f, "None"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Dict(d) => {
+                let mut keys: Vec<&String> = d.keys().collect();
+                keys.sort();
+                write!(f, "{{")?;
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k:?}: {}", d[*k])?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_construction_and_access() {
+        let mut n = Value::node("piece");
+        n.set("min", Value::Int(2));
+        n.set("greedy", Value::Bool(true));
+        assert_eq!(n.node_type(), Some("piece"));
+        assert_eq!(n.get("min").and_then(Value::as_int), Some(2));
+        assert_eq!(n.get("greedy").and_then(Value::as_bool), Some(true));
+        assert_eq!(n.get("missing"), None);
+    }
+
+    #[test]
+    fn list_mutation() {
+        let mut l = Value::List(vec![Value::Int(1)]);
+        l.as_list_mut().unwrap().push(Value::Int(2));
+        assert_eq!(l.as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let mut n = Value::node("x");
+        n.set("b", Value::Int(2));
+        n.set("a", Value::Str("hi".into()));
+        assert_eq!(n.to_string(), "{\"a\": \"hi\", \"b\": 2, \"type\": \"x\"}");
+    }
+
+    #[test]
+    #[should_panic(expected = "set on non-dict")]
+    fn set_on_non_dict_panics() {
+        Value::Int(1).set("k", Value::None);
+    }
+}

@@ -1,0 +1,410 @@
+//! Dialect definitions, the context/registry, and IR verification.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::attribute::Attribute;
+use crate::op::Operation;
+
+/// The kind of an attribute, for declarative verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// [`Attribute::Bool`].
+    Bool,
+    /// [`Attribute::Int`].
+    Int,
+    /// [`Attribute::Char`].
+    Char,
+    /// [`Attribute::Str`].
+    Str,
+    /// [`Attribute::Symbol`].
+    Symbol,
+    /// [`Attribute::BoolArray`].
+    BoolArray,
+}
+
+impl fmt::Display for AttrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrKind::Bool => "bool",
+            AttrKind::Int => "int",
+            AttrKind::Char => "char",
+            AttrKind::Str => "str",
+            AttrKind::Symbol => "symbol",
+            AttrKind::BoolArray => "bool array",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Declarative specification of one attribute of an op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrSpec {
+    /// Attribute name, e.g. `target_char`.
+    pub name: &'static str,
+    /// Required value kind.
+    pub kind: AttrKind,
+    /// Whether the attribute must be present.
+    pub required: bool,
+}
+
+impl AttrSpec {
+    /// A required attribute.
+    pub const fn required(name: &'static str, kind: AttrKind) -> AttrSpec {
+        AttrSpec { name, kind, required: true }
+    }
+
+    /// An optional attribute.
+    pub const fn optional(name: &'static str, kind: AttrKind) -> AttrSpec {
+        AttrSpec { name, kind, required: false }
+    }
+}
+
+/// Allowed region arity of an op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionCount {
+    /// Exactly `n` regions.
+    Exact(usize),
+    /// Any number of regions (used by variadic containers such as
+    /// `regex.root`, whose regions are the alternatives).
+    Any,
+}
+
+/// Per-op structural verifier hook: receives the op after the declarative
+/// checks pass, returning a description of the violation if any.
+pub type OpVerifier = fn(&Operation) -> Result<(), String>;
+
+/// Definition of one operation within a dialect.
+#[derive(Debug, Clone)]
+pub struct OpDefinition {
+    /// Op name *within* the dialect (no prefix).
+    pub name: &'static str,
+    /// Declarative attribute specs. Attributes not listed here are rejected.
+    pub attrs: Vec<AttrSpec>,
+    /// Region arity.
+    pub regions: RegionCount,
+    /// Optional extra structural verifier.
+    pub verifier: Option<OpVerifier>,
+}
+
+impl OpDefinition {
+    /// A definition with no attributes, fixed region count and no custom
+    /// verifier.
+    pub fn simple(name: &'static str, regions: usize) -> OpDefinition {
+        OpDefinition {
+            name,
+            attrs: Vec::new(),
+            regions: RegionCount::Exact(regions),
+            verifier: None,
+        }
+    }
+}
+
+/// A dialect: a namespace of op definitions.
+#[derive(Debug, Clone)]
+pub struct Dialect {
+    name: &'static str,
+    ops: BTreeMap<&'static str, OpDefinition>,
+}
+
+impl Dialect {
+    /// Create an empty dialect with the given namespace.
+    pub fn new(name: &'static str) -> Dialect {
+        Dialect { name, ops: BTreeMap::new() }
+    }
+
+    /// The dialect namespace, e.g. `regex`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Register an op definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate registration — dialect construction is static,
+    /// so a duplicate is a programming error.
+    pub fn register_op(&mut self, def: OpDefinition) -> &mut Self {
+        let prev = self.ops.insert(def.name, def);
+        assert!(prev.is_none(), "duplicate op registration in dialect `{}`", self.name);
+        self
+    }
+
+    /// Look up an op definition by its unqualified name.
+    pub fn op(&self, name: &str) -> Option<&OpDefinition> {
+        self.ops.get(name)
+    }
+
+    /// Iterate over all op definitions.
+    pub fn ops(&self) -> impl Iterator<Item = &OpDefinition> {
+        self.ops.values()
+    }
+}
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Full name of the offending op.
+    pub op: String,
+    /// Path of op names from the root to the offending op (inclusive).
+    pub path: Vec<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification failed at {}: {}", self.path.join(" > "), self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The compilation context: a registry of dialects.
+///
+/// Mirrors `mlir::MLIRContext` in spirit — it owns dialect definitions and
+/// provides whole-tree [verification](Context::verify). It deliberately does
+/// *not* intern operations (ops are plain owned values here).
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    dialects: BTreeMap<&'static str, Dialect>,
+    /// When false, ops from unregistered dialects are rejected during
+    /// verification (MLIR's `allowUnregisteredDialects`).
+    allow_unregistered: bool,
+}
+
+impl Context {
+    /// An empty context with no registered dialects.
+    pub fn new() -> Context {
+        Context::default()
+    }
+
+    /// Register a dialect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dialect with the same namespace is already registered.
+    pub fn register_dialect(&mut self, dialect: Dialect) -> &mut Self {
+        let name = dialect.name();
+        let prev = self.dialects.insert(name, dialect);
+        assert!(prev.is_none(), "dialect `{name}` registered twice");
+        self
+    }
+
+    /// Permit ops from dialects that are not registered (they skip
+    /// declarative verification).
+    pub fn allow_unregistered_dialects(&mut self, allow: bool) -> &mut Self {
+        self.allow_unregistered = allow;
+        self
+    }
+
+    /// Look up a registered dialect.
+    pub fn dialect(&self, name: &str) -> Option<&Dialect> {
+        self.dialects.get(name)
+    }
+
+    /// Verify the op tree rooted at `root` against the registered dialects.
+    ///
+    /// Checks, for each op: the dialect is registered (unless
+    /// [allowed](Context::allow_unregistered_dialects)), the op is defined,
+    /// required attributes are present with the right kinds, no undeclared
+    /// attributes exist, the region arity matches, and the op's custom
+    /// verifier (if any) passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found in pre-order.
+    pub fn verify(&self, root: &Operation) -> Result<(), VerifyError> {
+        let mut path = Vec::new();
+        self.verify_rec(root, &mut path)
+    }
+
+    fn verify_rec(&self, op: &Operation, path: &mut Vec<String>) -> Result<(), VerifyError> {
+        path.push(op.name().as_str().to_owned());
+        let fail = |message: String, path: &[String]| VerifyError {
+            op: op.name().as_str().to_owned(),
+            path: path.to_vec(),
+            message,
+        };
+        match self.dialects.get(op.name().dialect()) {
+            None if self.allow_unregistered => {}
+            None => {
+                return Err(fail(
+                    format!("dialect `{}` is not registered", op.name().dialect()),
+                    path,
+                ))
+            }
+            Some(dialect) => {
+                let def = dialect.op(op.name().op()).ok_or_else(|| {
+                    fail(
+                        format!(
+                            "op `{}` is not defined in dialect `{}`",
+                            op.name().op(),
+                            dialect.name()
+                        ),
+                        path,
+                    )
+                })?;
+                self.verify_against(op, def, path)?;
+            }
+        }
+        for region in op.regions() {
+            for child in &region.ops {
+                self.verify_rec(child, path)?;
+            }
+        }
+        path.pop();
+        Ok(())
+    }
+
+    fn verify_against(
+        &self,
+        op: &Operation,
+        def: &OpDefinition,
+        path: &[String],
+    ) -> Result<(), VerifyError> {
+        let fail = |message: String| VerifyError {
+            op: op.name().as_str().to_owned(),
+            path: path.to_vec(),
+            message,
+        };
+        for spec in &def.attrs {
+            match op.attr(spec.name) {
+                Some(value) if value.kind() != spec.kind => {
+                    return Err(fail(format!(
+                        "attribute `{}` has kind {}, expected {}",
+                        spec.name,
+                        value.kind(),
+                        spec.kind
+                    )));
+                }
+                None if spec.required => {
+                    return Err(fail(format!("missing required attribute `{}`", spec.name)));
+                }
+                _ => {}
+            }
+        }
+        for (key, _) in op.attrs() {
+            if !def.attrs.iter().any(|s| s.name == key) {
+                return Err(fail(format!("undeclared attribute `{key}`")));
+            }
+        }
+        if let RegionCount::Exact(n) = def.regions {
+            if op.regions().len() != n {
+                return Err(fail(format!(
+                    "expected {n} region(s), found {}",
+                    op.regions().len()
+                )));
+            }
+        }
+        if let Some(verifier) = def.verifier {
+            verifier(op).map_err(fail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: check whether an attribute on `op` equals an expected value.
+pub fn attr_eq(op: &Operation, key: &str, expected: &Attribute) -> bool {
+    op.attr(key) == Some(expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Region;
+
+    fn test_dialect() -> Dialect {
+        let mut d = Dialect::new("t");
+        d.register_op(OpDefinition {
+            name: "leaf",
+            attrs: vec![
+                AttrSpec::required("value", AttrKind::Int),
+                AttrSpec::optional("label", AttrKind::Str),
+            ],
+            regions: RegionCount::Exact(0),
+            verifier: Some(|op| {
+                let v = op.attr("value").and_then(Attribute::as_int).unwrap();
+                if v < 0 {
+                    Err("value must be non-negative".to_owned())
+                } else {
+                    Ok(())
+                }
+            }),
+        });
+        d.register_op(OpDefinition::simple("wrap", 1));
+        d
+    }
+
+    fn ctx() -> Context {
+        let mut c = Context::new();
+        c.register_dialect(test_dialect());
+        c
+    }
+
+    fn leaf(v: i64) -> Operation {
+        Operation::new("t.leaf").with_attr("value", v)
+    }
+
+    #[test]
+    fn well_formed_tree_verifies() {
+        let tree = Operation::new("t.wrap").with_region(Region::with_ops(vec![leaf(1)]));
+        ctx().verify(&tree).unwrap();
+    }
+
+    #[test]
+    fn missing_required_attr_fails() {
+        let op = Operation::new("t.leaf");
+        let err = ctx().verify(&op).unwrap_err();
+        assert!(err.message.contains("missing required attribute `value`"), "{err}");
+    }
+
+    #[test]
+    fn wrong_attr_kind_fails() {
+        let op = Operation::new("t.leaf").with_attr("value", "oops");
+        let err = ctx().verify(&op).unwrap_err();
+        assert!(err.message.contains("has kind str, expected int"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_attr_fails() {
+        let op = leaf(0).with_attr("extra", true);
+        let err = ctx().verify(&op).unwrap_err();
+        assert!(err.message.contains("undeclared attribute `extra`"), "{err}");
+    }
+
+    #[test]
+    fn region_arity_checked() {
+        let op = Operation::new("t.wrap");
+        let err = ctx().verify(&op).unwrap_err();
+        assert!(err.message.contains("expected 1 region(s), found 0"), "{err}");
+    }
+
+    #[test]
+    fn custom_verifier_runs() {
+        let err = ctx().verify(&leaf(-3)).unwrap_err();
+        assert!(err.message.contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn unknown_op_fails() {
+        let err = ctx().verify(&Operation::new("t.mystery")).unwrap_err();
+        assert!(err.message.contains("not defined in dialect"), "{err}");
+    }
+
+    #[test]
+    fn unregistered_dialect_policy() {
+        let op = Operation::new("other.thing");
+        assert!(ctx().verify(&op).is_err());
+        let mut permissive = ctx();
+        permissive.allow_unregistered_dialects(true);
+        permissive.verify(&op).unwrap();
+    }
+
+    #[test]
+    fn error_path_names_nesting() {
+        let tree = Operation::new("t.wrap").with_region(Region::with_ops(vec![leaf(-1)]));
+        let err = ctx().verify(&tree).unwrap_err();
+        assert_eq!(err.path, vec!["t.wrap".to_owned(), "t.leaf".to_owned()]);
+    }
+}

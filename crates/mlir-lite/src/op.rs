@@ -1,0 +1,312 @@
+//! Operations and regions — the IR's structural core.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::attribute::Attribute;
+
+/// A dialect-qualified operation name, e.g. `regex.match_char`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpName {
+    full: String,
+    dot: usize,
+}
+
+impl OpName {
+    /// Create from a `dialect.op` string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full` does not contain a `.` separating a non-empty
+    /// dialect prefix from a non-empty op name — operation names are
+    /// compile-time constants in every dialect crate, so this is a
+    /// programming error, not input validation.
+    pub fn new(full: impl Into<String>) -> OpName {
+        let full = full.into();
+        let dot = full
+            .find('.')
+            .unwrap_or_else(|| panic!("operation name `{full}` lacks a dialect prefix"));
+        assert!(dot > 0 && dot + 1 < full.len(), "malformed operation name `{full}`");
+        OpName { full, dot }
+    }
+
+    /// The full `dialect.op` name.
+    pub fn as_str(&self) -> &str {
+        &self.full
+    }
+
+    /// The dialect prefix.
+    pub fn dialect(&self) -> &str {
+        &self.full[..self.dot]
+    }
+
+    /// The op name within the dialect.
+    pub fn op(&self) -> &str {
+        &self.full[self.dot + 1..]
+    }
+}
+
+impl fmt::Display for OpName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// A single-block region: an ordered list of operations.
+///
+/// Full MLIR regions hold CFG block lists; the two dialects in this project
+/// are structural (see the crate docs), so a region is just a sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Region {
+    /// The operations in program order.
+    pub ops: Vec<Operation>,
+}
+
+impl Region {
+    /// An empty region.
+    pub fn new() -> Region {
+        Region::default()
+    }
+
+    /// A region holding the given operations.
+    pub fn with_ops(ops: Vec<Operation>) -> Region {
+        Region { ops }
+    }
+
+    /// Number of operations directly in this region.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the region holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl FromIterator<Operation> for Region {
+    fn from_iter<I: IntoIterator<Item = Operation>>(iter: I) -> Region {
+        Region { ops: iter.into_iter().collect() }
+    }
+}
+
+/// An operation: a name, an attribute dictionary and nested regions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Operation {
+    name: OpName,
+    attrs: BTreeMap<String, Attribute>,
+    regions: Vec<Region>,
+}
+
+impl Operation {
+    /// Create an operation with no attributes or regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not of the form `dialect.op` (see
+    /// [`OpName::new`]).
+    pub fn new(name: impl Into<String>) -> Operation {
+        Operation {
+            name: OpName::new(name.into()),
+            attrs: BTreeMap::new(),
+            regions: Vec::new(),
+        }
+    }
+
+    /// The operation name.
+    pub fn name(&self) -> &OpName {
+        &self.name
+    }
+
+    /// Whether the op has the given full name.
+    pub fn is(&self, full_name: &str) -> bool {
+        self.name.as_str() == full_name
+    }
+
+    /// Set (or replace) an attribute. Returns `self` for chaining during
+    /// construction.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<Attribute>) -> &mut Self {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
+
+    /// Builder-style attribute setter.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<Attribute>) -> Self {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
+
+    /// Builder-style region appender.
+    pub fn with_region(mut self, region: Region) -> Self {
+        self.regions.push(region);
+        self
+    }
+
+    /// Look up an attribute.
+    pub fn attr(&self, key: &str) -> Option<&Attribute> {
+        self.attrs.get(key)
+    }
+
+    /// Remove an attribute, returning it if present.
+    pub fn take_attr(&mut self, key: &str) -> Option<Attribute> {
+        self.attrs.remove(key)
+    }
+
+    /// The attribute dictionary, in sorted key order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &Attribute)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The nested regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Mutable access to the nested regions.
+    pub fn regions_mut(&mut self) -> &mut [Region] {
+        &mut self.regions
+    }
+
+    /// Append a region.
+    pub fn push_region(&mut self, region: Region) -> &mut Self {
+        self.regions.push(region);
+        self
+    }
+
+    /// The single region of a one-region op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op does not have exactly one region; callers use this
+    /// for ops whose definition fixes the region count.
+    pub fn only_region(&self) -> &Region {
+        assert_eq!(self.regions.len(), 1, "{} must have exactly one region", self.name);
+        &self.regions[0]
+    }
+
+    /// Mutable variant of [`Operation::only_region`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op does not have exactly one region.
+    pub fn only_region_mut(&mut self) -> &mut Region {
+        assert_eq!(self.regions.len(), 1, "{} must have exactly one region", self.name);
+        &mut self.regions[0]
+    }
+
+    /// Total number of operations in this subtree, including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .regions
+            .iter()
+            .flat_map(|r| r.ops.iter())
+            .map(Operation::subtree_size)
+            .sum::<usize>()
+    }
+
+    /// Pre-order immutable walk over the subtree rooted at `self`.
+    pub fn walk<F: FnMut(&Operation)>(&self, f: &mut F) {
+        f(self);
+        for region in &self.regions {
+            for op in &region.ops {
+                op.walk(f);
+            }
+        }
+    }
+
+    /// Post-order mutable walk over the subtree rooted at `self`.
+    pub fn walk_mut<F: FnMut(&mut Operation)>(&mut self, f: &mut F) {
+        for region in &mut self.regions {
+            for op in &mut region.ops {
+                op.walk_mut(f);
+            }
+        }
+        f(self);
+    }
+
+    /// Render the textual IR form (see [`crate::printer`]).
+    pub fn to_text(&self) -> String {
+        crate::printer::print_op(self)
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_name_parsing() {
+        let n = OpName::new("regex.match_char");
+        assert_eq!(n.dialect(), "regex");
+        assert_eq!(n.op(), "match_char");
+        assert_eq!(n.as_str(), "regex.match_char");
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a dialect prefix")]
+    fn op_name_requires_dialect() {
+        let _ = OpName::new("orphan");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn op_name_rejects_empty_parts() {
+        let _ = OpName::new("regex.");
+    }
+
+    #[test]
+    fn builder_chain() {
+        let op = Operation::new("regex.quantifier")
+            .with_attr("min", 1i64)
+            .with_attr("max", -1i64)
+            .with_region(Region::new());
+        assert_eq!(op.attr("min").and_then(Attribute::as_int), Some(1));
+        assert_eq!(op.attr("max").and_then(Attribute::as_int), Some(-1));
+        assert_eq!(op.regions().len(), 1);
+    }
+
+    #[test]
+    fn subtree_size_counts_nested_ops() {
+        let leaf = Operation::new("regex.match_any_char");
+        let piece = Operation::new("regex.piece")
+            .with_region(Region::with_ops(vec![leaf.clone(), leaf.clone()]));
+        let root = Operation::new("regex.root").with_region(Region::with_ops(vec![piece]));
+        assert_eq!(root.subtree_size(), 4);
+    }
+
+    #[test]
+    fn walk_visits_pre_order() {
+        let leaf = Operation::new("t.leaf");
+        let root = Operation::new("t.root").with_region(Region::with_ops(vec![leaf]));
+        let mut names = Vec::new();
+        root.walk(&mut |op| names.push(op.name().as_str().to_owned()));
+        assert_eq!(names, vec!["t.root", "t.leaf"]);
+    }
+
+    #[test]
+    fn walk_mut_visits_post_order() {
+        let leaf = Operation::new("t.leaf");
+        let mut root = Operation::new("t.root").with_region(Region::with_ops(vec![leaf]));
+        let mut names = Vec::new();
+        root.walk_mut(&mut |op| names.push(op.name().as_str().to_owned()));
+        assert_eq!(names, vec!["t.leaf", "t.root"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one region")]
+    fn only_region_guards_arity() {
+        let op = Operation::new("t.noregions");
+        let _ = op.only_region();
+    }
+}

@@ -1,0 +1,275 @@
+//! Rewrite patterns and the greedy fixed-point driver.
+//!
+//! This is the `mlir-lite` analogue of MLIR's
+//! `applyPatternsAndFoldGreedily`: patterns are offered every operation in
+//! the tree, innermost first, and the walk repeats until no pattern applies
+//! (or the iteration cap is hit). Canonicalization in the `regex` dialect
+//! (§3.2 of the paper) is implemented as a set of patterns run by this
+//! driver.
+
+use std::collections::BTreeMap;
+
+use crate::op::{Operation, Region};
+
+/// The outcome of offering an operation to a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rewrite {
+    /// The pattern did not apply; the operation is returned unchanged.
+    Unchanged(Operation),
+    /// Replace the operation with the given sequence (empty = erase).
+    Replace(Vec<Operation>),
+}
+
+/// A local rewrite on one operation.
+///
+/// Patterns consume the matched op and either hand it back
+/// ([`Rewrite::Unchanged`]) or produce replacement ops spliced into the
+/// parent region in its place ([`Rewrite::Replace`]). Patterns must be
+/// *terminating*: a pattern whose output it would itself rewrite again
+/// forever trips the driver's iteration cap.
+pub trait RewritePattern {
+    /// Stable diagnostic name, reported in [`RewriteStats`].
+    fn name(&self) -> &'static str;
+
+    /// Offer `op` to the pattern.
+    fn apply(&self, op: Operation) -> Rewrite;
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RewriteConfig {
+    /// Maximum number of whole-tree sweeps before giving up.
+    pub max_iterations: usize,
+}
+
+impl Default for RewriteConfig {
+    fn default() -> RewriteConfig {
+        RewriteConfig { max_iterations: 64 }
+    }
+}
+
+/// Statistics from one driver run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RewriteStats {
+    /// Number of whole-tree sweeps performed.
+    pub iterations: usize,
+    /// Applications per pattern name.
+    pub applications: BTreeMap<&'static str, usize>,
+    /// True if the run stopped because of the iteration cap rather than
+    /// reaching a fixed point.
+    pub hit_iteration_cap: bool,
+}
+
+impl RewriteStats {
+    /// Total number of pattern applications across all patterns.
+    pub fn total_applications(&self) -> usize {
+        self.applications.values().sum()
+    }
+}
+
+/// Apply `patterns` to the regions **inside** `root` (and, recursively, the
+/// whole subtree below them) until a fixed point.
+///
+/// The root operation itself is never replaced — like MLIR, the driver
+/// anchors at a module-like op. Patterns see operations innermost-first
+/// within each sweep, so a parent pattern observes its children already
+/// canonicalized.
+pub fn apply_patterns_greedily(
+    root: &mut Operation,
+    patterns: &[&dyn RewritePattern],
+    config: RewriteConfig,
+) -> RewriteStats {
+    let mut stats = RewriteStats::default();
+    loop {
+        let mut changed = false;
+        for region in root.regions_mut() {
+            changed |= sweep_region(region, patterns, &mut stats);
+        }
+        stats.iterations += 1;
+        if !changed {
+            break;
+        }
+        if stats.iterations >= config.max_iterations {
+            stats.hit_iteration_cap = true;
+            break;
+        }
+    }
+    stats
+}
+
+/// One innermost-first sweep over a region. Returns whether anything changed.
+fn sweep_region(
+    region: &mut Region,
+    patterns: &[&dyn RewritePattern],
+    stats: &mut RewriteStats,
+) -> bool {
+    let mut changed = false;
+    let mut index = 0;
+    while index < region.ops.len() {
+        // Children first.
+        for child_region in region.ops[index].regions_mut() {
+            changed |= sweep_region(child_region, patterns, stats);
+        }
+        // Then offer this op to each pattern in order.
+        let mut replaced = false;
+        for pattern in patterns {
+            let op = region.ops.remove(index);
+            match pattern.apply(op) {
+                Rewrite::Unchanged(op) => {
+                    region.ops.insert(index, op);
+                }
+                Rewrite::Replace(new_ops) => {
+                    *stats.applications.entry(pattern.name()).or_insert(0) += 1;
+                    let n = new_ops.len();
+                    region.ops.splice(index..index, new_ops);
+                    changed = true;
+                    replaced = true;
+                    // Skip over the replacements: re-offering them in this
+                    // same sweep would let a self-replacing pattern loop
+                    // forever inside one sweep. The outer fixed-point loop
+                    // canonicalizes them on the next sweep instead.
+                    index += n;
+                    break;
+                }
+            }
+        }
+        if !replaced {
+            index += 1;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+
+    /// Rewrites `t.pair` into two `t.one` ops.
+    struct SplitPair;
+    impl RewritePattern for SplitPair {
+        fn name(&self) -> &'static str {
+            "split-pair"
+        }
+        fn apply(&self, op: Operation) -> Rewrite {
+            if op.is("t.pair") {
+                Rewrite::Replace(vec![Operation::new("t.one"), Operation::new("t.one")])
+            } else {
+                Rewrite::Unchanged(op)
+            }
+        }
+    }
+
+    /// Erases `t.nop` ops.
+    struct EraseNop;
+    impl RewritePattern for EraseNop {
+        fn name(&self) -> &'static str {
+            "erase-nop"
+        }
+        fn apply(&self, op: Operation) -> Rewrite {
+            if op.is("t.nop") {
+                Rewrite::Replace(vec![])
+            } else {
+                Rewrite::Unchanged(op)
+            }
+        }
+    }
+
+    /// Decrements a counter attribute until it reaches zero (convergent
+    /// self-rewrite).
+    struct CountDown;
+    impl RewritePattern for CountDown {
+        fn name(&self) -> &'static str {
+            "count-down"
+        }
+        fn apply(&self, op: Operation) -> Rewrite {
+            if !op.is("t.count") {
+                return Rewrite::Unchanged(op);
+            }
+            let n = op.attr("n").and_then(Attribute::as_int).unwrap_or(0);
+            if n <= 0 {
+                Rewrite::Unchanged(op)
+            } else {
+                Rewrite::Replace(vec![Operation::new("t.count").with_attr("n", n - 1)])
+            }
+        }
+    }
+
+    /// Always rewrites `t.loop` to itself: non-terminating.
+    struct Diverge;
+    impl RewritePattern for Diverge {
+        fn name(&self) -> &'static str {
+            "diverge"
+        }
+        fn apply(&self, op: Operation) -> Rewrite {
+            if op.is("t.loop") {
+                Rewrite::Replace(vec![Operation::new("t.loop")])
+            } else {
+                Rewrite::Unchanged(op)
+            }
+        }
+    }
+
+    fn module(ops: Vec<Operation>) -> Operation {
+        Operation::new("t.module").with_region(Region::with_ops(ops))
+    }
+
+    #[test]
+    fn replacement_and_erasure() {
+        let mut m = module(vec![
+            Operation::new("t.nop"),
+            Operation::new("t.pair"),
+            Operation::new("t.keep"),
+        ]);
+        let stats = apply_patterns_greedily(&mut m, &[&SplitPair, &EraseNop], RewriteConfig::default());
+        let names: Vec<&str> =
+            m.regions()[0].ops.iter().map(|o| o.name().as_str()).collect();
+        assert_eq!(names, vec!["t.one", "t.one", "t.keep"]);
+        assert_eq!(stats.applications["split-pair"], 1);
+        assert_eq!(stats.applications["erase-nop"], 1);
+        assert!(!stats.hit_iteration_cap);
+    }
+
+    #[test]
+    fn nested_regions_are_rewritten() {
+        let inner = module(vec![Operation::new("t.pair")]);
+        let mut m = module(vec![inner]);
+        apply_patterns_greedily(&mut m, &[&SplitPair], RewriteConfig::default());
+        let inner = &m.regions()[0].ops[0];
+        assert_eq!(inner.regions()[0].len(), 2);
+    }
+
+    #[test]
+    fn convergent_self_rewrite_reaches_fixpoint() {
+        let mut m = module(vec![Operation::new("t.count").with_attr("n", 5i64)]);
+        let stats = apply_patterns_greedily(&mut m, &[&CountDown], RewriteConfig::default());
+        assert_eq!(stats.applications["count-down"], 5);
+        assert!(!stats.hit_iteration_cap);
+        assert_eq!(
+            m.regions()[0].ops[0].attr("n"),
+            Some(&Attribute::Int(0))
+        );
+    }
+
+    #[test]
+    fn divergent_pattern_hits_cap() {
+        let mut m = module(vec![Operation::new("t.loop")]);
+        let stats = apply_patterns_greedily(
+            &mut m,
+            &[&Diverge],
+            RewriteConfig { max_iterations: 8 },
+        );
+        assert!(stats.hit_iteration_cap);
+        assert_eq!(stats.iterations, 8);
+    }
+
+    #[test]
+    fn no_patterns_is_a_noop() {
+        let mut m = module(vec![Operation::new("t.keep")]);
+        let before = m.clone();
+        let stats = apply_patterns_greedily(&mut m, &[], RewriteConfig::default());
+        assert_eq!(m, before);
+        assert_eq!(stats.total_applications(), 0);
+        assert_eq!(stats.iterations, 1);
+    }
+}

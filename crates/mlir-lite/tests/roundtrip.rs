@@ -1,0 +1,82 @@
+//! Property tests: the printer and parser are exact inverses over the
+//! whole attribute and region space.
+
+use mlir_lite::{Attribute, Operation, Region};
+use proptest::prelude::*;
+
+fn attr_strategy() -> impl Strategy<Value = Attribute> {
+    prop_oneof![
+        any::<bool>().prop_map(Attribute::Bool),
+        any::<i64>().prop_map(Attribute::Int),
+        any::<u8>().prop_map(Attribute::Char),
+        // Printable-ish strings including characters that need escaping.
+        prop::collection::vec(
+            prop_oneof![
+                prop::char::range(' ', '~'),
+                Just('"'),
+                Just('\\'),
+                Just('\n'),
+            ],
+            0..12
+        )
+        .prop_map(|cs| Attribute::Str(cs.into_iter().collect())),
+        "[a-z][a-z0-9_]{0,8}".prop_map(Attribute::Symbol),
+        prop::collection::vec(any::<bool>(), 0..64).prop_map(Attribute::BoolArray),
+    ]
+}
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}"
+}
+
+fn op_strategy() -> impl Strategy<Value = Operation> {
+    let leaf = (ident_strategy(), prop::collection::vec((ident_strategy(), attr_strategy()), 0..4))
+        .prop_map(|(name, attrs)| {
+            let mut op = Operation::new(format!("t.{name}"));
+            for (key, value) in attrs {
+                op.set_attr(key, value);
+            }
+            op
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            ident_strategy(),
+            prop::collection::vec((ident_strategy(), attr_strategy()), 0..3),
+            prop::collection::vec(prop::collection::vec(inner, 0..3), 0..3),
+        )
+            .prop_map(|(name, attrs, regions)| {
+                let mut op = Operation::new(format!("t.{name}"));
+                for (key, value) in attrs {
+                    op.set_attr(key, value);
+                }
+                for ops in regions {
+                    op.push_region(Region::with_ops(ops));
+                }
+                op
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_roundtrip(op in op_strategy()) {
+        let text = op.to_text();
+        let parsed = mlir_lite::parse(&text)
+            .unwrap_or_else(|e| panic!("unparsable output {text:?}: {e}"));
+        prop_assert_eq!(parsed, op);
+    }
+
+    #[test]
+    fn printing_is_deterministic(op in op_strategy()) {
+        prop_assert_eq!(op.to_text(), op.clone().to_text());
+    }
+
+    #[test]
+    fn subtree_size_consistent_with_walk(op in op_strategy()) {
+        let mut visited = 0usize;
+        op.walk(&mut |_| visited += 1);
+        prop_assert_eq!(visited, op.subtree_size());
+    }
+}

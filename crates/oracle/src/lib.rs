@@ -1,0 +1,197 @@
+//! Reference regex matcher: a Pike VM over a Thompson NFA built directly
+//! from the front-end AST.
+//!
+//! This crate is the workspace's ground truth. It deliberately shares *no
+//! lowering code* with either Cicero compiler:
+//!
+//! * character classes are evaluated as 256-bit membership predicates
+//!   (rather than the `NotMatchCharOp` chains of the Cicero lowering);
+//! * quantifiers are expanded by an independently written routine;
+//! * execution is the textbook lockstep Pike VM of Thompson (1968) and
+//!   Cox's RE2 write-ups — the same principles the paper cites as Cicero's
+//!   foundations (§2).
+//!
+//! Differential tests assert that, for any supported pattern and input,
+//! `Oracle` and the compiled-program interpreters agree.
+//!
+//! # Example
+//!
+//! ```
+//! use regex_oracle::Oracle;
+//!
+//! let oracle = Oracle::new("(ab)|c{3,6}d+")?;
+//! assert!(oracle.is_match(b"xx ccccd yy"));
+//! assert!(!oracle.is_match(b"ccd"));
+//! # Ok::<(), regex_oracle::OracleError>(())
+//! ```
+
+pub mod nfa;
+pub mod vm;
+
+use std::fmt;
+
+use regex_frontend::{ParseRegexError, RegexAst};
+
+pub use nfa::{Nfa, State};
+
+/// A compiled reference matcher.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    nfa: Nfa,
+}
+
+/// Error constructing an [`Oracle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The pattern failed to parse.
+    Parse(ParseRegexError),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Parse(e) => write!(f, "invalid pattern: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<ParseRegexError> for OracleError {
+    fn from(e: ParseRegexError) -> OracleError {
+        OracleError::Parse(e)
+    }
+}
+
+impl Oracle {
+    /// Parse and compile a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::Parse`] for unsupported patterns.
+    pub fn new(pattern: &str) -> Result<Oracle, OracleError> {
+        let ast = regex_frontend::parse(pattern)?;
+        Ok(Oracle::from_ast(&ast))
+    }
+
+    /// Compile an already-parsed AST.
+    pub fn from_ast(ast: &RegexAst) -> Oracle {
+        Oracle { nfa: Nfa::from_ast(ast) }
+    }
+
+    /// Whether the pattern matches anywhere in `input` (respecting `^`/`$`
+    /// anchors captured at parse time).
+    pub fn is_match(&self, input: &[u8]) -> bool {
+        vm::is_match(&self.nfa, input)
+    }
+
+    /// Position (byte index just past the match) of the earliest-ending
+    /// match, mirroring the DSA's halt-on-first-accept semantics.
+    pub fn match_end(&self, input: &[u8]) -> Option<usize> {
+        vm::match_end(&self.nfa, input)
+    }
+
+    /// The underlying NFA (for inspection and state-count metrics).
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, input: &[u8]) -> bool {
+        Oracle::new(pattern).unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literal_substring_search() {
+        assert!(m("abc", b"zzabczz"));
+        assert!(m("abc", b"abc"));
+        assert!(!m("abc", b"ab"));
+        assert!(!m("abc", b"acb"));
+    }
+
+    #[test]
+    fn anchoring() {
+        assert!(m("^ab", b"abxx"));
+        assert!(!m("^ab", b"xab"));
+        assert!(m("ab$", b"xxab"));
+        assert!(!m("ab$", b"abx"));
+        assert!(m("^ab$", b"ab"));
+        assert!(!m("^ab$", b"aab"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("^a{2,3}$", b"aa"));
+        assert!(m("^a{2,3}$", b"aaa"));
+        assert!(!m("^a{2,3}$", b"a"));
+        assert!(!m("^a{2,3}$", b"aaaa"));
+        assert!(m("^a*$", b""));
+        assert!(m("^a+$", b"aaaa"));
+        assert!(!m("^a+$", b""));
+        assert!(m("^ab?c$", b"ac"));
+        assert!(m("^ab?c$", b"abc"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("^(ab)|c{3,6}d+$", b"ab"));
+        assert!(m("(ab)|c{3,6}d+", b"xxcccdyy"));
+        assert!(!m("^(this|that)$", b"those"));
+        assert!(m("th(is|at|ose)", b"it is those!"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("^[a-c]+$", b"abcba"));
+        assert!(!m("^[a-c]+$", b"abd"));
+        assert!(m("^[^ab]$", b"z"));
+        assert!(!m("^[^ab]$", b"a"));
+        assert!(m(r"\d{3}", b"ab123cd"));
+        assert!(!m(r"^\d{3}$", b"12a"));
+    }
+
+    #[test]
+    fn dot_matches_any_byte() {
+        assert!(m("^.$", b"\n"));
+        assert!(m("^.$", &[0xff]));
+        assert!(!m("^.$", b""));
+    }
+
+    #[test]
+    fn quantified_groups() {
+        assert!(m("^(ab){2}$", b"abab"));
+        assert!(!m("^(ab){2}$", b"ab"));
+        assert!(m("^(a|b){1,3}$", b"aba"));
+        assert!(!m("^(a|b){1,3}$", b"abab"));
+        assert!(m("^(a{2,3}){4,7}$", b"aaaaaaaaa")); // 9 a's: 3+2+2+2
+        assert!(!m("^(a{2,3}){4,7}$", b"a"));
+    }
+
+    #[test]
+    fn match_end_is_earliest() {
+        let o = Oracle::new("ab|cd").unwrap();
+        assert_eq!(o.match_end(b"xxcdab"), Some(4));
+        assert_eq!(o.match_end(b"nothing"), None);
+    }
+
+    #[test]
+    fn pathological_nesting_terminates() {
+        // (a*)* style patterns must not hang the lockstep VM.
+        let o = Oracle::new("^(a*)*b$").unwrap();
+        assert!(o.is_match(b"aaab"));
+        assert!(!o.is_match(&[b'a'; 64]));
+    }
+
+    #[test]
+    fn empty_alternative_matches_everything_with_prefix() {
+        // `ab|` has an empty branch; with implicit prefix/suffix it matches
+        // any input, including the empty one.
+        let o = Oracle::new("ab|").unwrap();
+        assert!(o.is_match(b""));
+        assert!(o.is_match(b"zzz"));
+    }
+}

@@ -1,0 +1,207 @@
+//! The lockstep Pike VM executing an [`Nfa`] over an input.
+
+use crate::nfa::{Nfa, State};
+
+/// Whether the NFA matches the input (see [`crate::Oracle::is_match`]).
+pub fn is_match(nfa: &Nfa, input: &[u8]) -> bool {
+    match_end(nfa, input).is_some()
+}
+
+/// Earliest end position of a match, or `None`.
+///
+/// Runs the textbook lockstep simulation: a frontier of NFA states per
+/// input position, epsilon closure with a visited set (so pathological
+/// patterns like `(a*)*` cannot loop), halting at the first acceptance.
+pub fn match_end(nfa: &Nfa, input: &[u8]) -> Option<usize> {
+    let mut current: Vec<u32> = Vec::with_capacity(nfa.len());
+    let mut next: Vec<u32> = Vec::with_capacity(nfa.len());
+    let mut seen = vec![false; nfa.len()];
+
+    add_closure(nfa, nfa.start(), &mut current, &mut seen);
+    for position in 0..=input.len() {
+        let at_end = position == input.len();
+        // Acceptance check on the closed frontier.
+        for id in &current {
+            if matches!(nfa.states()[*id as usize], State::Accept) && (!nfa.exact_end() || at_end)
+            {
+                return Some(position);
+            }
+        }
+        if at_end {
+            break;
+        }
+        let byte = input[position];
+        next.clear();
+        seen.iter_mut().for_each(|s| *s = false);
+        for id in &current {
+            if let State::Byte { test, next: succ } = &nfa.states()[*id as usize] {
+                if test.matches(byte) {
+                    add_closure(nfa, *succ, &mut next, &mut seen);
+                }
+            }
+        }
+        std::mem::swap(&mut current, &mut next);
+        if current.is_empty() {
+            break;
+        }
+    }
+    None
+}
+
+/// Add `id` and its epsilon closure to the frontier.
+fn add_closure(nfa: &Nfa, id: u32, frontier: &mut Vec<u32>, seen: &mut [bool]) {
+    if seen[id as usize] {
+        return;
+    }
+    seen[id as usize] = true;
+    match &nfa.states()[id as usize] {
+        State::Split { left, right } => {
+            add_closure(nfa, *left, frontier, seen);
+            add_closure(nfa, *right, frontier, seen);
+        }
+        _ => frontier.push(id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Oracle;
+
+    /// Cross-check against a naive exponential backtracker on small cases.
+    mod against_backtracker {
+        use regex_frontend::{Alternation, Atom, Piece, RegexAst};
+
+        /// Match `pieces[pi..]` against `input[pos..]`, returning all
+        /// possible end positions. Exponential; only for tiny tests.
+        fn match_concat(pieces: &[Piece], input: &[u8], pos: usize, ends: &mut Vec<usize>) {
+            let Some(piece) = pieces.first() else {
+                ends.push(pos);
+                return;
+            };
+            let (min, max) = match piece.quantifier {
+                None => (1, Some(1)),
+                Some(q) => (q.min, q.max),
+            };
+            // Try every admissible repetition count.
+            let mut positions = vec![pos];
+            let mut count = 0u32;
+            loop {
+                if count >= min {
+                    for p in &positions {
+                        match_concat(&pieces[1..], input, *p, ends);
+                    }
+                }
+                if max == Some(count) {
+                    break;
+                }
+                let mut nexts = Vec::new();
+                for p in &positions {
+                    atom_matches(&piece.atom, input, *p, &mut nexts);
+                }
+                nexts.sort_unstable();
+                nexts.dedup();
+                if nexts.is_empty() {
+                    break;
+                }
+                positions = nexts;
+                count += 1;
+                if count > 64 {
+                    break; // safety net for the test harness
+                }
+            }
+        }
+
+        fn atom_matches(atom: &Atom, input: &[u8], pos: usize, out: &mut Vec<usize>) {
+            match atom {
+                Atom::Char(c) => {
+                    if input.get(pos) == Some(c) {
+                        out.push(pos + 1);
+                    }
+                }
+                Atom::Any => {
+                    if pos < input.len() {
+                        out.push(pos + 1);
+                    }
+                }
+                Atom::Class { negated, set } => {
+                    if let Some(b) = input.get(pos) {
+                        if set.contains(*b) != *negated {
+                            out.push(pos + 1);
+                        }
+                    }
+                }
+                Atom::Group(alt) => alt_matches(alt, input, pos, out),
+            }
+        }
+
+        fn alt_matches(alt: &Alternation, input: &[u8], pos: usize, out: &mut Vec<usize>) {
+            for concat in &alt.alternatives {
+                match_concat(&concat.pieces, input, pos, out);
+            }
+        }
+
+        /// Backtracking reference: does the AST match `input` under the
+        /// prefix/suffix flags?
+        pub fn matches(ast: &RegexAst, input: &[u8]) -> bool {
+            let starts: Vec<usize> =
+                if ast.has_prefix { (0..=input.len()).collect() } else { vec![0] };
+            for start in starts {
+                let mut ends = Vec::new();
+                alt_matches(&ast.alternation, input, start, &mut ends);
+                if ast.has_suffix {
+                    if !ends.is_empty() {
+                        return true;
+                    }
+                } else if ends.contains(&input.len()) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+
+    #[test]
+    fn agrees_with_backtracker_on_exhaustive_small_inputs() {
+        let patterns = [
+            "ab", "^ab$", "a|b", "a*", "^a+b?$", "(ab)+", "[ab]c", "[^a]b", "a{2,3}",
+            "^(a|bb){1,2}$", "a.b", "(a|b)(b|a)$", "^x(yz)*",
+        ];
+        let alphabet = [b'a', b'b', b'x'];
+        for pattern in patterns {
+            let ast = regex_frontend::parse(pattern).unwrap();
+            let oracle = crate::Oracle::from_ast(&ast);
+            // All inputs over {a,b,x} of length 0..=4.
+            let mut inputs: Vec<Vec<u8>> = vec![vec![]];
+            for len in 1..=4usize {
+                let mut level = Vec::new();
+                for prev in inputs.iter().filter(|i| i.len() == len - 1) {
+                    for c in alphabet {
+                        let mut next = prev.clone();
+                        next.push(c);
+                        level.push(next);
+                    }
+                }
+                inputs.extend(level);
+            }
+            for input in &inputs {
+                let expected = against_backtracker::matches(&ast, input);
+                let actual = oracle.is_match(input);
+                assert_eq!(
+                    actual,
+                    expected,
+                    "pattern {pattern:?} on input {:?}",
+                    String::from_utf8_lossy(input)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_input_linear_behaviour() {
+        let oracle = Oracle::new("a{10}").unwrap();
+        let mut input = vec![b'b'; 10_000];
+        input.extend_from_slice(&[b'a'; 10]);
+        assert!(oracle.is_match(&input));
+        assert_eq!(oracle.match_end(&input), Some(10_010));
+    }
+}

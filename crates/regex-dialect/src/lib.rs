@@ -1,0 +1,68 @@
+//! The high-level `regex` MLIR dialect (§3.1 of the paper) and its
+//! transformations (§3.2).
+//!
+//! The dialect gives regular expressions a flexible, architecture-agnostic
+//! IR. Its operations mirror Table 3:
+//!
+//! | RE operator | Operation             | Arguments                        |
+//! |-------------|-----------------------|----------------------------------|
+//! | root        | `regex.root`          | `has_prefix`, `has_suffix` bools |
+//! | `\|`        | `regex.concatenation` | (siblings in the parent region)  |
+//! | `* + ? {}`  | `regex.quantifier`    | `min`, `max` (−1 = unbounded)    |
+//! | literal     | `regex.match_char`    | `target_char`                    |
+//! | `.`         | `regex.match_any_char`| —                                |
+//! | `[...]`     | `regex.group`         | 256-entry `target_chars` bitmap  |
+//! | `(...)`     | `regex.sub_regex`     | —                                |
+//! | `$`         | `regex.dollar`        | —                                |
+//!
+//! plus `regex.piece`, the wrapper pairing an atom with an optional
+//! quantifier.
+//!
+//! One deliberate deviation from the paper's Listing 1: there the piece for
+//! `c{3,6}` materializes `min` copies of the atom inside the piece region.
+//! Here a piece holds exactly **one atom and at most one quantifier**; the
+//! copy materialization happens during lowering. The two forms encode the
+//! same language and the single-atom invariant keeps every §3.2
+//! transformation a local rewrite.
+//!
+//! Negated classes are resolved to their complement bitmap at AST→IR
+//! conversion; the Cicero lowering later picks `NotMatchCharOp` chains when
+//! the complement is the cheaper encoding (§3.3).
+//!
+//! The three transformation sets (each independently toggleable, §3.2):
+//!
+//! 1. [`transforms::CanonicalizePass`] — sub-regex simplification, e.g.
+//!    `(abc) → abc`, `(a+) → a+`, `(a)+ → a+`, while `(abc)+` and
+//!    `(a{2,3}){4,7}` are preserved;
+//! 2. [`transforms::FactorizeAlternationsPass`] — alternation prefix
+//!    factorization, e.g. `this|that|those → th(is|at|ose)` and
+//!    `a(bc|bd) → a(b(c|d))`;
+//! 3. [`transforms::ShortestMatchPass`] — boundary quantifier reduction for
+//!    any-match engines, e.g. `a{2,3}|b{4,5} → a{2}|b{4}`,
+//!    `abcd*|efgh+ → abc|efgh`, with `ab*$` untouched.
+//!
+//! # Example
+//!
+//! ```
+//! use mlir_lite::{Context, PassManager};
+//!
+//! let ast = regex_frontend::parse("this|that|those")?;
+//! let mut ir = regex_dialect::ast_to_ir(&ast);
+//! let mut ctx = Context::new();
+//! ctx.register_dialect(regex_dialect::dialect());
+//! let mut pm = PassManager::new();
+//! pm.add_pass(Box::new(regex_dialect::transforms::FactorizeAlternationsPass));
+//! pm.add_pass(Box::new(regex_dialect::transforms::CanonicalizePass));
+//! pm.run(&mut ir, &ctx).map_err(|e| e.to_string())?;
+//! assert_eq!(regex_dialect::ir_to_pattern(&ir), "th(is|at|ose)");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod convert;
+pub mod ops;
+pub mod pattern;
+pub mod transforms;
+
+pub use convert::{ast_to_ir, ir_to_ast};
+pub use ops::{dialect, names};
+pub use pattern::ir_to_pattern;

@@ -1,0 +1,378 @@
+//! Operation definitions and verifiers for the `regex` dialect.
+
+use mlir_lite::{Attribute, AttrKind, AttrSpec, Dialect, OpDefinition, Operation, RegionCount};
+
+/// Fully-qualified operation names.
+pub mod names {
+    /// Top-level operation: the whole RE pattern.
+    pub const ROOT: &str = "regex.root";
+    /// One alternative of an alternation (siblings are `|`-separated).
+    pub const CONCATENATION: &str = "regex.concatenation";
+    /// Atom + optional quantifier wrapper.
+    pub const PIECE: &str = "regex.piece";
+    /// Repetition bounds for the piece's atom.
+    pub const QUANTIFIER: &str = "regex.quantifier";
+    /// Match one specific character.
+    pub const MATCH_CHAR: &str = "regex.match_char";
+    /// Match any character.
+    pub const MATCH_ANY_CHAR: &str = "regex.match_any_char";
+    /// Match any character in a 256-entry bitmap.
+    pub const GROUP: &str = "regex.group";
+    /// A parenthesized sub-expression.
+    pub const SUB_REGEX: &str = "regex.sub_regex";
+    /// Match the end of the input.
+    pub const DOLLAR: &str = "regex.dollar";
+}
+
+/// Attribute keys used by the dialect.
+pub mod attrs {
+    /// `regex.root`: implicit `.*` before the pattern.
+    pub const HAS_PREFIX: &str = "has_prefix";
+    /// `regex.root`: implicit `.*` after the pattern.
+    pub const HAS_SUFFIX: &str = "has_suffix";
+    /// `regex.quantifier`: minimum repetitions (≥ 0).
+    pub const MIN: &str = "min";
+    /// `regex.quantifier`: maximum repetitions, or −1 for unbounded.
+    pub const MAX: &str = "max";
+    /// `regex.match_char`: the character to match.
+    pub const TARGET_CHAR: &str = "target_char";
+    /// `regex.group`: the 256-entry acceptance bitmap.
+    pub const TARGET_CHARS: &str = "target_chars";
+}
+
+/// The names of atom operations (valid as the first op of a piece).
+pub const ATOM_OPS: [&str; 5] = [
+    names::MATCH_CHAR,
+    names::MATCH_ANY_CHAR,
+    names::GROUP,
+    names::SUB_REGEX,
+    names::DOLLAR,
+];
+
+/// Whether `op` is an atom operation.
+pub fn is_atom(op: &Operation) -> bool {
+    ATOM_OPS.contains(&op.name().as_str())
+}
+
+/// Build the `regex` dialect with all op definitions and verifiers.
+pub fn dialect() -> Dialect {
+    let mut d = Dialect::new("regex");
+    d.register_op(OpDefinition {
+        name: "root",
+        attrs: vec![
+            AttrSpec::required(attrs::HAS_PREFIX, AttrKind::Bool),
+            AttrSpec::required(attrs::HAS_SUFFIX, AttrKind::Bool),
+        ],
+        regions: RegionCount::Exact(1),
+        verifier: Some(verify_alternation_container),
+    });
+    d.register_op(OpDefinition {
+        name: "concatenation",
+        attrs: vec![],
+        regions: RegionCount::Exact(1),
+        verifier: Some(verify_concatenation),
+    });
+    d.register_op(OpDefinition {
+        name: "piece",
+        attrs: vec![],
+        regions: RegionCount::Exact(1),
+        verifier: Some(verify_piece),
+    });
+    d.register_op(OpDefinition {
+        name: "quantifier",
+        attrs: vec![
+            AttrSpec::required(attrs::MIN, AttrKind::Int),
+            AttrSpec::required(attrs::MAX, AttrKind::Int),
+        ],
+        regions: RegionCount::Exact(0),
+        verifier: Some(verify_quantifier),
+    });
+    d.register_op(OpDefinition {
+        name: "match_char",
+        attrs: vec![AttrSpec::required(attrs::TARGET_CHAR, AttrKind::Char)],
+        regions: RegionCount::Exact(0),
+        verifier: None,
+    });
+    d.register_op(OpDefinition::simple("match_any_char", 0));
+    d.register_op(OpDefinition {
+        name: "group",
+        attrs: vec![AttrSpec::required(attrs::TARGET_CHARS, AttrKind::BoolArray)],
+        regions: RegionCount::Exact(0),
+        verifier: Some(verify_group),
+    });
+    d.register_op(OpDefinition {
+        name: "sub_regex",
+        attrs: vec![],
+        regions: RegionCount::Exact(1),
+        verifier: Some(verify_alternation_container),
+    });
+    d.register_op(OpDefinition::simple("dollar", 0));
+    d
+}
+
+/// `regex.root` / `regex.sub_regex`: region children are concatenations.
+fn verify_alternation_container(op: &Operation) -> Result<(), String> {
+    for child in &op.only_region().ops {
+        if !child.is(names::CONCATENATION) {
+            return Err(format!(
+                "children must be {}, found {}",
+                names::CONCATENATION,
+                child.name()
+            ));
+        }
+    }
+    if op.only_region().is_empty() {
+        return Err("must contain at least one alternative".to_owned());
+    }
+    Ok(())
+}
+
+/// `regex.concatenation`: region children are pieces.
+fn verify_concatenation(op: &Operation) -> Result<(), String> {
+    for child in &op.only_region().ops {
+        if !child.is(names::PIECE) {
+            return Err(format!("children must be {}, found {}", names::PIECE, child.name()));
+        }
+    }
+    Ok(())
+}
+
+/// `regex.piece`: exactly one atom, optionally followed by one quantifier.
+fn verify_piece(op: &Operation) -> Result<(), String> {
+    let ops = &op.only_region().ops;
+    match ops.as_slice() {
+        [atom] if is_atom(atom) => Ok(()),
+        [atom, quant] if is_atom(atom) && quant.is(names::QUANTIFIER) => {
+            if atom.is(names::DOLLAR) {
+                Err("`regex.dollar` cannot be quantified".to_owned())
+            } else {
+                Ok(())
+            }
+        }
+        [] => Err("piece is empty; expected an atom".to_owned()),
+        [first, ..] if !is_atom(first) => {
+            Err(format!("first op of a piece must be an atom, found {}", first.name()))
+        }
+        _ => Err("piece must be exactly [atom] or [atom, quantifier]".to_owned()),
+    }
+}
+
+/// `regex.quantifier`: bounds sanity.
+fn verify_quantifier(op: &Operation) -> Result<(), String> {
+    let min = op.attr(attrs::MIN).and_then(Attribute::as_int).expect("declared attr");
+    let max = op.attr(attrs::MAX).and_then(Attribute::as_int).expect("declared attr");
+    if min < 0 {
+        return Err(format!("min must be >= 0, got {min}"));
+    }
+    if max != -1 && max < min {
+        return Err(format!("max ({max}) must be -1 or >= min ({min})"));
+    }
+    if max == 0 {
+        return Err("max of 0 matches nothing".to_owned());
+    }
+    Ok(())
+}
+
+/// `regex.group`: bitmap must be 256 entries with at least one set.
+fn verify_group(op: &Operation) -> Result<(), String> {
+    let bits = op
+        .attr(attrs::TARGET_CHARS)
+        .and_then(Attribute::as_bool_array)
+        .expect("declared attr");
+    if bits.len() != 256 {
+        return Err(format!("target_chars must have 256 entries, got {}", bits.len()));
+    }
+    if bits.iter().all(|b| !*b) {
+        return Err("group accepts no character".to_owned());
+    }
+    Ok(())
+}
+
+// ---- construction helpers -------------------------------------------------
+
+use mlir_lite::Region;
+
+/// Build `regex.match_char`.
+pub fn match_char(c: u8) -> Operation {
+    Operation::new(names::MATCH_CHAR).with_attr(attrs::TARGET_CHAR, Attribute::Char(c))
+}
+
+/// Build `regex.match_any_char`.
+pub fn match_any_char() -> Operation {
+    Operation::new(names::MATCH_ANY_CHAR)
+}
+
+/// Build `regex.group` from a 256-entry bitmap.
+pub fn group(bits: Vec<bool>) -> Operation {
+    Operation::new(names::GROUP).with_attr(attrs::TARGET_CHARS, bits)
+}
+
+/// Build `regex.quantifier`; `max = None` means unbounded.
+pub fn quantifier(min: u32, max: Option<u32>) -> Operation {
+    Operation::new(names::QUANTIFIER)
+        .with_attr(attrs::MIN, i64::from(min))
+        .with_attr(attrs::MAX, max.map_or(-1i64, i64::from))
+}
+
+/// Build `regex.piece` from an atom and an optional quantifier.
+pub fn piece(atom: Operation, quant: Option<Operation>) -> Operation {
+    let mut ops = vec![atom];
+    ops.extend(quant);
+    Operation::new(names::PIECE).with_region(Region::with_ops(ops))
+}
+
+/// Build `regex.concatenation` from pieces.
+pub fn concatenation(pieces: Vec<Operation>) -> Operation {
+    Operation::new(names::CONCATENATION).with_region(Region::with_ops(pieces))
+}
+
+/// Build `regex.sub_regex` from alternatives (concatenations).
+pub fn sub_regex(alternatives: Vec<Operation>) -> Operation {
+    Operation::new(names::SUB_REGEX).with_region(Region::with_ops(alternatives))
+}
+
+/// Build `regex.root` from alternatives (concatenations).
+pub fn root(has_prefix: bool, has_suffix: bool, alternatives: Vec<Operation>) -> Operation {
+    Operation::new(names::ROOT)
+        .with_attr(attrs::HAS_PREFIX, has_prefix)
+        .with_attr(attrs::HAS_SUFFIX, has_suffix)
+        .with_region(Region::with_ops(alternatives))
+}
+
+/// Read a quantifier op's `(min, max)` bounds; `max = None` is unbounded.
+///
+/// # Panics
+///
+/// Panics if `op` is not a verified `regex.quantifier`.
+pub fn quantifier_bounds(op: &Operation) -> (u32, Option<u32>) {
+    assert!(op.is(names::QUANTIFIER), "expected quantifier, got {}", op.name());
+    let min = op.attr(attrs::MIN).and_then(Attribute::as_int).expect("verified");
+    let max = op.attr(attrs::MAX).and_then(Attribute::as_int).expect("verified");
+    (min as u32, if max == -1 { None } else { Some(max as u32) })
+}
+
+/// Split a verified piece region into `(atom, Option<quantifier>)`.
+///
+/// # Panics
+///
+/// Panics if `op` is not a verified `regex.piece`.
+pub fn piece_parts(op: &Operation) -> (&Operation, Option<&Operation>) {
+    assert!(op.is(names::PIECE), "expected piece, got {}", op.name());
+    let ops = &op.only_region().ops;
+    match ops.as_slice() {
+        [atom] => (atom, None),
+        [atom, quant] => (atom, Some(quant)),
+        other => panic!("malformed piece with {} ops", other.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlir_lite::Context;
+
+    fn ctx() -> Context {
+        let mut c = Context::new();
+        c.register_dialect(dialect());
+        c
+    }
+
+    fn simple_root() -> Operation {
+        root(
+            true,
+            true,
+            vec![concatenation(vec![
+                piece(match_char(b'a'), None),
+                piece(match_char(b'b'), Some(quantifier(1, None))),
+            ])],
+        )
+    }
+
+    #[test]
+    fn well_formed_ir_verifies() {
+        ctx().verify(&simple_root()).unwrap();
+    }
+
+    #[test]
+    fn root_requires_concatenation_children() {
+        let bad = root(true, true, vec![piece(match_char(b'a'), None)]);
+        let err = ctx().verify(&bad).unwrap_err();
+        assert!(err.message.contains("must be regex.concatenation"), "{err}");
+    }
+
+    #[test]
+    fn root_requires_an_alternative() {
+        let bad = root(true, true, vec![]);
+        let err = ctx().verify(&bad).unwrap_err();
+        assert!(err.message.contains("at least one alternative"), "{err}");
+    }
+
+    #[test]
+    fn piece_structure_is_enforced() {
+        let bad = Operation::new(names::PIECE)
+            .with_region(Region::with_ops(vec![quantifier(1, None)]));
+        let err = ctx().verify(&bad).unwrap_err();
+        assert!(err.message.contains("must be an atom"), "{err}");
+
+        let bad = Operation::new(names::PIECE).with_region(Region::with_ops(vec![
+            match_char(b'a'),
+            match_char(b'b'),
+        ]));
+        let err = ctx().verify(&bad).unwrap_err();
+        assert!(err.message.contains("[atom, quantifier]"), "{err}");
+    }
+
+    #[test]
+    fn dollar_cannot_be_quantified() {
+        let bad = root(
+            true,
+            false,
+            vec![concatenation(vec![piece(
+                Operation::new(names::DOLLAR),
+                Some(quantifier(0, Some(1))),
+            )])],
+        );
+        let err = ctx().verify(&bad).unwrap_err();
+        assert!(err.message.contains("cannot be quantified"), "{err}");
+    }
+
+    #[test]
+    fn quantifier_bounds_validated() {
+        for (min, max, needle) in [
+            (-1i64, 1i64, "min must be"),
+            (3, 2, "must be -1 or >="),
+            (0, 0, "matches nothing"),
+        ] {
+            let q = Operation::new(names::QUANTIFIER)
+                .with_attr(attrs::MIN, min)
+                .with_attr(attrs::MAX, max);
+            let bad = root(true, true, vec![concatenation(vec![piece(match_char(b'a'), Some(q))])]);
+            let err = ctx().verify(&bad).unwrap_err();
+            assert!(err.message.contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn group_bitmap_validated() {
+        let bad = root(true, true, vec![concatenation(vec![piece(group(vec![true; 8]), None)])]);
+        let err = ctx().verify(&bad).unwrap_err();
+        assert!(err.message.contains("256 entries"), "{err}");
+
+        let bad = root(true, true, vec![concatenation(vec![piece(group(vec![false; 256]), None)])]);
+        let err = ctx().verify(&bad).unwrap_err();
+        assert!(err.message.contains("no character"), "{err}");
+    }
+
+    #[test]
+    fn accessors() {
+        let q = quantifier(3, Some(6));
+        assert_eq!(quantifier_bounds(&q), (3, Some(6)));
+        let q = quantifier(1, None);
+        assert_eq!(quantifier_bounds(&q), (1, None));
+
+        let p = piece(match_char(b'x'), Some(quantifier(2, Some(2))));
+        let (atom, quant) = piece_parts(&p);
+        assert!(atom.is(names::MATCH_CHAR));
+        assert!(quant.is_some());
+    }
+}

@@ -1,0 +1,214 @@
+//! Transformation set 2 (§3.2): alternation prefix factorization.
+//!
+//! "Factorizing alternations that contain the same prefix, applying the
+//! distribution property of the concatenation with respect to the
+//! alternation. These optimizations are implemented for the sub-Regex and
+//! for the root regex." Examples (reproduced in tests):
+//!
+//! * `this|that|those → th(is|at|ose)`
+//! * `a(bc|bd) → a(b(c|d))`
+//!
+//! Factoring is language-preserving unconditionally: for any regular
+//! languages, `X·Y ∪ X·Z = X·(Y ∪ Z)`, so two alternatives may be grouped
+//! whenever their leading pieces are structurally identical (same atom
+//! *and* same quantifier).
+
+use mlir_lite::{Context, Operation, Pass, PassError};
+
+use crate::ops::{self, names};
+
+/// The factorization pass. Runs bottom-up so that alternatives whose inner
+/// sub-regexes only become identical after their own factorization still
+/// factor at the outer level, and iterates each level to a fixed point so
+/// multi-character prefixes (`th` in `this|that`) are peeled completely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FactorizeAlternationsPass;
+
+impl Pass for FactorizeAlternationsPass {
+    fn name(&self) -> &'static str {
+        "regex-factorize-alternations"
+    }
+
+    fn run(&self, root: &mut Operation, _ctx: &Context) -> Result<(), PassError> {
+        factorize_rec(root);
+        Ok(())
+    }
+}
+
+/// Post-order factorization over every alternation container.
+fn factorize_rec(op: &mut Operation) {
+    for region in op.regions_mut() {
+        for child in &mut region.ops {
+            factorize_rec(child);
+        }
+    }
+    if op.is(names::ROOT) || op.is(names::SUB_REGEX) {
+        // Each round peels at least one shared piece; rounds are bounded by
+        // the longest alternative.
+        let mut changed = false;
+        while factorize_level(op) {
+            changed = true;
+        }
+        if changed {
+            // Factoring wraps remainders in fresh sub-regexes (e.g. the
+            // `his|hat|hose` inside `t(his|hat|hose)`); descend again so
+            // they factor too. Terminates because every round strictly
+            // shortens the remainders being re-examined.
+            for region in op.regions_mut() {
+                for child in &mut region.ops {
+                    factorize_rec(child);
+                }
+            }
+        }
+    }
+}
+
+/// One factoring round on the direct alternatives of `container`.
+/// Returns whether anything changed.
+fn factorize_level(container: &mut Operation) -> bool {
+    let alternatives = &mut container.only_region_mut().ops;
+    if alternatives.len() < 2 {
+        return false;
+    }
+
+    // Bucket alternatives by their leading piece, preserving first-seen
+    // order. Empty alternatives are unfactorable and keep their position.
+    struct Bucket {
+        leading: Option<Operation>, // None for empty alternatives
+        members: Vec<Operation>,    // the original concatenations
+    }
+    let mut buckets: Vec<Bucket> = Vec::new();
+    for concat in alternatives.drain(..) {
+        let leading = concat.only_region().ops.first().cloned();
+        match buckets.iter_mut().find(|b| b.leading == leading && leading.is_some()) {
+            Some(bucket) => bucket.members.push(concat),
+            None => buckets.push(Bucket { leading, members: vec![concat] }),
+        }
+    }
+
+    let mut changed = false;
+    let mut rebuilt = Vec::with_capacity(buckets.len());
+    for bucket in buckets {
+        if bucket.members.len() < 2 {
+            rebuilt.extend(bucket.members);
+            continue;
+        }
+        changed = true;
+        // Peel the *longest* common prefix in one step, so
+        // `this|that|those` becomes `th(is|at|ose)` directly (as in the
+        // paper) rather than `t(h(is|at|ose))`.
+        let prefix_len = {
+            let first = bucket.members[0].only_region();
+            let mut k = 1; // the leading piece is known equal
+            'grow: while k < first.len() {
+                let candidate = &first.ops[k];
+                for member in &bucket.members[1..] {
+                    if member.only_region().ops.get(k) != Some(candidate) {
+                        break 'grow;
+                    }
+                }
+                k += 1;
+            }
+            k
+        };
+        let mut members = bucket.members.into_iter();
+        let mut first = members.next().expect("bucket has members");
+        let remainder_of = |concat: &mut Operation| {
+            let rest = concat.only_region_mut().ops.split_off(prefix_len);
+            ops::concatenation(rest)
+        };
+        let first_rest = remainder_of(&mut first);
+        let mut common = std::mem::take(&mut first.only_region_mut().ops);
+        let mut remainders = vec![first_rest];
+        for mut member in members {
+            remainders.push(remainder_of(&mut member));
+        }
+        if remainders.iter().all(|c| c.only_region().is_empty()) {
+            // `ab|ab` degenerates to `ab`.
+            rebuilt.push(ops::concatenation(common));
+        } else {
+            common.push(ops::piece(ops::sub_regex(remainders), None));
+            rebuilt.push(ops::concatenation(common));
+        }
+    }
+    container.only_region_mut().ops = rebuilt;
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ast_to_ir, ir_to_pattern};
+    use mlir_lite::Context;
+
+    fn factorize(pattern: &str) -> String {
+        let mut ir = ast_to_ir(&regex_frontend::parse(pattern).unwrap());
+        let mut ctx = Context::new();
+        ctx.register_dialect(crate::dialect());
+        FactorizeAlternationsPass.run(&mut ir, &ctx).unwrap();
+        ctx.verify(&ir).expect("factorized IR must verify");
+        ir_to_pattern(&ir)
+    }
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(factorize("this|that|those"), "th(is|at|ose)");
+        assert_eq!(factorize("a(bc|bd)"), "a(b(c|d))");
+    }
+
+    #[test]
+    fn no_common_prefix_is_untouched() {
+        assert_eq!(factorize("ab|cd"), "ab|cd");
+        assert_eq!(factorize("a|b|c"), "a|b|c");
+    }
+
+    #[test]
+    fn partial_groups_factor_independently() {
+        assert_eq!(factorize("ax|ay|bz"), "a(x|y)|bz");
+    }
+
+    #[test]
+    fn quantifiers_must_match_to_factor() {
+        // `a+x|ay`: a+ and a are different leading pieces.
+        assert_eq!(factorize("a+x|ay"), "a+x|ay");
+        // Identical quantified prefixes do factor.
+        assert_eq!(factorize("a+x|a+y"), "a+(x|y)");
+    }
+
+    #[test]
+    fn identical_alternatives_deduplicate() {
+        assert_eq!(factorize("ab|ab"), "ab");
+    }
+
+    #[test]
+    fn prefix_of_other_alternative_keeps_empty_branch() {
+        // `ab|abc` → `ab(|c)`: the empty branch preserves the short match.
+        assert_eq!(factorize("ab|abc"), "ab(|c)");
+    }
+
+    #[test]
+    fn factoring_reaches_nested_sub_regexes_bottom_up() {
+        // The inner alternation factors first, making the outer leading
+        // pieces identical, which then factor too.
+        assert_eq!(factorize("(bc|bd)x|(b(c|d))y"), "(b(c|d))(x|y)");
+    }
+
+    #[test]
+    fn classes_factor_when_bitmaps_match() {
+        assert_eq!(factorize("[ab]x|[ab]y"), "[ab](x|y)");
+        assert_eq!(factorize("[ab]x|[ac]y"), "[ab]x|[ac]y");
+    }
+
+    #[test]
+    fn order_of_first_occurrence_is_preserved() {
+        assert_eq!(factorize("bz|ax|ay"), "bz|a(x|y)");
+    }
+
+    #[test]
+    fn idempotent() {
+        for p in ["this|that|those", "ax|ay|bz", "ab|abc", "a(bc|bd)"] {
+            let once = factorize(p);
+            assert_eq!(factorize(&once), once, "not idempotent on {p}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The high-level transformation sets of §3.2.
+//!
+//! Each set is an independent [`Pass`](mlir_lite::Pass), mirroring the
+//! paper's "each transformation is optional and can be enabled or disabled
+//! individually by toggling different compiler options":
+//!
+//! * [`CanonicalizePass`] — sub-regex simplification (set 1);
+//! * [`FactorizeAlternationsPass`] — alternation prefix factorization
+//!   (set 2);
+//! * [`ShortestMatchPass`] — boundary quantifier reduction for any-match
+//!   engines (set 3, the only semantics-changing one: it preserves *whether
+//!   a match exists*, not the match extent);
+//! * [`ShortestMatchLeadingPass`] — the symmetric reduction at the leading
+//!   boundary, an extension beyond the paper (off by default).
+
+mod factorize;
+mod shortest_match;
+mod simplify;
+
+pub use factorize::FactorizeAlternationsPass;
+pub use shortest_match::{ShortestMatchLeadingPass, ShortestMatchPass};
+pub use simplify::CanonicalizePass;
+
+#[cfg(test)]
+mod equivalence_tests;

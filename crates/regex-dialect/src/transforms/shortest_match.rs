@@ -1,0 +1,258 @@
+//! Transformation set 3 (§3.2): boundary quantifier reduction for
+//! any-match engines.
+//!
+//! "This transformation applies to regex engines aimed at producing any
+//! match rather than finding the longest match … applying reduction to the
+//! quantifiers is permitted only at the boundaries of the RE." Examples
+//! (reproduced in tests):
+//!
+//! * `a{2,3}|b{4,5} → a{2}|b{4}`
+//! * `abcd*|efgh+ → abc|efgh`
+//! * `ab*$` is untouched (the `$` disables the implicit suffix).
+//!
+//! Rationale: with the implicit `.*` suffix, a match of `ab+` exists in the
+//! input iff a match of `ab` does — the extra repetitions only extend the
+//! match, which an any-match engine does not report anyway. The transform
+//! therefore preserves *match existence* but not match extent, and is
+//! disabled automatically when the user anchored the pattern with `$`.
+
+use mlir_lite::{Attribute, Context, Operation, Pass, PassError};
+
+use crate::ops::{attrs, names, piece_parts, quantifier_bounds};
+
+/// The shortest-match boundary reduction pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestMatchPass;
+
+impl Pass for ShortestMatchPass {
+    fn name(&self) -> &'static str {
+        "regex-shortest-match-reduction"
+    }
+
+    fn run(&self, root: &mut Operation, _ctx: &Context) -> Result<(), PassError> {
+        if !root.is(names::ROOT) {
+            return Err(PassError::new(format!("expected regex.root, got {}", root.name())));
+        }
+        // "Notably, this transformation is not executed if the .* suffix is
+        // explicitly disabled via the RE $ operator."
+        if root.attr(attrs::HAS_SUFFIX).and_then(Attribute::as_bool) != Some(true) {
+            return Ok(());
+        }
+        for alternative in &mut root.only_region_mut().ops {
+            reduce_tail(alternative);
+        }
+        Ok(())
+    }
+}
+
+/// Reduce the trailing pieces of one alternative.
+fn reduce_tail(concatenation: &mut Operation) {
+    let pieces = &mut concatenation.only_region_mut().ops;
+    while let Some(last) = pieces.last_mut() {
+        let Some((min, max)) = trailing_bounds(last) else { break };
+        if min == 0 {
+            // `X{0,n}` at the boundary matches the empty string: drop the
+            // piece entirely and re-examine the new last piece (`abcd*` →
+            // `abc`, then `c` is unquantified and the loop stops).
+            pieces.pop();
+            continue;
+        }
+        if max == Some(min) {
+            break; // already exact
+        }
+        // `X{min,max}` → `X{min}`; `{1}` is represented as no quantifier.
+        let piece_ops = &mut last.only_region_mut().ops;
+        piece_ops.pop(); // the quantifier
+        if min > 1 {
+            piece_ops.push(crate::ops::quantifier(min, Some(min)));
+        }
+        break;
+    }
+}
+
+/// Bounds of the piece's quantifier, if it has one.
+fn trailing_bounds(piece: &Operation) -> Option<(u32, Option<u32>)> {
+    let (_, quant) = piece_parts(piece);
+    quant.map(quantifier_bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ast_to_ir, ir_to_pattern};
+    use mlir_lite::Context;
+
+    fn reduce(pattern: &str) -> String {
+        let mut ir = ast_to_ir(&regex_frontend::parse(pattern).unwrap());
+        let mut ctx = Context::new();
+        ctx.register_dialect(crate::dialect());
+        ShortestMatchPass.run(&mut ir, &ctx).unwrap();
+        ctx.verify(&ir).expect("reduced IR must verify");
+        ir_to_pattern(&ir)
+    }
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(reduce("a{2,3}|b{4,5}"), "a{2}|b{4}");
+        assert_eq!(reduce("abcd*|efgh+"), "abc|efgh");
+        assert_eq!(reduce("ab*$"), "ab*$", "explicit $ disables the reduction");
+        assert_eq!(reduce("ab+"), "ab", "the §3.2 `ab+.* becomes ab.*` case");
+    }
+
+    #[test]
+    fn cascading_removal() {
+        // Dropping `d*` exposes `c?`, which drops too, exposing `b+`.
+        assert_eq!(reduce("ab+c?d*"), "ab");
+        // An alternative that is all-optional reduces to the empty branch.
+        assert_eq!(reduce("a*b*|xy"), "|xy");
+    }
+
+    #[test]
+    fn unbounded_min_keeps_min_copies() {
+        assert_eq!(reduce("ab{3,}"), "ab{3}");
+    }
+
+    #[test]
+    fn interior_quantifiers_are_untouched() {
+        assert_eq!(reduce("a+b"), "a+b");
+        assert_eq!(reduce("a{2,5}bc"), "a{2,5}bc");
+    }
+
+    #[test]
+    fn exact_bounds_are_untouched() {
+        assert_eq!(reduce("ab{3}"), "ab{3}");
+    }
+
+    #[test]
+    fn quantified_sub_regex_at_boundary_reduces() {
+        assert_eq!(reduce("x(ab){2,9}"), "x(ab){2}");
+        assert_eq!(reduce("x(ab)*"), "x");
+    }
+
+    #[test]
+    fn rejects_non_root() {
+        let mut not_root = crate::ops::match_char(b'a');
+        let ctx = Context::new();
+        assert!(ShortestMatchPass.run(&mut not_root, &ctx).is_err());
+    }
+
+    #[test]
+    fn idempotent() {
+        for p in ["a{2,3}|b{4,5}", "abcd*|efgh+", "ab+c?d*", "x(ab)*"] {
+            let once = reduce(p);
+            assert_eq!(reduce(&once), once, "not idempotent on {p}");
+        }
+    }
+}
+
+/// Leading-boundary quantifier reduction — an **extension** beyond the
+/// paper, which only shows the trailing-boundary rule. The same argument
+/// applies symmetrically at the head of the pattern: with the implicit
+/// `.*` prefix, the input contains a match of `a{2,5}b` iff it contains a
+/// match of `a{2}b` (any extra repetitions sit inside the `.*`). Disabled
+/// by default ([`crate::transforms`] docs); enable via
+/// `CompilerOptions::shortest_match_leading`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestMatchLeadingPass;
+
+impl Pass for ShortestMatchLeadingPass {
+    fn name(&self) -> &'static str {
+        "regex-shortest-match-leading-reduction"
+    }
+
+    fn run(&self, root: &mut Operation, _ctx: &Context) -> Result<(), PassError> {
+        if !root.is(names::ROOT) {
+            return Err(PassError::new(format!("expected regex.root, got {}", root.name())));
+        }
+        // Only sound under the implicit `.*` prefix.
+        if root.attr(attrs::HAS_PREFIX).and_then(Attribute::as_bool) != Some(true) {
+            return Ok(());
+        }
+        for alternative in &mut root.only_region_mut().ops {
+            reduce_head(alternative);
+        }
+        Ok(())
+    }
+}
+
+/// Reduce the leading pieces of one alternative (mirror of [`reduce_tail`]).
+fn reduce_head(concatenation: &mut Operation) {
+    let pieces = &mut concatenation.only_region_mut().ops;
+    while let Some(first) = pieces.first_mut() {
+        let Some((min, max)) = trailing_bounds(first) else { break };
+        if min == 0 {
+            pieces.remove(0);
+            continue;
+        }
+        if max == Some(min) {
+            break;
+        }
+        let piece_ops = &mut first.only_region_mut().ops;
+        piece_ops.pop();
+        if min > 1 {
+            piece_ops.push(crate::ops::quantifier(min, Some(min)));
+        }
+        break;
+    }
+}
+
+#[cfg(test)]
+mod leading_tests {
+    use super::*;
+    use crate::{ast_to_ir, ir_to_pattern};
+    use mlir_lite::Context;
+
+    fn reduce(pattern: &str) -> String {
+        let mut ir = ast_to_ir(&regex_frontend::parse(pattern).unwrap());
+        let mut ctx = Context::new();
+        ctx.register_dialect(crate::dialect());
+        ShortestMatchLeadingPass.run(&mut ir, &ctx).unwrap();
+        ctx.verify(&ir).expect("reduced IR must verify");
+        ir_to_pattern(&ir)
+    }
+
+    #[test]
+    fn leading_quantifiers_reduce() {
+        assert_eq!(reduce("a+b"), "ab");
+        assert_eq!(reduce("a{2,5}b"), "a{2}b");
+        assert_eq!(reduce("a*b*c"), "c", "zero-min pieces cascade off the head");
+        assert_eq!(reduce("x*y*z*w"), "w");
+    }
+
+    #[test]
+    fn cascading_removal_at_the_head() {
+        // Dropping `a*` exposes `b?`, which drops too.
+        assert_eq!(reduce("a*b?cd"), "cd");
+    }
+
+    #[test]
+    fn anchored_patterns_untouched() {
+        assert_eq!(reduce("^a+b"), "^a+b");
+    }
+
+    #[test]
+    fn interior_and_trailing_untouched() {
+        assert_eq!(reduce("ab+"), "ab+");
+        assert_eq!(reduce("ab{2,5}c"), "ab{2,5}c");
+    }
+
+    #[test]
+    fn semantic_equivalence_spot_checks() {
+        for (pattern, inputs) in [
+            ("a+b", vec!["aab", "ab", "b", "xbx", "aaab!"]),
+            ("a{2,4}b", vec!["aab", "aaab", "ab", "b", "aaaaab"]),
+            ("a*b?cd", vec!["cd", "abcd", "xcdy", "c"]),
+        ] {
+            let before = regex_oracle::Oracle::new(pattern).unwrap();
+            let after_pattern = reduce(pattern);
+            let after = regex_oracle::Oracle::new(&after_pattern).unwrap();
+            for input in inputs {
+                assert_eq!(
+                    before.is_match(input.as_bytes()),
+                    after.is_match(input.as_bytes()),
+                    "{pattern} vs {after_pattern} on {input:?}"
+                );
+            }
+        }
+    }
+}

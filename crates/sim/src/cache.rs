@@ -1,0 +1,100 @@
+//! Per-core direct-mapped instruction cache.
+
+use crate::config::CacheConfig;
+
+/// A direct-mapped instruction cache indexed by line.
+///
+/// Tags are instruction-memory line numbers; a lookup either hits or
+/// installs the line (the fill cost is modelled by the machine through the
+/// engine's memory port, not here).
+#[derive(Debug, Clone)]
+pub struct ICache {
+    line_size: usize,
+    tags: Vec<Option<usize>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ICache {
+    /// An empty (all-invalid) cache.
+    pub fn new(config: &CacheConfig) -> ICache {
+        assert!(config.lines >= 1 && config.line_size.is_power_of_two());
+        ICache {
+            line_size: config.line_size,
+            tags: vec![None; config.lines],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up the line holding `pc`; on a miss the line is installed and
+    /// `false` is returned (the caller charges the fill latency).
+    pub fn access(&mut self, pc: u16) -> bool {
+        let line_number = usize::from(pc) / self.line_size;
+        let index = line_number % self.tags.len();
+        if self.tags[index] == Some(line_number) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            self.tags[index] = Some(line_number);
+            false
+        }
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(lines: usize, line_size: usize) -> ICache {
+        ICache::new(&CacheConfig { lines, line_size, miss_penalty: 4 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = cache(4, 4);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(3), "same line");
+        assert!(!c.access(4), "next line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn conflict_misses_on_aliasing_lines() {
+        let mut c = cache(2, 4);
+        // Lines 0 and 2 alias (index 0); ping-pong misses.
+        assert!(!c.access(0));
+        assert!(!c.access(8));
+        assert!(!c.access(0));
+        assert!(!c.access(8));
+        assert_eq!(c.misses(), 4);
+    }
+
+    #[test]
+    fn far_jumps_miss_where_near_code_hits() {
+        // The D_offset intuition: straight-line code touches few lines.
+        let mut near = cache(8, 4);
+        for pc in 0..32u16 {
+            near.access(pc);
+        }
+        assert_eq!(near.misses(), 8, "one per line");
+        let mut far = cache(8, 4);
+        for i in 0..16u16 {
+            far.access(i * 37 % 512);
+        }
+        assert!(far.misses() > 8);
+    }
+}

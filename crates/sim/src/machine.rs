@@ -1,0 +1,913 @@
+//! The cycle-by-cycle machine model.
+//!
+//! # Model summary
+//!
+//! Threads are `(PC, position)` pairs. Each engine keeps one FIFO per
+//! window slot (position modulo `2^CC_ID`) with a Thompson-set duplicate
+//! filter, and each core runs a three-stage pipeline:
+//!
+//! * **S1 fetch** — pop a thread, look up its PC in the core's
+//!   direct-mapped icache; a miss stalls the core for the fill latency of
+//!   the engine's central instruction memory (BRAM-banked, one fill port
+//!   per core);
+//! * **S2 execute** — matching ops consume a character and route the
+//!   successor to the next window slot; control-flow ops stay in the same
+//!   slot; acceptance halts the whole machine;
+//! * **S3 second push** — a `Split`'s second target is pushed one cycle
+//!   after the first, occupying the extra stage (Figure 4's `S3` row).
+//!
+//! A queued successor produced one cycle is poppable the next; a thread's
+//! *single* successor is forwarded straight back into an idle pipeline,
+//! reproducing the back-to-back dependent executions visible in
+//! Figure 4's S2 rows.
+//!
+//! **Lockstep window**: live threads span at most `2^CC_ID` consecutive
+//! positions. A match whose successor would leave the window re-queues and
+//! retries (`window_stall_cycles`), which models FIFO-slot backpressure
+//! while guaranteeing the oldest position always progresses.
+//!
+//! **Routing**: in the old organization every new thread is offered to the
+//! distributed balancer, which offloads to the ring successor when the
+//! local engine holds more queued threads (≥ 2-cycle transfer). In the new
+//! organization control-flow successors stay on their core, match
+//! successors move to the adjacent FIFO ("a thread coming from FIFO N …
+//! can only end up in FIFO N or N+1"), and only the last core may offload
+//! to the ring.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use cicero_isa::{Instruction, Program};
+
+use crate::cache::ICache;
+use crate::config::{ArchConfig, Organization};
+use crate::stats::ExecReport;
+use crate::trace::{TraceEvent, TraceNote};
+
+/// Run `program` over `input` on the configured architecture.
+pub fn simulate(program: &Program, input: &[u8], config: &ArchConfig) -> ExecReport {
+    Machine::new(program, config.clone()).run(input)
+}
+
+/// Run one program over many inputs (e.g. the benchmark chunks of one RE),
+/// preserving instruction-cache state between runs as the hardware does —
+/// reprogramming flushes the caches, streaming new data does not.
+pub fn simulate_batch(program: &Program, inputs: &[Vec<u8>], config: &ArchConfig) -> Vec<ExecReport> {
+    let mut machine = Machine::new(program, config.clone());
+    inputs.iter().map(|input| machine.run(input)).collect()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Thread {
+    pc: u16,
+    pos: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    pc: u16,
+    pos: usize,
+}
+
+#[derive(Debug)]
+struct Core {
+    icache: ICache,
+    s1: Option<Slot>,
+    s2: Option<Slot>,
+    s3: Option<Slot>,
+    stall_until: u64,
+}
+
+impl Core {
+    fn new(config: &ArchConfig) -> Core {
+        Core { icache: ICache::new(&config.cache), s1: None, s2: None, s3: None, stall_until: 0 }
+    }
+
+    fn idle(&self) -> bool {
+        self.s1.is_none() && self.s2.is_none() && self.s3.is_none()
+    }
+}
+
+#[derive(Debug)]
+struct Engine {
+    cores: Vec<Core>,
+    /// Per-position thread queues (the FIFOs, keyed by absolute position).
+    queues: BTreeMap<usize, VecDeque<u16>>,
+    /// Thompson duplicate filter: per position, a PC bitset.
+    seen: HashMap<usize, Vec<u64>>,
+    /// Total queued threads (the balancer's load metric).
+    queued: usize,
+}
+
+impl Engine {
+    fn new(config: &ArchConfig) -> Engine {
+        Engine {
+            cores: (0..config.cores_per_engine).map(|_| Core::new(config)).collect(),
+            queues: BTreeMap::new(),
+            seen: HashMap::new(),
+            queued: 0,
+        }
+    }
+}
+
+/// How a pushed thread reached the queues, for routing and dedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PushKind {
+    /// Same-position successor (split/jump/not-match).
+    Control,
+    /// Next-position successor (match/match-any).
+    Consume,
+    /// Window-blocked retry: bypasses the duplicate filter.
+    Requeue,
+}
+
+/// A cycle-accurate Cicero machine bound to one program and input.
+#[derive(Debug)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    config: ArchConfig,
+    engines: Vec<Engine>,
+    /// Scheduled deliveries: cycle → (engine, thread).
+    pending: BTreeMap<u64, Vec<(usize, Thread)>>,
+    /// Live threads per position (global, drives the window base).
+    counts: BTreeMap<usize, usize>,
+    live: usize,
+    cycle: u64,
+    report: ExecReport,
+    accepted: Option<usize>,
+    matched_id: Option<u16>,
+    /// Load snapshot taken at the start of each cycle.
+    loads: Vec<usize>,
+    /// Pipeline trace, when enabled via [`Machine::run_traced`].
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl<'p> Machine<'p> {
+    /// Create a machine for the given program and configuration.
+    pub fn new(program: &'p Program, config: ArchConfig) -> Machine<'p> {
+        let engines = (0..config.engines).map(|_| Engine::new(&config)).collect();
+        Machine {
+            program,
+            config,
+            engines,
+            pending: BTreeMap::new(),
+            counts: BTreeMap::new(),
+            live: 0,
+            cycle: 0,
+            report: ExecReport::default(),
+            accepted: None,
+            matched_id: None,
+            loads: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Reset all dynamic state (threads, queues, filters, pipelines) while
+    /// keeping instruction-cache contents warm.
+    fn reset(&mut self) {
+        self.pending.clear();
+        self.counts.clear();
+        self.live = 0;
+        self.cycle = 0;
+        self.report = ExecReport::default();
+        self.accepted = None;
+        self.matched_id = None;
+        self.loads.clear();
+        if let Some(trace) = self.trace.as_mut() {
+            trace.clear();
+        }
+        for engine in &mut self.engines {
+            engine.queues.clear();
+            engine.seen.clear();
+            engine.queued = 0;
+            for core in &mut engine.cores {
+                core.s1 = None;
+                core.s2 = None;
+                core.s3 = None;
+                core.stall_until = 0;
+            }
+        }
+    }
+
+    /// Run with pipeline tracing enabled, returning the report plus every
+    /// stage event (see [`crate::trace::render_trace`] for the Figure-4
+    /// style rendering). Tracing records events but never alters timing.
+    pub fn run_traced(&mut self, input: &[u8]) -> (ExecReport, Vec<TraceEvent>) {
+        self.trace = Some(Vec::new());
+        let report = self.run(input);
+        let events = self.trace.take().expect("trace enabled above");
+        (report, events)
+    }
+
+    /// Run the program over one input, seeding the initial thread (PC 0,
+    /// position 0) in engine 0. Can be called repeatedly; instruction
+    /// caches stay warm across calls.
+    pub fn run(&mut self, input: &[u8]) -> ExecReport {
+        self.reset();
+        self.push(0, Thread { pc: 0, pos: 0 }, PushKind::Control, 0);
+        loop {
+            if self.cycle >= self.config.max_cycles {
+                self.report.hit_cycle_limit = true;
+                break;
+            }
+            self.deliver();
+            if self.live == 0 {
+                break;
+            }
+            // Load = queued + in-flight work; counting pipeline occupancy
+            // lets the balancer see a busy neighbour before its FIFOs
+            // back up, which is what pushes distribution past the first
+            // ring hop.
+            self.loads = self
+                .engines
+                .iter()
+                .map(|e| {
+                    e.queued
+                        + e.cores
+                            .iter()
+                            .map(|c| {
+                                usize::from(c.s1.is_some())
+                                    + usize::from(c.s2.is_some())
+                                    + usize::from(c.s3.is_some())
+                            })
+                            .sum::<usize>()
+                })
+                .collect();
+            let engines = self.engines.len();
+            'cores: for e in 0..engines {
+                for c in 0..self.engines[e].cores.len() {
+                    self.step_core(e, c, input);
+                    if self.accepted.is_some() {
+                        break 'cores;
+                    }
+                }
+            }
+            self.cycle += 1;
+            if self.accepted.is_some() {
+                break;
+            }
+            self.collect_garbage();
+        }
+        self.report.cycles = self.cycle;
+        self.report.accepted = self.accepted.is_some();
+        self.report.match_position = self.accepted;
+        self.report.matched_id = self.matched_id;
+        self.report
+    }
+
+    /// Move due deliveries into engine queues.
+    fn deliver(&mut self) {
+        let due: Vec<u64> =
+            self.pending.range(..=self.cycle).map(|(k, _)| *k).collect();
+        for key in due {
+            for (engine_index, thread) in self.pending.remove(&key).expect("key present") {
+                let engine = &mut self.engines[engine_index];
+                engine.queues.entry(thread.pos).or_default().push_back(thread.pc);
+                engine.queued += 1;
+            }
+        }
+    }
+
+    /// Advance one core by one cycle.
+    fn step_core(&mut self, e: usize, c: usize, input: &[u8]) {
+        let window = self.config.window();
+        let base = match self.counts.keys().next() {
+            Some(b) => *b,
+            None => return,
+        };
+
+        // Split-borrow the engine so the core and the queues are
+        // independently mutable.
+        let engine = &mut self.engines[e];
+        let Engine { cores, queues, seen, queued } = engine;
+        let core = &mut cores[c];
+
+        if self.cycle < core.stall_until {
+            self.report.memory_stall_cycles += 1;
+            return;
+        }
+
+        // Local effect buffers (applied after the borrows end).
+        let mut pushes: Vec<(Thread, PushKind)> = Vec::new();
+        let mut retires: Vec<usize> = Vec::new();
+        let mut accepted: Option<usize> = None;
+        let mut accepted_id: Option<u16> = None;
+        let tracing = self.trace.is_some();
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let cycle = self.cycle;
+        let mut record = |stage: u8, pc: u16, pos: usize, note: TraceNote| {
+            events.push(TraceEvent { cycle, engine: e, core: c, stage, pc, pos, note });
+        };
+        // S2 → S1 forwarding: a thread's first successor re-enters this
+        // core's pipeline directly (Figure 4 shows dependent instructions
+        // in back-to-back S2 slots). In the new organization a consuming
+        // successor belongs to the adjacent core, so only control-flow
+        // successors forward.
+        let mut forward: Option<(Thread, PushKind)> = None;
+
+        // S3: the split's second target.
+        if let Some(slot) = core.s3.take() {
+            match self.program.get(slot.pc) {
+                Some(Instruction::Split(target)) => {
+                    if tracing {
+                        record(3, slot.pc, slot.pos, TraceNote::SecondTarget(target));
+                    }
+                    pushes.push((Thread { pc: target, pos: slot.pos }, PushKind::Control));
+                    retires.push(slot.pos);
+                }
+                other => unreachable!("S3 holds a split, found {other:?}"),
+            }
+        }
+
+        // S1 → S2: a fetched thread advances to execute unless a forwarded
+        // thread already occupies S2.
+        if core.s2.is_none() {
+            core.s2 = core.s1.take();
+        }
+
+        // S2: execute.
+        if let Some(slot) = core.s2 {
+            let ins = self.program.get(slot.pc).expect("validated program");
+            let ch = input.get(slot.pos).copied();
+            self.report.instructions += 1;
+            match ins {
+                Instruction::Split(target) => {
+                    if tracing {
+                        record(2, slot.pc, slot.pos, TraceNote::SplitTo(target));
+                    }
+                    forward = Some((Thread { pc: slot.pc + 1, pos: slot.pos }, PushKind::Control));
+                    core.s3 = Some(slot);
+                }
+                Instruction::Jump(target) => {
+                    if tracing {
+                        record(2, slot.pc, slot.pos, TraceNote::Jumped(target));
+                    }
+                    forward = Some((Thread { pc: target, pos: slot.pos }, PushKind::Control));
+                    retires.push(slot.pos);
+                }
+                Instruction::Match(_) | Instruction::MatchAny => {
+                    let matched = match ins {
+                        Instruction::Match(expected) => ch == Some(expected),
+                        _ => ch.is_some(),
+                    };
+                    if matched {
+                        if slot.pos + 1 >= base + window {
+                            // FIFO-slot backpressure: retry until the
+                            // window slides.
+                            if tracing {
+                                record(2, slot.pc, slot.pos, TraceNote::Requeued);
+                            }
+                            self.report.window_stall_cycles += 1;
+                            self.report.instructions -= 1; // not executed
+                            pushes.push((
+                                Thread { pc: slot.pc, pos: slot.pos },
+                                PushKind::Requeue,
+                            ));
+                        } else {
+                            if tracing {
+                                record(2, slot.pc, slot.pos, TraceNote::Matched);
+                            }
+                            forward = Some((
+                                Thread { pc: slot.pc + 1, pos: slot.pos + 1 },
+                                PushKind::Consume,
+                            ));
+                            retires.push(slot.pos);
+                        }
+                    } else {
+                        if tracing {
+                            record(2, slot.pc, slot.pos, TraceNote::Killed);
+                        }
+                        retires.push(slot.pos); // thread killed
+                    }
+                }
+                Instruction::NotMatch(unexpected) => {
+                    let pass = ch.is_some() && ch != Some(unexpected);
+                    if tracing {
+                        record(
+                            2,
+                            slot.pc,
+                            slot.pos,
+                            if pass { TraceNote::Matched } else { TraceNote::Killed },
+                        );
+                    }
+                    if pass {
+                        forward =
+                            Some((Thread { pc: slot.pc + 1, pos: slot.pos }, PushKind::Control));
+                    }
+                    retires.push(slot.pos);
+                }
+                Instruction::Accept => {
+                    if ch.is_none() {
+                        accepted = Some(slot.pos);
+                    }
+                    if tracing {
+                        let note = if ch.is_none() { TraceNote::Accepted } else { TraceNote::Killed };
+                        record(2, slot.pc, slot.pos, note);
+                    }
+                    retires.push(slot.pos);
+                }
+                Instruction::AcceptPartial => {
+                    if tracing {
+                        record(2, slot.pc, slot.pos, TraceNote::Accepted);
+                    }
+                    accepted = Some(slot.pos);
+                    retires.push(slot.pos);
+                }
+                Instruction::AcceptPartialId(id) => {
+                    if tracing {
+                        record(2, slot.pc, slot.pos, TraceNote::Accepted);
+                    }
+                    accepted = Some(slot.pos);
+                    accepted_id = Some(id);
+                    retires.push(slot.pos);
+                }
+            }
+            core.s2 = None;
+        }
+
+        // Fill: a forwarded successor goes straight back into S2 (its
+        // fetch overlapped with execution — Figure 4 shows dependent
+        // instructions in back-to-back S2 slots); popped threads fetch
+        // through S1.
+        if let Some((thread, kind)) = forward.take() {
+            let eligible = match self.config.organization {
+                // The time-multiplexed core owns every FIFO: any single
+                // successor can re-enter the pipeline directly.
+                Organization::Old => true,
+                // A consuming successor belongs to the adjacent core.
+                Organization::New => kind == PushKind::Control,
+            };
+            // Forward only into an idle pipeline: if S1 holds a fetched
+            // thread, bypassing it every cycle would starve the FIFOs (the
+            // hardware interleaves FIFO pops with in-flight successors, as
+            // Figure 4's old-engine rows show).
+            if !eligible || core.s2.is_some() || core.s1.is_some() {
+                pushes.push((thread, kind));
+            } else {
+                // The duplicate filter still applies: the forwarded thread
+                // is part of the engine's Thompson set.
+                let admitted = if self.config.dedup {
+                    let bits = seen
+                        .entry(thread.pos)
+                        .or_insert_with(|| vec![0u64; self.program.len().div_ceil(64)]);
+                    let word = usize::from(thread.pc) / 64;
+                    let bit = 1u64 << (thread.pc % 64);
+                    if bits[word] & bit != 0 {
+                        self.report.deduplicated += 1;
+                        false
+                    } else {
+                        bits[word] |= bit;
+                        true
+                    }
+                } else {
+                    true
+                };
+                if admitted {
+                    *self.counts.entry(thread.pos).or_insert(0) += 1;
+                    self.live += 1;
+                    self.report.peak_threads = self.report.peak_threads.max(self.live);
+                    if core.icache.access(thread.pc) {
+                        self.report.icache_hits += 1;
+                    } else {
+                        self.report.icache_misses += 1;
+                        core.stall_until = self.cycle + 1 + self.config.cache.miss_penalty;
+                    }
+                    core.s2 = Some(Slot { pc: thread.pc, pos: thread.pos });
+                }
+            }
+        }
+        if core.s1.is_none() {
+            let position = match self.config.organization {
+                Organization::Old => {
+                    queues.iter().find(|(_, q)| !q.is_empty()).map(|(p, _)| *p)
+                }
+                Organization::New => queues
+                    .iter()
+                    .find(|(p, q)| *p % window == c && !q.is_empty())
+                    .map(|(p, _)| *p),
+            };
+            if let Some(pos) = position {
+                let queue = queues.get_mut(&pos).expect("position found");
+                let pc = queue.pop_front().expect("non-empty");
+                if queue.is_empty() {
+                    queues.remove(&pos);
+                }
+                *queued -= 1;
+                if core.icache.access(pc) {
+                    self.report.icache_hits += 1;
+                } else {
+                    self.report.icache_misses += 1;
+                    core.stall_until = self.cycle + 1 + self.config.cache.miss_penalty;
+                }
+                if tracing {
+                    record(1, pc, pos, TraceNote::Fetched);
+                }
+                core.s1 = Some(Slot { pc, pos });
+            }
+        }
+
+        // Apply buffered effects.
+        let origin_core = c;
+        for (thread, kind) in pushes {
+            self.route_and_push(e, origin_core, thread, kind);
+        }
+        for pos in retires {
+            self.retire(pos);
+        }
+        if let Some(pos) = accepted {
+            self.accepted = Some(pos);
+            self.matched_id = accepted_id;
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.extend(events);
+        }
+    }
+
+    /// Decide the destination engine and schedule the push.
+    fn route_and_push(&mut self, e: usize, origin_core: usize, thread: Thread, kind: PushKind) {
+        let next_engine = (e + 1) % self.engines.len();
+        let (dest, latency) = match self.config.organization {
+            Organization::Old => {
+                // Every novel PC is offered to the distributed balancer.
+                let offload = kind != PushKind::Requeue
+                    && self.engines.len() > 1
+                    && self.loads.get(e).copied().unwrap_or(0)
+                        > self.loads.get(next_engine).copied().unwrap_or(0)
+                            + self.config.lb_threshold;
+                if offload {
+                    (next_engine, self.config.lb_latency)
+                } else {
+                    (e, 1)
+                }
+            }
+            Organization::New => {
+                // Only the last core's consuming successors reach the ring.
+                let is_last_core = origin_core == self.config.cores_per_engine - 1;
+                let offload = kind == PushKind::Consume
+                    && is_last_core
+                    && self.engines.len() > 1
+                    && self.loads.get(e).copied().unwrap_or(0)
+                        > self.loads.get(next_engine).copied().unwrap_or(0)
+                            + self.config.lb_threshold;
+                if offload {
+                    (next_engine, self.config.lb_latency)
+                } else {
+                    (e, 1)
+                }
+            }
+        };
+        if dest != e {
+            self.report.cross_engine_transfers += 1;
+        }
+        self.push(dest, thread, kind, self.cycle + latency);
+    }
+
+    /// Apply the duplicate filter, account the thread, and schedule its
+    /// delivery.
+    fn push(&mut self, engine_index: usize, thread: Thread, kind: PushKind, ready_at: u64) {
+        if self.config.dedup && kind != PushKind::Requeue {
+            let seen = self.engines[engine_index]
+                .seen
+                .entry(thread.pos)
+                .or_insert_with(|| vec![0u64; self.program.len().div_ceil(64)]);
+            let word = usize::from(thread.pc) / 64;
+            let bit = 1u64 << (thread.pc % 64);
+            if seen[word] & bit != 0 {
+                self.report.deduplicated += 1;
+                return;
+            }
+            seen[word] |= bit;
+        }
+        if kind != PushKind::Requeue {
+            *self.counts.entry(thread.pos).or_insert(0) += 1;
+            self.live += 1;
+            self.report.peak_threads = self.report.peak_threads.max(self.live);
+        }
+        self.pending.entry(ready_at).or_default().push((engine_index, thread));
+    }
+
+    /// A thread finished (killed, jumped away, or consumed a character).
+    fn retire(&mut self, pos: usize) {
+        let count = self.counts.get_mut(&pos).expect("retiring unknown position");
+        *count -= 1;
+        if *count == 0 {
+            self.counts.remove(&pos);
+        }
+        self.live -= 1;
+    }
+
+    /// Drop duplicate-filter state for positions the window slid past.
+    fn collect_garbage(&mut self) {
+        let Some(base) = self.counts.keys().next().copied() else {
+            for engine in &mut self.engines {
+                engine.seen.clear();
+            }
+            return;
+        };
+        for engine in &mut self.engines {
+            if engine.seen.len() > 2 * self.config.window() {
+                engine.seen.retain(|pos, _| *pos >= base);
+            }
+        }
+    }
+
+    /// Whether any core holds in-flight work (used by tests).
+    pub fn pipelines_empty(&self) -> bool {
+        self.engines.iter().all(|e| e.cores.iter().all(Core::idle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cicero_isa::Instruction::*;
+
+    fn program(instructions: Vec<Instruction>) -> Program {
+        Program::from_instructions(instructions).unwrap()
+    }
+
+    /// `ab|cd` with implicit `.*`, jump-simplified (Listing 2 right).
+    fn ab_or_cd() -> Program {
+        program(vec![
+            Split(3),
+            MatchAny,
+            Jump(0),
+            Split(7),
+            Match(b'a'),
+            Match(b'b'),
+            AcceptPartial,
+            Match(b'c'),
+            Match(b'd'),
+            AcceptPartial,
+        ])
+    }
+
+    fn all_configs() -> Vec<ArchConfig> {
+        vec![
+            ArchConfig::old_organization(1),
+            ArchConfig::old_organization(4),
+            ArchConfig::old_organization(9),
+            ArchConfig::new_organization(8, 1),
+            ArchConfig::new_organization(16, 1),
+            ArchConfig::new_organization(8, 4),
+        ]
+    }
+
+    #[test]
+    fn verdicts_match_the_functional_interpreter() {
+        let p = ab_or_cd();
+        let inputs: Vec<&[u8]> = vec![
+            b"ab",
+            b"xxabyy",
+            b"xxcd",
+            b"ac",
+            b"",
+            b"ba",
+            b"zzzzzzzzzzzzzzzzzzzzcd",
+            b"aaaaaaaaab",
+        ];
+        for config in all_configs() {
+            for input in &inputs {
+                let expected = cicero_isa::accepts(&p, input);
+                let report = simulate(&p, input, &config);
+                assert_eq!(
+                    report.accepted,
+                    expected,
+                    "{} on {:?}",
+                    config.name(),
+                    String::from_utf8_lossy(input)
+                );
+                assert!(!report.hit_cycle_limit);
+            }
+        }
+    }
+
+    #[test]
+    fn match_position_agrees_with_interpreter() {
+        // Parallel configurations implement *any-match* semantics: they
+        // halt on whichever acceptance fires first in hardware time, which
+        // need not be the earliest-ending match ("cd" ends at 3, "ab" at
+        // 5). The strictly serial configuration preserves position order.
+        let p = ab_or_cd();
+        let serial = simulate(&p, b"xcdab", &ArchConfig::old_organization(1));
+        assert_eq!(serial.match_position, Some(3));
+        for config in all_configs() {
+            let report = simulate(&p, b"xcdab", &config);
+            assert!(
+                matches!(report.match_position, Some(3) | Some(5)),
+                "{}: {:?}",
+                config.name(),
+                report.match_position
+            );
+        }
+    }
+
+    #[test]
+    fn acceptance_halts_early() {
+        let p = program(vec![Split(2), AcceptPartial, MatchAny, Jump(0)]);
+        let input = vec![b'x'; 10_000];
+        let report = simulate(&p, &input, &ArchConfig::old_organization(1));
+        assert!(report.accepted);
+        assert!(report.cycles < 100, "{report:?}");
+    }
+
+    #[test]
+    fn rejection_consumes_whole_input() {
+        // `^zz$` over a long non-matching input dies immediately; `.*zz`
+        // scans all of it.
+        let anchored = program(vec![Match(b'z'), Match(b'z'), Accept]);
+        let scanning = program(vec![
+            Split(3),
+            MatchAny,
+            Jump(0),
+            Match(b'z'),
+            Match(b'z'),
+            AcceptPartial,
+        ]);
+        let input = vec![b'a'; 500];
+        let quick = simulate(&anchored, &input, &ArchConfig::old_organization(1));
+        let slow = simulate(&scanning, &input, &ArchConfig::old_organization(1));
+        assert!(!quick.accepted && !slow.accepted);
+        assert!(quick.cycles < 20);
+        assert!(slow.cycles > 500, "must examine every offset: {slow:?}");
+    }
+
+    #[test]
+    fn lone_thread_runs_back_to_back_via_forwarding() {
+        // Figure 4 shows dependent instructions in consecutive S2 slots:
+        // a lone thread's successor re-enters the pipeline directly, so 5
+        // instructions cost ~5 cycles plus fill and cold-miss overhead.
+        let p = program(vec![Match(b'a'), Match(b'a'), Match(b'a'), Match(b'a'), Accept]);
+        let report = simulate(&p, b"aaaa", &ArchConfig::old_organization(1));
+        assert!(report.cycles >= 5, "{report:?}");
+        assert!(report.cycles < 30, "{report:?}");
+    }
+
+    /// A work-heavy pattern: wide alternation keeps many threads alive at
+    /// every position (the Protomata4/Brill4 regime where parallel
+    /// organizations pay off). Simple patterns are critical-path-bound —
+    /// one dependent chain per character — and see little speedup, which
+    /// is the expected behaviour, not a modelling gap.
+    fn heavy_program() -> Program {
+        cicero_core::compile("(abcd|bcda|cdab|dabc|acbd|bdca|cadb|dbac|aabb|ccdd)")
+            .unwrap()
+            .into_program()
+    }
+
+    #[test]
+    fn new_organization_overlaps_positions() {
+        // Protomata-style class chain: almost-matching input keeps ~5
+        // partial-match states alive at every position, so each window
+        // character carries real work and the per-character cores overlap.
+        let p = cicero_core::compile("[ab][bc][cd][de][ef][fg]")
+            .unwrap()
+            .into_program();
+        let mut input = Vec::new();
+        for _ in 0..60 {
+            input.extend_from_slice(b"abcde");
+        }
+        input.extend_from_slice(b"abcdef");
+        let old1 = simulate(&p, &input, &ArchConfig::old_organization(1));
+        let new8 = simulate(&p, &input, &ArchConfig::new_organization(8, 1));
+        assert!(old1.accepted && new8.accepted);
+        assert!(
+            new8.cycles * 2 < old1.cycles,
+            "new 8x1 {} vs old 1x1 {}",
+            new8.cycles,
+            old1.cycles
+        );
+    }
+
+    #[test]
+    fn cross_engine_transfers_happen_only_with_multiple_engines() {
+        let p = heavy_program();
+        let input = vec![b'x'; 200];
+        let single = simulate(&p, &input, &ArchConfig::old_organization(1));
+        assert_eq!(single.cross_engine_transfers, 0);
+        let multi = simulate(&p, &input, &ArchConfig::old_organization(4));
+        assert!(multi.cross_engine_transfers > 0, "{multi:?}");
+    }
+
+    #[test]
+    fn old_multi_engine_helps_on_heavy_patterns() {
+        // Table 2's regime before the scaling knee: distributing the
+        // enumeration across a few engines beats one engine.
+        let p = heavy_program();
+        let input = vec![b'x'; 300];
+        let one = simulate(&p, &input, &ArchConfig::old_organization(1));
+        let four = simulate(&p, &input, &ArchConfig::old_organization(4));
+        assert!(
+            four.cycles < one.cycles,
+            "1x4 ({}) should beat 1x1 ({})",
+            four.cycles,
+            one.cycles
+        );
+    }
+
+    #[test]
+    fn simple_patterns_are_critical_path_bound() {
+        // With one live thread chain per character, extra cores cannot
+        // help much; the paper's Table 2 shows the same saturation.
+        let p = ab_or_cd();
+        let input = vec![b'x'; 300];
+        let old1 = simulate(&p, &input, &ArchConfig::old_organization(1));
+        let new8 = simulate(&p, &input, &ArchConfig::new_organization(8, 1));
+        let ratio = old1.cycles as f64 / new8.cycles as f64;
+        assert!(ratio < 2.0, "unexpectedly large speedup {ratio} on a serial chain");
+    }
+
+    #[test]
+    fn dedup_bounds_pathological_split_loops() {
+        // split 0 -> {1, 2}; jump 2 -> 0: an ε-cycle that only the
+        // duplicate filter terminates.
+        let p = program(vec![Split(2), Jump(0), Match(b'a'), Jump(0), Accept]);
+        let report = simulate(&p, b"aaa", &ArchConfig::old_organization(1));
+        assert!(!report.accepted);
+        assert!(!report.hit_cycle_limit);
+        assert!(report.deduplicated > 0);
+    }
+
+    #[test]
+    fn cycle_limit_reported_without_dedup() {
+        let p = program(vec![Split(2), Jump(0), Match(b'a'), Jump(0), Accept]);
+        let mut config = ArchConfig::old_organization(1);
+        config.dedup = false;
+        config.max_cycles = 5_000;
+        let report = simulate(&p, b"aaa", &config);
+        assert!(report.hit_cycle_limit);
+    }
+
+    #[test]
+    fn window_stalls_appear_when_positions_race_ahead() {
+        // A program that consumes greedily with no per-position work: the
+        // leading position hits the window edge while position `base`
+        // lags behind a split burst.
+        let p = program(vec![
+            Split(3),
+            MatchAny,
+            Jump(0),
+            // wide split fan to keep the base position busy
+            Split(5),
+            Jump(3),
+            Match(b'q'),
+            AcceptPartial,
+        ]);
+        let input = vec![b'x'; 200];
+        let report = simulate(&p, &input, &ArchConfig::new_organization(8, 1));
+        assert!(!report.accepted);
+        // The run must terminate regardless of stalls.
+        assert!(!report.hit_cycle_limit);
+    }
+
+    #[test]
+    fn icache_misses_scale_with_code_spread() {
+        // Same language, two layouts: compact loop vs far jumps.
+        let compact = program(vec![
+            Split(3),
+            MatchAny,
+            Jump(0),
+            Match(b'z'),
+            AcceptPartial,
+        ]);
+        // Pad with unreachable instructions so the matcher lands on a
+        // cache line that aliases the prefix loop's line (default cache: 8
+        // lines of 4 → pc 128 maps to index 0, same as pc 0), forcing
+        // conflict misses every character.
+        let mut far_instrs = vec![Split(128), MatchAny, Jump(0)];
+        while far_instrs.len() < 128 {
+            far_instrs.push(Match(b'0'));
+        }
+        far_instrs.push(Match(b'z')); // 128
+        far_instrs.push(AcceptPartial); // 129
+        let far = program(far_instrs);
+        let input = vec![b'a'; 300];
+        let c = ArchConfig::old_organization(1);
+        let near_r = simulate(&compact, &input, &c);
+        let far_r = simulate(&far, &input, &c);
+        assert!(
+            far_r.icache_misses > near_r.icache_misses,
+            "near {near_r:?} far {far_r:?}"
+        );
+        assert!(far_r.cycles > near_r.cycles);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = ab_or_cd();
+        let input = b"xxxxxxxxxxabxxxx";
+        for config in all_configs() {
+            let a = simulate(&p, input, &config);
+            let b = simulate(&p, input, &config);
+            assert_eq!(a, b, "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn exact_accept_requires_end_of_input_on_every_config() {
+        let p = program(vec![Match(b'a'), Match(b'b'), Accept]);
+        for config in all_configs() {
+            assert!(simulate(&p, b"ab", &config).accepted, "{}", config.name());
+            assert!(!simulate(&p, b"abx", &config).accepted, "{}", config.name());
+            assert!(!simulate(&p, b"b", &config).accepted, "{}", config.name());
+        }
+    }
+}

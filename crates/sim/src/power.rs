@@ -1,0 +1,100 @@
+//! Total on-chip power model (Figure 12).
+//!
+//! The paper's power figures come from Vivado's post-implementation power
+//! analysis; here power is an analytic model fitted to the wattages the
+//! paper's tables imply (Table 6 divides energy by time: OLD 1x9 ≈ 2.42 W,
+//! OLD 1x16 ≈ 2.66 W, NEW 16x1 ≈ 2.39 W, NEW 8x1 ≈ 2.20 W — see
+//! DESIGN.md). The structure follows the paper's analysis: a large
+//! static-plus-PS baseline, per-core and per-FIFO dynamic terms (FIFO
+//! replication is what makes the old organization expensive), and a small
+//! per-engine interconnect/balancer term. Derated (100 MHz) configurations
+//! scale their dynamic component by the clock ratio.
+
+use crate::config::ArchConfig;
+use crate::resources::{clock_mhz, resource_usage};
+
+/// Static + processing-system baseline, in watts.
+const P_STATIC: f64 = 2.0046;
+/// Dynamic power per core at 150 MHz.
+const P_CORE: f64 = 0.0220;
+/// Dynamic power per FIFO at 150 MHz.
+const P_FIFO: f64 = 0.0023;
+/// Dynamic power per engine (balancer station, ring port) at 150 MHz.
+const P_ENGINE: f64 = 0.0010;
+
+/// Total on-chip power (static + dynamic) for a configuration, in watts.
+pub fn power_watts(config: &ArchConfig) -> f64 {
+    let dynamic = config.total_cores() as f64 * P_CORE
+        + config.total_fifos() as f64 * P_FIFO
+        + config.engines as f64 * P_ENGINE;
+    let clock_scale = clock_mhz(config) / 150.0;
+    P_STATIC + dynamic * clock_scale
+}
+
+/// Convenience bundle: power, clock, and resource usage for reports.
+#[derive(Debug, Clone, Copy)]
+pub struct PlatformFigures {
+    /// Total on-chip power in watts.
+    pub watts: f64,
+    /// Operating clock in MHz.
+    pub clock_mhz: f64,
+    /// Resource usage on the XCZU3EG.
+    pub resources: crate::resources::ResourceUsage,
+}
+
+/// Compute all platform figures for a configuration.
+pub fn platform_figures(config: &ArchConfig) -> PlatformFigures {
+    PlatformFigures {
+        watts: power_watts(config),
+        clock_mhz: clock_mhz(config),
+        resources: resource_usage(config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(actual: f64, expected: f64, tolerance: f64) -> bool {
+        (actual - expected).abs() <= tolerance
+    }
+
+    #[test]
+    fn calibration_targets_from_the_paper() {
+        // Implied wattages from Table 6 (energy ÷ time), ±0.08 W.
+        assert!(close(power_watts(&ArchConfig::old_organization(9)), 2.42, 0.08));
+        assert!(close(power_watts(&ArchConfig::old_organization(16)), 2.66, 0.08));
+        assert!(close(power_watts(&ArchConfig::new_organization(16, 1)), 2.39, 0.08));
+        assert!(close(power_watts(&ArchConfig::new_organization(8, 1)), 2.20, 0.08));
+    }
+
+    #[test]
+    fn power_grows_with_engines_and_cores() {
+        let p1 = power_watts(&ArchConfig::old_organization(1));
+        let p9 = power_watts(&ArchConfig::old_organization(9));
+        let p32 = power_watts(&ArchConfig::old_organization(32));
+        assert!(p1 < p9 && p9 < p32);
+        let n8 = power_watts(&ArchConfig::new_organization(8, 1));
+        let n32 = power_watts(&ArchConfig::new_organization(32, 1));
+        assert!(n8 < n32);
+    }
+
+    #[test]
+    fn old_costs_more_than_new_at_equal_core_count() {
+        // Figure 12's headline: OLD 1x16 vs NEW 16x1 — same cores, but the
+        // old organization replicates FIFOs and balancer stations.
+        let old = power_watts(&ArchConfig::old_organization(16));
+        let new = power_watts(&ArchConfig::new_organization(16, 1));
+        assert!(old > new + 0.15, "old {old:.3} vs new {new:.3}");
+    }
+
+    #[test]
+    fn derated_configs_scale_dynamic_power() {
+        // NEW 16x9 runs at 100 MHz: its dynamic power shrinks by 2/3
+        // relative to a hypothetical 150 MHz run, but the configuration is
+        // still power-hungry in absolute terms.
+        let p = power_watts(&ArchConfig::new_organization(16, 9));
+        let undersized = power_watts(&ArchConfig::new_organization(16, 1));
+        assert!(p > undersized);
+    }
+}

@@ -1,0 +1,173 @@
+//! FPGA resource model for the Zynq UltraScale+ XCZU3EG (Figure 13).
+//!
+//! Vivado synthesis is not available in this environment, so resource
+//! usage is an analytic per-component model whose constants were fitted to
+//! reproduce the relationships the paper reports (see DESIGN.md):
+//!
+//! * NEW 8x1 is the most resource-efficient configuration;
+//! * NEW 16x1 uses considerably fewer resources than OLD 1x16 at the same
+//!   core count (the old organization replicates 8 FIFOs, a load-balance
+//!   station and an instruction memory per engine);
+//! * NEW 16x9 and NEW 32x4 exceed 70% LUTs / 90% BRAMs and must derate
+//!   the clock from 150 MHz to 100 MHz (Table 5 footnote);
+//! * NEW 32x9 does not fit the device at all (excluded in §6.2).
+
+use crate::config::ArchConfig;
+
+/// Device capacity of the XCZU3EG (A484).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops (the paper's REGs).
+    pub regs: u64,
+    /// BRAM36 blocks.
+    pub brams: f64,
+}
+
+/// The evaluation board's device: Ultra96-V2 / XCZU3EG.
+pub const XCZU3EG: Device = Device { luts: 70_560, regs: 141_120, brams: 216.0 };
+
+// Fitted per-component costs (see module docs).
+const CORE_LUTS: u64 = 245;
+const CORE_REGS: u64 = 250;
+const CORE_BRAMS: f64 = 0.5;
+const FIFO_LUTS: u64 = 80;
+const FIFO_REGS: u64 = 100;
+/// FIFO BRAM cost per window slot: FIFO depth tracks the `CC_ID` pointer
+/// width, so a 32-slot window needs 4x the storage of an 8-slot one.
+const FIFO_BRAMS_PER_WINDOW_SLOT: f64 = 0.03125;
+const ENGINE_LUTS: u64 = 400;
+const ENGINE_REGS: u64 = 300;
+const ENGINE_BRAMS: f64 = 2.0; // per-engine central instruction memory
+const TOP_LUTS: u64 = 800; // controller + AXI plumbing
+const TOP_REGS: u64 = 500;
+
+/// Absolute and relative resource usage of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceUsage {
+    /// LUTs used.
+    pub luts: u64,
+    /// Flip-flops used.
+    pub regs: u64,
+    /// BRAM36 blocks used.
+    pub brams: f64,
+    /// LUT utilization fraction on [`XCZU3EG`].
+    pub lut_fraction: f64,
+    /// FF utilization fraction.
+    pub reg_fraction: f64,
+    /// BRAM utilization fraction.
+    pub bram_fraction: f64,
+}
+
+impl ResourceUsage {
+    /// Whether the configuration fits the device.
+    pub fn fits(&self) -> bool {
+        self.lut_fraction <= 1.0 && self.reg_fraction <= 1.0 && self.bram_fraction <= 1.0
+    }
+
+    /// Whether the configuration must run at the derated 100 MHz clock
+    /// (> 70% LUTs or > 90% BRAMs, Table 5 footnote).
+    pub fn derated(&self) -> bool {
+        self.lut_fraction > 0.70 || self.bram_fraction > 0.90
+    }
+}
+
+/// Compute the resource usage of a configuration.
+pub fn resource_usage(config: &ArchConfig) -> ResourceUsage {
+    let cores = config.total_cores() as u64;
+    let fifos = config.total_fifos() as u64;
+    let engines = config.engines as u64;
+    let luts = TOP_LUTS + engines * ENGINE_LUTS + cores * CORE_LUTS + fifos * FIFO_LUTS;
+    let regs = TOP_REGS + engines * ENGINE_REGS + cores * CORE_REGS + fifos * FIFO_REGS;
+    let fifo_brams = FIFO_BRAMS_PER_WINDOW_SLOT * config.window() as f64;
+    let brams =
+        engines as f64 * ENGINE_BRAMS + cores as f64 * CORE_BRAMS + fifos as f64 * fifo_brams;
+    ResourceUsage {
+        luts,
+        regs,
+        brams,
+        lut_fraction: luts as f64 / XCZU3EG.luts as f64,
+        reg_fraction: regs as f64 / XCZU3EG.regs as f64,
+        bram_fraction: brams / XCZU3EG.brams,
+    }
+}
+
+/// The operating clock for a configuration (150 MHz, or 100 MHz when
+/// derated).
+pub fn clock_mhz(config: &ArchConfig) -> f64 {
+    if resource_usage(config).derated() {
+        100.0
+    } else {
+        150.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_8x1_is_most_efficient_of_the_figure13_set() {
+        let set = [
+            ArchConfig::old_organization(9),
+            ArchConfig::old_organization(16),
+            ArchConfig::new_organization(8, 1),
+            ArchConfig::new_organization(16, 1),
+            ArchConfig::new_organization(32, 1),
+        ];
+        let smallest = resource_usage(&ArchConfig::new_organization(8, 1));
+        for config in &set {
+            let usage = resource_usage(config);
+            assert!(usage.fits(), "{} must fit", config.name());
+            assert!(
+                smallest.luts <= usage.luts
+                    && smallest.regs <= usage.regs
+                    && smallest.brams <= usage.brams,
+                "NEW 8x1 must be minimal, but {} uses less",
+                config.name()
+            );
+        }
+    }
+
+    #[test]
+    fn new_16x1_cheaper_than_old_1x16_at_equal_cores() {
+        let new = resource_usage(&ArchConfig::new_organization(16, 1));
+        let old = resource_usage(&ArchConfig::old_organization(16));
+        assert!(new.luts < old.luts);
+        assert!(new.regs < old.regs);
+        assert!(new.brams < old.brams);
+    }
+
+    #[test]
+    fn table5_footnote_configurations_derate() {
+        assert!(resource_usage(&ArchConfig::new_organization(16, 9)).derated());
+        assert!(resource_usage(&ArchConfig::new_organization(32, 4)).derated());
+        assert_eq!(clock_mhz(&ArchConfig::new_organization(16, 9)), 100.0);
+        assert_eq!(clock_mhz(&ArchConfig::new_organization(32, 4)), 100.0);
+    }
+
+    #[test]
+    fn evaluated_configurations_run_at_150mhz() {
+        for config in [
+            ArchConfig::old_organization(1),
+            ArchConfig::old_organization(32),
+            ArchConfig::new_organization(8, 1),
+            ArchConfig::new_organization(32, 1),
+            ArchConfig::new_organization(8, 16),
+        ] {
+            assert_eq!(clock_mhz(&config), 150.0, "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn new_32x9_does_not_fit() {
+        assert!(!resource_usage(&ArchConfig::new_organization(32, 9)).fits());
+    }
+
+    #[test]
+    fn derated_configs_still_fit() {
+        assert!(resource_usage(&ArchConfig::new_organization(16, 9)).fits());
+        assert!(resource_usage(&ArchConfig::new_organization(32, 4)).fits());
+    }
+}

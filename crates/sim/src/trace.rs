@@ -1,0 +1,182 @@
+//! Pipeline tracing — the machinery behind Figure-4-style execution
+//! tables.
+//!
+//! When enabled ([`crate::Machine::run_traced`]), every pipeline stage
+//! event is recorded: fetches into S1, executions in S2 (with their
+//! outcome), and second split pushes in S3. [`render_trace`] lays the
+//! events out as the paper's Figure 4 does — one row per (engine, core,
+//! stage), one column per cycle, each cell showing the PC being handled.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What happened in a traced pipeline slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceNote {
+    /// A thread was popped from a FIFO into S1.
+    Fetched,
+    /// A single successor re-entered the pipeline directly (back-to-back
+    /// execution; drawn in Figure 4 as consecutive S2 cells).
+    Forwarded,
+    /// A matching instruction consumed its character (`a ✓`).
+    Matched,
+    /// A matching instruction failed; the thread died (`a ✗`).
+    Killed,
+    /// A jump redirected the thread (`a -> b`).
+    Jumped(u16),
+    /// A split's first target continued; the second waits in S3.
+    SplitTo(u16),
+    /// S3 pushed the split's second target (`a -> b` on the S3 row).
+    SecondTarget(u16),
+    /// Execution accepted here.
+    Accepted,
+    /// The successor was window-blocked and the thread re-queued.
+    Requeued,
+}
+
+/// One pipeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event happened.
+    pub cycle: u64,
+    /// Engine index.
+    pub engine: usize,
+    /// Core index within the engine.
+    pub core: usize,
+    /// Pipeline stage: 1 = fetch, 2 = execute, 3 = second split push.
+    pub stage: u8,
+    /// Program counter of the thread involved.
+    pub pc: u16,
+    /// Input position (character index) of the thread.
+    pub pos: usize,
+    /// The outcome.
+    pub note: TraceNote,
+}
+
+impl TraceEvent {
+    fn cell(&self) -> String {
+        match self.note {
+            TraceNote::Fetched => format!("{}", self.pc),
+            TraceNote::Forwarded => format!("{}*", self.pc),
+            TraceNote::Matched => format!("{}+", self.pc),
+            TraceNote::Killed => format!("{}x", self.pc),
+            TraceNote::Jumped(t) => format!("{}>{}", self.pc, t),
+            TraceNote::SplitTo(t) => format!("{}s{}", self.pc, t),
+            TraceNote::SecondTarget(t) => format!("{}>{}", self.pc, t),
+            TraceNote::Accepted => format!("{}!", self.pc),
+            TraceNote::Requeued => format!("{}w", self.pc),
+        }
+    }
+}
+
+/// Render events as a Figure-4-style table covering `cycles` columns.
+///
+/// Cell legend: `7` fetched · `7*` forwarded · `7+` matched · `7x` killed
+/// · `7>3` jump/second split target · `7s3` split (first target) · `7!`
+/// accepted · `7w` window-blocked.
+pub fn render_trace(events: &[TraceEvent], cycles: std::ops::Range<u64>) -> String {
+    // Group: (engine, core, stage) -> cycle -> cell.
+    let mut rows: BTreeMap<(usize, usize, u8), BTreeMap<u64, String>> = BTreeMap::new();
+    for event in events {
+        if !cycles.contains(&event.cycle) {
+            continue;
+        }
+        rows.entry((event.engine, event.core, event.stage))
+            .or_default()
+            .insert(event.cycle, event.cell());
+    }
+    let width = rows
+        .values()
+        .flat_map(|cells| cells.values())
+        .map(String::len)
+        .max()
+        .unwrap_or(1)
+        .max(3);
+    let mut out = String::new();
+    let _ = write!(out, "{:<18}", "cycle");
+    for cycle in cycles.clone() {
+        let _ = write!(out, " {cycle:>width$}");
+    }
+    let _ = writeln!(out);
+    let mut previous_key: Option<(usize, usize)> = None;
+    for ((engine, core, stage), cells) in &rows {
+        if previous_key != Some((*engine, *core)) {
+            let _ = writeln!(out, "ENGINE {engine} CORE {core}");
+            previous_key = Some((*engine, *core));
+        }
+        let _ = write!(out, "  S{stage:<15}");
+        for cycle in cycles.clone() {
+            match cells.get(&cycle) {
+                Some(cell) => {
+                    let _ = write!(out, " {cell:>width$}");
+                }
+                None => {
+                    let _ = write!(out, " {:>width$}", ".");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchConfig, Machine};
+    use cicero_isa::{Instruction::*, Program};
+
+    fn figure4_program() -> Program {
+        // The program of Figure 4: `.*(ab)+`-ish with PCs as in the paper:
+        // 0 split(3); 1 matchany; 2 jmp 0; 3 match a; 4 match b;
+        // 5 split(10)... shortened to fit: acceptance at the end.
+        Program::from_instructions(vec![
+            Split(3),
+            MatchAny,
+            Jump(0),
+            Match(b'a'),
+            Match(b'b'),
+            Split(7),
+            Jump(3),
+            AcceptPartial,
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn traces_record_all_stages() {
+        let program = figure4_program();
+        let mut machine = Machine::new(&program, ArchConfig::old_organization(1));
+        let (report, events) = machine.run_traced(b"abab");
+        assert!(report.accepted);
+        assert!(events.iter().any(|e| e.stage == 1));
+        assert!(events.iter().any(|e| e.stage == 2));
+        assert!(events.iter().any(|e| e.stage == 3), "split second targets use S3");
+        assert!(events.iter().any(|e| e.note == TraceNote::Accepted));
+        // Tracing never changes timing: a plain run gives the same report.
+        let plain = crate::simulate(&program, b"abab", &ArchConfig::old_organization(1));
+        assert_eq!(plain, report);
+    }
+
+    #[test]
+    fn render_produces_stage_rows() {
+        let program = figure4_program();
+        let mut machine = Machine::new(&program, ArchConfig::new_organization(2, 1));
+        let (_, events) = machine.run_traced(b"abab");
+        let text = render_trace(&events, 0..12);
+        assert!(text.contains("ENGINE 0 CORE 0"), "{text}");
+        assert!(text.contains("ENGINE 0 CORE 1"), "{text}");
+        assert!(text.contains("S2"), "{text}");
+    }
+
+    #[test]
+    fn new_2x1_alternates_cores_by_character() {
+        // Figure 4's bottom half: CORE0 handles even positions, CORE1 odd.
+        let program = figure4_program();
+        let mut machine = Machine::new(&program, ArchConfig::new_organization(2, 1));
+        let (_, events) = machine.run_traced(b"abababab");
+        for event in events {
+            assert_eq!(event.pos % 2, event.core, "{event:?}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Brill-tagger-style contextual rule generator (the Brill stand-in).
+//!
+//! Brill's transformation-based tagger fires rules on word/context
+//! patterns; as regexes they look like literal words with small
+//! alternations and optional inflection suffixes, matched against running
+//! text. The generator emits rules such as
+//! `the [a-z]+ (is|was|has)` or `(walk|talk)(ed|ing|s)? quickly`.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A small vocabulary of word stems.
+const STEMS: &[&str] = &[
+    "the", "cat", "dog", "walk", "talk", "run", "jump", "house", "tree", "river", "quick",
+    "lazy", "tag", "word", "rule", "move", "light", "dark", "blue", "green", "stone", "cloud",
+    "paper", "glass", "wind", "fire", "water", "earth",
+];
+
+/// Verb-ish suffixes used in optional alternations.
+const SUFFIXES: &[&str] = &["ed", "ing", "s", "er", "est"];
+
+/// Generate one contextual rule pattern.
+pub fn rule(rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let words = rng.random_range(2..=4);
+    for w in 0..words {
+        if w > 0 {
+            out.push(' ');
+        }
+        match rng.random_range(0..10) {
+            // A wildcard word.
+            0 | 1 => out.push_str("[a-z]+"),
+            // A small alternation of stems.
+            2 | 3 => {
+                let n = rng.random_range(2..=3);
+                let mut alts: Vec<&str> = Vec::with_capacity(n);
+                while alts.len() < n {
+                    let s = STEMS[rng.random_range(0..STEMS.len())];
+                    if !alts.contains(&s) {
+                        alts.push(s);
+                    }
+                }
+                out.push('(');
+                out.push_str(&alts.join("|"));
+                out.push(')');
+            }
+            // A stem with an optional suffix alternation.
+            4 | 5 => {
+                out.push_str(STEMS[rng.random_range(0..STEMS.len())]);
+                let n = rng.random_range(2..=3);
+                let mut alts: Vec<&str> = Vec::with_capacity(n);
+                while alts.len() < n {
+                    let s = SUFFIXES[rng.random_range(0..SUFFIXES.len())];
+                    if !alts.contains(&s) {
+                        alts.push(s);
+                    }
+                }
+                out.push('(');
+                out.push_str(&alts.join("|"));
+                out.push(')');
+            }
+            // A plain literal stem.
+            _ => out.push_str(STEMS[rng.random_range(0..STEMS.len())]),
+        }
+    }
+    out
+}
+
+/// Generate a text chunk: space-separated stems with random suffixes, so
+/// rule prefixes frequently partially match.
+pub fn text_chunk(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 8);
+    while out.len() < len {
+        let stem = STEMS[rng.random_range(0..STEMS.len())];
+        out.extend_from_slice(stem.as_bytes());
+        if rng.random_bool(0.3) {
+            out.extend_from_slice(SUFFIXES[rng.random_range(0..SUFFIXES.len())].as_bytes());
+        }
+        out.push(b' ');
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rules_are_wordy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let r = rule(&mut rng);
+            assert!(r.contains(' '), "{r:?} should span words");
+            assert!(r.is_ascii());
+        }
+    }
+
+    #[test]
+    fn text_is_lowercase_words() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let chunk = text_chunk(&mut rng, 500);
+        assert_eq!(chunk.len(), 500);
+        assert!(chunk.iter().all(|b| b.is_ascii_lowercase() || *b == b' '));
+    }
+}

@@ -1,0 +1,107 @@
+//! PROSITE-style protein-signature generator (the Protomata stand-in).
+//!
+//! Real Protomata patterns derive from PROSITE signatures such as
+//! `C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H`, which in regex syntax is
+//! `C.{2,4}C.{3}[LIVMFYWC].{8}H.{3,5}H`. The generator emits signatures of
+//! the same shape: alternating exact residues, residue classes, and
+//! bounded `x(m,n)` gaps over the 20-letter amino-acid alphabet.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The 20 standard amino-acid one-letter codes.
+pub const AMINO_ACIDS: &[u8; 20] = b"ACDEFGHIKLMNPQRSTVWY";
+
+/// Generate one signature pattern.
+pub fn signature(rng: &mut StdRng) -> String {
+    let elements = rng.random_range(5..=12);
+    let mut out = String::new();
+    let mut last_was_gap = true; // avoid starting with a gap
+    for _ in 0..elements {
+        let choice = rng.random_range(0..10);
+        if choice < 2 && !last_was_gap {
+            // Bounded gap: `.{m,n}` (PROSITE `x(m,n)`), occasionally exact.
+            let min = rng.random_range(1..=4);
+            let max = min + rng.random_range(0..=4);
+            if min == max {
+                out.push_str(&format!(".{{{min}}}"));
+            } else {
+                out.push_str(&format!(".{{{min},{max}}}"));
+            }
+            last_was_gap = true;
+        } else if choice < 6 {
+            // A residue class like `[LIVM]`.
+            let size = rng.random_range(2..=5);
+            let mut members: Vec<u8> = Vec::with_capacity(size);
+            while members.len() < size {
+                let aa = AMINO_ACIDS[rng.random_range(0..AMINO_ACIDS.len())];
+                if !members.contains(&aa) {
+                    members.push(aa);
+                }
+            }
+            out.push('[');
+            for m in members {
+                out.push(m as char);
+            }
+            out.push(']');
+            last_was_gap = false;
+        } else {
+            // An exact residue, sometimes repeated.
+            let aa = AMINO_ACIDS[rng.random_range(0..AMINO_ACIDS.len())] as char;
+            out.push(aa);
+            if rng.random_bool(0.15) {
+                out.push_str(&format!("{{{}}}", rng.random_range(2..=3)));
+            }
+            last_was_gap = false;
+        }
+    }
+    out
+}
+
+/// Generate a protein-like input chunk: random residues with mild
+/// composition bias (hydrophobic residues are more common, as in real
+/// sequences), which produces realistic partial-match behaviour.
+pub fn sequence_chunk(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    // Biased sampling: the first eight residues are drawn twice as often.
+    (0..len)
+        .map(|_| {
+            let index = if rng.random_bool(0.5) {
+                rng.random_range(0..8)
+            } else {
+                rng.random_range(0..AMINO_ACIDS.len())
+            };
+            AMINO_ACIDS[index]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn signatures_use_the_amino_alphabet() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = signature(&mut rng);
+            for b in s.bytes() {
+                assert!(
+                    AMINO_ACIDS.contains(&b) || b".{},[]0123456789".contains(&b),
+                    "unexpected byte {} in {s:?}",
+                    b as char
+                );
+            }
+            assert!(!s.is_empty());
+            assert!(!s.starts_with('.'), "{s:?} starts with a gap");
+        }
+    }
+
+    #[test]
+    fn chunks_are_protein_like() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let chunk = sequence_chunk(&mut rng, 500);
+        assert_eq!(chunk.len(), 500);
+        assert!(chunk.iter().all(|b| AMINO_ACIDS.contains(b)));
+    }
+}

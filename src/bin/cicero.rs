@@ -1,0 +1,293 @@
+//! `cicero` — command-line front door to the workspace.
+//!
+//! ```text
+//! cicero compile <pattern> [--old] [-O0] [--emit asm|bin|regex-ir|cicero-ir] [-o FILE]
+//! cicero run     <pattern> (--text STR | --input FILE) [--config NxM] [--old] [-O0]
+//! cicero scan    <pattern>... (--text STR | --input FILE) [--config NxM]
+//! cicero explain <pattern>
+//! cicero configs
+//! ```
+//!
+//! `--config NxM` uses the paper's naming: `1x9` is the old organization
+//! with nine engines, `16x1` the proposed one with sixteen cores.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use cicero::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("configs") => cmd_configs(),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cicero - regex-to-DSA compiler and cycle-level simulator
+
+USAGE:
+    cicero compile <pattern> [--old] [-O0] [--emit KIND] [-o FILE]
+    cicero run     <pattern> (--text STR | --input FILE) [--config NxM] [--old] [-O0]
+    cicero scan    <p1> <p2> ... (--text STR | --input FILE) [--config NxM]
+    cicero explain <pattern>
+    cicero configs
+
+EMIT KINDS:
+    asm        address-annotated assembly (default)
+    bin        16-bit little-endian binary words
+    regex-ir   high-level regex dialect after optimizations
+    cicero-ir  low-level cicero dialect after Jump Simplification
+
+OPTIONS:
+    --old       use the legacy single-IR compiler (Code Restructuring)
+    -O0         disable optimizations
+    --config    architecture: 1xM = old organization, Nx1/NxM = new (default 16x1)
+";
+
+/// Minimal flag scanner: returns (positional args, flag lookup).
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, Option<String>)>,
+}
+
+fn parse_flags(args: &[String], value_flags: &[&str]) -> Result<Flags, String> {
+    let mut positional = Vec::new();
+    let mut pairs = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if value_flags.contains(&name) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?
+                    .clone();
+                pairs.push((name.to_owned(), Some(value)));
+            } else {
+                pairs.push((name.to_owned(), None));
+            }
+        } else if arg == "-O0" {
+            pairs.push(("O0".to_owned(), None));
+        } else if arg == "-o" {
+            let value = iter.next().ok_or("-o requires a file name")?.clone();
+            pairs.push(("output".to_owned(), Some(value)));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok(Flags { positional, pairs })
+}
+
+impl Flags {
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn parse_config(spec: Option<&str>) -> Result<ArchConfig, String> {
+    let spec = spec.unwrap_or("16x1");
+    let (n, m) = spec
+        .split_once('x')
+        .ok_or_else(|| format!("config `{spec}` is not of the form NxM"))?;
+    let n: usize = n.parse().map_err(|_| format!("bad core count in `{spec}`"))?;
+    let m: usize = m.parse().map_err(|_| format!("bad engine count in `{spec}`"))?;
+    if n == 1 {
+        Ok(ArchConfig::old_organization(m))
+    } else if n.is_power_of_two() {
+        Ok(ArchConfig::new_organization(n, m))
+    } else {
+        Err(format!("core count {n} must be 1 (old organization) or a power of two"))
+    }
+}
+
+fn read_input(flags: &Flags) -> Result<Vec<u8>, String> {
+    match (flags.value("text"), flags.value("input")) {
+        (Some(text), None) => Ok(text.as_bytes().to_vec()),
+        (None, Some(path)) => std::fs::read(path).map_err(|e| format!("reading {path}: {e}")),
+        _ => Err("provide exactly one of --text STR or --input FILE".to_owned()),
+    }
+}
+
+fn compile_one(pattern: &str, old: bool, o0: bool) -> Result<Program, String> {
+    if old {
+        LegacyCompiler::new(!o0).compile(pattern).map_err(|e| e.to_string())
+    } else {
+        let options = if o0 { CompilerOptions::unoptimized() } else { CompilerOptions::optimized() };
+        Ok(Compiler::with_options(options)
+            .compile(pattern)
+            .map_err(|e| e.to_string())?
+            .into_program())
+    }
+}
+
+/// Sink for `--emit` output: stdout or `-o FILE`.
+type OutputSink = Box<dyn FnOnce(&[u8]) -> Result<(), String>>;
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["emit"])?;
+    let [pattern] = flags.positional.as_slice() else {
+        return Err("compile takes exactly one pattern".to_owned());
+    };
+    let emit = flags.value("emit").unwrap_or("asm");
+    let old = flags.has("old");
+    let o0 = flags.has("O0");
+    let output: OutputSink = match flags.value("output") {
+        Some(path) => {
+            let path = path.to_owned();
+            Box::new(move |bytes: &[u8]| {
+                std::fs::write(&path, bytes).map_err(|e| format!("writing {path}: {e}"))
+            })
+        }
+        None => Box::new(|bytes: &[u8]| {
+            std::io::stdout().write_all(bytes).map_err(|e| e.to_string())
+        }),
+    };
+    match emit {
+        "asm" => {
+            let program = compile_one(pattern, old, o0)?;
+            output(program.to_asm().as_bytes())
+        }
+        "bin" => {
+            let program = compile_one(pattern, old, o0)?;
+            output(&cicero::isa::EncodedProgram::from_program(&program).to_bytes())
+        }
+        "regex-ir" | "cicero-ir" => {
+            if old {
+                return Err("the legacy compiler has a single IR; use --emit asm".to_owned());
+            }
+            let options =
+                if o0 { CompilerOptions::unoptimized() } else { CompilerOptions::optimized() };
+            let artifacts = Compiler::with_options(options)
+                .compile_with_artifacts(pattern)
+                .map_err(|e| e.to_string())?;
+            let text = if emit == "regex-ir" {
+                artifacts.regex_ir_optimized.to_text()
+            } else {
+                artifacts.cicero_ir_optimized.to_text()
+            };
+            output(text.as_bytes())
+        }
+        other => Err(format!("unknown emit kind `{other}`")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["text", "input", "config"])?;
+    let [pattern] = flags.positional.as_slice() else {
+        return Err("run takes exactly one pattern".to_owned());
+    };
+    let input = read_input(&flags)?;
+    let config = parse_config(flags.value("config"))?;
+    let program = compile_one(pattern, flags.has("old"), flags.has("O0"))?;
+    let report = simulate(&program, &input, &config);
+    println!("pattern    : {pattern}");
+    println!("config     : {} @ {} MHz", config.name(), config.clock_mhz());
+    println!("verdict    : {}", if report.accepted { "MATCH" } else { "no match" });
+    if let Some(position) = report.match_position {
+        println!("match ends : {position}");
+    }
+    println!("cycles     : {}", report.cycles);
+    println!("time       : {:.3} us", report.time_us(config.clock_mhz()));
+    println!(
+        "energy     : {:.3} W·µs",
+        report.energy_wus(config.clock_mhz(), cicero::sim::power_watts(&config))
+    );
+    println!("instructions: {}", report.instructions);
+    println!("icache      : {:.1}% hits", report.icache_hit_rate() * 100.0);
+    Ok(())
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["text", "input", "config"])?;
+    if flags.positional.is_empty() {
+        return Err("scan takes one or more patterns".to_owned());
+    }
+    let input = read_input(&flags)?;
+    let config = parse_config(flags.value("config"))?;
+    let set = Compiler::new()
+        .compile_set(&flags.positional)
+        .map_err(|e| e.to_string())?;
+    let report = simulate(set.program(), &input, &config);
+    match report.matched_id {
+        Some(id) => println!(
+            "MATCH: pattern {} ({:?}) in {} cycles",
+            id,
+            set.pattern(id).unwrap_or("?"),
+            report.cycles
+        ),
+        None => println!("no match in {} cycles", report.cycles),
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let [pattern] = flags.positional.as_slice() else {
+        return Err("explain takes exactly one pattern".to_owned());
+    };
+    let artifacts = Compiler::new()
+        .compile_with_artifacts(pattern)
+        .map_err(|e| e.to_string())?;
+    println!("== regex dialect (initial) ==\n{}", artifacts.regex_ir_initial.to_text());
+    println!("== regex dialect (optimized) ==\n{}", artifacts.regex_ir_optimized.to_text());
+    println!("== cicero dialect (lowered) ==\n{}", artifacts.cicero_ir_initial.to_text());
+    println!("== cicero dialect (simplified) ==\n{}", artifacts.cicero_ir_optimized.to_text());
+    println!("== assembly ==\n{}", artifacts.compiled.program().to_asm());
+    println!(
+        "code size {} instructions, D_offset {}",
+        artifacts.compiled.code_size(),
+        artifacts.compiled.d_offset()
+    );
+    Ok(())
+}
+
+fn cmd_configs() -> Result<(), String> {
+    println!(
+        "{:<16} {:>7} {:>7} {:>7} {:>8} {:>7} {:>6}",
+        "config", "LUT%", "REG%", "BRAM%", "power W", "clock", "fits"
+    );
+    let mut configs: Vec<ArchConfig> =
+        [1usize, 4, 9, 16, 32].iter().map(|m| ArchConfig::old_organization(*m)).collect();
+    for (n, ms) in [(8usize, [1usize, 4, 9, 16].as_slice()), (16, &[1, 4, 9]), (32, &[1, 4, 9])] {
+        for m in ms {
+            configs.push(ArchConfig::new_organization(n, *m));
+        }
+    }
+    for config in configs {
+        let usage = cicero::sim::resource_usage(&config);
+        println!(
+            "{:<16} {:>6.1}% {:>6.1}% {:>6.1}% {:>8.2} {:>4.0}MHz {:>6}",
+            config.name(),
+            usage.lut_fraction * 100.0,
+            usage.reg_fraction * 100.0,
+            usage.bram_fraction * 100.0,
+            cicero::sim::power_watts(&config),
+            config.clock_mhz(),
+            if usage.fits() { "yes" } else { "NO" },
+        );
+    }
+    Ok(())
+}

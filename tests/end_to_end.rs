@@ -1,0 +1,149 @@
+//! Cross-crate differential tests: for a corpus of patterns, every
+//! compiler (new at O0/O1, legacy at O0/O1) and every execution vehicle
+//! (functional ISA interpreter, cycle-level simulator in several
+//! configurations) must agree with the reference Pike-VM oracle.
+
+use cicero::prelude::*;
+
+const PATTERNS: &[&str] = &[
+    "abc",
+    "ab|cd",
+    "th(is|at|ose)",
+    "(ab)|c{3,6}d+",
+    "a{2,3}|b{4,5}",
+    "abcd*|efgh+",
+    "[^ab]x",
+    "[a-f]{2}[0-9]",
+    "^anchored$",
+    "^start",
+    "end$",
+    "a(b(c|d))e",
+    "(a|(b|(c|d)))",
+    "x.{2,5}y",
+    r"\d+\.\d+",
+    "C.{2,4}C.{3}[LIVMFYWC].{8}H.{3,5}H",
+    "a*b*c*d",
+    "(one|two|three)+",
+    "ab|",
+];
+
+fn inputs() -> Vec<Vec<u8>> {
+    let mut inputs: Vec<Vec<u8>> = vec![
+        b"".to_vec(),
+        b"abc".to_vec(),
+        b"ab".to_vec(),
+        b"xxabyy".to_vec(),
+        b"cccddd".to_vec(),
+        b"this and that and those".to_vec(),
+        b"anchored".to_vec(),
+        b"not anchored".to_vec(),
+        b"start of it".to_vec(),
+        b"at the end".to_vec(),
+        b"abcde".to_vec(),
+        b"3.1415".to_vec(),
+        b"CAACAAALAAAAAAAAHAAAH".to_vec(),
+        b"onetwothree".to_vec(),
+        b"zzzzzzzzzzzzzzzzzzzzzzzzzzzzzz".to_vec(),
+    ];
+    // A few deterministic pseudo-random inputs over a regex-relevant
+    // alphabet.
+    let mut state = 0x1234_5678u64;
+    for len in [5usize, 13, 40, 120] {
+        let input: Vec<u8> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                b"abcdefxyCH0123."[(state % 15) as usize]
+            })
+            .collect();
+        inputs.push(input);
+    }
+    inputs
+}
+
+fn all_programs(pattern: &str) -> Vec<(String, Program)> {
+    vec![
+        (
+            "new O1".to_owned(),
+            Compiler::new().compile(pattern).unwrap().into_program(),
+        ),
+        (
+            "new O0".to_owned(),
+            Compiler::with_options(CompilerOptions::unoptimized())
+                .compile(pattern)
+                .unwrap()
+                .into_program(),
+        ),
+        ("old O1".to_owned(), LegacyCompiler::new(true).compile(pattern).unwrap()),
+        ("old O0".to_owned(), LegacyCompiler::new(false).compile(pattern).unwrap()),
+    ]
+}
+
+#[test]
+fn every_compiler_agrees_with_the_oracle_functionally() {
+    for pattern in PATTERNS {
+        let oracle = Oracle::new(pattern).unwrap();
+        for (name, program) in all_programs(pattern) {
+            for input in inputs() {
+                assert_eq!(
+                    cicero::isa::accepts(&program, &input),
+                    oracle.is_match(&input),
+                    "{name} on {pattern:?} with input {:?}",
+                    String::from_utf8_lossy(&input)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_simulator_agrees_with_the_interpreter_on_every_architecture() {
+    let configs = [
+        ArchConfig::old_organization(1),
+        ArchConfig::old_organization(4),
+        ArchConfig::new_organization(8, 1),
+        ArchConfig::new_organization(16, 1),
+        ArchConfig::new_organization(8, 4),
+    ];
+    for pattern in PATTERNS {
+        // Optimized new-compiler output is the interesting code shape;
+        // the interpreter is the ISA-level ground truth here.
+        let program = Compiler::new().compile(pattern).unwrap().into_program();
+        for input in inputs() {
+            let expected = cicero::isa::accepts(&program, &input);
+            for config in &configs {
+                let report = simulate(&program, &input, config);
+                assert!(!report.hit_cycle_limit, "{pattern:?} hit the cycle cap");
+                assert_eq!(
+                    report.accepted,
+                    expected,
+                    "{} on {pattern:?} with input {:?}",
+                    config.name(),
+                    String::from_utf8_lossy(&input)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn binary_encoding_roundtrips_through_the_wire_format() {
+    for pattern in PATTERNS {
+        let program = compile(pattern).unwrap().into_program();
+        let encoded = cicero::isa::EncodedProgram::from_program(&program);
+        let bytes = encoded.to_bytes();
+        let decoded =
+            cicero::isa::EncodedProgram::from_bytes(&bytes).unwrap().decode().unwrap();
+        assert_eq!(decoded, program, "{pattern:?}");
+    }
+}
+
+#[test]
+fn assembly_roundtrips_for_all_compiled_patterns() {
+    for pattern in PATTERNS {
+        let program = compile(pattern).unwrap().into_program();
+        let reparsed: Program = program.to_asm().parse().unwrap();
+        assert_eq!(reparsed, program, "{pattern:?}");
+    }
+}

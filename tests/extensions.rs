@@ -1,0 +1,85 @@
+//! Integration tests for the documented extensions beyond the paper:
+//! multi-matching acceptance (Future Work) and pipeline tracing.
+
+use cicero::prelude::*;
+use cicero::sim::{render_trace, Machine, TraceNote};
+
+#[test]
+fn multi_match_set_on_every_architecture() {
+    let patterns = ["abc", "x+y", "[0-9]{3}", "th(is|at)"];
+    let set = Compiler::new().compile_set(&patterns).unwrap();
+    let singles: Vec<Program> =
+        patterns.iter().map(|p| compile(p).unwrap().into_program()).collect();
+    let inputs: [&[u8]; 7] =
+        [b"zabcz", b"xxxy!", b"id 042", b"this", b"none of them", b"", b"ab x y 12"];
+    for config in [
+        ArchConfig::old_organization(1),
+        ArchConfig::old_organization(4),
+        ArchConfig::new_organization(8, 1),
+        ArchConfig::new_organization(16, 1),
+    ] {
+        for input in inputs {
+            let report = simulate(set.program(), input, &config);
+            let expected = singles.iter().any(|p| cicero::isa::accepts(p, input));
+            assert_eq!(report.accepted, expected, "{} on {input:?}", config.name());
+            if let Some(id) = report.matched_id {
+                assert!(
+                    cicero::isa::accepts(&singles[usize::from(id)], input),
+                    "{}: reported id {id} does not actually match {input:?}",
+                    config.name()
+                );
+            } else {
+                assert!(!report.accepted, "acceptance without an id in a set program");
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_match_binary_roundtrip() {
+    let set = Compiler::new().compile_set(&["aa", "bb"]).unwrap();
+    let bytes = cicero::isa::EncodedProgram::from_program(set.program()).to_bytes();
+    let decoded = cicero::isa::EncodedProgram::from_bytes(&bytes).unwrap().decode().unwrap();
+    assert_eq!(&decoded, set.program());
+    assert_eq!(cicero::isa::run(&decoded, b"xbbx").matched_id, Some(1));
+}
+
+#[test]
+fn tracing_is_timing_neutral_and_complete() {
+    let program = compile("a[bc]+d").unwrap().into_program();
+    let input = b"zzabcbcdzz";
+    for config in [ArchConfig::old_organization(2), ArchConfig::new_organization(8, 1)] {
+        let plain = simulate(&program, input, &config);
+        let mut machine = Machine::new(&program, config.clone());
+        let (traced, events) = machine.run_traced(input);
+        assert_eq!(plain, traced, "{}", config.name());
+        // Every executed instruction appears as an S2 event.
+        let s2_events = events.iter().filter(|e| e.stage == 2).count() as u64;
+        assert_eq!(s2_events, traced.instructions + traced.window_stall_cycles);
+        // The acceptance is traced.
+        assert!(events.iter().any(|e| e.note == TraceNote::Accepted));
+        // Rendering shows all active cores.
+        let text = render_trace(&events, 0..traced.cycles);
+        assert!(text.contains("ENGINE 0 CORE 0"), "{text}");
+    }
+}
+
+#[test]
+fn leading_reduction_option_is_available_and_sound() {
+    let mut options = CompilerOptions::optimized();
+    options.shortest_match_leading = true;
+    let extended = Compiler::with_options(options);
+    let standard = Compiler::new();
+    for pattern in ["a+b", "x{2,9}yz", "a*b*cd|e+f"] {
+        let a = extended.compile(pattern).unwrap();
+        let b = standard.compile(pattern).unwrap();
+        assert!(a.code_size() <= b.code_size(), "{pattern}");
+        for input in ["aab", "b", "xxyz", "cd", "eef", "nothing", ""] {
+            assert_eq!(
+                cicero::isa::accepts(a.program(), input.as_bytes()),
+                cicero::isa::accepts(b.program(), input.as_bytes()),
+                "{pattern} on {input:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The paper's worked examples, reproduced end-to-end through the public
+//! APIs: Listing 1's IR shape, Listing 2's three assembly columns with
+//! their `D_offset` values, Figure 5/6/7's transformation behaviour, and
+//! the §3.2 transformation examples.
+
+use cicero::prelude::*;
+
+#[test]
+fn listing1_regex_dialect_shape() {
+    // `(ab)|c{3,6}d+`: root {hasPrefix, hasSuffix} with two alternated
+    // concatenations.
+    let ast = cicero::frontend::parse("(ab)|c{3,6}d+").unwrap();
+    let ir = cicero::regex_dialect::ast_to_ir(&ast);
+    let text = ir.to_text();
+    assert!(text.contains("regex.root {has_prefix = true, has_suffix = true}"), "{text}");
+    assert_eq!(text.matches("regex.concatenation").count(), 3); // root 2 + inner 1
+    assert!(text.contains("regex.quantifier {max = 6, min = 3}"), "{text}");
+    assert!(text.contains("regex.quantifier {max = -1, min = 1}"), "{text}");
+    assert!(text.contains("regex.sub_regex"), "{text}");
+}
+
+#[test]
+fn listing2_all_three_columns() {
+    use cicero::isa::Instruction::*;
+
+    // Column 1: no optimization — D_offset terms 3+2+5+1+3 (see the
+    // locality module for the paper's off-by-one in the printed total).
+    let unopt = Compiler::with_options(CompilerOptions::unoptimized())
+        .compile("ab|cd")
+        .unwrap()
+        .into_program();
+    assert_eq!(
+        unopt.instructions(),
+        &[
+            Split(3),
+            MatchAny,
+            Jump(0),
+            Split(8),
+            Match(b'a'),
+            Match(b'b'),
+            Jump(7),
+            AcceptPartial,
+            Match(b'c'),
+            Match(b'd'),
+            Jump(7),
+        ]
+    );
+
+    // Column 2: the old compiler's Code Restructuring — D_offset 21.
+    let old = LegacyCompiler::new(true).compile("ab|cd").unwrap();
+    assert_eq!(
+        old.instructions(),
+        &[
+            Split(4),
+            Match(b'a'),
+            Match(b'b'),
+            AcceptPartial,
+            Split(8),
+            Match(b'c'),
+            Match(b'd'),
+            Jump(3),
+            MatchAny,
+            Jump(0),
+        ]
+    );
+    assert_eq!(old.total_jump_offset(), 21);
+
+    // Column 3: the new compiler's Jump Simplification — D_offset 9.
+    let new = compile("ab|cd").unwrap().into_program();
+    assert_eq!(
+        new.instructions(),
+        &[
+            Split(3),
+            MatchAny,
+            Jump(0),
+            Split(7),
+            Match(b'a'),
+            Match(b'b'),
+            AcceptPartial,
+            Match(b'c'),
+            Match(b'd'),
+            AcceptPartial,
+        ]
+    );
+    assert_eq!(new.total_jump_offset(), 9);
+}
+
+#[test]
+fn figure6_restructuring_hurts_locality_and_cycles() {
+    // Figure 6's point is locality, not instruction count: on a program
+    // larger than the instruction cache, Code Restructuring's scattered
+    // layout costs real cycles. (For tiny `ab|cd` the whole program fits
+    // in cache and only D_offset distinguishes the layouts — Listing 2.)
+    let pattern =
+        "alphaalpha|bravobravo|charliecharlie|deltadelta|echoechoecho|foxtrotfoxtrot|golfgolf|hotelhotel";
+    let old_unopt = LegacyCompiler::new(false).compile(pattern).unwrap();
+    let old_opt = LegacyCompiler::new(true).compile(pattern).unwrap();
+    assert!(
+        old_opt.total_jump_offset() > old_unopt.total_jump_offset(),
+        "restructuring must scatter basic blocks: {} vs {}",
+        old_opt.total_jump_offset(),
+        old_unopt.total_jump_offset()
+    );
+    let input = vec![b'z'; 300];
+    let config = ArchConfig::old_organization(1);
+    let unopt = simulate(&old_unopt, &input, &config);
+    let opt = simulate(&old_opt, &input, &config);
+    assert!(
+        opt.icache_misses > unopt.icache_misses,
+        "restructured {} misses vs chain {}",
+        opt.icache_misses,
+        unopt.icache_misses
+    );
+    assert!(
+        opt.cycles > unopt.cycles,
+        "restructured {} cycles vs chain {}",
+        opt.cycles,
+        unopt.cycles
+    );
+}
+
+#[test]
+fn section32_transformation_examples_through_the_driver() {
+    // Each §3.2 example, run with exactly its transformation set enabled
+    // (the paper presents the three sets as independent toggles).
+    let check = |input: &str,
+                 expected: &str,
+                 configure: fn(&mut CompilerOptions)| {
+        let mut options = CompilerOptions::unoptimized();
+        configure(&mut options);
+        let compiler = Compiler::with_options(options);
+        let artifacts = compiler.compile_with_artifacts(input).unwrap();
+        assert_eq!(
+            cicero::regex_dialect::ir_to_pattern(&artifacts.regex_ir_optimized),
+            expected,
+            "for {input:?}"
+        );
+    };
+    let set1: fn(&mut CompilerOptions) = |o| o.canonicalize = true;
+    let set2: fn(&mut CompilerOptions) = |o| o.factorize = true;
+    let set3: fn(&mut CompilerOptions) = |o| o.shortest_match = true;
+    check("(abc)", "abc", set1);
+    check("(a+)", "a+", set1);
+    check("(a)+", "a+", set1);
+    check("(a{2,3}){4,7}", "(a{2,3}){4,7}", set1);
+    check("this|that|those", "th(is|at|ose)", set2);
+    check("a(bc|bd)", "a(b(c|d))", set2);
+    check("a{2,3}|b{4,5}", "a{2}|b{4}", set3);
+    check("abcd*|efgh+", "abc|efgh", set3);
+    check("ab*$", "ab*$", set3);
+}
+
+#[test]
+fn negated_group_lowering_matches_section33() {
+    use cicero::isa::Instruction::*;
+    // `[^ab]` → NotMatch(a); NotMatch(b); MatchAny.
+    let program = compile("^[^ab]$").unwrap().into_program();
+    assert_eq!(
+        program.instructions(),
+        &[NotMatch(b'a'), NotMatch(b'b'), MatchAny, Accept]
+    );
+}
+
+#[test]
+fn jump_simplification_beats_code_restructuring_on_locality() {
+    // Figure 10's claim at the pattern level, over a diverse corpus.
+    for pattern in [
+        "ab|cd",
+        "th(is|at|ose)",
+        "(a|(b|(c|d)))",
+        "C.{2,4}C.{3}[LIVMFYWC].{8}H",
+        "(walk|talk)(ed|ing)? (quick|slow)",
+    ] {
+        let new = compile(pattern).unwrap();
+        let old = LegacyCompiler::new(true).compile(pattern).unwrap();
+        assert!(
+            new.d_offset() < old.total_jump_offset(),
+            "{pattern:?}: new {} vs old {}",
+            new.d_offset(),
+            old.total_jump_offset()
+        );
+    }
+}
+
+#[test]
+fn table1_semantics_not_match_does_not_advance() {
+    // NoMatch(OP): "if OP != *cc, PC+1" — cc unchanged. `[^a][^b]` must
+    // test both against DIFFERENT characters, with each class consuming
+    // exactly one.
+    let program = compile("^[^a][^b]$").unwrap().into_program();
+    assert!(cicero::isa::accepts(&program, b"xy"));
+    assert!(cicero::isa::accepts(&program, b"ba"));
+    assert!(!cicero::isa::accepts(&program, b"ab"));
+    assert!(!cicero::isa::accepts(&program, b"x"));
+    assert!(!cicero::isa::accepts(&program, b"xyz"));
+}
+
+#[test]
+fn future_work_acceptance_halts_as_soon_as_possible() {
+    // §5: "the NFA traversal can stop as soon as possible without paying
+    // the cost of additional jump operations" — with Jump Simplification
+    // the first matching branch accepts without detouring to a shared
+    // acceptance block.
+    let program = compile("aa|bb").unwrap().into_program();
+    let outcome = cicero::isa::run(&program, b"aa");
+    assert!(outcome.accepted);
+    // `aa` matches the first branch: acceptance must fire right at the
+    // end of it (position 2).
+    assert_eq!(outcome.match_position, Some(2));
+}
