@@ -10,8 +10,7 @@ use cicero_sim::{simulate_batch, ArchConfig};
 fn main() {
     let scale = Scale::from_env();
     banner("Ablation", "FIFO duplicate filter on vs off (OLD 1x1)", scale);
-    let mut table =
-        Table::new(vec!["suite", "instr (dedup)", "instr (no dedup)", "work ratio"]);
+    let mut table = Table::new(vec!["suite", "instr (dedup)", "instr (no dedup)", "work ratio"]);
     for bench in suites(scale) {
         let s = CompiledSuite::build(&bench);
         let mut with = 0u64;

@@ -12,7 +12,11 @@ fn main() {
     let config = ArchConfig::new_organization(16, 1);
     let compiler = cicero_core::Compiler::new();
     let mut table = Table::new(vec![
-        "suite", "set size [instr]", "per-RE cycles", "one-pass cycles", "speedup",
+        "suite",
+        "set size [instr]",
+        "per-RE cycles",
+        "one-pass cycles",
+        "speedup",
     ]);
     for bench in suites(scale) {
         // Use the simple suites' patterns as the signature set.

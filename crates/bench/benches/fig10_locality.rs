@@ -11,7 +11,13 @@ fn main() {
     let scale = Scale::from_env();
     banner("Figure 10", "code locality D_offset (lower is better)", scale);
     let mut table = Table::new(vec![
-        "suite", "old w/o", "old w/", "new w/o", "new w/", "old/new (w/)", "(paper)",
+        "suite",
+        "old w/o",
+        "old w/",
+        "new w/o",
+        "new w/",
+        "old/new (w/)",
+        "(paper)",
     ]);
     for (i, bench) in suites(scale).iter().enumerate() {
         let s = CompiledSuite::build(bench);

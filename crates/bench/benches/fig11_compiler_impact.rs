@@ -11,9 +11,8 @@ use cicero_sim::ArchConfig;
 fn main() {
     let scale = Scale::from_env();
     banner("Figure 11", "compiler impact on the old architecture (avg us per RE)", scale);
-    let mut table = Table::new(vec![
-        "suite", "arch", "old compiler", "new compiler", "speedup", "(paper)",
-    ]);
+    let mut table =
+        Table::new(vec!["suite", "arch", "old compiler", "new compiler", "speedup", "(paper)"]);
     for (i, bench) in suites(scale).iter().enumerate() {
         let s = CompiledSuite::build(bench);
         for engines in [9usize, 16] {

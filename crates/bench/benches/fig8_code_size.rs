@@ -10,7 +10,8 @@ use cicero_bench::{banner, f2, suites, CompiledSuite, Scale, Table};
 fn main() {
     let scale = Scale::from_env();
     banner("Figure 8", "average code size per RE (instructions)", scale);
-    let mut table = Table::new(vec!["suite", "old w/o", "old w/", "new w/o", "new w/", "new/old (w/)"]);
+    let mut table =
+        Table::new(vec!["suite", "old w/o", "old w/", "new w/o", "new w/", "new/old (w/)"]);
     for bench in suites(scale) {
         let s = CompiledSuite::build(&bench);
         let avg = |programs: &[cicero_isa::Program]| {
@@ -18,14 +19,7 @@ fn main() {
         };
         let (ou, oo, nu, no) =
             (avg(&s.old_unopt), avg(&s.old_opt), avg(&s.new_unopt), avg(&s.new_opt));
-        table.row(vec![
-            s.name.to_owned(),
-            f2(ou),
-            f2(oo),
-            f2(nu),
-            f2(no),
-            f2(no / oo),
-        ]);
+        table.row(vec![s.name.to_owned(), f2(ou), f2(oo), f2(nu), f2(no), f2(no / oo)]);
     }
     table.print();
     println!("\n  expectation: new/old (w/) close to 1.0 — similar instruction-memory needs");

@@ -6,13 +6,22 @@
 //! flow). The reproduction target is the *shape*: energy falls from one
 //! engine to the 4–9 knee, then rises as extra engines burn power without
 //! adding useful parallelism.
+//!
+//! Besides the printed table, the driver exports the full telemetry —
+//! per-run `sim.*` histograms plus one event per table row — as JSON
+//! lines to `BENCH_telemetry.json` (override with
+//! `CICERO_BENCH_TELEMETRY`, `-` for stdout, empty to disable).
 
-use cicero_bench::{banner, f2, measure, paper, suites, CompiledSuite, Scale, Table};
+use cicero_bench::{
+    banner, f2, measure_with_telemetry, paper, suites, CompiledSuite, Scale, Table,
+};
 use cicero_sim::ArchConfig;
+use cicero_telemetry::Telemetry;
 
 fn main() {
     let scale = Scale::from_env();
     banner("Table 2", "energy per RE vs engine count (old architecture)", scale);
+    let telemetry = Telemetry::new();
     let compiled: Vec<CompiledSuite> = suites(scale).iter().map(CompiledSuite::build).collect();
 
     let mut table = Table::new(vec![
@@ -33,7 +42,7 @@ fn main() {
         let config = ArchConfig::old_organization(engines);
         let mut cells = vec![engines.to_string()];
         for (i, suite) in compiled.iter().enumerate() {
-            let m = measure(&suite.old_opt, &suite.chunks, &config);
+            let m = measure_with_telemetry(&suite.old_opt, &suite.chunks, &config, &telemetry);
             if m.avg_energy_wus < minima[i] {
                 minima[i] = m.avg_energy_wus;
                 minima_at[i] = engines;
@@ -47,9 +56,16 @@ fn main() {
     table.print();
     println!();
     for (i, suite) in paper::SUITES.iter().enumerate() {
-        println!(
-            "  {suite}: most efficient at {} engines (paper knee: 4-9 engines)",
-            minima_at[i]
-        );
+        println!("  {suite}: most efficient at {} engines (paper knee: 4-9 engines)", minima_at[i]);
+    }
+
+    table.record_into(&telemetry, "table2");
+    let path = std::env::var("CICERO_BENCH_TELEMETRY")
+        .unwrap_or_else(|_| "BENCH_telemetry.json".to_owned());
+    if !path.is_empty() {
+        match telemetry.write_jsonl_path(&path) {
+            Ok(()) => println!("\n  telemetry (JSON lines) written to {path}"),
+            Err(e) => eprintln!("  warning: could not write telemetry to {path}: {e}"),
+        }
     }
 }

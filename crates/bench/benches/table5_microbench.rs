@@ -26,8 +26,16 @@ fn main() {
     }
 
     let mut table = Table::new(vec![
-        "configuration", "PROTOMATA", "(paper)", "BRILL", "(paper)", "PROTOMATA4", "(paper)",
-        "BRILL4", "(paper)", "AVG",
+        "configuration",
+        "PROTOMATA",
+        "(paper)",
+        "BRILL",
+        "(paper)",
+        "PROTOMATA4",
+        "(paper)",
+        "BRILL4",
+        "(paper)",
+        "AVG",
     ]);
     let mut best: Option<(String, f64)> = None;
     for (config, paper_row) in &configs {

@@ -16,7 +16,13 @@ fn main() {
     let new_configs = [ArchConfig::new_organization(8, 1), ArchConfig::new_organization(16, 1)];
 
     let mut table = Table::new(vec![
-        "configuration", "P4 [us]", "P4 [W·µs]", "B4 [us]", "B4 [W·µs]", "AVG [us]", "AVG [W·µs]",
+        "configuration",
+        "P4 [us]",
+        "P4 [W·µs]",
+        "B4 [us]",
+        "B4 [W·µs]",
+        "AVG [us]",
+        "AVG [W·µs]",
     ]);
     let run = |programs: &dyn Fn(&CompiledSuite) -> &[cicero_isa::Program],
                config: &ArchConfig|
@@ -60,8 +66,10 @@ fn main() {
                 .collect::<Vec<String>>(),
         );
     }
-    let ratios: Vec<String> = (0..6).map(|k| format!("{}x", f2(best_old[k] / best_new[k]))).collect();
-    table.row(std::iter::once("Best(old) / Best(new)".to_owned()).chain(ratios).collect::<Vec<_>>());
+    let ratios: Vec<String> =
+        (0..6).map(|k| format!("{}x", f2(best_old[k] / best_new[k]))).collect();
+    table
+        .row(std::iter::once("Best(old) / Best(new)".to_owned()).chain(ratios).collect::<Vec<_>>());
     table.print();
     println!(
         "\n  paper ratios: P4 {}x time / {}x energy; B4 {}x/{}x; overall {}x/{}x",

@@ -25,6 +25,7 @@ use std::time::Instant;
 
 use cicero_isa::Program;
 use cicero_sim::{simulate_batch, ArchConfig};
+use cicero_telemetry::Telemetry;
 use workloads::Benchmark;
 
 /// Deterministic seed shared by every bench target, so figures compose.
@@ -144,6 +145,27 @@ pub struct Measurement {
 /// number of REs executed", then divide by the clock and multiply by total
 /// on-chip power for energy.
 pub fn measure(programs: &[Program], chunks: &[Vec<u8>], config: &ArchConfig) -> Measurement {
+    measure_impl(programs, chunks, config, None)
+}
+
+/// Like [`measure`], but additionally folding every individual run into
+/// `telemetry` (`sim.*` histograms and counters), so bench drivers get
+/// per-run distributions alongside the averaged table cells.
+pub fn measure_with_telemetry(
+    programs: &[Program],
+    chunks: &[Vec<u8>],
+    config: &ArchConfig,
+    telemetry: &Telemetry,
+) -> Measurement {
+    measure_impl(programs, chunks, config, Some(telemetry))
+}
+
+fn measure_impl(
+    programs: &[Program],
+    chunks: &[Vec<u8>],
+    config: &ArchConfig,
+    telemetry: Option<&Telemetry>,
+) -> Measurement {
     let clock = config.clock_mhz();
     let watts = cicero_sim::power_watts(config);
     let mut cycles = 0u64;
@@ -152,6 +174,9 @@ pub fn measure(programs: &[Program], chunks: &[Vec<u8>], config: &ArchConfig) ->
     for program in programs {
         for report in simulate_batch(program, chunks, config) {
             assert!(!report.hit_cycle_limit, "benchmark run hit the cycle cap");
+            if let Some(telemetry) = telemetry {
+                report.record_into(telemetry);
+            }
             cycles += report.cycles;
             hits += report.icache_hits;
             misses += report.icache_misses;
@@ -202,11 +227,8 @@ impl Table {
             }
         }
         let line = |cells: &[String]| {
-            let cols: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let cols: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             println!("  {}", cols.join("  "));
         };
         line(&self.headers);
@@ -214,6 +236,21 @@ impl Table {
         println!("  {}", "-".repeat(total));
         for row in &self.rows {
             line(row);
+        }
+    }
+
+    /// Record every row as a telemetry event named `<name>.row`, one
+    /// attribute per column header, so table drivers reuse the JSON-lines
+    /// sink for machine-readable output.
+    pub fn record_into(&self, telemetry: &Telemetry, name: &str) {
+        for row in &self.rows {
+            let attrs = self
+                .headers
+                .iter()
+                .zip(row)
+                .map(|(header, cell)| (header.clone(), cicero_telemetry::Value::from(cell.clone())))
+                .collect();
+            telemetry.event(format!("{name}.row"), attrs);
         }
     }
 }
@@ -337,5 +374,38 @@ mod tests {
         let mut t = Table::new(vec!["a", "value"]);
         t.row(vec!["x", "1.00"]);
         t.print(); // smoke: no panic
+    }
+
+    #[test]
+    fn table_rows_export_as_jsonl_events() {
+        let mut t = Table::new(vec!["suite", "energy"]);
+        t.row(vec!["PROTOMATA", "24.62"]);
+        t.row(vec!["BRILL", "72.24"]);
+        let telemetry = Telemetry::new();
+        t.record_into(&telemetry, "table2");
+        let jsonl = telemetry.render_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains(r#""name":"table2.row""#), "{jsonl}");
+        assert!(jsonl.contains(r#""suite":"PROTOMATA""#), "{jsonl}");
+    }
+
+    #[test]
+    fn measure_with_telemetry_folds_every_run() {
+        let bench = Benchmark::protomata(SEED, 2, 2);
+        let programs: Vec<Program> = bench
+            .patterns
+            .iter()
+            .map(|p| cicero_core::compile(p).unwrap().into_program())
+            .collect();
+        let telemetry = Telemetry::new();
+        let m = measure_with_telemetry(
+            &programs,
+            &bench.chunks,
+            &ArchConfig::old_organization(1),
+            &telemetry,
+        );
+        assert!(m.avg_cycles > 0.0);
+        assert_eq!(telemetry.counter("sim.runs"), 4); // 2 programs x 2 chunks
+        assert_eq!(telemetry.histogram("sim.cycles").unwrap().count, 4);
     }
 }

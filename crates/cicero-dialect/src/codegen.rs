@@ -80,9 +80,8 @@ pub fn codegen(program: &Operation) -> Result<Program, CodegenError> {
     let mut symbols: BTreeMap<&str, u16> = BTreeMap::new();
     for (index, op) in body.iter().enumerate() {
         if let Some(sym) = crate::ops::sym_name(op) {
-            let address = u16::try_from(index).map_err(|_| {
-                CodegenError::Invalid(ProgramError::TooLong { len: body.len() })
-            })?;
+            let address = u16::try_from(index)
+                .map_err(|_| CodegenError::Invalid(ProgramError::TooLong { len: body.len() }))?;
             symbols.insert(sym, address);
         }
     }
@@ -107,10 +106,10 @@ fn translate(
         let symbol = op.attr(attrs::TARGET).and_then(Attribute::as_symbol).ok_or_else(|| {
             CodegenError::MalformedOp { index, message: "missing target symbol".to_owned() }
         })?;
-        symbols.get(symbol).copied().ok_or_else(|| CodegenError::UndefinedSymbol {
-            symbol: symbol.to_owned(),
-            index,
-        })
+        symbols
+            .get(symbol)
+            .copied()
+            .ok_or_else(|| CodegenError::UndefinedSymbol { symbol: symbol.to_owned(), index })
     };
     Ok(match op.name().as_str() {
         names::ACCEPT => Instruction::Accept,
@@ -132,10 +131,7 @@ fn translate(
         names::SPLIT => Instruction::Split(target_attr()?),
         names::JUMP => Instruction::Jump(target_attr()?),
         other => {
-            return Err(CodegenError::MalformedOp {
-                index,
-                message: format!("unknown op {other}"),
-            })
+            return Err(CodegenError::MalformedOp { index, message: format!("unknown op {other}") })
         }
     })
 }
@@ -166,15 +162,7 @@ mod tests {
         use Instruction::*;
         assert_eq!(
             compiled.instructions(),
-            &[
-                Split(5),
-                Match(b'a'),
-                NotMatch(b'b'),
-                MatchAny,
-                Jump(0),
-                AcceptPartial,
-                Accept,
-            ]
+            &[Split(5), Match(b'a'), NotMatch(b'b'), MatchAny, Jump(0), AcceptPartial, Accept,]
         );
     }
 

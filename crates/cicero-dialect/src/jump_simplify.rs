@@ -305,10 +305,7 @@ mod tests {
         use Instruction::*;
         // jmp@x threads to y; x: jmp@y becomes unreachable and is removed;
         // then jmp@y targets next and is removed too.
-        assert_eq!(
-            compiled.instructions(),
-            &[Match(b'a'), Match(b'b'), AcceptPartial]
-        );
+        assert_eq!(compiled.instructions(), &[Match(b'a'), Match(b'b'), AcceptPartial]);
     }
 
     #[test]
@@ -330,10 +327,7 @@ mod tests {
         jump_simplify(&mut program);
         let compiled = codegen(&program).unwrap();
         use Instruction::*;
-        assert_eq!(
-            compiled.instructions(),
-            &[Split(2), Match(b'a'), Match(b'b'), AcceptPartial]
-        );
+        assert_eq!(compiled.instructions(), &[Split(2), Match(b'a'), Match(b'b'), AcceptPartial]);
     }
 
     #[test]

@@ -54,3 +54,28 @@ pub use codegen::{codegen, CodegenError};
 pub use jump_simplify::{jump_simplify, JumpSimplificationPass};
 pub use lowering::{lower_multi, lower_to_cicero, LowerToCiceroPass};
 pub use ops::{dialect, names};
+
+/// Options for the low-level (`cicero`-dialect) pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowLevelOptions {
+    /// Back-end Jump Simplification (§5), on by default.
+    pub jump_simplification: bool,
+}
+
+impl Default for LowLevelOptions {
+    fn default() -> LowLevelOptions {
+        LowLevelOptions { jump_simplification: true }
+    }
+}
+
+/// Register the enabled `cicero`-dialect transforms on a pass manager.
+///
+/// The dialect's single registration point, mirroring
+/// `regex_dialect::transforms::build_pipeline`: drivers build the
+/// low-level pipeline here so instrumentation attached to the pass
+/// manager observes every back-end transform.
+pub fn build_pipeline(pm: &mut mlir_lite::PassManager, options: &LowLevelOptions) {
+    if options.jump_simplification {
+        pm.add_pass(Box::new(JumpSimplificationPass));
+    }
+}

@@ -320,10 +320,8 @@ fn lower_optional_chain<'a>(
 fn lower_atom<'a>(e: &mut Emitter, atom: &'a Operation, next: Next<'a>) {
     match atom.name().as_str() {
         rx::names::MATCH_CHAR => {
-            let c = atom
-                .attr(rx::attrs::TARGET_CHAR)
-                .and_then(Attribute::as_char)
-                .expect("verified");
+            let c =
+                atom.attr(rx::attrs::TARGET_CHAR).and_then(Attribute::as_char).expect("verified");
             e.emit(ops::match_char(c));
             next.resolve(e);
         }
@@ -355,10 +353,8 @@ fn lower_atom<'a>(e: &mut Emitter, atom: &'a Operation, next: Next<'a>) {
 
 /// Lower a character class, choosing the cheaper §3.3 encoding.
 fn lower_group<'a>(e: &mut Emitter, group: &Operation, next: Next<'a>) {
-    let bits = group
-        .attr(rx::attrs::TARGET_CHARS)
-        .and_then(Attribute::as_bool_array)
-        .expect("verified");
+    let bits =
+        group.attr(rx::attrs::TARGET_CHARS).and_then(Attribute::as_bool_array).expect("verified");
     let members: Vec<u8> = (0..=255u8).filter(|c| bits[usize::from(*c)]).collect();
     let complement: Vec<u8> = (0..=255u8).filter(|c| !bits[usize::from(*c)]).collect();
     // A positive branch costs ~3 ops per member (split, match, jump); the
@@ -450,15 +446,7 @@ mod tests {
         // `^a{2,4}$` = a a (a (a)?)? with one shared exit.
         assert_eq!(
             asm("^a{2,4}$"),
-            vec![
-                Match(b'a'),
-                Match(b'a'),
-                Split(6),
-                Match(b'a'),
-                Split(6),
-                Match(b'a'),
-                Accept,
-            ]
+            vec![Match(b'a'), Match(b'a'), Split(6), Match(b'a'), Split(6), Match(b'a'), Accept,]
         );
     }
 
@@ -466,10 +454,7 @@ mod tests {
     fn unbounded_min_form() {
         use Instruction::*;
         // `^a{2,}$` = a then the tight plus loop on the second copy.
-        assert_eq!(
-            asm("^a{2,}$"),
-            vec![Match(b'a'), Match(b'a'), Split(1), Accept]
-        );
+        assert_eq!(asm("^a{2,}$"), vec![Match(b'a'), Match(b'a'), Split(1), Accept]);
     }
 
     #[test]
@@ -477,10 +462,7 @@ mod tests {
         use Instruction::*;
         // `[^ab]` (anchored to skip the prefix loop):
         // NotMatch(a); NotMatch(b); MatchAny (§3.3).
-        assert_eq!(
-            asm("^[^ab]$"),
-            vec![NotMatch(b'a'), NotMatch(b'b'), MatchAny, Accept]
-        );
+        assert_eq!(asm("^[^ab]$"), vec![NotMatch(b'a'), NotMatch(b'b'), MatchAny, Accept]);
     }
 
     #[test]
@@ -489,10 +471,7 @@ mod tests {
         // the class contiguous in instruction memory.
         let code = asm("^[ab]$");
         use Instruction::*;
-        assert_eq!(
-            code,
-            vec![Split(3), Match(b'a'), Jump(5), Match(b'b'), Jump(5), Accept]
-        );
+        assert_eq!(code, vec![Split(3), Match(b'a'), Jump(5), Match(b'b'), Jump(5), Accept]);
     }
 
     #[test]
@@ -506,10 +485,7 @@ mod tests {
     #[test]
     fn three_way_alternation_shares_one_acceptance() {
         let code = asm("^a|b|c$");
-        let accepts = code
-            .iter()
-            .filter(|i| i.is_acceptance())
-            .count();
+        let accepts = code.iter().filter(|i| i.is_acceptance()).count();
         assert_eq!(accepts, 1, "{code:?}");
     }
 
@@ -558,7 +534,9 @@ pub fn lower_multi(roots: &[&Operation]) -> Result<Operation, String> {
         assert!(root.is(rx::names::ROOT), "expected regex.root, got {}", root.name());
         let anchored = |key| root.attr(key).and_then(Attribute::as_bool) != Some(true);
         if anchored(rx::attrs::HAS_PREFIX) || anchored(rx::attrs::HAS_SUFFIX) {
-            return Err(format!("pattern {i} is anchored; multi-matching requires unanchored patterns"));
+            return Err(format!(
+                "pattern {i} is anchored; multi-matching requires unanchored patterns"
+            ));
         }
     }
     let mut e = Emitter::new();

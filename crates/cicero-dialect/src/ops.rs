@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use mlir_lite::{Attribute, AttrKind, AttrSpec, Dialect, OpDefinition, Operation, RegionCount};
+use mlir_lite::{AttrKind, AttrSpec, Attribute, Dialect, OpDefinition, Operation, RegionCount};
 
 /// Fully-qualified operation names.
 pub mod names {
@@ -226,10 +226,7 @@ mod tests {
 
     #[test]
     fn duplicate_symbol_rejected() {
-        let p = program(vec![
-            labeled(match_any(), "x"),
-            labeled(accept(), "x"),
-        ]);
+        let p = program(vec![labeled(match_any(), "x"), labeled(accept(), "x")]);
         let err = ctx().verify(&p).unwrap_err();
         assert!(err.message.contains("defined more than once"), "{err}");
     }

@@ -35,8 +35,54 @@ use std::time::{Duration, Instant};
 
 use cicero_dialect::CodegenError;
 use cicero_isa::Program;
-use mlir_lite::{Context, Operation, PassError};
+use cicero_telemetry::Telemetry;
+use mlir_lite::{Context, Operation, PassError, PassInstrumentation, PassReport, PipelineReport};
 use regex_frontend::ParseRegexError;
+
+/// Pass instrumentation bridging the pass manager to a [`Telemetry`]
+/// collector: one `pass:<name>` span per executed pass, annotated with
+/// the op-count delta (and the error message on failure).
+///
+/// Passes run sequentially, so open spans form a stack; the `Mutex` only
+/// provides the interior mutability `PassInstrumentation`'s `&self` hooks
+/// require.
+struct TelemetrySpans {
+    telemetry: Telemetry,
+    open: std::sync::Mutex<Vec<cicero_telemetry::Span>>,
+}
+
+impl TelemetrySpans {
+    fn new(telemetry: Telemetry) -> TelemetrySpans {
+        TelemetrySpans { telemetry, open: std::sync::Mutex::new(Vec::new()) }
+    }
+
+    fn pop(&self) -> Option<cicero_telemetry::Span> {
+        self.open.lock().unwrap_or_else(|p| p.into_inner()).pop()
+    }
+}
+
+impl PassInstrumentation for TelemetrySpans {
+    fn run_before_pass(&self, pass_name: &'static str, _root: &Operation) {
+        let span = self.telemetry.span(format!("pass:{pass_name}"));
+        self.open.lock().unwrap_or_else(|p| p.into_inner()).push(span);
+    }
+
+    fn run_after_pass(&self, _pass_name: &'static str, _root: &Operation, report: &PassReport) {
+        if let Some(span) = self.pop() {
+            span.annotate("ops_before", report.ops_before);
+            span.annotate("ops_after", report.ops_after);
+            span.annotate("ops_delta", report.ops_delta());
+        }
+        self.telemetry.counter_add("compiler.passes_run", 1);
+    }
+
+    fn run_after_pass_failed(&self, _pass_name: &'static str, error: &PassError) {
+        if let Some(span) = self.pop() {
+            span.annotate("error", error.to_string());
+        }
+        self.telemetry.counter_add("compiler.passes_failed", 1);
+    }
+}
 
 /// Per-transformation toggles (§3.2's "each transformation is optional and
 /// can be enabled or disabled individually").
@@ -120,6 +166,7 @@ impl CompileStats {
 pub struct CompiledRegex {
     program: Program,
     stats: CompileStats,
+    pass_report: PipelineReport,
 }
 
 impl CompiledRegex {
@@ -146,6 +193,13 @@ impl CompiledRegex {
     /// Per-stage compile timings (the Figure 9 metric).
     pub fn stats(&self) -> &CompileStats {
         &self.stats
+    }
+
+    /// Per-pass timing and op-count report across both dialect pipelines
+    /// (high-level `regex` passes followed by low-level `cicero` passes).
+    /// Its `Display` renders an aligned timing table.
+    pub fn pass_report(&self) -> &PipelineReport {
+        &self.pass_report
     }
 }
 
@@ -213,6 +267,7 @@ impl From<CodegenError> for CompileError {
 pub struct Compiler {
     options: CompilerOptions,
     ctx: Context,
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for Compiler {
@@ -232,7 +287,22 @@ impl Compiler {
         let mut ctx = Context::new();
         ctx.register_dialect(regex_dialect::dialect());
         ctx.register_dialect(cicero_dialect::dialect());
-        Compiler { options, ctx }
+        Compiler { options, ctx, telemetry: None }
+    }
+
+    /// Attach a telemetry collector: every compilation then emits a
+    /// `compile` span with nested per-stage spans and one `pass:<name>`
+    /// span per executed pass (annotated with op-count deltas), plus
+    /// `compiler.*` counters and gauges.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Compiler {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry collector, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The active options.
@@ -259,57 +329,74 @@ impl Compiler {
         pattern: &str,
     ) -> Result<CompilationArtifacts, CompileError> {
         let mut stats = CompileStats::default();
+        let telemetry = self.telemetry.clone();
+        let stage = |name: &str| telemetry.as_ref().map(|t| t.span(format!("stage:{name}")));
+        let compile_span = telemetry.as_ref().map(|t| {
+            t.counter_add("compiler.compilations", 1);
+            let span = t.span("compile");
+            span.annotate("pattern", pattern);
+            span
+        });
+        let mut pass_report = PipelineReport::default();
 
+        let span = stage("parse");
         let start = Instant::now();
         let ast = regex_frontend::parse(pattern)?;
         stats.parse = start.elapsed();
+        drop(span);
 
+        let span = stage("convert");
         let start = Instant::now();
         let mut regex_ir = regex_dialect::ast_to_ir(&ast);
         stats.convert = start.elapsed();
+        drop(span);
         let regex_ir_initial = regex_ir.clone();
 
+        let span = stage("high-level");
         let start = Instant::now();
         let mut high = mlir_lite::PassManager::new();
         high.verify_each(self.options.verify_each);
-        if self.options.canonicalize {
-            high.add_pass(Box::new(regex_dialect::transforms::CanonicalizePass));
+        regex_dialect::transforms::build_pipeline(&mut high, &self.high_level_options());
+        if let Some(t) = &telemetry {
+            high.add_instrumentation(Box::new(TelemetrySpans::new(t.clone())));
         }
-        if self.options.factorize {
-            high.add_pass(Box::new(regex_dialect::transforms::FactorizeAlternationsPass));
-        }
-        if self.options.shortest_match {
-            high.add_pass(Box::new(regex_dialect::transforms::ShortestMatchPass));
-        }
-        if self.options.shortest_match_leading {
-            high.add_pass(Box::new(regex_dialect::transforms::ShortestMatchLeadingPass));
-        }
-        if self.options.canonicalize && (self.options.factorize || self.options.shortest_match) {
-            // Clean up wrappers the structural transforms introduce.
-            high.add_pass(Box::new(regex_dialect::transforms::CanonicalizePass));
-        }
-        high.run(&mut regex_ir, &self.ctx)?;
+        pass_report.extend(&high.run(&mut regex_ir, &self.ctx)?);
         stats.high_level = start.elapsed();
+        drop(span);
         let regex_ir_optimized = regex_ir.clone();
 
+        let span = stage("lowering");
         let start = Instant::now();
         let mut cicero_ir = cicero_dialect::lower_to_cicero(&regex_ir);
         stats.lowering = start.elapsed();
+        drop(span);
         let cicero_ir_initial = cicero_ir.clone();
 
+        let span = stage("low-level");
         let start = Instant::now();
-        if self.options.jump_simplification {
-            let mut low = mlir_lite::PassManager::new();
-            low.verify_each(self.options.verify_each);
-            low.add_pass(Box::new(cicero_dialect::JumpSimplificationPass));
-            low.run(&mut cicero_ir, &self.ctx)?;
+        let mut low = mlir_lite::PassManager::new();
+        low.verify_each(self.options.verify_each);
+        cicero_dialect::build_pipeline(&mut low, &self.low_level_options());
+        if let Some(t) = &telemetry {
+            low.add_instrumentation(Box::new(TelemetrySpans::new(t.clone())));
         }
+        pass_report.extend(&low.run(&mut cicero_ir, &self.ctx)?);
         stats.low_level = start.elapsed();
+        drop(span);
         let cicero_ir_optimized = cicero_ir.clone();
 
+        let span = stage("codegen");
         let start = Instant::now();
         let program = cicero_dialect::codegen(&cicero_ir)?;
         stats.codegen = start.elapsed();
+        drop(span);
+
+        if let (Some(t), Some(span)) = (&telemetry, &compile_span) {
+            span.annotate("code_size", program.len());
+            span.annotate("d_offset", program.total_jump_offset());
+            t.gauge_set("compiler.code_size", program.len() as f64);
+            t.gauge_set("compiler.d_offset", program.total_jump_offset() as f64);
+        }
 
         Ok(CompilationArtifacts {
             canonical_pattern: ast.to_pattern(),
@@ -317,8 +404,21 @@ impl Compiler {
             regex_ir_optimized,
             cicero_ir_initial,
             cicero_ir_optimized,
-            compiled: CompiledRegex { program, stats },
+            compiled: CompiledRegex { program, stats, pass_report },
         })
+    }
+
+    fn high_level_options(&self) -> regex_dialect::transforms::HighLevelOptions {
+        regex_dialect::transforms::HighLevelOptions {
+            canonicalize: self.options.canonicalize,
+            factorize: self.options.factorize,
+            shortest_match: self.options.shortest_match,
+            shortest_match_leading: self.options.shortest_match_leading,
+        }
+    }
+
+    fn low_level_options(&self) -> cicero_dialect::LowLevelOptions {
+        cicero_dialect::LowLevelOptions { jump_simplification: self.options.jump_simplification }
     }
 }
 
@@ -425,9 +525,8 @@ mod tests {
         let opt = compile("ab|cd").unwrap();
         assert_eq!(opt.d_offset(), 9);
         assert_eq!(opt.code_size(), 10);
-        let unopt = Compiler::with_options(CompilerOptions::unoptimized())
-            .compile("ab|cd")
-            .unwrap();
+        let unopt =
+            Compiler::with_options(CompilerOptions::unoptimized()).compile("ab|cd").unwrap();
         assert_eq!(unopt.d_offset(), 14);
         assert_eq!(unopt.code_size(), 11);
     }
@@ -472,14 +571,56 @@ mod tests {
     }
 
     #[test]
+    fn pass_report_covers_both_pipelines() {
+        let compiled = compile("ab|cd").unwrap();
+        let names: Vec<_> = compiled.pass_report().passes.iter().map(|p| p.name).collect();
+        assert!(names.contains(&"regex-canonicalize"), "{names:?}");
+        assert!(names.contains(&"cicero-jump-simplification"), "{names:?}");
+        let table = compiled.pass_report().to_string();
+        assert!(table.contains("time (us)"), "{table}");
+        assert!(table.contains("total"), "{table}");
+    }
+
+    #[test]
+    fn telemetry_records_spans_and_metrics() {
+        let telemetry = Telemetry::new();
+        let compiler = Compiler::new().with_telemetry(telemetry.clone());
+        let compiled = compiler.compile("ab|cd").unwrap();
+        let spans = telemetry.spans();
+        let compile_span = spans.iter().find(|s| s.name == "compile").unwrap();
+        assert!(compile_span.attrs.iter().any(|(k, _)| k == "code_size"));
+        assert!(compile_span.attrs.iter().any(|(k, _)| k == "d_offset"));
+        for stage in ["parse", "convert", "high-level", "lowering", "low-level", "codegen"] {
+            assert!(
+                spans.iter().any(|s| s.name == format!("stage:{stage}")),
+                "missing stage:{stage}"
+            );
+        }
+        let pass_spans: Vec<_> = spans.iter().filter(|s| s.name.starts_with("pass:")).collect();
+        assert_eq!(pass_spans.len(), compiled.pass_report().passes.len());
+        for span in &pass_spans {
+            assert!(span.depth >= 2, "pass span should nest under compile/stage");
+            assert!(span.attrs.iter().any(|(k, _)| k == "ops_delta"), "{:?}", span.attrs);
+        }
+        assert_eq!(telemetry.counter("compiler.compilations"), 1);
+        assert_eq!(telemetry.counter("compiler.passes_run") as usize, pass_spans.len());
+        assert_eq!(telemetry.gauge("compiler.code_size"), Some(compiled.code_size() as f64));
+        assert_eq!(telemetry.gauge("compiler.d_offset"), Some(compiled.d_offset() as f64));
+    }
+
+    #[test]
+    fn telemetry_is_optional_and_absent_by_default() {
+        let compiler = Compiler::new();
+        assert!(compiler.telemetry().is_none());
+        compiler.compile("ab").unwrap();
+    }
+
+    #[test]
     fn differential_against_oracle_on_random_patterns() {
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0x51CE80);
-        let compilers = [
-            Compiler::with_options(CompilerOptions::unoptimized()),
-            Compiler::new(),
-        ];
+        let compilers = [Compiler::with_options(CompilerOptions::unoptimized()), Compiler::new()];
         let mut tested = 0;
         while tested < 120 {
             let pattern = random_pattern(&mut rng);
@@ -558,9 +699,7 @@ mod compile_set_tests {
 
     #[test]
     fn multi_match_reports_ids_end_to_end() {
-        let set = Compiler::new()
-            .compile_set(&["GET /", "POST /", r"\.\./\.\./"])
-            .unwrap();
+        let set = Compiler::new().compile_set(&["GET /", "POST /", r"\.\./\.\./"]).unwrap();
         assert_eq!(set.len(), 3);
         let out = cicero_isa::run(set.program(), b"xx POST /api yy");
         assert!(out.accepted);
@@ -573,12 +712,9 @@ mod compile_set_tests {
     fn set_verdict_equals_disjunction_of_singles() {
         let patterns = ["ab+c", "x[yz]", "qq"];
         let set = Compiler::new().compile_set(&patterns).unwrap();
-        let singles: Vec<Program> = patterns
-            .iter()
-            .map(|p| compile(p).unwrap().into_program())
-            .collect();
-        let inputs: [&[u8]; 6] =
-            [b"abbbc", b"xz", b"qq", b"none", b"", b"abxq"];
+        let singles: Vec<Program> =
+            patterns.iter().map(|p| compile(p).unwrap().into_program()).collect();
+        let inputs: [&[u8]; 6] = [b"abbbc", b"xz", b"qq", b"none", b"", b"abxq"];
         for input in inputs {
             let expected = singles.iter().any(|p| cicero_isa::accepts(p, input));
             let out = cicero_isa::run(set.program(), input);

@@ -2,9 +2,7 @@
 
 use std::fmt;
 
-use crate::ast::{
-    Alternation, Atom, ClassSet, Concatenation, Piece, Quantifier, RegexAst, Span,
-};
+use crate::ast::{Alternation, Atom, ClassSet, Concatenation, Piece, Quantifier, RegexAst, Span};
 
 /// Upper bound on counted-repetition bounds, guarding against quantifier
 /// explosion in instruction memory (programs are capped at 8192 entries).
@@ -116,9 +114,7 @@ impl<'a> Parser<'a> {
                 Some(b'$') if depth == 0 => break,
                 Some(b'$') => return Err(self.err_here("`$` inside a group is not supported")),
                 Some(b'^') => {
-                    return Err(
-                        self.err_here("`^` is only supported at the start of the pattern")
-                    )
+                    return Err(self.err_here("`^` is only supported at the start of the pattern"))
                 }
                 _ => pieces.push(self.parse_piece(depth)?),
             }
@@ -201,7 +197,9 @@ impl<'a> Parser<'a> {
             }
             b'd' | b'D' | b'w' | b'W' | b's' | b'S' => {
                 if in_class {
-                    return Err(self.err_span(start, "perl classes are not supported inside `[...]`"));
+                    return Err(
+                        self.err_span(start, "perl classes are not supported inside `[...]`")
+                    );
                 }
                 let mut set = ClassSet::empty();
                 match c.to_ascii_lowercase() {
@@ -323,7 +321,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
                 if let Some(max) = max {
                     if min > max {
-                        return Err(self.err_span(start, format!("reversed bounds {{{min},{max}}}")));
+                        return Err(
+                            self.err_span(start, format!("reversed bounds {{{min},{max}}}"))
+                        );
                     }
                     if max == 0 {
                         return Err(self.err_span(start, "quantifier {0} matches nothing"));
@@ -518,14 +518,9 @@ mod tests {
 
     #[test]
     fn pattern_roundtrip() {
-        for p in [
-            "(ab)|c{3,6}d+",
-            "th(is|at|ose)",
-            "^abc$",
-            "[^ab]x*",
-            r"\d{2,}[a-f-]",
-            "a(b(c|d))e?",
-        ] {
+        for p in
+            ["(ab)|c{3,6}d+", "th(is|at|ose)", "^abc$", "[^ab]x*", r"\d{2,}[a-f-]", "a(b(c|d))e?"]
+        {
             // Spans shift when re-printing, so compare by canonical form:
             // printing must be a fixed point of parse∘print.
             let printed = parse(p).unwrap().to_pattern();

@@ -65,11 +65,7 @@ impl std::error::Error for DecodeError {}
 impl EncodedProgram {
     /// Encode a validated [`Program`].
     pub fn from_program(program: &Program) -> EncodedProgram {
-        let words = program
-            .instructions()
-            .iter()
-            .map(|ins| encode_instruction(*ins))
-            .collect();
+        let words = program.instructions().iter().map(|ins| encode_instruction(*ins)).collect();
         EncodedProgram { words }
     }
 
@@ -98,10 +94,7 @@ impl EncodedProgram {
         if !bytes.len().is_multiple_of(2) {
             return Err(DecodeError::TruncatedWord);
         }
-        let words = bytes
-            .chunks_exact(2)
-            .map(|c| u16::from_le_bytes([c[0], c[1]]))
-            .collect();
+        let words = bytes.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
         Ok(EncodedProgram { words })
     }
 
@@ -134,9 +127,8 @@ fn decode_word(word: u16, address: usize, len: usize) -> Result<Instruction, Dec
     let opcode_bits = (word >> OPERAND_BITS) as u8;
     let operand = word & MAX_OPERAND;
     let opcode = Opcode::from_bits(opcode_bits).expect("3-bit field is always a known opcode");
-    let char_operand = || {
-        u8::try_from(operand).map_err(|_| DecodeError::OperandNotAChar { address, operand })
-    };
+    let char_operand =
+        || u8::try_from(operand).map_err(|_| DecodeError::OperandNotAChar { address, operand });
     let target_operand = || {
         if usize::from(operand) < len {
             Ok(operand)
@@ -193,10 +185,7 @@ mod tests {
 
     #[test]
     fn odd_byte_stream_is_rejected() {
-        assert_eq!(
-            EncodedProgram::from_bytes(&[0x01]),
-            Err(DecodeError::TruncatedWord)
-        );
+        assert_eq!(EncodedProgram::from_bytes(&[0x01]), Err(DecodeError::TruncatedWord));
     }
 
     #[test]

@@ -154,9 +154,7 @@ impl Instruction {
     pub fn is_acceptance(&self) -> bool {
         matches!(
             self,
-            Instruction::Accept
-                | Instruction::AcceptPartial
-                | Instruction::AcceptPartialId(_)
+            Instruction::Accept | Instruction::AcceptPartial | Instruction::AcceptPartialId(_)
         )
     }
 
@@ -167,10 +165,7 @@ impl Instruction {
 
     /// True for `MatchAny`, `Match` and `NotMatch`.
     pub fn is_matching(&self) -> bool {
-        matches!(
-            self,
-            Instruction::MatchAny | Instruction::Match(_) | Instruction::NotMatch(_)
-        )
+        matches!(self, Instruction::MatchAny | Instruction::Match(_) | Instruction::NotMatch(_))
     }
 
     /// True if executing this instruction consumes an input character
@@ -274,14 +269,8 @@ mod tests {
 
     #[test]
     fn branch_target_replacement() {
-        assert_eq!(
-            Instruction::Split(3).with_branch_target(9),
-            Instruction::Split(9)
-        );
-        assert_eq!(
-            Instruction::Jump(3).with_branch_target(0),
-            Instruction::Jump(0)
-        );
+        assert_eq!(Instruction::Split(3).with_branch_target(9), Instruction::Split(9));
+        assert_eq!(Instruction::Jump(3).with_branch_target(0), Instruction::Jump(0));
     }
 
     #[test]

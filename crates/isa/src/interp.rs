@@ -242,12 +242,7 @@ mod tests {
     #[test]
     fn matching_kills_at_end_of_input() {
         // NotMatch at end of input kills the thread rather than passing.
-        let p = Program::from_instructions(vec![
-            Match(b'x'),
-            NotMatch(b'a'),
-            Accept,
-        ])
-        .unwrap();
+        let p = Program::from_instructions(vec![Match(b'x'), NotMatch(b'a'), Accept]).unwrap();
         assert!(!accepts(&p, b"x"), "NotMatch must not fire at end of input");
         // With "xz": NotMatch(a) passes without consuming, so Accept then
         // sees position 1 of 2 and the thread dies.
@@ -258,14 +253,8 @@ mod tests {
     fn split_loops_terminate_via_dedup() {
         // `(a*)*`-style pathological loop: Split(0) at 0 jumping to itself
         // through a cycle must terminate thanks to dedup.
-        let p = Program::from_instructions(vec![
-            Split(2),
-            Jump(0),
-            Match(b'a'),
-            Jump(0),
-            Accept,
-        ])
-        .unwrap();
+        let p = Program::from_instructions(vec![Split(2), Jump(0), Match(b'a'), Jump(0), Accept])
+            .unwrap();
         let out = run(&p, b"aaa");
         assert!(!out.accepted);
         // Bounded work: at most program.len() distinct PCs per position.
@@ -274,13 +263,8 @@ mod tests {
 
     #[test]
     fn acceptance_halts_execution_early() {
-        let p = Program::from_instructions(vec![
-            Split(2),
-            AcceptPartial,
-            MatchAny,
-            Jump(0),
-        ])
-        .unwrap();
+        let p =
+            Program::from_instructions(vec![Split(2), AcceptPartial, MatchAny, Jump(0)]).unwrap();
         let out = run(&p, &[b'x'; 1000]);
         assert!(out.accepted);
         assert_eq!(out.match_position, Some(0));

@@ -242,9 +242,8 @@ impl FromStr for Program {
                     Instruction::AcceptPartialId(id)
                 }
                 "MATCH" | "NOT_MATCH" => {
-                    let c = parse_char_operand(&rest).ok_or_else(|| {
-                        err(format!("expected `char <c>` operand, got {rest:?}"))
-                    })?;
+                    let c = parse_char_operand(&rest)
+                        .ok_or_else(|| err(format!("expected `char <c>` operand, got {rest:?}")))?;
                     if mnemonic.eq_ignore_ascii_case("MATCH") {
                         Instruction::Match(c)
                     } else {
@@ -383,10 +382,7 @@ mod tests {
     fn asm_parser_accepts_comments_and_blank_lines() {
         let text = "# header\n\n000: MATCH char a\n; trailer\n001: ACCEPT_PARTIAL\n";
         let p: Program = text.parse().unwrap();
-        assert_eq!(
-            p.instructions(),
-            &[Instruction::Match(b'a'), Instruction::AcceptPartial]
-        );
+        assert_eq!(p.instructions(), &[Instruction::Match(b'a'), Instruction::AcceptPartial]);
     }
 
     #[test]

@@ -359,12 +359,12 @@ fn emit_concat<'a>(
                     .and_then(Value::as_list)
                     .ok_or_else(|| LegacyError::new("group lacks alternatives"))?;
                 if alternatives.len() >= 2 {
-                    return emit_branches(e, alternatives, BranchStyle::Inner, next).map(
-                        |kind| match kind {
+                    return emit_branches(e, alternatives, BranchStyle::Inner, next).map(|kind| {
+                        match kind {
                             BranchKind::Alt(i) => BranchKind::PureNested(i),
                             other => other,
-                        },
-                    );
+                        }
+                    });
                 }
             }
         }
@@ -373,7 +373,11 @@ fn emit_concat<'a>(
     Ok(BranchKind::Plain)
 }
 
-fn emit_pieces<'a>(e: &mut Emitter, pieces: &'a [Value], next: Next<'a>) -> Result<(), LegacyError> {
+fn emit_pieces<'a>(
+    e: &mut Emitter,
+    pieces: &'a [Value],
+    next: Next<'a>,
+) -> Result<(), LegacyError> {
     match pieces.split_first() {
         None => {
             next.resolve(e);
@@ -566,10 +570,7 @@ mod tests {
             .code
             .iter()
             .map(|i| {
-                (
-                    i.get("op").and_then(Value::as_str).unwrap(),
-                    i.get("arg").and_then(Value::as_int),
-                )
+                (i.get("op").and_then(Value::as_str).unwrap(), i.get("arg").and_then(Value::as_int))
             })
             .collect();
         assert_eq!(

@@ -198,10 +198,7 @@ mod tests {
         let unopt = LegacyCompiler::new(false).compile("^(a|(b|(c|d)))$").unwrap();
         let opt = LegacyCompiler::new(true).compile("^(a|(b|(c|d)))$").unwrap();
         let jumps = |p: &Program| {
-            p.instructions()
-                .iter()
-                .filter(|i| matches!(i, Instruction::Jump(_)))
-                .count()
+            p.instructions().iter().filter(|i| matches!(i, Instruction::Jump(_))).count()
         };
         assert!(jumps(&opt) < jumps(&unopt), "{}\nvs\n{}", unopt, opt);
         // Split depth: longest chain of splits to reach any leaf is
@@ -259,9 +256,7 @@ mod tests {
     fn agrees_with_new_compiler_unoptimized_layout() {
         // Figure 8's premise: without optimizations the two compilers
         // produce equivalent code.
-        let new = cicero_core::Compiler::with_options(
-            cicero_core::CompilerOptions::unoptimized(),
-        );
+        let new = cicero_core::Compiler::with_options(cicero_core::CompilerOptions::unoptimized());
         for pattern in ["ab|cd", "a+b*c?", "[^ab]x", "(one|two|three)+"] {
             let old_p = LegacyCompiler::new(false).compile(pattern).unwrap();
             let new_p = new.compile(pattern).unwrap();

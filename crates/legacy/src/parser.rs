@@ -128,13 +128,9 @@ impl<'a> P<'a> {
                 if !self.eat(b')') {
                     return Err(LegacyError::new("unclosed `(`"));
                 }
-                let all_empty = alternatives
-                    .as_list()
-                    .expect("list")
-                    .iter()
-                    .all(|c| {
-                        c.get("pieces").and_then(Value::as_list).is_some_and(|l| l.is_empty())
-                    });
+                let all_empty = alternatives.as_list().expect("list").iter().all(|c| {
+                    c.get("pieces").and_then(Value::as_list).is_some_and(|l| l.is_empty())
+                });
                 if all_empty {
                     return Err(LegacyError::new("group matches only the empty string"));
                 }
@@ -280,10 +276,8 @@ impl<'a> P<'a> {
         if !any {
             return Err(LegacyError::new("empty character class"));
         }
-        let chars: Vec<Value> = (0..256)
-            .filter(|i| member[*i] != negated)
-            .map(|i| Value::Int(i as i64))
-            .collect();
+        let chars: Vec<Value> =
+            (0..256).filter(|i| member[*i] != negated).map(|i| Value::Int(i as i64)).collect();
         let mut node = Value::node("class");
         node.set("chars", Value::List(chars));
         Ok(node)
@@ -367,10 +361,8 @@ mod tests {
         let piece = &alts[0].get("pieces").and_then(Value::as_list).unwrap()[0];
         assert_eq!(piece.get("min").and_then(Value::as_int), Some(1));
         assert_eq!(piece.get("max").and_then(Value::as_int), Some(-1));
-        let class = alts[1].get("pieces").and_then(Value::as_list).unwrap()[0]
-            .get("atom")
-            .unwrap()
-            .clone();
+        let class =
+            alts[1].get("pieces").and_then(Value::as_list).unwrap()[0].get("atom").unwrap().clone();
         assert_eq!(class.node_type(), Some("class"));
         assert_eq!(class.get("chars").and_then(Value::as_list).unwrap().len(), 2);
     }
@@ -379,10 +371,8 @@ mod tests {
     fn negated_class_is_resolved() {
         let root = parse("[^ab]").unwrap();
         let alts = root.get("alternatives").and_then(Value::as_list).unwrap();
-        let atom = alts[0].get("pieces").and_then(Value::as_list).unwrap()[0]
-            .get("atom")
-            .unwrap()
-            .clone();
+        let atom =
+            alts[0].get("pieces").and_then(Value::as_list).unwrap()[0].get("atom").unwrap().clone();
         assert_eq!(atom.get("chars").and_then(Value::as_list).unwrap().len(), 254);
     }
 

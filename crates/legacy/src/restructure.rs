@@ -55,8 +55,7 @@ pub fn code_restructuring(mapped: &mut MappedProgram) -> Result<(), LegacyError>
     let flattened = flattened_alt_set(&mapped.meta);
     for index in 0..mapped.meta.alts.len() {
         let alt = &mapped.meta.alts[index];
-        let is_root =
-            alt.splits == mapped.meta.root_splits && alt.join == mapped.meta.join_addr;
+        let is_root = alt.splits == mapped.meta.root_splits && alt.join == mapped.meta.join_addr;
         if is_root || flattened.contains(&index) {
             continue;
         }
@@ -92,10 +91,7 @@ fn flattened_alt_set(meta: &EmitMeta) -> Vec<usize> {
 /// a permutation of the span `[first_split, join)` — followed by the
 /// mapped-IR tax: re-patching every branch target in the program and
 /// remapping all other alternations' metadata through the move map.
-fn balance_chain_in_place(
-    mapped: &mut MappedProgram,
-    alt_index: usize,
-) -> Result<(), LegacyError> {
+fn balance_chain_in_place(mapped: &mut MappedProgram, alt_index: usize) -> Result<(), LegacyError> {
     let alt = mapped.meta.alts[alt_index].clone();
     if alt.branches.len() < 2 {
         return Ok(());

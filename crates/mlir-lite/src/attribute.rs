@@ -192,10 +192,7 @@ mod tests {
         assert_eq!(Attribute::Char(b'\'').to_string(), "'\\''");
         assert_eq!(Attribute::Str("a\"b".into()).to_string(), "\"a\\\"b\"");
         assert_eq!(Attribute::Symbol("alt_1".into()).to_string(), "@alt_1");
-        assert_eq!(
-            Attribute::BoolArray(vec![false, true, true]).to_string(),
-            "bits\"011\""
-        );
+        assert_eq!(Attribute::BoolArray(vec![false, true, true]).to_string(), "bits\"011\"");
     }
 
     #[test]

@@ -291,10 +291,7 @@ impl Context {
         }
         if let RegionCount::Exact(n) = def.regions {
             if op.regions().len() != n {
-                return Err(fail(format!(
-                    "expected {n} region(s), found {}",
-                    op.regions().len()
-                )));
+                return Err(fail(format!("expected {n} region(s), found {}", op.regions().len())));
             }
         }
         if let Some(verifier) = def.verifier {

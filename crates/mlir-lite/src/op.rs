@@ -106,11 +106,7 @@ impl Operation {
     /// Panics if `name` is not of the form `dialect.op` (see
     /// [`OpName::new`]).
     pub fn new(name: impl Into<String>) -> Operation {
-        Operation {
-            name: OpName::new(name.into()),
-            attrs: BTreeMap::new(),
-            regions: Vec::new(),
-        }
+        Operation { name: OpName::new(name.into()), attrs: BTreeMap::new(), regions: Vec::new() }
     }
 
     /// The operation name.

@@ -228,9 +228,8 @@ impl<'a> Parser<'a> {
                                 '0' => v.push(false),
                                 '1' => v.push(true),
                                 other => {
-                                    return Err(
-                                        self.error(format!("invalid bit `{other}` in bits literal"))
-                                    )
+                                    return Err(self
+                                        .error(format!("invalid bit `{other}` in bits literal")))
                                 }
                             }
                         }
@@ -267,9 +266,8 @@ impl<'a> Parser<'a> {
                     let hi = self.bump().ok_or_else(|| self.error("truncated \\x escape"))?;
                     let lo = self.bump().ok_or_else(|| self.error("truncated \\x escape"))?;
                     let hex = [hi, lo];
-                    let hex = std::str::from_utf8(&hex)
-                        .ok()
-                        .and_then(|h| u8::from_str_radix(h, 16).ok());
+                    let hex =
+                        std::str::from_utf8(&hex).ok().and_then(|h| u8::from_str_radix(h, 16).ok());
                     hex.ok_or_else(|| self.error("invalid \\x escape"))?
                 }
                 other => return Err(self.error(format!("unknown escape `\\{}`", other as char))),
@@ -332,10 +330,7 @@ mod tests {
         assert_eq!(op.attr("d"), Some(&Attribute::Char(b'q')));
         assert_eq!(op.attr("e"), Some(&Attribute::Str("hi\"there".into())));
         assert_eq!(op.attr("f"), Some(&Attribute::Symbol("sym".into())));
-        assert_eq!(
-            op.attr("g"),
-            Some(&Attribute::BoolArray(vec![false, true, true, false]))
-        );
+        assert_eq!(op.attr("g"), Some(&Attribute::BoolArray(vec![false, true, true, false])));
     }
 
     #[test]
@@ -355,7 +350,8 @@ mod tests {
 
     #[test]
     fn roundtrip_printer_output() {
-        let leaf = Operation::new("regex.match_char").with_attr("target_char", Attribute::Char(b'\\'));
+        let leaf =
+            Operation::new("regex.match_char").with_attr("target_char", Attribute::Char(b'\\'));
         let root = Operation::new("regex.root")
             .with_attr("has_prefix", true)
             .with_attr("label", "an \"odd\" name")

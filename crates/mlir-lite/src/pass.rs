@@ -48,6 +48,25 @@ impl fmt::Display for PassError {
 
 impl std::error::Error for PassError {}
 
+/// Observation hooks around each pass execution.
+///
+/// Mirrors `mlir::PassInstrumentation`: the pass manager calls
+/// [`PassInstrumentation::run_before_pass`] with the IR as it enters the
+/// pass and [`PassInstrumentation::run_after_pass`] with the finished
+/// [`PassReport`] (duration plus op-count delta). Instrumentations observe
+/// the IR but never mutate it, so they can be layered freely — timing,
+/// statistics, IR dumping — without affecting pipeline semantics.
+pub trait PassInstrumentation {
+    /// Called immediately before a pass runs.
+    fn run_before_pass(&self, _pass_name: &'static str, _root: &Operation) {}
+
+    /// Called after a pass (and any inter-pass verification) succeeds.
+    fn run_after_pass(&self, _pass_name: &'static str, _root: &Operation, _report: &PassReport) {}
+
+    /// Called when a pass or its post-verification fails.
+    fn run_after_pass_failed(&self, _pass_name: &'static str, _error: &PassError) {}
+}
+
 /// Timing and structural data for one executed pass.
 #[derive(Debug, Clone)]
 pub struct PassReport {
@@ -59,6 +78,13 @@ pub struct PassReport {
     pub ops_before: usize,
     /// Op count after the pass ran.
     pub ops_after: usize,
+}
+
+impl PassReport {
+    /// Signed op-count delta (`ops_after - ops_before`).
+    pub fn ops_delta(&self) -> i64 {
+        self.ops_after as i64 - self.ops_before as i64
+    }
 }
 
 /// Report for a whole pipeline run.
@@ -73,19 +99,46 @@ impl PipelineReport {
     pub fn total_duration(&self) -> Duration {
         self.passes.iter().map(|p| p.duration).sum()
     }
+
+    /// Append another pipeline's passes (e.g. high-level then low-level).
+    pub fn extend(&mut self, other: &PipelineReport) {
+        self.passes.extend(other.passes.iter().cloned());
+    }
 }
 
 impl fmt::Display for PipelineReport {
+    /// An aligned per-pass timing table, modeled on MLIR's
+    /// `-mlir-timing` report: duration, share of total, and op-count
+    /// delta per pass, followed by a total row.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<40} {:>12} {:>8} {:>8}", "pass", "time", "ops in", "ops out")?;
+        let name_width = self
+            .passes
+            .iter()
+            .map(|p| p.name.len())
+            .chain(["pass".len(), "total".len()])
+            .max()
+            .unwrap_or(4);
+        let total_us = self.total_duration().as_secs_f64() * 1e6;
+        writeln!(
+            f,
+            "{:<name_width$}  {:>12}  {:>6}  {:>7}  {:>7}  {:>6}",
+            "pass", "time (us)", "%", "ops in", "ops out", "delta"
+        )?;
         for p in &self.passes {
+            let us = p.duration.as_secs_f64() * 1e6;
+            let share = if total_us > 0.0 { 100.0 * us / total_us } else { 0.0 };
             writeln!(
                 f,
-                "{:<40} {:>9.3?} {:>8} {:>8}",
-                p.name, p.duration, p.ops_before, p.ops_after
+                "{:<name_width$}  {:>12.1}  {:>6.1}  {:>7}  {:>7}  {:>+6}",
+                p.name,
+                us,
+                share,
+                p.ops_before,
+                p.ops_after,
+                p.ops_delta()
             )?;
         }
-        write!(f, "{:<40} {:>9.3?}", "total", self.total_duration())
+        write!(f, "{:<name_width$}  {:>12.1}  {:>6.1}", "total", total_us, 100.0)
     }
 }
 
@@ -98,6 +151,7 @@ impl fmt::Display for PipelineReport {
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     verify_each: bool,
+    instrumentations: Vec<Box<dyn PassInstrumentation>>,
 }
 
 impl fmt::Debug for PassManager {
@@ -105,6 +159,7 @@ impl fmt::Debug for PassManager {
         f.debug_struct("PassManager")
             .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
             .field("verify_each", &self.verify_each)
+            .field("instrumentations", &self.instrumentations.len())
             .finish()
     }
 }
@@ -118,12 +173,19 @@ impl Default for PassManager {
 impl PassManager {
     /// An empty pipeline with inter-pass verification enabled.
     pub fn new() -> PassManager {
-        PassManager { passes: Vec::new(), verify_each: true }
+        PassManager { passes: Vec::new(), verify_each: true, instrumentations: Vec::new() }
     }
 
     /// Append a pass.
     pub fn add_pass(&mut self, pass: Box<dyn Pass>) -> &mut Self {
         self.passes.push(pass);
+        self
+    }
+
+    /// Attach an observation hook fired around every pass. Multiple
+    /// instrumentations run in registration order.
+    pub fn add_instrumentation(&mut self, instr: Box<dyn PassInstrumentation>) -> &mut Self {
+        self.instrumentations.push(instr);
         self
     }
 
@@ -152,27 +214,44 @@ impl PassManager {
     pub fn run(&self, root: &mut Operation, ctx: &Context) -> Result<PipelineReport, PassError> {
         let mut report = PipelineReport::default();
         for pass in &self.passes {
+            for instr in &self.instrumentations {
+                instr.run_before_pass(pass.name(), root);
+            }
             let ops_before = root.subtree_size();
             let start = Instant::now();
-            pass.run(root, ctx).map_err(|mut e| {
+            let run_result = pass.run(root, ctx).map_err(|mut e| {
                 if e.pass.is_empty() {
                     e.pass = pass.name().to_owned();
                 }
                 e
-            })?;
+            });
             let duration = start.elapsed();
-            if self.verify_each {
-                ctx.verify(root).map_err(|e| PassError {
-                    pass: pass.name().to_owned(),
-                    message: format!("IR invalid after pass: {e}"),
-                })?;
+            let verified = run_result.and_then(|()| {
+                if self.verify_each {
+                    ctx.verify(root).map_err(|e| PassError {
+                        pass: pass.name().to_owned(),
+                        message: format!("IR invalid after pass: {e}"),
+                    })
+                } else {
+                    Ok(())
+                }
+            });
+            if let Err(error) = verified {
+                for instr in &self.instrumentations {
+                    instr.run_after_pass_failed(pass.name(), &error);
+                }
+                return Err(error);
             }
-            report.passes.push(PassReport {
+            let pass_report = PassReport {
                 name: pass.name(),
                 duration,
                 ops_before,
                 ops_after: root.subtree_size(),
-            });
+            };
+            for instr in &self.instrumentations {
+                instr.run_after_pass(pass.name(), root, &pass_report);
+            }
+            report.passes.push(pass_report);
         }
         Ok(report)
     }
@@ -275,5 +354,82 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("append-leaf"), "{text}");
         assert!(text.contains("total"), "{text}");
+    }
+
+    #[test]
+    fn report_display_is_aligned() {
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(AppendLeaf)).add_pass(Box::new(AppendLeaf));
+        let report = pm.run(&mut module(), &ctx()).unwrap();
+        let text = report.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 passes + total
+                                    // Every pass row starts its numeric columns at the same offset as
+                                    // the header columns.
+        let header_time = lines[0].find("time (us)").unwrap();
+        for row in &lines[1..3] {
+            assert!(row.len() > header_time, "{text}");
+            assert!(row.contains("append-leaf"), "{text}");
+        }
+        assert!(lines[1].contains("+1"), "delta column missing: {text}");
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Default)]
+    struct CountingInstr {
+        before: AtomicUsize,
+        after: AtomicUsize,
+        failed: AtomicUsize,
+        delta_sum: AtomicUsize,
+    }
+
+    impl PassInstrumentation for Arc<CountingInstr> {
+        fn run_before_pass(&self, _pass: &'static str, _root: &Operation) {
+            self.before.fetch_add(1, Ordering::SeqCst);
+        }
+        fn run_after_pass(&self, _pass: &'static str, _root: &Operation, report: &PassReport) {
+            self.after.fetch_add(1, Ordering::SeqCst);
+            self.delta_sum.fetch_add(report.ops_delta().unsigned_abs() as usize, Ordering::SeqCst);
+        }
+        fn run_after_pass_failed(&self, _pass: &'static str, _error: &PassError) {
+            self.failed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn instrumentation_sees_every_pass() {
+        let instr = Arc::new(CountingInstr::default());
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(AppendLeaf)).add_pass(Box::new(AppendLeaf));
+        pm.add_instrumentation(Box::new(Arc::clone(&instr)));
+        pm.run(&mut module(), &ctx()).unwrap();
+        assert_eq!(instr.before.load(Ordering::SeqCst), 2);
+        assert_eq!(instr.after.load(Ordering::SeqCst), 2);
+        assert_eq!(instr.failed.load(Ordering::SeqCst), 0);
+        assert_eq!(instr.delta_sum.load(Ordering::SeqCst), 2); // +1 op per pass
+    }
+
+    #[test]
+    fn instrumentation_observes_failures() {
+        let instr = Arc::new(CountingInstr::default());
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(AppendLeaf)).add_pass(Box::new(Fail));
+        pm.add_instrumentation(Box::new(Arc::clone(&instr)));
+        pm.run(&mut module(), &ctx()).unwrap_err();
+        assert_eq!(instr.before.load(Ordering::SeqCst), 2);
+        assert_eq!(instr.after.load(Ordering::SeqCst), 1);
+        assert_eq!(instr.failed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn verification_failure_reaches_instrumentation() {
+        let instr = Arc::new(CountingInstr::default());
+        let mut pm = PassManager::new();
+        pm.add_pass(Box::new(Corrupt));
+        pm.add_instrumentation(Box::new(Arc::clone(&instr)));
+        pm.run(&mut module(), &ctx()).unwrap_err();
+        assert_eq!(instr.failed.load(Ordering::SeqCst), 1);
     }
 }

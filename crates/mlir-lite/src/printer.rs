@@ -68,12 +68,16 @@ mod tests {
 
     #[test]
     fn bare_leaf() {
-        assert_eq!(print_op(&Operation::new("regex.match_any_char")).trim(), "regex.match_any_char");
+        assert_eq!(
+            print_op(&Operation::new("regex.match_any_char")).trim(),
+            "regex.match_any_char"
+        );
     }
 
     #[test]
     fn nested_regions_indent() {
-        let leaf = Operation::new("regex.match_char").with_attr("target_char", Attribute::Char(b'a'));
+        let leaf =
+            Operation::new("regex.match_char").with_attr("target_char", Attribute::Char(b'a'));
         let root = Operation::new("regex.root")
             .with_attr("has_prefix", true)
             .with_region(Region::with_ops(vec![leaf.clone()]))

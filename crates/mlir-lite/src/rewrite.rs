@@ -221,9 +221,9 @@ mod tests {
             Operation::new("t.pair"),
             Operation::new("t.keep"),
         ]);
-        let stats = apply_patterns_greedily(&mut m, &[&SplitPair, &EraseNop], RewriteConfig::default());
-        let names: Vec<&str> =
-            m.regions()[0].ops.iter().map(|o| o.name().as_str()).collect();
+        let stats =
+            apply_patterns_greedily(&mut m, &[&SplitPair, &EraseNop], RewriteConfig::default());
+        let names: Vec<&str> = m.regions()[0].ops.iter().map(|o| o.name().as_str()).collect();
         assert_eq!(names, vec!["t.one", "t.one", "t.keep"]);
         assert_eq!(stats.applications["split-pair"], 1);
         assert_eq!(stats.applications["erase-nop"], 1);
@@ -245,20 +245,14 @@ mod tests {
         let stats = apply_patterns_greedily(&mut m, &[&CountDown], RewriteConfig::default());
         assert_eq!(stats.applications["count-down"], 5);
         assert!(!stats.hit_iteration_cap);
-        assert_eq!(
-            m.regions()[0].ops[0].attr("n"),
-            Some(&Attribute::Int(0))
-        );
+        assert_eq!(m.regions()[0].ops[0].attr("n"), Some(&Attribute::Int(0)));
     }
 
     #[test]
     fn divergent_pattern_hits_cap() {
         let mut m = module(vec![Operation::new("t.loop")]);
-        let stats = apply_patterns_greedily(
-            &mut m,
-            &[&Diverge],
-            RewriteConfig { max_iterations: 8 },
-        );
+        let stats =
+            apply_patterns_greedily(&mut m, &[&Diverge], RewriteConfig { max_iterations: 8 });
         assert!(stats.hit_iteration_cap);
         assert_eq!(stats.iterations, 8);
     }

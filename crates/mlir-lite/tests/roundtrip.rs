@@ -11,12 +11,7 @@ fn attr_strategy() -> impl Strategy<Value = Attribute> {
         any::<u8>().prop_map(Attribute::Char),
         // Printable-ish strings including characters that need escaping.
         prop::collection::vec(
-            prop_oneof![
-                prop::char::range(' ', '~'),
-                Just('"'),
-                Just('\\'),
-                Just('\n'),
-            ],
+            prop_oneof![prop::char::range(' ', '~'), Just('"'), Just('\\'), Just('\n'),],
             0..12
         )
         .prop_map(|cs| Attribute::Str(cs.into_iter().collect())),

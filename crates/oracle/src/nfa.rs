@@ -162,7 +162,8 @@ impl Builder {
     }
 
     fn alternation(&mut self, alt: &Alternation) -> Frag {
-        let mut frags: Vec<Frag> = alt.alternatives.iter().map(|c| self.concat(&c.pieces)).collect();
+        let mut frags: Vec<Frag> =
+            alt.alternatives.iter().map(|c| self.concat(&c.pieces)).collect();
         let mut current = frags.pop().expect("alternation is never empty");
         // Fold right-to-left into a chain of splits.
         while let Some(prev) = frags.pop() {

@@ -22,8 +22,7 @@ pub fn match_end(nfa: &Nfa, input: &[u8]) -> Option<usize> {
         let at_end = position == input.len();
         // Acceptance check on the closed frontier.
         for id in &current {
-            if matches!(nfa.states()[*id as usize], State::Accept) && (!nfa.exact_end() || at_end)
-            {
+            if matches!(nfa.states()[*id as usize], State::Accept) && (!nfa.exact_end() || at_end) {
                 return Some(position);
             }
         }
@@ -163,8 +162,19 @@ mod tests {
     #[test]
     fn agrees_with_backtracker_on_exhaustive_small_inputs() {
         let patterns = [
-            "ab", "^ab$", "a|b", "a*", "^a+b?$", "(ab)+", "[ab]c", "[^a]b", "a{2,3}",
-            "^(a|bb){1,2}$", "a.b", "(a|b)(b|a)$", "^x(yz)*",
+            "ab",
+            "^ab$",
+            "a|b",
+            "a*",
+            "^a+b?$",
+            "(ab)+",
+            "[ab]c",
+            "[^a]b",
+            "a{2,3}",
+            "^(a|bb){1,2}$",
+            "a.b",
+            "(a|b)(b|a)$",
+            "^x(yz)*",
         ];
         let alphabet = [b'a', b'b', b'x'];
         for pattern in patterns {

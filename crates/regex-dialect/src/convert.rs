@@ -14,11 +14,7 @@ use crate::ops;
 /// parser, so this conversion never emits `regex.dollar` itself (the op
 /// remains available to dialect users building IR by hand).
 pub fn ast_to_ir(ast: &RegexAst) -> Operation {
-    ops::root(
-        ast.has_prefix,
-        ast.has_suffix,
-        convert_alternatives(&ast.alternation),
-    )
+    ops::root(ast.has_prefix, ast.has_suffix, convert_alternatives(&ast.alternation))
 }
 
 fn convert_alternatives(alt: &Alternation) -> Vec<Operation> {
@@ -31,10 +27,7 @@ fn convert_concatenation(concat: &Concatenation) -> Operation {
 
 fn convert_piece(piece: &Piece) -> Operation {
     let atom = convert_atom(&piece.atom);
-    let quant = piece
-        .quantifier
-        .filter(|q| !q.is_one())
-        .map(|q| ops::quantifier(q.min, q.max));
+    let quant = piece.quantifier.filter(|q| !q.is_one()).map(|q| ops::quantifier(q.min, q.max));
     ops::piece(atom, quant)
 }
 
@@ -177,10 +170,7 @@ mod tests {
         let root = ir("[^ab]");
         let alts = &root.only_region().ops;
         let (atom, _) = crate::ops::piece_parts(&alts[0].only_region().ops[0]);
-        let bits = atom
-            .attr(attrs::TARGET_CHARS)
-            .and_then(Attribute::as_bool_array)
-            .unwrap();
+        let bits = atom.attr(attrs::TARGET_CHARS).and_then(Attribute::as_bool_array).unwrap();
         assert!(!bits[b'a' as usize]);
         assert!(!bits[b'b' as usize]);
         assert!(bits[b'c' as usize]);

@@ -1,6 +1,6 @@
 //! Operation definitions and verifiers for the `regex` dialect.
 
-use mlir_lite::{Attribute, AttrKind, AttrSpec, Dialect, OpDefinition, Operation, RegionCount};
+use mlir_lite::{AttrKind, AttrSpec, Attribute, Dialect, OpDefinition, Operation, RegionCount};
 
 /// Fully-qualified operation names.
 pub mod names {
@@ -41,13 +41,8 @@ pub mod attrs {
 }
 
 /// The names of atom operations (valid as the first op of a piece).
-pub const ATOM_OPS: [&str; 5] = [
-    names::MATCH_CHAR,
-    names::MATCH_ANY_CHAR,
-    names::GROUP,
-    names::SUB_REGEX,
-    names::DOLLAR,
-];
+pub const ATOM_OPS: [&str; 5] =
+    [names::MATCH_CHAR, names::MATCH_ANY_CHAR, names::GROUP, names::SUB_REGEX, names::DOLLAR];
 
 /// Whether `op` is an atom operation.
 pub fn is_atom(op: &Operation) -> bool {
@@ -175,10 +170,8 @@ fn verify_quantifier(op: &Operation) -> Result<(), String> {
 
 /// `regex.group`: bitmap must be 256 entries with at least one set.
 fn verify_group(op: &Operation) -> Result<(), String> {
-    let bits = op
-        .attr(attrs::TARGET_CHARS)
-        .and_then(Attribute::as_bool_array)
-        .expect("declared attr");
+    let bits =
+        op.attr(attrs::TARGET_CHARS).and_then(Attribute::as_bool_array).expect("declared attr");
     if bits.len() != 256 {
         return Err(format!("target_chars must have 256 entries, got {}", bits.len()));
     }
@@ -309,15 +302,13 @@ mod tests {
 
     #[test]
     fn piece_structure_is_enforced() {
-        let bad = Operation::new(names::PIECE)
-            .with_region(Region::with_ops(vec![quantifier(1, None)]));
+        let bad =
+            Operation::new(names::PIECE).with_region(Region::with_ops(vec![quantifier(1, None)]));
         let err = ctx().verify(&bad).unwrap_err();
         assert!(err.message.contains("must be an atom"), "{err}");
 
-        let bad = Operation::new(names::PIECE).with_region(Region::with_ops(vec![
-            match_char(b'a'),
-            match_char(b'b'),
-        ]));
+        let bad = Operation::new(names::PIECE)
+            .with_region(Region::with_ops(vec![match_char(b'a'), match_char(b'b')]));
         let err = ctx().verify(&bad).unwrap_err();
         assert!(err.message.contains("[atom, quantifier]"), "{err}");
     }
@@ -338,11 +329,9 @@ mod tests {
 
     #[test]
     fn quantifier_bounds_validated() {
-        for (min, max, needle) in [
-            (-1i64, 1i64, "min must be"),
-            (3, 2, "must be -1 or >="),
-            (0, 0, "matches nothing"),
-        ] {
+        for (min, max, needle) in
+            [(-1i64, 1i64, "min must be"), (3, 2, "must be -1 or >="), (0, 0, "matches nothing")]
+        {
             let q = Operation::new(names::QUANTIFIER)
                 .with_attr(attrs::MIN, min)
                 .with_attr(attrs::MAX, max);

@@ -51,8 +51,10 @@ fn write_piece(piece: &Operation, out: &mut String) {
         names::MATCH_ANY_CHAR => out.push('.'),
         names::DOLLAR => out.push('$'),
         names::GROUP => {
-            let bits =
-                atom.attr(attrs::TARGET_CHARS).and_then(Attribute::as_bool_array).expect("verified");
+            let bits = atom
+                .attr(attrs::TARGET_CHARS)
+                .and_then(Attribute::as_bool_array)
+                .expect("verified");
             write_class(bits, out);
         }
         names::SUB_REGEX => {

@@ -84,8 +84,8 @@ fn check_equivalence(pass: &dyn Pass, seed: u64, cases: usize) {
         pass.run(&mut ir, &ctx).unwrap_or_else(|e| panic!("{pattern:?}: {e}"));
         ctx.verify(&ir).unwrap_or_else(|e| panic!("{pattern:?}: {e}"));
         let transformed = ir_to_pattern(&ir);
-        let before = regex_oracle::Oracle::new(&pattern)
-            .unwrap_or_else(|e| panic!("{pattern:?}: {e}"));
+        let before =
+            regex_oracle::Oracle::new(&pattern).unwrap_or_else(|e| panic!("{pattern:?}: {e}"));
         // Execute the transformed IR directly (some reduced IR, like an
         // all-empty alternation, has no textual form).
         let after = regex_oracle::Oracle::from_ast(&crate::ir_to_ast(&ir));

@@ -21,5 +21,83 @@ pub use factorize::FactorizeAlternationsPass;
 pub use shortest_match::{ShortestMatchLeadingPass, ShortestMatchPass};
 pub use simplify::CanonicalizePass;
 
+use mlir_lite::PassManager;
+
+/// Which high-level transformation sets to register (all on by default,
+/// except the beyond-the-paper leading reduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HighLevelOptions {
+    /// Set 1: sub-regex simplification / canonicalization.
+    pub canonicalize: bool,
+    /// Set 2: alternation prefix factorization.
+    pub factorize: bool,
+    /// Set 3: shortest-match boundary quantifier reduction.
+    pub shortest_match: bool,
+    /// Extension: the same reduction at the leading boundary.
+    pub shortest_match_leading: bool,
+}
+
+impl Default for HighLevelOptions {
+    fn default() -> HighLevelOptions {
+        HighLevelOptions {
+            canonicalize: true,
+            factorize: true,
+            shortest_match: true,
+            shortest_match_leading: false,
+        }
+    }
+}
+
+/// Register the enabled `regex`-dialect transforms on a pass manager, in
+/// the paper's order (canonicalize → factorize → shortest-match), with a
+/// trailing cleanup canonicalization when structural transforms ran.
+///
+/// This is the dialect's single registration point: every driver —
+/// compiler, CLI, benchmarks — builds its high-level pipeline here, so
+/// pass order and instrumentation hooks stay consistent.
+pub fn build_pipeline(pm: &mut PassManager, options: &HighLevelOptions) {
+    if options.canonicalize {
+        pm.add_pass(Box::new(CanonicalizePass));
+    }
+    if options.factorize {
+        pm.add_pass(Box::new(FactorizeAlternationsPass));
+    }
+    if options.shortest_match {
+        pm.add_pass(Box::new(ShortestMatchPass));
+    }
+    if options.shortest_match_leading {
+        pm.add_pass(Box::new(ShortestMatchLeadingPass));
+    }
+    if options.canonicalize && (options.factorize || options.shortest_match) {
+        // Clean up wrappers the structural transforms introduce.
+        pm.add_pass(Box::new(CanonicalizePass));
+    }
+}
+
 #[cfg(test)]
 mod equivalence_tests;
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_registers_all_paper_sets() {
+        let mut pm = PassManager::new();
+        build_pipeline(&mut pm, &HighLevelOptions::default());
+        assert_eq!(pm.len(), 4); // canonicalize, factorize, shortest, cleanup
+    }
+
+    #[test]
+    fn disabled_options_register_nothing() {
+        let all_off = HighLevelOptions {
+            canonicalize: false,
+            factorize: false,
+            shortest_match: false,
+            shortest_match_leading: false,
+        };
+        let mut pm = PassManager::new();
+        build_pipeline(&mut pm, &all_off);
+        assert!(pm.is_empty());
+    }
+}

@@ -53,8 +53,7 @@ impl RewritePattern for UnwrapTrivialSubRegex {
         }
         {
             let (atom, quant) = piece_parts(&op);
-            let single_alternative =
-                atom.is(names::SUB_REGEX) && atom.only_region().len() == 1;
+            let single_alternative = atom.is(names::SUB_REGEX) && atom.only_region().len() == 1;
             if !(single_alternative && quant.is_none()) {
                 return Rewrite::Unchanged(op);
             }
@@ -83,16 +82,13 @@ impl RewritePattern for MergeSubRegexQuantifier {
         }
         let applicable = {
             let (atom, quant) = piece_parts(&op);
-            quant.is_some()
-                && atom.is(names::SUB_REGEX)
-                && atom.only_region().len() == 1
-                && {
-                    let concat = &atom.only_region().ops[0];
-                    concat.only_region().len() == 1 && {
-                        let (_, inner_quant) = piece_parts(&concat.only_region().ops[0]);
-                        inner_quant.is_none()
-                    }
+            quant.is_some() && atom.is(names::SUB_REGEX) && atom.only_region().len() == 1 && {
+                let concat = &atom.only_region().ops[0];
+                concat.only_region().len() == 1 && {
+                    let (_, inner_quant) = piece_parts(&concat.only_region().ops[0]);
+                    inner_quant.is_none()
                 }
+            }
         };
         if !applicable {
             return Rewrite::Unchanged(op);

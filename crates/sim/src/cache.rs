@@ -19,12 +19,7 @@ impl ICache {
     /// An empty (all-invalid) cache.
     pub fn new(config: &CacheConfig) -> ICache {
         assert!(config.lines >= 1 && config.line_size.is_power_of_two());
-        ICache {
-            line_size: config.line_size,
-            tags: vec![None; config.lines],
-            hits: 0,
-            misses: 0,
-        }
+        ICache { line_size: config.line_size, tags: vec![None; config.lines], hits: 0, misses: 0 }
     }
 
     /// Look up the line holding `pc`; on a miss the line is installed and

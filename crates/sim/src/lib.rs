@@ -46,7 +46,7 @@ pub mod stats;
 pub mod trace;
 
 pub use config::{ArchConfig, CacheConfig, Organization};
-pub use machine::{simulate, simulate_batch, Machine};
+pub use machine::{simulate, simulate_batch, simulate_with_telemetry, Machine};
 pub use power::power_watts;
 pub use resources::{resource_usage, ResourceUsage, XCZU3EG};
 pub use stats::ExecReport;

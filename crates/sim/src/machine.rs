@@ -48,10 +48,27 @@ pub fn simulate(program: &Program, input: &[u8], config: &ArchConfig) -> ExecRep
     Machine::new(program, config.clone()).run(input)
 }
 
+/// Like [`simulate`], but folding the run's counters and histograms into
+/// `telemetry` (see [`ExecReport::record_into`]).
+pub fn simulate_with_telemetry(
+    program: &Program,
+    input: &[u8],
+    config: &ArchConfig,
+    telemetry: &cicero_telemetry::Telemetry,
+) -> ExecReport {
+    let mut machine = Machine::new(program, config.clone());
+    machine.attach_telemetry(telemetry.clone());
+    machine.run(input)
+}
+
 /// Run one program over many inputs (e.g. the benchmark chunks of one RE),
 /// preserving instruction-cache state between runs as the hardware does —
 /// reprogramming flushes the caches, streaming new data does not.
-pub fn simulate_batch(program: &Program, inputs: &[Vec<u8>], config: &ArchConfig) -> Vec<ExecReport> {
+pub fn simulate_batch(
+    program: &Program,
+    inputs: &[Vec<u8>],
+    config: &ArchConfig,
+) -> Vec<ExecReport> {
     let mut machine = Machine::new(program, config.clone());
     inputs.iter().map(|input| machine.run(input)).collect()
 }
@@ -139,6 +156,8 @@ pub struct Machine<'p> {
     loads: Vec<usize>,
     /// Pipeline trace, when enabled via [`Machine::run_traced`].
     trace: Option<Vec<TraceEvent>>,
+    /// Telemetry collector; every finished run is folded into it.
+    telemetry: Option<cicero_telemetry::Telemetry>,
 }
 
 impl<'p> Machine<'p> {
@@ -158,7 +177,15 @@ impl<'p> Machine<'p> {
             matched_id: None,
             loads: Vec::new(),
             trace: None,
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry collector: each subsequent [`Machine::run`]
+    /// emits a `sim.run` span and folds its [`ExecReport`] into the
+    /// collector's `sim.*` histograms and counters.
+    pub fn attach_telemetry(&mut self, telemetry: cicero_telemetry::Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Reset all dynamic state (threads, queues, filters, pipelines) while
@@ -202,6 +229,12 @@ impl<'p> Machine<'p> {
     /// position 0) in engine 0. Can be called repeatedly; instruction
     /// caches stay warm across calls.
     pub fn run(&mut self, input: &[u8]) -> ExecReport {
+        let run_span = self.telemetry.as_ref().map(|t| {
+            let span = t.span("sim.run");
+            span.annotate("input_len", input.len());
+            span.annotate("config", self.config.name());
+            span
+        });
         self.reset();
         self.push(0, Thread { pc: 0, pos: 0 }, PushKind::Control, 0);
         loop {
@@ -251,13 +284,19 @@ impl<'p> Machine<'p> {
         self.report.accepted = self.accepted.is_some();
         self.report.match_position = self.accepted;
         self.report.matched_id = self.matched_id;
+        if let Some(telemetry) = &self.telemetry {
+            self.report.record_into(telemetry);
+            if let Some(span) = run_span {
+                span.annotate("cycles", self.report.cycles);
+                span.annotate("accepted", self.report.accepted);
+            }
+        }
         self.report
     }
 
     /// Move due deliveries into engine queues.
     fn deliver(&mut self) {
-        let due: Vec<u64> =
-            self.pending.range(..=self.cycle).map(|(k, _)| *k).collect();
+        let due: Vec<u64> = self.pending.range(..=self.cycle).map(|(k, _)| *k).collect();
         for key in due {
             for (engine_index, thread) in self.pending.remove(&key).expect("key present") {
                 let engine = &mut self.engines[engine_index];
@@ -358,10 +397,7 @@ impl<'p> Machine<'p> {
                             }
                             self.report.window_stall_cycles += 1;
                             self.report.instructions -= 1; // not executed
-                            pushes.push((
-                                Thread { pc: slot.pc, pos: slot.pos },
-                                PushKind::Requeue,
-                            ));
+                            pushes.push((Thread { pc: slot.pc, pos: slot.pos }, PushKind::Requeue));
                         } else {
                             if tracing {
                                 record(2, slot.pc, slot.pos, TraceNote::Matched);
@@ -400,7 +436,8 @@ impl<'p> Machine<'p> {
                         accepted = Some(slot.pos);
                     }
                     if tracing {
-                        let note = if ch.is_none() { TraceNote::Accepted } else { TraceNote::Killed };
+                        let note =
+                            if ch.is_none() { TraceNote::Accepted } else { TraceNote::Killed };
                         record(2, slot.pc, slot.pos, note);
                     }
                     retires.push(slot.pos);
@@ -477,13 +514,10 @@ impl<'p> Machine<'p> {
         }
         if core.s1.is_none() {
             let position = match self.config.organization {
-                Organization::Old => {
-                    queues.iter().find(|(_, q)| !q.is_empty()).map(|(p, _)| *p)
+                Organization::Old => queues.iter().find(|(_, q)| !q.is_empty()).map(|(p, _)| *p),
+                Organization::New => {
+                    queues.iter().find(|(p, q)| *p % window == c && !q.is_empty()).map(|(p, _)| *p)
                 }
-                Organization::New => queues
-                    .iter()
-                    .find(|(p, q)| *p % window == c && !q.is_empty())
-                    .map(|(p, _)| *p),
             };
             if let Some(pos) = position {
                 let queue = queues.get_mut(&pos).expect("position found");
@@ -715,14 +749,8 @@ mod tests {
         // `^zz$` over a long non-matching input dies immediately; `.*zz`
         // scans all of it.
         let anchored = program(vec![Match(b'z'), Match(b'z'), Accept]);
-        let scanning = program(vec![
-            Split(3),
-            MatchAny,
-            Jump(0),
-            Match(b'z'),
-            Match(b'z'),
-            AcceptPartial,
-        ]);
+        let scanning =
+            program(vec![Split(3), MatchAny, Jump(0), Match(b'z'), Match(b'z'), AcceptPartial]);
         let input = vec![b'a'; 500];
         let quick = simulate(&anchored, &input, &ArchConfig::old_organization(1));
         let slow = simulate(&scanning, &input, &ArchConfig::old_organization(1));
@@ -758,9 +786,7 @@ mod tests {
         // Protomata-style class chain: almost-matching input keeps ~5
         // partial-match states alive at every position, so each window
         // character carries real work and the per-character cores overlap.
-        let p = cicero_core::compile("[ab][bc][cd][de][ef][fg]")
-            .unwrap()
-            .into_program();
+        let p = cicero_core::compile("[ab][bc][cd][de][ef][fg]").unwrap().into_program();
         let mut input = Vec::new();
         for _ in 0..60 {
             input.extend_from_slice(b"abcde");
@@ -795,12 +821,7 @@ mod tests {
         let input = vec![b'x'; 300];
         let one = simulate(&p, &input, &ArchConfig::old_organization(1));
         let four = simulate(&p, &input, &ArchConfig::old_organization(4));
-        assert!(
-            four.cycles < one.cycles,
-            "1x4 ({}) should beat 1x1 ({})",
-            four.cycles,
-            one.cycles
-        );
+        assert!(four.cycles < one.cycles, "1x4 ({}) should beat 1x1 ({})", four.cycles, one.cycles);
     }
 
     #[test]
@@ -861,13 +882,7 @@ mod tests {
     #[test]
     fn icache_misses_scale_with_code_spread() {
         // Same language, two layouts: compact loop vs far jumps.
-        let compact = program(vec![
-            Split(3),
-            MatchAny,
-            Jump(0),
-            Match(b'z'),
-            AcceptPartial,
-        ]);
+        let compact = program(vec![Split(3), MatchAny, Jump(0), Match(b'z'), AcceptPartial]);
         // Pad with unreachable instructions so the matcher lands on a
         // cache line that aliases the prefix loop's line (default cache: 8
         // lines of 4 → pc 128 maps to index 0, same as pc 0), forcing
@@ -883,10 +898,7 @@ mod tests {
         let c = ArchConfig::old_organization(1);
         let near_r = simulate(&compact, &input, &c);
         let far_r = simulate(&far, &input, &c);
-        assert!(
-            far_r.icache_misses > near_r.icache_misses,
-            "near {near_r:?} far {far_r:?}"
-        );
+        assert!(far_r.icache_misses > near_r.icache_misses, "near {near_r:?} far {far_r:?}");
         assert!(far_r.cycles > near_r.cycles);
     }
 
@@ -898,6 +910,38 @@ mod tests {
             let a = simulate(&p, input, &config);
             let b = simulate(&p, input, &config);
             assert_eq!(a, b, "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn telemetry_folds_every_run_into_histograms() {
+        let p = ab_or_cd();
+        let telemetry = cicero_telemetry::Telemetry::new();
+        let mut machine = Machine::new(&p, ArchConfig::old_organization(1));
+        machine.attach_telemetry(telemetry.clone());
+        let first = machine.run(b"xxab");
+        machine.run(b"nothing");
+        assert_eq!(telemetry.counter("sim.runs"), 2);
+        assert_eq!(telemetry.counter("sim.matches"), 1);
+        let cycles = telemetry.histogram("sim.cycles").unwrap();
+        assert_eq!(cycles.count, 2);
+        assert!(cycles.min >= first.cycles.min(1) as f64);
+        assert!(telemetry.histogram("sim.icache_hit_rate").unwrap().count == 2);
+        let spans = telemetry.spans();
+        assert_eq!(spans.iter().filter(|s| s.name == "sim.run").count(), 2);
+        let run = spans.iter().find(|s| s.name == "sim.run").unwrap();
+        assert!(run.attrs.iter().any(|(k, _)| k == "cycles"));
+    }
+
+    #[test]
+    fn telemetry_does_not_change_results() {
+        let p = heavy_program();
+        let input = vec![b'x'; 200];
+        for config in all_configs() {
+            let plain = simulate(&p, &input, &config);
+            let telemetry = cicero_telemetry::Telemetry::new();
+            let observed = simulate_with_telemetry(&p, &input, &config, &telemetry);
+            assert_eq!(plain, observed, "{}", config.name());
         }
     }
 

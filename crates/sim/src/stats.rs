@@ -34,11 +34,21 @@ pub struct ExecReport {
 
 impl ExecReport {
     /// Execution time in microseconds at the given clock.
+    ///
+    /// A non-positive (or non-finite) clock is meaningless; it yields
+    /// `NaN` rather than dividing by zero, and the telemetry layer drops
+    /// non-finite observations, so a bad clock can never masquerade as a
+    /// real measurement.
     pub fn time_us(&self, clock_mhz: f64) -> f64 {
-        self.cycles as f64 / clock_mhz
+        if clock_mhz > 0.0 {
+            self.cycles as f64 / clock_mhz
+        } else {
+            f64::NAN
+        }
     }
 
-    /// Energy in W·µs given a power figure.
+    /// Energy in W·µs given a power figure. `NaN` when the clock is
+    /// non-positive (see [`ExecReport::time_us`]).
     pub fn energy_wus(&self, clock_mhz: f64, watts: f64) -> f64 {
         self.time_us(clock_mhz) * watts
     }
@@ -51,6 +61,35 @@ impl ExecReport {
         } else {
             self.icache_hits as f64 / total as f64
         }
+    }
+
+    /// Fold this run into a telemetry collector: `sim.*` histograms for
+    /// the distribution-shaped quantities (cycles, peak threads, i-cache
+    /// hit rate, the stall-cycle breakdown) and counters for the monotone
+    /// ones. Called once per [`Machine::run`](crate::Machine::run) when a
+    /// collector is attached, so repeated runs build up distributions.
+    pub fn record_into(&self, telemetry: &cicero_telemetry::Telemetry) {
+        telemetry.counter_add("sim.runs", 1);
+        telemetry.counter_add("sim.instructions", self.instructions);
+        telemetry.counter_add("sim.icache_hits", self.icache_hits);
+        telemetry.counter_add("sim.icache_misses", self.icache_misses);
+        telemetry.counter_add("sim.cross_engine_transfers", self.cross_engine_transfers);
+        telemetry.counter_add("sim.deduplicated", self.deduplicated);
+        if self.accepted {
+            telemetry.counter_add("sim.matches", 1);
+        }
+        if self.hit_cycle_limit {
+            telemetry.counter_add("sim.cycle_limit_hits", 1);
+        }
+        telemetry.observe("sim.cycles", self.cycles as f64);
+        telemetry.observe("sim.peak_threads", self.peak_threads as f64);
+        telemetry.observe("sim.memory_stall_cycles", self.memory_stall_cycles as f64);
+        telemetry.observe("sim.window_stall_cycles", self.window_stall_cycles as f64);
+        telemetry.observe_with(
+            "sim.icache_hit_rate",
+            self.icache_hit_rate(),
+            &[0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0],
+        );
     }
 
     /// Accumulate another run's counters (used by benchmark drivers to
@@ -78,6 +117,42 @@ mod tests {
         let r = ExecReport { cycles: 1500, ..ExecReport::default() };
         assert!((r.time_us(150.0) - 10.0).abs() < 1e-9);
         assert!((r.energy_wus(150.0, 2.4) - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_positive_clock_yields_nan_instead_of_dividing_by_zero() {
+        let r = ExecReport { cycles: 1500, ..ExecReport::default() };
+        assert!(r.time_us(0.0).is_nan());
+        assert!(r.time_us(-150.0).is_nan());
+        assert!(r.energy_wus(0.0, 2.4).is_nan());
+        assert!(r.time_us(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn record_into_builds_histograms_and_counters() {
+        let telemetry = cicero_telemetry::Telemetry::new();
+        let a = ExecReport {
+            cycles: 100,
+            accepted: true,
+            instructions: 40,
+            icache_hits: 30,
+            icache_misses: 10,
+            peak_threads: 6,
+            ..ExecReport::default()
+        };
+        let b = ExecReport { cycles: 300, ..ExecReport::default() };
+        a.record_into(&telemetry);
+        b.record_into(&telemetry);
+        assert_eq!(telemetry.counter("sim.runs"), 2);
+        assert_eq!(telemetry.counter("sim.matches"), 1);
+        assert_eq!(telemetry.counter("sim.instructions"), 40);
+        let cycles = telemetry.histogram("sim.cycles").unwrap();
+        assert_eq!(cycles.count, 2);
+        assert_eq!(cycles.sum, 400.0);
+        let hit_rate = telemetry.histogram("sim.icache_hit_rate").unwrap();
+        assert_eq!(hit_rate.count, 2);
+        assert_eq!(hit_rate.min, 0.75);
+        assert_eq!(hit_rate.max, 1.0);
     }
 
     #[test]

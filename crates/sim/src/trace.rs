@@ -85,13 +85,8 @@ pub fn render_trace(events: &[TraceEvent], cycles: std::ops::Range<u64>) -> Stri
             .or_default()
             .insert(event.cycle, event.cell());
     }
-    let width = rows
-        .values()
-        .flat_map(|cells| cells.values())
-        .map(String::len)
-        .max()
-        .unwrap_or(1)
-        .max(3);
+    let width =
+        rows.values().flat_map(|cells| cells.values()).map(String::len).max().unwrap_or(1).max(3);
     let mut out = String::new();
     let _ = write!(out, "{:<18}", "cycle");
     for cycle in cycles.clone() {

@@ -1,0 +1,232 @@
+//! Minimal hand-rolled JSON serialization (the workspace has no serde).
+//!
+//! Only what the JSONL sink needs: string escaping, a scalar [`Value`]
+//! type, and an insertion-ordered [`JsonObject`] builder.
+
+use std::fmt::Write as _;
+
+/// A JSON scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON string.
+    Str(String),
+    /// Unsigned integer (serialized without a fraction).
+    UInt(u64),
+    /// Signed integer (serialized without a fraction).
+    Int(i64),
+    /// Floating point; NaN and infinities serialize as `null`.
+    Float(f64),
+    /// JSON boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Append the JSON encoding of this value to `out`.
+    pub fn write_to(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => {
+                out.push('"');
+                escape_json_into(s, out);
+                out.push('"');
+            }
+            Value::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // `{f}` would print integral floats without a dot;
+                    // `?` keeps them round-trippable JSON numbers.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(u: u64) -> Value {
+        Value::UInt(u)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(u: u32) -> Value {
+        Value::UInt(u64::from(u))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(u: usize) -> Value {
+        Value::UInt(u as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Escape `s` for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_json_into(s, &mut out);
+    out
+}
+
+fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Insertion-ordered JSON object builder producing a single-line object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject { buf: String::from("{") }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_json_into(key, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    /// Add a scalar field.
+    pub fn field(mut self, key: &str, value: impl Into<Value>) -> JsonObject {
+        self.key(key);
+        value.into().write_to(&mut self.buf);
+        self
+    }
+
+    /// Add a field whose value is raw, already-serialized JSON.
+    pub fn field_raw(mut self, key: &str, raw_json: &str) -> JsonObject {
+        self.key(key);
+        self.buf.push_str(raw_json);
+        self
+    }
+
+    /// Add a nested object built from key/value pairs.
+    pub fn field_object(mut self, key: &str, pairs: &[(String, Value)]) -> JsonObject {
+        self.key(key);
+        let mut nested = JsonObject::new();
+        for (k, v) in pairs {
+            nested = nested.field(k, v.clone());
+        }
+        self.buf.push_str(&nested.finish());
+        self
+    }
+
+    /// Close the object and return its JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn builds_ordered_objects() {
+        let json = JsonObject::new()
+            .field("name", "pass:canonicalize")
+            .field("n", 3u64)
+            .field("ratio", 0.5f64)
+            .field("ok", true)
+            .finish();
+        assert_eq!(json, r#"{"name":"pass:canonicalize","n":3,"ratio":0.5,"ok":true}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let json = JsonObject::new().field("v", f64::NAN).finish();
+        assert_eq!(json, r#"{"v":null}"#);
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fraction() {
+        let json = JsonObject::new().field("v", 3.0f64).finish();
+        assert_eq!(json, r#"{"v":3.0}"#);
+    }
+
+    #[test]
+    fn nested_objects_serialize() {
+        let attrs = vec![("k".to_owned(), Value::from("v"))];
+        let json = JsonObject::new().field("type", "span").field_object("attrs", &attrs).finish();
+        assert_eq!(json, r#"{"type":"span","attrs":{"k":"v"}}"#);
+    }
+}

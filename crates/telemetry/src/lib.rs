@@ -1,0 +1,314 @@
+//! Unified telemetry substrate for the Cicero workspace.
+//!
+//! The paper's central claims are quantitative: per-pass compile-time
+//! breakdowns (Fig. 9), code-size and `D_offset` deltas per
+//! transformation (Figs. 8/10), and cycle / i-cache behaviour of the
+//! parallel-enumeration microarchitecture (Table 5). This crate is the
+//! single metrics substrate every layer reports through — mirroring how
+//! MLIR treats pass instrumentation, timing, and statistics as one
+//! cross-cutting infrastructure rather than ad-hoc per-tool counters.
+//!
+//! Three pieces, pure `std`:
+//!
+//! * **Spans** ([`Telemetry::span`]): nested wall-clock regions with
+//!   arbitrary key/value annotations. The compiler opens one span per
+//!   pipeline stage and one child span per pass.
+//! * **Metrics** ([`Telemetry::counter_add`], [`Telemetry::gauge_set`],
+//!   [`Telemetry::observe`]): a registry of counters, gauges, and
+//!   fixed-bucket histograms. The simulator folds every run's
+//!   [`ExecReport`-shaped counters](https://docs.rs) into it.
+//! * **Sinks** ([`Telemetry::render_summary`],
+//!   [`Telemetry::render_jsonl`], [`Telemetry::write_jsonl_path`]): a
+//!   human-readable summary and a JSON-lines exporter (hand-rolled
+//!   serializer — no external dependencies) writable to a file or
+//!   stdout.
+//!
+//! A [`Telemetry`] value is a cheap clonable handle (`Arc<Mutex<..>>`
+//! inside), so one collector can be threaded through compiler, simulator,
+//! CLI, and benchmark drivers simultaneously.
+//!
+//! # Example
+//!
+//! ```
+//! use cicero_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::new();
+//! {
+//!     let span = telemetry.span("compile");
+//!     span.annotate("pattern", "ab|cd");
+//!     {
+//!         let pass = telemetry.span("pass:canonicalize");
+//!         pass.annotate("ops_before", 10u64);
+//!         pass.annotate("ops_after", 8u64);
+//!     } // pass span closes here
+//! }
+//! telemetry.counter_add("sim.runs", 1);
+//! telemetry.observe("sim.cycles", 1234.0);
+//! let jsonl = telemetry.render_jsonl();
+//! assert!(jsonl.lines().count() >= 3);
+//! assert!(jsonl.contains("\"type\":\"span\""));
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+pub use json::{escape_json, JsonObject, Value};
+pub use metrics::{HistogramSnapshot, Metric, MetricsRegistry};
+pub use span::{Span, SpanRecord};
+
+pub(crate) struct Inner {
+    pub(crate) epoch: Instant,
+    pub(crate) spans: Vec<SpanRecord>,
+    /// Indices of currently open spans, innermost last.
+    pub(crate) open: Vec<usize>,
+    pub(crate) metrics: MetricsRegistry,
+    /// Instantaneous named records (benchmark rows, one-off facts).
+    pub(crate) events: Vec<(String, Vec<(String, Value)>)>,
+}
+
+/// A clonable handle to one telemetry collector.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Telemetry")
+            .field("spans", &inner.spans.len())
+            .field("metrics", &inner.metrics.len())
+            .field("events", &inner.events.len())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A fresh, empty collector; span timestamps are relative to this
+    /// call.
+    pub fn new() -> Telemetry {
+        Telemetry {
+            inner: Arc::new(Mutex::new(Inner {
+                epoch: Instant::now(),
+                spans: Vec::new(),
+                open: Vec::new(),
+                metrics: MetricsRegistry::new(),
+                events: Vec::new(),
+            })),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    // -- spans -------------------------------------------------------------
+
+    /// Open a nested span; it records its duration when dropped (or via
+    /// [`Span::close`]).
+    pub fn span(&self, name: impl Into<String>) -> Span {
+        span::enter(self.clone(), name.into())
+    }
+
+    /// Record an instantaneous named event with attributes.
+    pub fn event(&self, name: impl Into<String>, attrs: Vec<(String, Value)>) {
+        self.lock().events.push((name.into(), attrs));
+    }
+
+    /// Snapshot of all finished spans, in open order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.lock().spans.iter().filter(|s| s.closed).cloned().collect()
+    }
+
+    // -- metrics -----------------------------------------------------------
+
+    /// Add `delta` to a (auto-registered) counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.lock().metrics.counter_add(name, delta);
+    }
+
+    /// Set a (auto-registered) gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.lock().metrics.gauge_set(name, value);
+    }
+
+    /// Record one observation into a histogram with default power-of-ten
+    /// buckets (see [`metrics::DEFAULT_BUCKETS`]).
+    pub fn observe(&self, name: &str, value: f64) {
+        self.lock().metrics.observe(name, value, metrics::DEFAULT_BUCKETS);
+    }
+
+    /// Record one observation into a histogram with explicit fixed bucket
+    /// upper bounds (used on first registration; later calls reuse the
+    /// registered bounds).
+    pub fn observe_with(&self, name: &str, value: f64, bounds: &[f64]) {
+        self.lock().metrics.observe(name, value, bounds);
+    }
+
+    /// Snapshot of one counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().metrics.counter(name)
+    }
+
+    /// Snapshot of one gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().metrics.gauge(name)
+    }
+
+    /// Snapshot of one histogram.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.lock().metrics.histogram(name)
+    }
+
+    // -- sinks -------------------------------------------------------------
+
+    /// Human-readable report: span tree then metrics table.
+    pub fn render_summary(&self) -> String {
+        sink::render_summary(self)
+    }
+
+    /// JSON-lines export: one self-describing record per line.
+    pub fn render_jsonl(&self) -> String {
+        sink::render_jsonl(self)
+    }
+
+    /// Write the JSON-lines export to any writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_jsonl<W: std::io::Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        writer.write_all(self.render_jsonl().as_bytes())
+    }
+
+    /// Write the JSON-lines export to a file path, or to stdout when the
+    /// path is `-`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn write_jsonl_path(&self, path: &str) -> std::io::Result<()> {
+        if path == "-" {
+            self.write_jsonl(&mut std::io::stdout().lock())
+        } else {
+            std::fs::write(path, self.render_jsonl())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_annotate() {
+        let t = Telemetry::new();
+        {
+            let outer = t.span("outer");
+            outer.annotate("k", "v");
+            {
+                let inner = t.span("inner");
+                inner.annotate("n", 3u64);
+            }
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(outer.duration >= inner.duration);
+        assert_eq!(outer.attrs[0].0, "k");
+    }
+
+    #[test]
+    fn explicit_close_is_idempotent_with_drop() {
+        let t = Telemetry::new();
+        let span = t.span("s");
+        span.close();
+        assert_eq!(t.spans().len(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let t = Telemetry::new();
+        t.counter_add("c", 2);
+        t.counter_add("c", 3);
+        t.gauge_set("g", 1.0);
+        t.gauge_set("g", 4.5);
+        assert_eq!(t.counter("c"), 5);
+        assert_eq!(t.gauge("g"), Some(4.5));
+        assert_eq!(t.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histograms_bucket_correctly() {
+        let t = Telemetry::new();
+        for v in [0.5, 5.0, 50.0, 50.0, 5e9] {
+            t.observe_with("h", v, &[1.0, 10.0, 100.0]);
+        }
+        let h = t.histogram("h").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.bucket_counts, vec![1, 1, 2, 1]); // ≤1, ≤10, ≤100, +inf
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 5e9);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Telemetry::new();
+        let b = a.clone();
+        b.counter_add("shared", 7);
+        assert_eq!(a.counter("shared"), 7);
+    }
+
+    #[test]
+    fn jsonl_contains_every_record_kind() {
+        let t = Telemetry::new();
+        {
+            let s = t.span("compile");
+            s.annotate("pattern", "a|b");
+        }
+        t.counter_add("c", 1);
+        t.gauge_set("g", 2.0);
+        t.observe("h", 3.0);
+        t.event("row", vec![("suite".to_owned(), Value::from("PROTOMATA"))]);
+        let jsonl = t.render_jsonl();
+        for kind in [
+            "\"type\":\"span\"",
+            "\"type\":\"counter\"",
+            "\"type\":\"gauge\"",
+            "\"type\":\"histogram\"",
+            "\"type\":\"event\"",
+        ] {
+            assert!(jsonl.contains(kind), "missing {kind} in {jsonl}");
+        }
+        // Every line must be a standalone JSON object.
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn summary_mentions_spans_and_metrics() {
+        let t = Telemetry::new();
+        {
+            let _s = t.span("stage");
+        }
+        t.counter_add("runs", 3);
+        let summary = t.render_summary();
+        assert!(summary.contains("stage"), "{summary}");
+        assert!(summary.contains("runs"), "{summary}");
+    }
+}

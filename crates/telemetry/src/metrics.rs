@@ -1,0 +1,233 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+
+use std::collections::BTreeMap;
+
+/// Default histogram bucket upper bounds: half-decade steps covering
+/// everything from single cycles to multi-million-cycle runs.
+pub const DEFAULT_BUCKETS: &[f64] =
+    &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1e3, 5e3, 1e4, 5e4, 1e5, 5e5, 1e6, 5e6, 1e7];
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotone sum.
+    Counter(u64),
+    /// Last-write-wins value.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+/// A fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending; an implicit `+inf` bucket
+    /// follows.
+    bounds: Vec<f64>,
+    /// One count per bound plus the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return; // never let NaN/inf poison exported metrics
+        }
+        let index = self.bounds.iter().position(|b| value <= *b).unwrap_or(self.bounds.len());
+        self.counts[index] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            bucket_counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// Point-in-time view of a histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, ascending (the final `+inf` bucket is
+    /// implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one entry per bound plus the overflow bucket.
+    pub bucket_counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Name-keyed store of all metrics (deterministic iteration order).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Add to a counter, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.metrics.entry(name.to_owned()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(total) => *total += delta,
+            other => panic!("metric `{name}` is not a counter: {other:?}"),
+        }
+    }
+
+    /// Set a gauge, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        match self.metrics.entry(name.to_owned()).or_insert(Metric::Gauge(value)) {
+            Metric::Gauge(current) => *current = value,
+            other => panic!("metric `{name}` is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Record into a histogram; `bounds` apply on first registration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn observe(&mut self, name: &str, value: f64, bounds: &[f64]) {
+        match self
+            .metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(histogram) => histogram.record(value),
+            other => panic!("metric `{name}` is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(total)) => *total,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(value)) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Histogram snapshot.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(Metric::Histogram(histogram)) => Some(histogram.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Iterate all metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(name, metric)| (name.as_str(), metric))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let mut registry = MetricsRegistry::new();
+        registry.observe("h", f64::NAN, &[1.0]);
+        registry.observe("h", f64::INFINITY, &[1.0]);
+        registry.observe("h", 0.5, &[1.0]);
+        let snapshot = registry.histogram("h").unwrap();
+        assert_eq!(snapshot.count, 1);
+        assert_eq!(snapshot.sum, 0.5);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_large_values() {
+        let mut registry = MetricsRegistry::new();
+        registry.observe("h", 99.0, &[1.0, 10.0]);
+        let snapshot = registry.histogram("h").unwrap();
+        assert_eq!(snapshot.bucket_counts, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let mut registry = MetricsRegistry::new();
+        registry.observe("h", f64::NAN, &[1.0]);
+        let snapshot = registry.histogram("h").unwrap();
+        assert_eq!(snapshot.min, 0.0);
+        assert_eq!(snapshot.max, 0.0);
+        assert_eq!(snapshot.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let mut registry = MetricsRegistry::new();
+        registry.gauge_set("m", 1.0);
+        registry.counter_add("m", 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Telemetry sinks: human-readable summary and JSON-lines export.
+
+use std::fmt::Write as _;
+
+use crate::json::JsonObject;
+use crate::metrics::Metric;
+use crate::Telemetry;
+
+fn micros(d: std::time::Duration) -> f64 {
+    // Round to nanosecond granularity so exported floats stay compact.
+    (d.as_secs_f64() * 1e9).round() / 1e3
+}
+
+/// Render a human-readable report: indented span tree, then metrics,
+/// then events.
+pub fn render_summary(telemetry: &Telemetry) -> String {
+    let inner = telemetry.lock();
+    let mut out = String::new();
+
+    if !inner.spans.is_empty() {
+        out.push_str("spans:\n");
+        let name_width = inner.spans.iter().map(|s| s.name.len() + 2 * s.depth).max().unwrap_or(0);
+        for span in &inner.spans {
+            let indent = "  ".repeat(span.depth);
+            let label = format!("{indent}{}", span.name);
+            let _ = write!(out, "  {label:<name_width$}  {:>10.1} us", micros(span.duration));
+            if !span.closed {
+                out.push_str("  (open)");
+            }
+            for (key, value) in &span.attrs {
+                let _ = write!(out, "  {key}={value}");
+            }
+            out.push('\n');
+        }
+    }
+
+    if !inner.metrics.is_empty() {
+        out.push_str("metrics:\n");
+        let name_width = inner.metrics.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, metric) in inner.metrics.iter() {
+            match metric {
+                Metric::Counter(total) => {
+                    let _ = writeln!(out, "  {name:<name_width$}  counter    {total}");
+                }
+                Metric::Gauge(value) => {
+                    let _ = writeln!(out, "  {name:<name_width$}  gauge      {value}");
+                }
+                Metric::Histogram(_) => {
+                    // Re-borrow through the snapshot API for the derived stats.
+                    let h = inner.metrics.histogram(name).expect("histogram exists");
+                    let _ = writeln!(
+                        out,
+                        "  {name:<name_width$}  histogram  count={} min={} mean={:.1} max={}",
+                        h.count,
+                        h.min,
+                        h.mean(),
+                        h.max
+                    );
+                }
+            }
+        }
+    }
+
+    if !inner.events.is_empty() {
+        out.push_str("events:\n");
+        for (name, attrs) in &inner.events {
+            let _ = write!(out, "  {name}");
+            for (key, value) in attrs {
+                let _ = write!(out, "  {key}={value}");
+            }
+            out.push('\n');
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("(no telemetry recorded)\n");
+    }
+    out
+}
+
+/// Render the JSON-lines export: one self-describing object per line, in
+/// the order spans → counters/gauges/histograms → events.
+pub fn render_jsonl(telemetry: &Telemetry) -> String {
+    let inner = telemetry.lock();
+    let mut out = String::new();
+
+    for span in &inner.spans {
+        let mut obj = JsonObject::new()
+            .field("type", "span")
+            .field("name", span.name.as_str())
+            .field("start_us", micros(span.start))
+            .field("duration_us", micros(span.duration))
+            .field("depth", span.depth);
+        if !span.closed {
+            obj = obj.field("open", true);
+        }
+        if !span.attrs.is_empty() {
+            obj = obj.field_object("attrs", &span.attrs);
+        }
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+
+    for (name, metric) in inner.metrics.iter() {
+        let line = match metric {
+            Metric::Counter(total) => JsonObject::new()
+                .field("type", "counter")
+                .field("name", name)
+                .field("value", *total)
+                .finish(),
+            Metric::Gauge(value) => JsonObject::new()
+                .field("type", "gauge")
+                .field("name", name)
+                .field("value", *value)
+                .finish(),
+            Metric::Histogram(_) => {
+                let h = inner.metrics.histogram(name).expect("histogram exists");
+                let mut buckets = String::from("[");
+                for (i, count) in h.bucket_counts.iter().enumerate() {
+                    if i > 0 {
+                        buckets.push(',');
+                    }
+                    let le =
+                        h.bounds.get(i).map_or_else(|| "\"+inf\"".to_owned(), |b| format!("{b:?}"));
+                    buckets.push_str(
+                        &JsonObject::new().field_raw("le", &le).field("count", *count).finish(),
+                    );
+                }
+                buckets.push(']');
+                JsonObject::new()
+                    .field("type", "histogram")
+                    .field("name", name)
+                    .field("count", h.count)
+                    .field("sum", h.sum)
+                    .field("min", h.min)
+                    .field("max", h.max)
+                    .field("mean", h.mean())
+                    .field_raw("buckets", &buckets)
+                    .finish()
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+
+    for (name, attrs) in &inner.events {
+        let mut obj = JsonObject::new().field("type", "event").field("name", name.as_str());
+        if !attrs.is_empty() {
+            obj = obj.field_object("attrs", attrs);
+        }
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn histogram_jsonl_has_inf_overflow_bucket() {
+        let t = Telemetry::new();
+        t.observe_with("h", 2.0, &[1.0, 10.0]);
+        let jsonl = t.render_jsonl();
+        assert!(jsonl.contains(r#""le":"+inf""#), "{jsonl}");
+        assert!(jsonl.contains(r#""le":1.0"#), "{jsonl}");
+    }
+
+    #[test]
+    fn summary_marks_open_spans() {
+        let t = Telemetry::new();
+        let _open = t.span("still-running");
+        let summary = t.render_summary();
+        assert!(summary.contains("(open)"), "{summary}");
+    }
+
+    #[test]
+    fn empty_collector_renders_placeholder() {
+        let t = Telemetry::new();
+        assert_eq!(t.render_summary(), "(no telemetry recorded)\n");
+        assert_eq!(t.render_jsonl(), "");
+    }
+}

@@ -11,9 +11,9 @@ use rand::RngExt;
 
 /// A small vocabulary of word stems.
 const STEMS: &[&str] = &[
-    "the", "cat", "dog", "walk", "talk", "run", "jump", "house", "tree", "river", "quick",
-    "lazy", "tag", "word", "rule", "move", "light", "dark", "blue", "green", "stone", "cloud",
-    "paper", "glass", "wind", "fire", "water", "earth",
+    "the", "cat", "dog", "walk", "talk", "run", "jump", "house", "tree", "river", "quick", "lazy",
+    "tag", "word", "rule", "move", "light", "dark", "blue", "green", "stone", "cloud", "paper",
+    "glass", "wind", "fire", "water", "earth",
 ];
 
 /// Verb-ish suffixes used in optional alternations.

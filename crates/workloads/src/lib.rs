@@ -66,8 +66,7 @@ impl Benchmark {
     /// protein-sequence chunks.
     pub fn protomata(seed: u64, patterns: usize, chunks: usize) -> Benchmark {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5052_4F54);
-        let patterns: Vec<String> =
-            (0..patterns).map(|_| protomata::signature(&mut rng)).collect();
+        let patterns: Vec<String> = (0..patterns).map(|_| protomata::signature(&mut rng)).collect();
         let chunks = make_chunks(&mut rng, &patterns, chunks, protomata::sequence_chunk);
         Benchmark { name: "PROTOMATA", patterns, chunks }
     }

@@ -44,23 +44,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Listing-2-style comparison ======================================");
     let unopt = Compiler::with_options(CompilerOptions::unoptimized()).compile(&pattern)?;
     let old = LegacyCompiler::new(true).compile(&pattern)?;
-    println!(
-        "{:<28} {:>10} {:>10}",
-        "", "code size", "D_offset"
-    );
+    println!("{:<28} {:>10} {:>10}", "", "code size", "D_offset");
     println!("{:<28} {:>10} {:>10}", "no optimization", unopt.code_size(), unopt.d_offset());
-    println!(
-        "{:<28} {:>10} {:>10}",
-        "old: Code Restructuring",
-        old.len(),
-        old.total_jump_offset()
-    );
+    println!("{:<28} {:>10} {:>10}", "old: Code Restructuring", old.len(), old.total_jump_offset());
     println!(
         "{:<28} {:>10} {:>10}",
         "new: Jump Simplification",
         artifacts.compiled.code_size(),
         artifacts.compiled.d_offset()
     );
+
+    println!("\n== per-pass timing =================================================");
+    print!("{}", artifacts.compiled.pass_report());
 
     println!("\nper-stage compile time: {:?}", artifacts.compiled.stats());
     Ok(())

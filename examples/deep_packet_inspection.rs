@@ -50,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect::<Result<_, _>>()?;
     for (name, program) in &compiled {
-        println!("  {name:<20} {:>3} instructions, D_offset {}", program.len(), program.total_jump_offset());
+        println!(
+            "  {name:<20} {:>3} instructions, D_offset {}",
+            program.len(),
+            program.total_jump_offset()
+        );
     }
 
     // Build a packet stream: mostly clean, a few with planted attacks.
@@ -103,10 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = simulate(set.program(), payload, &config);
         set_cycles += report.cycles;
         let fired = report.matched_id.map(|id| SIGNATURES[usize::from(id)].0);
-        println!(
-            "  one-pass scan -> {:<18} (expected {expected})",
-            fired.unwrap_or("-")
-        );
+        println!("  one-pass scan -> {:<18} (expected {expected})", fired.unwrap_or("-"));
         if *expected != "-" {
             assert!(report.accepted, "multi-match missed {expected}");
         }

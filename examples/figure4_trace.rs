@@ -17,14 +17,14 @@ fn main() {
     // Figure 4's code column (completed with an acceptance so the program
     // validates; the figure elides everything past PC 6).
     let program = Program::from_instructions(vec![
-        Instruction::Split(3),     // 0: split {1,3}
-        Instruction::MatchAny,     // 1
-        Instruction::Jump(0),      // 2
-        Instruction::Match(b'a'),  // 3
-        Instruction::Match(b'b'),  // 4
-        Instruction::Split(7),     // 5: split {6,7} (the figure's split(10))
-        Instruction::Match(b'a'),  // 6
-        Instruction::AcceptPartial,// 7
+        Instruction::Split(3),      // 0: split {1,3}
+        Instruction::MatchAny,      // 1
+        Instruction::Jump(0),       // 2
+        Instruction::Match(b'a'),   // 3
+        Instruction::Match(b'b'),   // 4
+        Instruction::Split(7),      // 5: split {6,7} (the figure's split(10))
+        Instruction::Match(b'a'),   // 6
+        Instruction::AcceptPartial, // 7
     ])
     .unwrap();
     let input = b"abaababd";

@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rng_state ^= rng_state << 13;
             rng_state ^= rng_state >> 7;
             rng_state ^= rng_state << 17;
-            cicero::workloads::protomata::AMINO_ACIDS
-                [(rng_state % 20) as usize]
+            cicero::workloads::protomata::AMINO_ACIDS[(rng_state % 20) as usize]
         })
         .collect();
     let motif = b"CAACAAAL12345678H123H"

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cicero compile <pattern> [--old] [-O0] [--emit asm|bin|regex-ir|cicero-ir] [-o FILE]
-//! cicero run     <pattern> (--text STR | --input FILE) [--config NxM] [--old] [-O0]
+//! cicero run     <pattern> [--text STR | --input FILE] [--config NxM] [--old] [-O0]
 //! cicero scan    <pattern>... (--text STR | --input FILE) [--config NxM]
 //! cicero explain <pattern>
 //! cicero configs
@@ -10,6 +10,13 @@
 //!
 //! `--config NxM` uses the paper's naming: `1x9` is the old organization
 //! with nine engines, `16x1` the proposed one with sixteen cores.
+//!
+//! `cicero <pattern> ...` (no subcommand) is shorthand for `cicero run`.
+//!
+//! Observability: `--pass-timing` prints the per-pass timing table, and
+//! `--metrics PATH` (with `--metrics-format summary|jsonl`) exports the
+//! unified telemetry — compiler pass spans plus simulator histograms — to
+//! a file, or to stdout when PATH is `-`.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -28,7 +35,9 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+        // `cicero <pattern> [flags]` is shorthand for `cicero run`.
+        Some(other) if !other.starts_with('-') => cmd_run(&args),
+        Some(other) => Err(format!("unknown flag `{other}`\n\n{USAGE}")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -43,11 +52,14 @@ const USAGE: &str = "\
 cicero - regex-to-DSA compiler and cycle-level simulator
 
 USAGE:
-    cicero compile <pattern> [--old] [-O0] [--emit KIND] [-o FILE]
-    cicero run     <pattern> (--text STR | --input FILE) [--config NxM] [--old] [-O0]
+    cicero compile <pattern> [--old] [-O0] [--emit KIND] [-o FILE] [--pass-timing]
+    cicero run     <pattern> [--text STR | --input FILE] [--config NxM] [--old] [-O0]
+                   [--pass-timing] [--metrics PATH] [--metrics-format FORMAT]
     cicero scan    <p1> <p2> ... (--text STR | --input FILE) [--config NxM]
     cicero explain <pattern>
     cicero configs
+    cicero <pattern> [run flags]      shorthand for `cicero run` (empty input
+                                      unless --text/--input is given)
 
 EMIT KINDS:
     asm        address-annotated assembly (default)
@@ -56,9 +68,14 @@ EMIT KINDS:
     cicero-ir  low-level cicero dialect after Jump Simplification
 
 OPTIONS:
-    --old       use the legacy single-IR compiler (Code Restructuring)
-    -O0         disable optimizations
-    --config    architecture: 1xM = old organization, Nx1/NxM = new (default 16x1)
+    --old             use the legacy single-IR compiler (Code Restructuring)
+    -O0               disable optimizations
+    --config          architecture: 1xM = old organization, Nx1/NxM = new (default 16x1)
+    --pass-timing     print the per-pass timing table (time, %, op-count delta)
+    --metrics PATH    export telemetry (pass spans + simulator histograms) to PATH,
+                      or to stdout when PATH is `-`
+    --metrics-format  `summary` (human-readable, default) or `jsonl` (one JSON
+                      object per line)
 ";
 
 /// Minimal flag scanner: returns (positional args, flag lookup).
@@ -67,20 +84,24 @@ struct Flags {
     pairs: Vec<(String, Option<String>)>,
 }
 
-fn parse_flags(args: &[String], value_flags: &[&str]) -> Result<Flags, String> {
+fn parse_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<Flags, String> {
     let mut positional = Vec::new();
     let mut pairs = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
             if value_flags.contains(&name) {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| format!("--{name} requires a value"))?
-                    .clone();
+                let value =
+                    iter.next().ok_or_else(|| format!("--{name} requires a value"))?.clone();
                 pairs.push((name.to_owned(), Some(value)));
-            } else {
+            } else if bool_flags.contains(&name) {
                 pairs.push((name.to_owned(), None));
+            } else {
+                return Err(format!("unknown flag `--{name}`\n\n{USAGE}"));
             }
         } else if arg == "-O0" {
             pairs.push(("O0".to_owned(), None));
@@ -100,18 +121,14 @@ impl Flags {
     }
 
     fn value(&self, name: &str) -> Option<&str> {
-        self.pairs
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+        self.pairs.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 }
 
 fn parse_config(spec: Option<&str>) -> Result<ArchConfig, String> {
     let spec = spec.unwrap_or("16x1");
-    let (n, m) = spec
-        .split_once('x')
-        .ok_or_else(|| format!("config `{spec}` is not of the form NxM"))?;
+    let (n, m) =
+        spec.split_once('x').ok_or_else(|| format!("config `{spec}` is not of the form NxM"))?;
     let n: usize = n.parse().map_err(|_| format!("bad core count in `{spec}`"))?;
     let m: usize = m.parse().map_err(|_| format!("bad engine count in `{spec}`"))?;
     if n == 1 {
@@ -131,15 +148,59 @@ fn read_input(flags: &Flags) -> Result<Vec<u8>, String> {
     }
 }
 
-fn compile_one(pattern: &str, old: bool, o0: bool) -> Result<Program, String> {
+/// Compile with either compiler. The multi-dialect compiler also returns
+/// its per-pass report (and streams spans into `telemetry` when given);
+/// the legacy single-IR compiler has no pass pipeline, so it returns
+/// `None`.
+fn compile_one(
+    pattern: &str,
+    old: bool,
+    o0: bool,
+    telemetry: Option<&Telemetry>,
+) -> Result<(Program, Option<cicero::mlir::PipelineReport>), String> {
     if old {
-        LegacyCompiler::new(!o0).compile(pattern).map_err(|e| e.to_string())
+        let program = LegacyCompiler::new(!o0).compile(pattern).map_err(|e| e.to_string())?;
+        Ok((program, None))
     } else {
-        let options = if o0 { CompilerOptions::unoptimized() } else { CompilerOptions::optimized() };
-        Ok(Compiler::with_options(options)
-            .compile(pattern)
-            .map_err(|e| e.to_string())?
-            .into_program())
+        let options =
+            if o0 { CompilerOptions::unoptimized() } else { CompilerOptions::optimized() };
+        let mut compiler = Compiler::with_options(options);
+        if let Some(telemetry) = telemetry {
+            compiler = compiler.with_telemetry(telemetry.clone());
+        }
+        let compiled = compiler.compile(pattern).map_err(|e| e.to_string())?;
+        let report = compiled.pass_report().clone();
+        Ok((compiled.into_program(), Some(report)))
+    }
+}
+
+fn pass_timing_text(report: Option<&cicero::mlir::PipelineReport>) -> String {
+    match report {
+        Some(report) => format!("per-pass timing:\n{report}"),
+        None => "per-pass timing: n/a (the legacy compiler has no pass pipeline)".to_owned(),
+    }
+}
+
+/// Export the collected telemetry per `--metrics` / `--metrics-format`.
+fn write_metrics(flags: &Flags, telemetry: &Telemetry) -> Result<(), String> {
+    let Some(path) = flags.value("metrics") else {
+        if flags.value("metrics-format").is_some() {
+            return Err("--metrics-format requires --metrics PATH".to_owned());
+        }
+        return Ok(());
+    };
+    match flags.value("metrics-format").unwrap_or("summary") {
+        "jsonl" => telemetry.write_jsonl_path(path).map_err(|e| format!("writing {path}: {e}")),
+        "summary" => {
+            let text = telemetry.render_summary();
+            if path == "-" {
+                print!("{text}");
+                Ok(())
+            } else {
+                std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+            }
+        }
+        other => Err(format!("unknown metrics format `{other}` (use summary or jsonl)")),
     }
 }
 
@@ -147,7 +208,7 @@ fn compile_one(pattern: &str, old: bool, o0: bool) -> Result<Program, String> {
 type OutputSink = Box<dyn FnOnce(&[u8]) -> Result<(), String>>;
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["emit"])?;
+    let flags = parse_flags(args, &["emit"], &["old", "pass-timing"])?;
     let [pattern] = flags.positional.as_slice() else {
         return Err("compile takes exactly one pattern".to_owned());
     };
@@ -161,18 +222,23 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
                 std::fs::write(&path, bytes).map_err(|e| format!("writing {path}: {e}"))
             })
         }
-        None => Box::new(|bytes: &[u8]| {
-            std::io::stdout().write_all(bytes).map_err(|e| e.to_string())
-        }),
+        None => {
+            Box::new(|bytes: &[u8]| std::io::stdout().write_all(bytes).map_err(|e| e.to_string()))
+        }
     };
     match emit {
-        "asm" => {
-            let program = compile_one(pattern, old, o0)?;
-            output(program.to_asm().as_bytes())
-        }
-        "bin" => {
-            let program = compile_one(pattern, old, o0)?;
-            output(&cicero::isa::EncodedProgram::from_program(&program).to_bytes())
+        "asm" | "bin" => {
+            let (program, pass_report) = compile_one(pattern, old, o0, None)?;
+            if emit == "asm" {
+                output(program.to_asm().as_bytes())?;
+            } else {
+                output(&cicero::isa::EncodedProgram::from_program(&program).to_bytes())?;
+            }
+            if flags.has("pass-timing") {
+                // To stderr: stdout may be carrying the emitted program.
+                eprintln!("{}", pass_timing_text(pass_report.as_ref()));
+            }
+            Ok(())
         }
         "regex-ir" | "cicero-ir" => {
             if old {
@@ -188,21 +254,35 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             } else {
                 artifacts.cicero_ir_optimized.to_text()
             };
-            output(text.as_bytes())
+            output(text.as_bytes())?;
+            if flags.has("pass-timing") {
+                eprintln!("{}", pass_timing_text(Some(artifacts.compiled.pass_report())));
+            }
+            Ok(())
         }
         other => Err(format!("unknown emit kind `{other}`")),
     }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["text", "input", "config"])?;
+    let flags = parse_flags(
+        args,
+        &["text", "input", "config", "metrics", "metrics-format"],
+        &["old", "pass-timing"],
+    )?;
     let [pattern] = flags.positional.as_slice() else {
         return Err("run takes exactly one pattern".to_owned());
     };
-    let input = read_input(&flags)?;
+    // The implicit-run shorthand allows omitting the input entirely.
+    let input = match (flags.value("text"), flags.value("input")) {
+        (None, None) => Vec::new(),
+        _ => read_input(&flags)?,
+    };
     let config = parse_config(flags.value("config"))?;
-    let program = compile_one(pattern, flags.has("old"), flags.has("O0"))?;
-    let report = simulate(&program, &input, &config);
+    let telemetry = Telemetry::new();
+    let (program, pass_report) =
+        compile_one(pattern, flags.has("old"), flags.has("O0"), Some(&telemetry))?;
+    let report = simulate_with_telemetry(&program, &input, &config, &telemetry);
     println!("pattern    : {pattern}");
     println!("config     : {} @ {} MHz", config.name(), config.clock_mhz());
     println!("verdict    : {}", if report.accepted { "MATCH" } else { "no match" });
@@ -217,19 +297,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
     println!("instructions: {}", report.instructions);
     println!("icache      : {:.1}% hits", report.icache_hit_rate() * 100.0);
-    Ok(())
+    if flags.has("pass-timing") {
+        println!();
+        println!("{}", pass_timing_text(pass_report.as_ref()));
+    }
+    write_metrics(&flags, &telemetry)
 }
 
 fn cmd_scan(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["text", "input", "config"])?;
+    let flags = parse_flags(args, &["text", "input", "config"], &[])?;
     if flags.positional.is_empty() {
         return Err("scan takes one or more patterns".to_owned());
     }
     let input = read_input(&flags)?;
     let config = parse_config(flags.value("config"))?;
-    let set = Compiler::new()
-        .compile_set(&flags.positional)
-        .map_err(|e| e.to_string())?;
+    let set = Compiler::new().compile_set(&flags.positional).map_err(|e| e.to_string())?;
     let report = simulate(set.program(), &input, &config);
     match report.matched_id {
         Some(id) => println!(
@@ -244,13 +326,11 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &[])?;
+    let flags = parse_flags(args, &[], &[])?;
     let [pattern] = flags.positional.as_slice() else {
         return Err("explain takes exactly one pattern".to_owned());
     };
-    let artifacts = Compiler::new()
-        .compile_with_artifacts(pattern)
-        .map_err(|e| e.to_string())?;
+    let artifacts = Compiler::new().compile_with_artifacts(pattern).map_err(|e| e.to_string())?;
     println!("== regex dialect (initial) ==\n{}", artifacts.regex_ir_initial.to_text());
     println!("== regex dialect (optimized) ==\n{}", artifacts.regex_ir_optimized.to_text());
     println!("== cicero dialect (lowered) ==\n{}", artifacts.cicero_ir_initial.to_text());

@@ -17,6 +17,8 @@
 //! * [`legacy`] — the old single-IR compiler with Code Restructuring;
 //! * [`isa`] — the Cicero ISA, encoding, interpreter, `D_offset` metric;
 //! * [`sim`] — the cycle-level DSA simulator with power/resource models;
+//! * [`telemetry`] — spans, metrics, and summary/JSON-lines sinks shared
+//!   by the compiler, simulator, CLI, and benchmark drivers;
 //! * [`oracle`] — the reference Pike-VM matcher (ground truth);
 //! * [`workloads`] — Protomata/Brill-style benchmark generators.
 //!
@@ -42,6 +44,7 @@ pub use cicero_dialect;
 pub use cicero_isa as isa;
 pub use cicero_legacy as legacy;
 pub use cicero_sim as sim;
+pub use cicero_telemetry as telemetry;
 pub use mlir_lite as mlir;
 pub use regex_dialect;
 pub use regex_frontend as frontend;
@@ -53,6 +56,7 @@ pub mod prelude {
     pub use cicero_core::{compile, Compiler, CompilerOptions};
     pub use cicero_isa::{Instruction, Program};
     pub use cicero_legacy::LegacyCompiler;
-    pub use cicero_sim::{simulate, simulate_batch, ArchConfig};
+    pub use cicero_sim::{simulate, simulate_batch, simulate_with_telemetry, ArchConfig};
+    pub use cicero_telemetry::Telemetry;
     pub use regex_oracle::Oracle;
 }

@@ -64,10 +64,7 @@ fn inputs() -> Vec<Vec<u8>> {
 
 fn all_programs(pattern: &str) -> Vec<(String, Program)> {
     vec![
-        (
-            "new O1".to_owned(),
-            Compiler::new().compile(pattern).unwrap().into_program(),
-        ),
+        ("new O1".to_owned(), Compiler::new().compile(pattern).unwrap().into_program()),
         (
             "new O0".to_owned(),
             Compiler::with_options(CompilerOptions::unoptimized())
@@ -133,8 +130,7 @@ fn binary_encoding_roundtrips_through_the_wire_format() {
         let program = compile(pattern).unwrap().into_program();
         let encoded = cicero::isa::EncodedProgram::from_program(&program);
         let bytes = encoded.to_bytes();
-        let decoded =
-            cicero::isa::EncodedProgram::from_bytes(&bytes).unwrap().decode().unwrap();
+        let decoded = cicero::isa::EncodedProgram::from_bytes(&bytes).unwrap().decode().unwrap();
         assert_eq!(decoded, program, "{pattern:?}");
     }
 }

@@ -123,9 +123,7 @@ fn figure6_restructuring_hurts_locality_and_cycles() {
 fn section32_transformation_examples_through_the_driver() {
     // Each §3.2 example, run with exactly its transformation set enabled
     // (the paper presents the three sets as independent toggles).
-    let check = |input: &str,
-                 expected: &str,
-                 configure: fn(&mut CompilerOptions)| {
+    let check = |input: &str, expected: &str, configure: fn(&mut CompilerOptions)| {
         let mut options = CompilerOptions::unoptimized();
         configure(&mut options);
         let compiler = Compiler::with_options(options);
@@ -155,10 +153,7 @@ fn negated_group_lowering_matches_section33() {
     use cicero::isa::Instruction::*;
     // `[^ab]` → NotMatch(a); NotMatch(b); MatchAny.
     let program = compile("^[^ab]$").unwrap().into_program();
-    assert_eq!(
-        program.instructions(),
-        &[NotMatch(b'a'), NotMatch(b'b'), MatchAny, Accept]
-    );
+    assert_eq!(program.instructions(), &[NotMatch(b'a'), NotMatch(b'b'), MatchAny, Accept]);
 }
 
 #[test]
@@ -207,4 +202,39 @@ fn future_work_acceptance_halts_as_soon_as_possible() {
     // `aa` matches the first branch: acceptance must fire right at the
     // end of it (position 2).
     assert_eq!(outcome.match_position, Some(2));
+}
+
+#[test]
+fn figure4_trace_golden_small_split_match() {
+    // Golden rendering for a minimal split/match program:
+    //   0 split(2); 1 matchany; 2 match a; 3 match b; 4 accept_partial
+    // on input "ab", one engine, one core. The split fans out in S2/S3,
+    // the `.*` arm dies on the window edge (`2x`), and the literal arm
+    // walks a -> b -> accept. Any change to pipeline timing or to the
+    // cell legend shows up as a diff against this table.
+    use cicero::isa::{Instruction::*, Program};
+    use cicero::sim::{render_trace, ArchConfig, Machine};
+
+    let program = Program::from_instructions(vec![
+        Split(2),
+        MatchAny,
+        Match(b'a'),
+        Match(b'b'),
+        AcceptPartial,
+    ])
+    .unwrap();
+    let mut machine = Machine::new(&program, ArchConfig::old_organization(1));
+    let (report, events) = machine.run_traced(b"ab");
+    assert!(report.accepted);
+    assert_eq!(report.cycles, 15);
+
+    let text = render_trace(&events, 0..report.cycles);
+    let golden = "\
+cycle                0   1   2   3   4   5   6   7   8   9  10  11  12  13  14
+ENGINE 0 CORE 0
+  S1                 0   .   .   .   .   .   .   2   .   .   .   .   .   .   .
+  S2                 .   .   .   .   . 0s2  1+  2x  2+  3+   .   .   .   .  4!
+  S3                 .   .   .   .   .   . 0>2   .   .   .   .   .   .   .   .
+";
+    assert_eq!(text, golden, "rendered:\n{text}");
 }

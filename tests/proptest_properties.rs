@@ -25,24 +25,30 @@ fn pattern_strategy() -> impl Strategy<Value = String> {
             s
         }),
     ];
-    let quantified = (atom, prop_oneof![
-        5 => Just(String::new()),
-        1 => Just("*".to_owned()),
-        1 => Just("+".to_owned()),
-        1 => Just("?".to_owned()),
-        1 => (0u32..3, 1u32..3).prop_map(|(lo, extra)| format!("{{{lo},{}}}", lo + extra)),
-    ])
+    let quantified = (
+        atom,
+        prop_oneof![
+            5 => Just(String::new()),
+            1 => Just("*".to_owned()),
+            1 => Just("+".to_owned()),
+            1 => Just("?".to_owned()),
+            1 => (0u32..3, 1u32..3).prop_map(|(lo, extra)| format!("{{{lo},{}}}", lo + extra)),
+        ],
+    )
         .prop_map(|(a, q)| format!("{a}{q}"));
     let concat = prop::collection::vec(quantified, 1..5).prop_map(|ps| ps.concat());
     let alternation = prop::collection::vec(concat, 1..4).prop_map(|cs| cs.join("|"));
     // One level of grouping.
-    let grouped = (alternation.clone(), prop::bool::ANY).prop_map(|(a, wrap)| {
-        if wrap {
-            format!("x({a})y")
-        } else {
-            a
-        }
-    });
+    let grouped =
+        (alternation.clone(), prop::bool::ANY).prop_map(
+            |(a, wrap)| {
+                if wrap {
+                    format!("x({a})y")
+                } else {
+                    a
+                }
+            },
+        );
     grouped.prop_filter("pattern must parse", |p| regex_frontend::parse(p).is_ok())
 }
 
@@ -158,7 +164,8 @@ fn program_strategy() -> impl Strategy<Value = cicero_isa::Program> {
     prop::collection::vec(0u8..7, 1..32).prop_flat_map(|kinds| {
         let len = kinds.len() + 1; // +1 for the forced terminator
         let targets = prop::collection::vec(0..len as u16, kinds.len());
-        let chars = prop::collection::vec(prop::num::u8::ANY.prop_map(|b| b'a' + b % 4), kinds.len());
+        let chars =
+            prop::collection::vec(prop::num::u8::ANY.prop_map(|b| b'a' + b % 4), kinds.len());
         (Just(kinds), targets, chars).prop_map(move |(kinds, targets, chars)| {
             let mut instructions: Vec<Instruction> = kinds
                 .iter()

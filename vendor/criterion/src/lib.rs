@@ -1,0 +1,164 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the API surface the workspace's micro-benchmarks use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `Bencher::iter` and `Bencher::iter_batched`). Instead of criterion's
+//! statistical machinery it runs each benchmark a fixed number of samples
+//! and prints min / median / max wall-clock per iteration — enough to
+//! compare alternatives locally and to keep the bench targets compiling
+//! and runnable.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for signature compatibility;
+/// the stub times one routine call per sample either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+            routine(&mut bencher);
+            if bencher.iterations > 0 {
+                samples.push(bencher.elapsed / bencher.iterations);
+            }
+        }
+        samples.sort();
+        if samples.is_empty() {
+            println!("  {}/{id}: no iterations recorded", self.name);
+        } else {
+            println!(
+                "  {}/{id}: min {:?}  median {:?}  max {:?}  ({} samples)",
+                self.name,
+                samples[0],
+                samples[samples.len() / 2],
+                samples[samples.len() - 1],
+                samples.len()
+            );
+        }
+        self
+    }
+
+    /// Finish the group (printing already happened incrementally).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Time `routine` once per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+
+    /// Time `routine` on a fresh input from `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

@@ -1,0 +1,878 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the subset of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_flat_map` / `prop_recursive`, tuple and range strategies,
+//! `prop::collection::vec`, `prop::char::range`, regex-shaped `&str`
+//! strategies (character classes, escapes, `{m,n}`/`*`/`+`/`?`
+//! quantifiers, `\PC`), the [`prop_oneof!`] union macro, and the
+//! [`proptest!`] test-harness macro.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** On failure the harness prints the generated inputs
+//!   verbatim and re-raises the panic; cases are deterministic (seeded
+//!   from the test's module path), so failures reproduce exactly.
+//! * `prop_assert!` / `prop_assert_eq!` panic immediately instead of
+//!   returning a `TestCaseError`.
+
+use std::cell::{Cell, OnceCell};
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator with an explicit seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Generator seeded from a test name (deterministic across runs).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(hash)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform `usize` in the half-open range.
+    pub fn in_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of values of one type.
+pub trait Strategy: Sized {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries).
+    fn prop_filter<R: Into<String>, P: Fn(&Self::Value) -> bool>(
+        self,
+        reason: R,
+        pred: P,
+    ) -> Filter<Self, P> {
+        Filter { inner: self, pred, reason: reason.into() }
+    }
+
+    /// Generate an intermediate value, then generate from a strategy
+    /// derived from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `self` is the leaf, `expand` wraps an
+    /// inner strategy into a deeper one. `depth` bounds the nesting; the
+    /// remaining parameters exist for upstream signature compatibility.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: 'static,
+        F: FnOnce(SBoxed<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let data = Rc::new(RecursiveData {
+            leaf: SBoxed::new(self),
+            expanded: OnceCell::new(),
+            depth: Cell::new(0),
+            max_depth: depth,
+        });
+        let handle = Recursive { data: Rc::clone(&data) };
+        let expanded = expand(SBoxed::new(handle));
+        let _ = data.expanded.set(SBoxed::new(expanded));
+        Recursive { data }
+    }
+
+    /// Type-erase the strategy (shared, clonable).
+    fn sboxed(self) -> SBoxed<Self::Value>
+    where
+        Self: 'static,
+    {
+        SBoxed::new(self)
+    }
+}
+
+/// Object-safe mirror of [`Strategy`], used for type erasure.
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A shared, clonable, type-erased strategy.
+pub struct SBoxed<T> {
+    inner: Rc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for SBoxed<T> {
+    fn clone(&self) -> SBoxed<T> {
+        SBoxed { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T> SBoxed<T> {
+    fn new<S: Strategy<Value = T> + 'static>(strategy: S) -> SBoxed<T> {
+        SBoxed { inner: Rc::new(strategy) }
+    }
+}
+
+impl<T> Strategy for SBoxed<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, P> {
+    inner: S,
+    pred: P,
+    reason: String,
+}
+
+impl<S: Strategy, P: Fn(&S::Value) -> bool> Strategy for Filter<S, P> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let candidate = self.inner.generate(rng);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter gave up after 10000 rejections: {}", self.reason);
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+struct RecursiveData<T> {
+    leaf: SBoxed<T>,
+    expanded: OnceCell<SBoxed<T>>,
+    depth: Cell<u32>,
+    max_depth: u32,
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    data: Rc<RecursiveData<T>>,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Recursive<T> {
+        Recursive { data: Rc::clone(&self.data) }
+    }
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let depth = self.data.depth.get();
+        match self.data.expanded.get() {
+            Some(expanded) if depth < self.data.max_depth => {
+                self.data.depth.set(depth + 1);
+                let value = expanded.generate(rng);
+                self.data.depth.set(depth);
+                value
+            }
+            _ => self.data.leaf.generate(rng),
+        }
+    }
+}
+
+/// Weighted union of strategies (the engine behind [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, SBoxed<T>)>,
+    total: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Union<T> {
+        Union { arms: self.arms.clone(), total: self.total }
+    }
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, SBoxed<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (weight, strategy) in &self.arms {
+            if pick < u64::from(*weight) {
+                return strategy.generate(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("weights sum checked in Union::new")
+    }
+}
+
+/// Helper used by [`prop_oneof!`] to erase arm types.
+pub fn into_sboxed<S: Strategy + 'static>(strategy: S) -> SBoxed<S::Value> {
+    SBoxed::new(strategy)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                (lo + (rng.next_u64() as i128 % (hi - lo))) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range strategy");
+                (lo + (rng.next_u64() as i128 % (hi - lo + 1))) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, occasionally any scalar value.
+        if rng.below(8) < 7 {
+            (b' ' + rng.below(95) as u8) as char
+        } else {
+            loop {
+                if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// Strategy for any value of `T` (see [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An arbitrary value of type `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+),)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+}
+
+// ---------------------------------------------------------------------------
+// Regex-shaped string strategies
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PatternToken {
+    /// Union of inclusive char ranges; `negated` samples the printable
+    /// ASCII complement.
+    Class { ranges: Vec<(char, char)>, negated: bool },
+    /// `\PC` — any printable, occasionally multi-byte.
+    AnyPrintable,
+}
+
+#[derive(Debug, Clone)]
+struct PatternPiece {
+    token: PatternToken,
+    min: u32,
+    max: u32,
+}
+
+/// Parse the small regex subset used as string strategies: literals,
+/// escapes, `[...]` classes with ranges, `\PC`, and `* + ? {m,n}`
+/// quantifiers.
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let token = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        i += 2; // skip the property letter (e.g. `C`)
+                        PatternToken::AnyPrintable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        PatternToken::Class { ranges: vec![(c, c)], negated: false }
+                    }
+                    None => break,
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                let negated = chars.get(i) == Some(&'^');
+                if negated {
+                    i += 1;
+                }
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|c| *c != ']') {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                i += 1; // closing `]`
+                PatternToken::Class { ranges, negated }
+            }
+            c => {
+                i += 1;
+                PatternToken::Class { ranges: vec![(c, c)], negated: false }
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..].iter().position(|c| *c == '}').expect("unclosed {") + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (lo.trim().parse().unwrap(), hi.trim().parse().unwrap()),
+                    None => {
+                        let n: u32 = body.trim().parse().unwrap();
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(PatternPiece { token, min, max });
+    }
+    pieces
+}
+
+fn generate_token(token: &PatternToken, rng: &mut TestRng, out: &mut String) {
+    match token {
+        PatternToken::AnyPrintable => {
+            if rng.below(16) == 0 {
+                out.push(['é', 'λ', '→', '愛'][rng.below(4) as usize]);
+            } else {
+                out.push((b' ' + rng.below(95) as u8) as char);
+            }
+        }
+        PatternToken::Class { ranges, negated } => {
+            if *negated {
+                loop {
+                    let c = (b' ' + rng.below(95) as u8) as char;
+                    if !ranges.iter().any(|(lo, hi)| (*lo..=*hi).contains(&c)) {
+                        out.push(c);
+                        return;
+                    }
+                }
+            }
+            let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = *hi as u64 - *lo as u64 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).expect("contiguous range"));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let count = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+            for _ in 0..count {
+                generate_token(&piece.token, rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The `prop` namespace
+// ---------------------------------------------------------------------------
+
+/// Namespaced strategy constructors mirroring upstream's `prop::` tree.
+pub mod prop {
+    /// Character strategies.
+    pub mod char {
+        use crate::{Strategy, TestRng};
+
+        /// Inclusive character range strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct CharRange {
+            lo: u32,
+            hi: u32,
+        }
+
+        /// Characters in `[lo, hi]`.
+        pub fn range(lo: char, hi: char) -> CharRange {
+            assert!(lo <= hi);
+            CharRange { lo: lo as u32, hi: hi as u32 }
+        }
+
+        impl Strategy for CharRange {
+            type Value = char;
+            fn generate(&self, rng: &mut TestRng) -> char {
+                loop {
+                    let v = self.lo + rng.below(u64::from(self.hi - self.lo) + 1) as u32;
+                    if let Some(c) = char::from_u32(v) {
+                        return c;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Collection length specification: a fixed size or a half-open
+        /// range (mirrors upstream's `Into<SizeRange>` argument).
+        #[derive(Debug, Clone)]
+        pub struct SizeRange(std::ops::Range<usize>);
+
+        impl From<usize> for SizeRange {
+            fn from(len: usize) -> SizeRange {
+                SizeRange(len..len + 1)
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(range: std::ops::Range<usize>) -> SizeRange {
+                SizeRange(range)
+            }
+        }
+
+        /// `Vec` strategy with a length range.
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// A vector whose length is drawn from `size` and whose elements
+        /// come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.in_range(self.size.0.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Numeric strategies.
+    pub mod num {
+        /// `u8` strategies.
+        pub mod u8 {
+            use crate::{Strategy, TestRng};
+
+            /// Any `u8`.
+            #[derive(Debug, Clone, Copy)]
+            pub struct U8Any;
+
+            /// Any `u8`.
+            pub const ANY: U8Any = U8Any;
+
+            impl Strategy for U8Any {
+                type Value = u8;
+                fn generate(&self, rng: &mut TestRng) -> u8 {
+                    rng.next_u64() as u8
+                }
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Any `bool`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        /// Any `bool`.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-harness configuration and macros
+// ---------------------------------------------------------------------------
+
+/// Per-block configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Upstream's shrink-iteration bound; accepted for signature
+    /// compatibility but unused (this stand-in never shrinks).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Weighted (or uniform) choice between strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::into_sboxed($strategy))),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::into_sboxed($strategy))),+])
+    };
+}
+
+/// Assertion inside a property (panics immediately; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Declare property tests: each `fn name(binding in strategy, ...)` runs
+/// `cases` times with fresh deterministic inputs; failures print the
+/// generated inputs and re-panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let strategy = ($($strategy,)+);
+            for case in 0..config.cases {
+                let ($($binding,)+) = $crate::Strategy::generate(&strategy, &mut rng);
+                let description = format!(
+                    concat!($("  ", stringify!($binding), " = {:?}\n"),+),
+                    $(&$binding),+
+                );
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || $body));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest {} failed at case {}/{} with inputs:\n{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        description
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, SBoxed, Strategy, TestRng, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn string_patterns_match_their_shape() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.chars().count()), "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_with_specials_and_escapes() {
+        let mut rng = TestRng::new(2);
+        let pattern = "[-a-e().|*+?{}\\[\\]^$\\\\0-9]{0,12}";
+        for _ in 0..200 {
+            let s = Strategy::generate(&pattern, &mut rng);
+            assert!(s.chars().count() <= 12);
+            for c in s.chars() {
+                assert!(
+                    "-().|*+?{}[]^$\\".contains(c)
+                        || c.is_ascii_digit()
+                        || ('a'..='e').contains(&c),
+                    "unexpected {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_weights_are_respected() {
+        let strategy = prop_oneof![9 => Just(1u32), 1 => Just(2u32)];
+        let mut rng = TestRng::new(3);
+        let ones = (0..1000).filter(|_| strategy.generate(&mut rng) == 1).count();
+        assert!(ones > 800, "{ones}");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        let strategy = any::<u8>().prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = TestRng::new(4);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let tree = strategy.generate(&mut rng);
+            assert!(depth(&tree) <= 5);
+            saw_node |= matches!(tree, Tree::Node(_));
+        }
+        assert!(saw_node, "recursion never expanded");
+    }
+
+    #[test]
+    fn filter_retries() {
+        let even = (0u32..100).prop_filter("must be even", |v| v % 2 == 0);
+        let mut rng = TestRng::new(5);
+        for _ in 0..100 {
+            assert_eq!(even.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn harness_macro_runs(v in 0u32..10, s in "[ab]{1,3}") {
+            prop_assert!(v < 10);
+            prop_assert_eq!(s.is_empty(), false);
+        }
+    }
+}

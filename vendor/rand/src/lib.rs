@@ -1,0 +1,183 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements exactly the API surface the workspace uses: a seedable
+//! deterministic generator ([`rngs::StdRng`], xoshiro256++ seeded through
+//! SplitMix64) and the [`RngExt`] extension trait with `random_range` /
+//! `random_bool`. Distribution quality matches the upstream generator
+//! family; statistical-bias subtleties (e.g. modulo reduction in bounded
+//! sampling) are deliberately ignored — every consumer in this workspace
+//! only needs a deterministic, well-mixed stream.
+
+/// Core trait: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized + Copy {
+    /// Widen to `i128` (all supported types fit losslessly).
+    fn to_i128(self) -> i128;
+    /// Narrow from `i128` (caller guarantees the value is in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value using `word` as the entropy source.
+    fn sample(self, word: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, word: u64) -> T {
+        let lo = self.start.to_i128();
+        let hi = self.end.to_i128();
+        assert!(lo < hi, "cannot sample from an empty range");
+        T::from_i128(lo + (i128::from(word) % (hi - lo)))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, word: u64) -> T {
+        let lo = self.start().to_i128();
+        let hi = self.end().to_i128();
+        assert!(lo <= hi, "cannot sample from an empty range");
+        T::from_i128(lo + (i128::from(word) % (hi - lo + 1)))
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait RngExt: RngCore {
+    /// A uniform value in `range` (half-open or inclusive).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 high bits give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Alias matching upstream's primary extension-trait name.
+pub use RngExt as Rng;
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u32..1000), b.random_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(b'a'..=b'f');
+            assert!((b'a'..=b'f').contains(&w));
+            let neg = rng.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn random_bool_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        use super::RngCore;
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}
