@@ -86,7 +86,11 @@ impl PassInstrumentation for TelemetrySpans {
 
 /// Per-transformation toggles (§3.2's "each transformation is optional and
 /// can be enabled or disabled individually").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` matter operationally: the runtime's compiled-program cache
+/// is keyed by `(pattern, CompilerOptions)`, so two requests share a cache
+/// entry exactly when every toggle agrees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CompilerOptions {
     /// Set 1: sub-regex simplification / canonicalization.
     pub canonicalize: bool,

@@ -1,0 +1,268 @@
+//! LRU cache of compiled programs.
+//!
+//! Serving traffic repeats patterns: deep-packet rules are applied to
+//! every packet, log-scan expressions to every shard. Compilation walks
+//! the whole multi-dialect pass pipeline (parse → `regex` dialect passes →
+//! lowering → Jump Simplification → codegen), which is pure overhead the
+//! second time the same pattern arrives. The cache memoizes the finished
+//! [`Program`] keyed by `(pattern, CompilerOptions)` — the options are
+//! part of the key because every transformation toggle changes the emitted
+//! code (that is the point of the paper's per-transformation flags).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use cicero_core::CompilerOptions;
+use cicero_isa::Program;
+
+/// Cache key: what was asked to be compiled, plus how.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    kind: KeyKind,
+    options: CompilerOptions,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyKind {
+    /// A single pattern.
+    Pattern(String),
+    /// A multi-matching set (order matters: it determines the reported
+    /// match identifiers).
+    Set(Vec<String>),
+}
+
+impl CacheKey {
+    /// Key for one pattern compiled with `options`.
+    pub fn pattern(pattern: &str, options: CompilerOptions) -> CacheKey {
+        CacheKey { kind: KeyKind::Pattern(pattern.to_owned()), options }
+    }
+
+    /// Key for a multi-matching set compiled with `options`.
+    pub fn set<S: AsRef<str>>(patterns: &[S], options: CompilerOptions) -> CacheKey {
+        CacheKey {
+            kind: KeyKind::Set(patterns.iter().map(|p| p.as_ref().to_owned()).collect()),
+            options,
+        }
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (1.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Inner {
+    capacity: usize,
+    entries: HashMap<CacheKey, Arc<Program>>,
+    /// Keys in least-recently-used-first order.
+    order: Vec<CacheKey>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A thread-safe LRU cache of compiled programs.
+///
+/// Shared by every worker and every front-end thread of a
+/// [`Runtime`](crate::Runtime); lookups and insertions take one short
+/// mutex hold, while compilation itself runs outside the lock (two racing
+/// misses may both compile, the second insert winning — compilation is
+/// deterministic, so both produce the same program).
+pub struct ProgramCache {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for ProgramCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ProgramCache")
+            .field("entries", &stats.entries)
+            .field("capacity", &stats.capacity)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl ProgramCache {
+    /// An empty cache holding at most `capacity` programs (minimum 1).
+    pub fn new(capacity: usize) -> ProgramCache {
+        ProgramCache {
+            inner: Mutex::new(Inner {
+                capacity: capacity.max(1),
+                entries: HashMap::new(),
+                order: Vec::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Look up `key`, or compile it with `build` and insert the result.
+    ///
+    /// Returns the program and whether the lookup was a hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error; nothing is inserted on failure.
+    pub fn get_or_insert_with<E>(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> Result<Program, E>,
+    ) -> Result<(Arc<Program>, bool), E> {
+        {
+            let mut inner = self.lock();
+            if let Some(program) = inner.entries.get(&key).cloned() {
+                inner.hits += 1;
+                // Refresh recency: move the key to most-recent.
+                inner.order.retain(|k| *k != key);
+                inner.order.push(key);
+                return Ok((program, true));
+            }
+            inner.misses += 1;
+        }
+        // Compile outside the lock: patterns can take a while and other
+        // requests must not serialize behind them.
+        let program = Arc::new(build()?);
+        let mut inner = self.lock();
+        if !inner.entries.contains_key(&key) {
+            while inner.entries.len() >= inner.capacity {
+                let oldest = inner.order.remove(0);
+                inner.entries.remove(&oldest);
+                inner.evictions += 1;
+            }
+            inner.entries.insert(key.clone(), program.clone());
+            inner.order.push(key);
+        }
+        Ok((program, false))
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+            capacity: inner.capacity,
+        }
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.entries.clear();
+        inner.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cicero_isa::Instruction;
+
+    fn tiny_program(ch: u8) -> Program {
+        Program::from_instructions(vec![Instruction::Match(ch), Instruction::Accept]).unwrap()
+    }
+
+    fn key(pattern: &str) -> CacheKey {
+        CacheKey::pattern(pattern, CompilerOptions::optimized())
+    }
+
+    #[test]
+    fn second_lookup_hits_and_skips_the_builder() {
+        let cache = ProgramCache::new(4);
+        let (first, hit) =
+            cache.get_or_insert_with::<()>(key("a"), || Ok(tiny_program(b'a'))).unwrap();
+        assert!(!hit);
+        let (second, hit) =
+            cache.get_or_insert_with::<()>(key("a"), || panic!("must not recompile")).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let cache = ProgramCache::new(4);
+        let opt = CacheKey::pattern("a", CompilerOptions::optimized());
+        let unopt = CacheKey::pattern("a", CompilerOptions::unoptimized());
+        cache.get_or_insert_with::<()>(opt, || Ok(tiny_program(b'a'))).unwrap();
+        let (_, hit) = cache.get_or_insert_with::<()>(unopt, || Ok(tiny_program(b'a'))).unwrap();
+        assert!(!hit, "different options must not share an entry");
+    }
+
+    #[test]
+    fn set_keys_are_order_sensitive_and_distinct_from_patterns() {
+        let opts = CompilerOptions::optimized();
+        assert_ne!(CacheKey::set(&["a", "b"], opts), CacheKey::set(&["b", "a"], opts));
+        assert_ne!(CacheKey::set(&["a"], opts), CacheKey::pattern("a", opts));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ProgramCache::new(2);
+        cache.get_or_insert_with::<()>(key("a"), || Ok(tiny_program(b'a'))).unwrap();
+        cache.get_or_insert_with::<()>(key("b"), || Ok(tiny_program(b'b'))).unwrap();
+        // Touch "a" so "b" becomes the LRU entry.
+        cache.get_or_insert_with::<()>(key("a"), || panic!("cached")).unwrap();
+        cache.get_or_insert_with::<()>(key("c"), || Ok(tiny_program(b'c'))).unwrap();
+        let (_, hit_a) =
+            cache.get_or_insert_with::<()>(key("a"), || Ok(tiny_program(b'a'))).unwrap();
+        assert!(hit_a, "recently used entry survived");
+        let (_, hit_b) =
+            cache.get_or_insert_with::<()>(key("b"), || Ok(tiny_program(b'b'))).unwrap();
+        assert!(!hit_b, "LRU entry was evicted");
+        assert_eq!(cache.stats().evictions, 2, "c evicted b, then b evicted c");
+    }
+
+    #[test]
+    fn build_errors_insert_nothing() {
+        let cache = ProgramCache::new(2);
+        let err = cache.get_or_insert_with(key("bad"), || Err("boom")).unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(cache.stats().entries, 0);
+        let (_, hit) =
+            cache.get_or_insert_with::<()>(key("bad"), || Ok(tiny_program(b'x'))).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = ProgramCache::new(2);
+        cache.get_or_insert_with::<()>(key("a"), || Ok(tiny_program(b'a'))).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

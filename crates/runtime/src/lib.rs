@@ -1,0 +1,383 @@
+//! Parallel batch-matching runtime.
+//!
+//! The paper's architecture wins by *parallel enumeration* — many cores
+//! chewing through thread queues concurrently (§4). This crate is the
+//! host-side analogue for serving many inputs: a fixed pool of workers,
+//! each owning its own [`Machine`](cicero_sim::Machine) (so its
+//! instruction caches stay warm across the inputs it serves, mirroring the
+//! hardware rule that reprogramming flushes the caches while streaming new
+//! data does not), pulling input chunks from a shared work queue and
+//! merging per-worker [`ExecReport`]s deterministically — the merged
+//! reports are byte-identical for every worker count.
+//!
+//! In front of the pool sits an LRU [`ProgramCache`] keyed by
+//! `(pattern, CompilerOptions)`: repeated patterns — the common case for
+//! serving traffic, where the same rule set scans every packet — skip the
+//! whole multi-dialect pass pipeline and go straight to execution. This is
+//! MLIR's own argument applied to serving: the compiler layers produce
+//! reusable, cached artifacts that feed a parallel execution substrate,
+//! rather than being re-run per request.
+//!
+//! # Example
+//!
+//! ```
+//! use cicero_runtime::{Runtime, RuntimeOptions};
+//! use cicero_sim::ArchConfig;
+//!
+//! let runtime = Runtime::new(RuntimeOptions { jobs: 2, ..RuntimeOptions::default() });
+//! let chunks = vec![b"xxabyy".to_vec(), b"nothing".to_vec(), b"ab".to_vec()];
+//! let batch = runtime.match_batch("ab|cd", &chunks, &ArchConfig::new_organization(8, 1))?;
+//! assert_eq!(batch.matches(), 2);
+//! assert!(!batch.cache_hit);
+//! let again = runtime.match_batch("ab|cd", &chunks, &ArchConfig::new_organization(8, 1))?;
+//! assert!(again.cache_hit, "second request skips the pass pipeline");
+//! assert_eq!(again.reports, batch.reports, "reports are deterministic");
+//! # Ok::<(), cicero_core::CompileError>(())
+//! ```
+
+mod cache;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use cache::{CacheKey, CacheStats, ProgramCache};
+
+use cicero_core::{CompileError, Compiler, CompilerOptions};
+use cicero_isa::Program;
+use cicero_sim::{simulate_batch_parallel_stats, ArchConfig, ExecReport, WorkerStats};
+use cicero_telemetry::Telemetry;
+
+/// Construction-time knobs for a [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeOptions {
+    /// Worker threads in the pool; `0` resolves to the host's available
+    /// parallelism.
+    pub jobs: usize,
+    /// Maximum entries in the compiled-program cache.
+    pub cache_capacity: usize,
+    /// Compiler configuration used for every compilation (and part of
+    /// every cache key).
+    pub compiler: CompilerOptions,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> RuntimeOptions {
+        RuntimeOptions { jobs: 0, cache_capacity: 128, compiler: CompilerOptions::optimized() }
+    }
+}
+
+/// The result of one batch served by the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// One report per input, in input order — byte-identical to the
+    /// sequential [`simulate_batch`](cicero_sim::simulate_batch) path for
+    /// every worker count.
+    pub reports: Vec<ExecReport>,
+    /// All reports [`accumulate`](ExecReport::accumulate)d together.
+    pub aggregate: ExecReport,
+    /// Per-worker accounting, in worker order.
+    pub workers: Vec<WorkerStats>,
+    /// Worker threads the batch actually used.
+    pub jobs: usize,
+    /// Whether the program came out of the cache (no compilation).
+    pub cache_hit: bool,
+    /// Host wall-clock time spent executing the batch (excluding
+    /// compilation).
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Number of inputs that matched.
+    pub fn matches(&self) -> usize {
+        self.reports.iter().filter(|r| r.accepted).count()
+    }
+
+    /// Total input bytes per host wall-clock second (0 when the batch
+    /// finished faster than the clock resolution).
+    pub fn throughput_bytes_per_sec(&self, total_bytes: usize) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            total_bytes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A batch-matching runtime: worker pool + compiled-program cache.
+///
+/// Cheap to share behind an [`Arc`]; all interior state (the cache) is
+/// thread-safe, and batches from concurrent front-end threads interleave
+/// freely.
+#[derive(Debug)]
+pub struct Runtime {
+    options: RuntimeOptions,
+    jobs: usize,
+    cache: ProgramCache,
+    telemetry: Option<Telemetry>,
+}
+
+impl Default for Runtime {
+    fn default() -> Runtime {
+        Runtime::new(RuntimeOptions::default())
+    }
+}
+
+impl Runtime {
+    /// Build a runtime; `options.jobs == 0` resolves to the host's
+    /// available parallelism.
+    pub fn new(options: RuntimeOptions) -> Runtime {
+        let jobs = if options.jobs == 0 {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        } else {
+            options.jobs
+        };
+        Runtime { jobs, cache: ProgramCache::new(options.cache_capacity), options, telemetry: None }
+    }
+
+    /// Attach a telemetry collector: every batch then records `runtime.*`
+    /// counters (batch/input/cache totals, per-worker distributions) and
+    /// folds each run's [`ExecReport`] into the existing `sim.*` metrics.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Runtime {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The active options (with `jobs` as originally requested).
+    pub fn options(&self) -> &RuntimeOptions {
+        &self.options
+    }
+
+    /// The compiled-program cache (for statistics and administration).
+    pub fn cache(&self) -> &ProgramCache {
+        &self.cache
+    }
+
+    /// Compile `pattern` through the cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`]; failures are not cached.
+    pub fn compile(&self, pattern: &str) -> Result<Arc<Program>, CompileError> {
+        Ok(self.compile_tracked(pattern)?.0)
+    }
+
+    fn compile_tracked(&self, pattern: &str) -> Result<(Arc<Program>, bool), CompileError> {
+        let key = CacheKey::pattern(pattern, self.options.compiler);
+        let result: Result<(Arc<Program>, bool), CompileError> =
+            self.cache.get_or_insert_with(key, || {
+                Ok(Compiler::with_options(self.options.compiler).compile(pattern)?.into_program())
+            });
+        self.note_lookup(&result);
+        result
+    }
+
+    /// Compile a multi-matching set through the cache (see
+    /// [`Compiler::compile_set`]); the set's match identifiers index the
+    /// `patterns` slice in order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::compile_set`].
+    pub fn compile_set<S: AsRef<str>>(&self, patterns: &[S]) -> Result<Arc<Program>, CompileError> {
+        let key = CacheKey::set(patterns, self.options.compiler);
+        let result: Result<(Arc<Program>, bool), CompileError> =
+            self.cache.get_or_insert_with(key, || {
+                Ok(Compiler::with_options(self.options.compiler)
+                    .compile_set(patterns)?
+                    .program()
+                    .clone())
+            });
+        self.note_lookup(&result);
+        Ok(result?.0)
+    }
+
+    fn note_lookup<E>(&self, result: &Result<(Arc<Program>, bool), E>) {
+        if let (Some(telemetry), Ok((_, hit))) = (&self.telemetry, result) {
+            let name = if *hit { "runtime.cache_hits" } else { "runtime.cache_misses" };
+            telemetry.counter_add(name, 1);
+        }
+    }
+
+    /// Compile `pattern` (through the cache) and run it over every input
+    /// on the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors only; execution itself cannot fail.
+    pub fn match_batch(
+        &self,
+        pattern: &str,
+        inputs: &[Vec<u8>],
+        config: &ArchConfig,
+    ) -> Result<BatchReport, CompileError> {
+        let (program, cache_hit) = self.compile_tracked(pattern)?;
+        Ok(self.run_batch_inner(&program, inputs, config, cache_hit))
+    }
+
+    /// Run an already-compiled program over every input on the worker
+    /// pool (`cache_hit` is reported as `false`).
+    pub fn run_batch(
+        &self,
+        program: &Program,
+        inputs: &[Vec<u8>],
+        config: &ArchConfig,
+    ) -> BatchReport {
+        self.run_batch_inner(program, inputs, config, false)
+    }
+
+    fn run_batch_inner(
+        &self,
+        program: &Program,
+        inputs: &[Vec<u8>],
+        config: &ArchConfig,
+        cache_hit: bool,
+    ) -> BatchReport {
+        let span = self.telemetry.as_ref().map(|t| {
+            let span = t.span("runtime.batch");
+            span.annotate("inputs", inputs.len());
+            span.annotate("jobs", self.jobs.min(inputs.len().max(1)));
+            span.annotate("cache_hit", cache_hit);
+            span
+        });
+        let start = Instant::now();
+        let (reports, workers) = simulate_batch_parallel_stats(program, inputs, config, self.jobs);
+        let wall = start.elapsed();
+        let mut aggregate = ExecReport::default();
+        for report in &reports {
+            aggregate.accumulate(report);
+        }
+        let batch =
+            BatchReport { jobs: workers.len(), aggregate, workers, reports, cache_hit, wall };
+        if let Some(telemetry) = &self.telemetry {
+            self.record_batch(telemetry, &batch);
+            if let Some(span) = span {
+                span.annotate("matches", batch.matches());
+                span.annotate("cycles", batch.aggregate.cycles);
+            }
+        }
+        batch
+    }
+
+    /// Fold one batch into the collector: `runtime.*` counters and
+    /// per-worker distributions, plus every run's report merged into the
+    /// `sim.*` metrics (the same shape `simulate_with_telemetry` emits, so
+    /// dashboards aggregate sequential and parallel traffic uniformly).
+    fn record_batch(&self, telemetry: &Telemetry, batch: &BatchReport) {
+        telemetry.counter_add("runtime.batches", 1);
+        telemetry.counter_add("runtime.inputs", batch.reports.len() as u64);
+        telemetry.counter_add("runtime.matches", batch.matches() as u64);
+        telemetry.gauge_set("runtime.jobs", self.jobs as f64);
+        for worker in &batch.workers {
+            telemetry.counter_add("runtime.worker_runs", worker.inputs as u64);
+            telemetry.observe("runtime.worker_inputs", worker.inputs as f64);
+            telemetry.observe("runtime.worker_cycles", worker.cycles as f64);
+        }
+        for report in &batch.reports {
+            report.record_into(telemetry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cicero_sim::simulate_batch;
+
+    fn chunks() -> Vec<Vec<u8>> {
+        let mut inputs: Vec<Vec<u8>> = (0..7).map(|i| vec![b'x'; 30 + i]).collect();
+        inputs[2] = b"xxxabcdxxx".to_vec();
+        inputs[5] = b"bcda".to_vec();
+        inputs
+    }
+
+    const PATTERN: &str = "(abcd|bcda|cdab|dabc)";
+
+    fn runtime(jobs: usize) -> Runtime {
+        Runtime::new(RuntimeOptions { jobs, ..RuntimeOptions::default() })
+    }
+
+    #[test]
+    fn matches_equal_the_sequential_path_for_every_job_count() {
+        let config = ArchConfig::new_organization(8, 1);
+        let program = cicero_core::compile(PATTERN).unwrap().into_program();
+        let sequential = simulate_batch(&program, &chunks(), &config);
+        for jobs in 1..=5 {
+            let batch = runtime(jobs).match_batch(PATTERN, &chunks(), &config).unwrap();
+            assert_eq!(batch.reports, sequential, "jobs={jobs}");
+            assert_eq!(batch.matches(), 2);
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeated_patterns() {
+        let runtime = runtime(2);
+        let config = ArchConfig::old_organization(1);
+        let first = runtime.match_batch(PATTERN, &chunks(), &config).unwrap();
+        assert!(!first.cache_hit);
+        let second = runtime.match_batch(PATTERN, &chunks(), &config).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.reports, second.reports);
+        let stats = runtime.cache().stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn compile_set_is_cached_too() {
+        let runtime = runtime(1);
+        let patterns = ["GET /", "POST /"];
+        let a = runtime.compile_set(&patterns).unwrap();
+        let b = runtime.compile_set(&patterns).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(runtime.cache().stats().hits, 1);
+    }
+
+    #[test]
+    fn compile_errors_surface_and_are_not_cached() {
+        let runtime = runtime(1);
+        assert!(runtime.compile("(").is_err());
+        assert_eq!(runtime.cache().stats().entries, 0);
+    }
+
+    #[test]
+    fn worker_accounting_covers_every_input() {
+        let batch = runtime(3)
+            .match_batch(PATTERN, &chunks(), &ArchConfig::new_organization(8, 1))
+            .unwrap();
+        assert_eq!(batch.workers.iter().map(|w| w.inputs).sum::<usize>(), chunks().len());
+        assert_eq!(batch.workers.iter().map(|w| w.cycles).sum::<u64>(), batch.aggregate.cycles);
+        assert!(batch.jobs >= 1 && batch.jobs <= 3);
+    }
+
+    #[test]
+    fn telemetry_merges_runtime_and_sim_metrics() {
+        let telemetry = Telemetry::new();
+        let runtime = runtime(2).with_telemetry(telemetry.clone());
+        let config = ArchConfig::old_organization(1);
+        runtime.match_batch(PATTERN, &chunks(), &config).unwrap();
+        runtime.match_batch(PATTERN, &chunks(), &config).unwrap();
+        assert_eq!(telemetry.counter("runtime.batches"), 2);
+        assert_eq!(telemetry.counter("runtime.inputs"), 14);
+        assert_eq!(telemetry.counter("runtime.cache_hits"), 1);
+        assert_eq!(telemetry.counter("runtime.cache_misses"), 1);
+        assert_eq!(telemetry.counter("runtime.worker_runs"), 14);
+        // Every individual run is folded into the existing sim.* metrics.
+        assert_eq!(telemetry.counter("sim.runs"), 14);
+        assert_eq!(telemetry.histogram("sim.cycles").unwrap().count, 14);
+        assert!(telemetry.histogram("runtime.worker_cycles").unwrap().count >= 2);
+        let spans = telemetry.spans();
+        assert_eq!(spans.iter().filter(|s| s.name == "runtime.batch").count(), 2);
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_host_parallelism() {
+        let runtime = Runtime::new(RuntimeOptions::default());
+        assert!(runtime.jobs() >= 1);
+    }
+}

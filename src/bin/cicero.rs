@@ -3,7 +3,8 @@
 //! ```text
 //! cicero compile <pattern> [--old] [-O0] [--emit asm|bin|regex-ir|cicero-ir] [-o FILE]
 //! cicero run     <pattern> [--text STR | --input FILE] [--config NxM] [--old] [-O0]
-//! cicero scan    <pattern>... (--text STR | --input FILE) [--config NxM]
+//!                [--jobs N]
+//! cicero scan    <pattern>... (--text STR | --input FILE) [--config NxM] [--jobs N]
 //! cicero explain <pattern>
 //! cicero configs
 //! ```
@@ -12,6 +13,15 @@
 //! with nine engines, `16x1` the proposed one with sixteen cores.
 //!
 //! `cicero <pattern> ...` (no subcommand) is shorthand for `cicero run`.
+//!
+//! `--jobs N` switches `run`/`scan` to the parallel batch runtime: the
+//! input is split into 500-byte chunks (the paper's §6 methodology) and
+//! matched chunk-by-chunk on a pool of `N` workers (`0` = all host cores),
+//! with the compiled program served from the runtime's LRU cache.
+//!
+//! A `--` separator ends flag parsing; everything after it is positional,
+//! which is how patterns beginning with `-` are expressed
+//! (`cicero run --text a-b -- '-b'`).
 //!
 //! Observability: `--pass-timing` prints the per-pass timing table, and
 //! `--metrics PATH` (with `--metrics-format summary|jsonl`) exports the
@@ -35,8 +45,9 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        // `cicero <pattern> [flags]` is shorthand for `cicero run`.
-        Some(other) if !other.starts_with('-') => cmd_run(&args),
+        // `cicero <pattern> [flags]` is shorthand for `cicero run`; the
+        // `--` form covers patterns that start with a dash.
+        Some(other) if !other.starts_with('-') || other == "--" => cmd_run(&args),
         Some(other) => Err(format!("unknown flag `{other}`\n\n{USAGE}")),
     };
     match result {
@@ -52,14 +63,18 @@ const USAGE: &str = "\
 cicero - regex-to-DSA compiler and cycle-level simulator
 
 USAGE:
-    cicero compile <pattern> [--old] [-O0] [--emit KIND] [-o FILE] [--pass-timing]
+    cicero compile <pattern> [--old] [-O0|--O0] [--emit KIND] [-o|--output FILE]
+                   [--pass-timing]
     cicero run     <pattern> [--text STR | --input FILE] [--config NxM] [--old] [-O0]
-                   [--pass-timing] [--metrics PATH] [--metrics-format FORMAT]
-    cicero scan    <p1> <p2> ... (--text STR | --input FILE) [--config NxM]
+                   [--jobs N] [--pass-timing] [--metrics PATH] [--metrics-format FORMAT]
+    cicero scan    <p1> <p2> ... (--text STR | --input FILE) [--config NxM] [--jobs N]
     cicero explain <pattern>
     cicero configs
     cicero <pattern> [run flags]      shorthand for `cicero run` (empty input
                                       unless --text/--input is given)
+
+A `--` ends flag parsing: every later argument is positional, so patterns
+beginning with `-` are written e.g. `cicero run --text a-b -- '-b'`.
 
 EMIT KINDS:
     asm        address-annotated assembly (default)
@@ -69,11 +84,14 @@ EMIT KINDS:
 
 OPTIONS:
     --old             use the legacy single-IR compiler (Code Restructuring)
-    -O0               disable optimizations
+    -O0, --O0         disable optimizations
+    -o, --output FILE write `--emit` output to FILE instead of stdout
     --config          architecture: 1xM = old organization, Nx1/NxM = new (default 16x1)
+    --jobs N          batch mode: split the input into 500-byte chunks and match
+                      them on N runtime workers (0 = all host cores)
     --pass-timing     print the per-pass timing table (time, %, op-count delta)
-    --metrics PATH    export telemetry (pass spans + simulator histograms) to PATH,
-                      or to stdout when PATH is `-`
+    --metrics PATH    export telemetry (pass spans + simulator histograms +
+                      runtime counters) to PATH, or to stdout when PATH is `-`
     --metrics-format  `summary` (human-readable, default) or `jsonl` (one JSON
                       object per line)
 ";
@@ -93,6 +111,12 @@ fn parse_flags(
     let mut pairs = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
+        if arg == "--" {
+            // Everything after the separator is positional, dashes and
+            // all — the only way to express patterns like `-a+`.
+            positional.extend(iter.cloned());
+            break;
+        }
         if let Some(name) = arg.strip_prefix("--") {
             if value_flags.contains(&name) {
                 let value =
@@ -208,7 +232,11 @@ fn write_metrics(flags: &Flags, telemetry: &Telemetry) -> Result<(), String> {
 type OutputSink = Box<dyn FnOnce(&[u8]) -> Result<(), String>>;
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["emit"], &["old", "pass-timing"])?;
+    // `output` and `O0` are read below via their long names, so they must
+    // be registered here too (`-o`/`-O0` are shorthands handled inside
+    // `parse_flags`); leaving them out rejected `--O0`/`--output FILE`
+    // as unknown flags.
+    let flags = parse_flags(args, &["emit", "output"], &["old", "pass-timing", "O0"])?;
     let [pattern] = flags.positional.as_slice() else {
         return Err("compile takes exactly one pattern".to_owned());
     };
@@ -264,11 +292,28 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Parse a `--jobs` value: a worker count, `0` meaning all host cores.
+fn parse_jobs(value: &str) -> Result<usize, String> {
+    value.parse::<usize>().map_err(|_| format!("--jobs `{value}` is not a number"))
+}
+
+/// Split an input into the paper's §6 batch granularity (500-byte
+/// chunks); an empty input still yields one (empty) chunk so the batch
+/// path reports something.
+fn chunk_input(input: &[u8]) -> Vec<Vec<u8>> {
+    if input.is_empty() {
+        return vec![Vec::new()];
+    }
+    input.chunks(workloads::CHUNK_BYTES).map(<[u8]>::to_vec).collect()
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
+    // `O0` must be registered even though `-O0` is a shorthand, so the
+    // long `--O0` spelling works too (same fix as `cmd_compile`).
     let flags = parse_flags(
         args,
-        &["text", "input", "config", "metrics", "metrics-format"],
-        &["old", "pass-timing"],
+        &["text", "input", "config", "metrics", "metrics-format", "jobs"],
+        &["old", "pass-timing", "O0"],
     )?;
     let [pattern] = flags.positional.as_slice() else {
         return Err("run takes exactly one pattern".to_owned());
@@ -279,6 +324,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         _ => read_input(&flags)?,
     };
     let config = parse_config(flags.value("config"))?;
+    if let Some(jobs) = flags.value("jobs") {
+        return run_batch_mode(pattern, &input, &config, parse_jobs(jobs)?, &flags);
+    }
     let telemetry = Telemetry::new();
     let (program, pass_report) =
         compile_one(pattern, flags.has("old"), flags.has("O0"), Some(&telemetry))?;
@@ -304,13 +352,66 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     write_metrics(&flags, &telemetry)
 }
 
+/// `run --jobs N`: chunk the input and match it on the parallel runtime.
+fn run_batch_mode(
+    pattern: &str,
+    input: &[u8],
+    config: &ArchConfig,
+    jobs: usize,
+    flags: &Flags,
+) -> Result<(), String> {
+    let telemetry = Telemetry::new();
+    let chunks = chunk_input(input);
+    let o0 = flags.has("O0");
+    let compiler = if o0 { CompilerOptions::unoptimized() } else { CompilerOptions::optimized() };
+    let runtime = Runtime::new(RuntimeOptions { jobs, compiler, ..RuntimeOptions::default() })
+        .with_telemetry(telemetry.clone());
+    let batch = if flags.has("old") {
+        // The legacy compiler is outside the runtime's cache; compile once
+        // here and hand the program straight to the pool.
+        let program = LegacyCompiler::new(!o0).compile(pattern).map_err(|e| e.to_string())?;
+        runtime.run_batch(&program, &chunks, config)
+    } else {
+        runtime.match_batch(pattern, &chunks, config).map_err(|e| e.to_string())?
+    };
+    println!("pattern    : {pattern}");
+    println!("config     : {} @ {} MHz", config.name(), config.clock_mhz());
+    println!(
+        "batch      : {} chunk(s) of <= {} B on {} worker(s)",
+        chunks.len(),
+        workloads::CHUNK_BYTES,
+        batch.jobs
+    );
+    match batch.matches() {
+        0 => println!("verdict    : no match"),
+        n => println!("verdict    : MATCH in {n}/{} chunk(s)", chunks.len()),
+    }
+    println!("cycles     : {}", batch.aggregate.cycles);
+    println!("time       : {:.3} us", batch.aggregate.time_us(config.clock_mhz()));
+    println!("instructions: {}", batch.aggregate.instructions);
+    println!("icache      : {:.1}% hits", batch.aggregate.icache_hit_rate() * 100.0);
+    println!(
+        "host wall  : {:.3} ms ({:.1} KB/s)",
+        batch.wall.as_secs_f64() * 1e3,
+        batch.throughput_bytes_per_sec(input.len()) / 1e3
+    );
+    if flags.has("pass-timing") {
+        println!();
+        println!("per-pass timing: n/a in --jobs batch mode (use a sequential run)");
+    }
+    write_metrics(flags, &telemetry)
+}
+
 fn cmd_scan(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["text", "input", "config"], &[])?;
+    let flags = parse_flags(args, &["text", "input", "config", "jobs"], &[])?;
     if flags.positional.is_empty() {
         return Err("scan takes one or more patterns".to_owned());
     }
     let input = read_input(&flags)?;
     let config = parse_config(flags.value("config"))?;
+    if let Some(jobs) = flags.value("jobs") {
+        return scan_batch_mode(&flags.positional, &input, &config, parse_jobs(jobs)?);
+    }
     let set = Compiler::new().compile_set(&flags.positional).map_err(|e| e.to_string())?;
     let report = simulate(set.program(), &input, &config);
     match report.matched_id {
@@ -321,6 +422,45 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
             report.cycles
         ),
         None => println!("no match in {} cycles", report.cycles),
+    }
+    Ok(())
+}
+
+/// `scan --jobs N`: match the multi-pattern set chunk-by-chunk on the
+/// parallel runtime and summarise per-pattern hits.
+fn scan_batch_mode(
+    patterns: &[String],
+    input: &[u8],
+    config: &ArchConfig,
+    jobs: usize,
+) -> Result<(), String> {
+    let chunks = chunk_input(input);
+    let runtime = Runtime::new(RuntimeOptions { jobs, ..RuntimeOptions::default() });
+    let program = runtime.compile_set(patterns).map_err(|e| e.to_string())?;
+    let batch = runtime.run_batch(&program, &chunks, config);
+    println!(
+        "{} chunk(s) of <= {} B on {} worker(s), {} cycles total",
+        chunks.len(),
+        workloads::CHUNK_BYTES,
+        batch.jobs,
+        batch.aggregate.cycles
+    );
+    let mut per_pattern = vec![0usize; patterns.len()];
+    for report in &batch.reports {
+        if let Some(id) = report.matched_id {
+            if let Some(count) = per_pattern.get_mut(usize::from(id)) {
+                *count += 1;
+            }
+        }
+    }
+    if batch.matches() == 0 {
+        println!("no match");
+    } else {
+        for (id, count) in per_pattern.iter().enumerate() {
+            if *count > 0 {
+                println!("MATCH: pattern {} ({:?}) in {} chunk(s)", id, patterns[id], count);
+            }
+        }
     }
     Ok(())
 }

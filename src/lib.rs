@@ -17,6 +17,8 @@
 //! * [`legacy`] — the old single-IR compiler with Code Restructuring;
 //! * [`isa`] — the Cicero ISA, encoding, interpreter, `D_offset` metric;
 //! * [`sim`] — the cycle-level DSA simulator with power/resource models;
+//! * [`runtime`] — the parallel batch-matching runtime: worker pool over
+//!   the simulator fronted by an LRU compiled-program cache;
 //! * [`telemetry`] — spans, metrics, and summary/JSON-lines sinks shared
 //!   by the compiler, simulator, CLI, and benchmark drivers;
 //! * [`oracle`] — the reference Pike-VM matcher (ground truth);
@@ -43,6 +45,7 @@ pub use cicero_core as compiler;
 pub use cicero_dialect;
 pub use cicero_isa as isa;
 pub use cicero_legacy as legacy;
+pub use cicero_runtime as runtime;
 pub use cicero_sim as sim;
 pub use cicero_telemetry as telemetry;
 pub use mlir_lite as mlir;
@@ -56,7 +59,10 @@ pub mod prelude {
     pub use cicero_core::{compile, Compiler, CompilerOptions};
     pub use cicero_isa::{Instruction, Program};
     pub use cicero_legacy::LegacyCompiler;
-    pub use cicero_sim::{simulate, simulate_batch, simulate_with_telemetry, ArchConfig};
+    pub use cicero_runtime::{Runtime, RuntimeOptions};
+    pub use cicero_sim::{
+        simulate, simulate_batch, simulate_batch_parallel, simulate_with_telemetry, ArchConfig,
+    };
     pub use cicero_telemetry::Telemetry;
     pub use regex_oracle::Oracle;
 }

@@ -1,0 +1,147 @@
+//! Regression tests for the `cicero` binary's flag handling.
+//!
+//! These drive the compiled binary itself (via `CARGO_BIN_EXE_cicero`),
+//! because the bugs they pin down lived in `parse_flags` registration —
+//! exactly the layer unit tests of the library can't see.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cicero(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cicero"))
+        .args(args)
+        .output()
+        .expect("running the cicero binary")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("cicero-cli-test-{}-{name}", std::process::id()));
+    path
+}
+
+/// The long spellings `--O0` and `--output FILE` were documented but never
+/// registered with the flag parser, so `compile` rejected them as unknown
+/// flags. This is the issue's acceptance-criterion invocation.
+#[test]
+fn compile_accepts_long_o0_and_output_flags() {
+    let out_path = temp_file("long-flags.bin");
+    let output = cicero(&[
+        "compile",
+        "ab|cd",
+        "--O0",
+        "--emit",
+        "bin",
+        "--output",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let bytes = std::fs::read(&out_path).expect("compile wrote the output file");
+    assert!(!bytes.is_empty());
+    std::fs::remove_file(&out_path).ok();
+}
+
+/// The short spellings must keep working, and produce the same artifact.
+#[test]
+fn compile_short_and_long_flags_are_equivalent() {
+    let short_path = temp_file("short.bin");
+    let long_path = temp_file("long.bin");
+    let short =
+        cicero(&["compile", "a+b", "-O0", "--emit", "bin", "-o", short_path.to_str().unwrap()]);
+    let long = cicero(&[
+        "compile",
+        "a+b",
+        "--O0",
+        "--emit",
+        "bin",
+        "--output",
+        long_path.to_str().unwrap(),
+    ]);
+    assert!(short.status.success(), "stderr: {}", stderr(&short));
+    assert!(long.status.success(), "stderr: {}", stderr(&long));
+    assert_eq!(
+        std::fs::read(&short_path).unwrap(),
+        std::fs::read(&long_path).unwrap(),
+        "-O0/-o and --O0/--output must emit identical binaries"
+    );
+    std::fs::remove_file(&short_path).ok();
+    std::fs::remove_file(&long_path).ok();
+}
+
+/// Genuinely unknown flags must still be rejected.
+#[test]
+fn unknown_flags_are_still_rejected() {
+    let output = cicero(&["compile", "ab", "--no-such-flag"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("unknown flag"));
+}
+
+/// `--` ends flag parsing: patterns that start with a dash become
+/// expressible instead of being rejected as unknown flags.
+#[test]
+fn double_dash_separator_passes_dash_patterns_through() {
+    let rejected = cicero(&["run", "--text", "a--b", "--b"]);
+    assert!(!rejected.status.success(), "`--`-pattern without the separator is a flag error");
+
+    let output = cicero(&["run", "--text", "a--b", "--", "--b"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("MATCH"), "stdout: {}", stdout(&output));
+
+    // Single-dash patterns work too, and flags after `--` are positional.
+    let output = cicero(&["run", "--text", "a-b", "--", "-b"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("MATCH"), "stdout: {}", stdout(&output));
+    let extra = cicero(&["run", "--", "-b", "--text", "a-b"]);
+    assert!(!extra.status.success(), "everything after `--` is positional");
+}
+
+/// `run --jobs N` must print the same verdict/cycle totals for every
+/// worker count — the runtime's determinism guarantee, observed end to
+/// end through the CLI.
+#[test]
+fn run_jobs_output_is_identical_for_every_worker_count() {
+    let text = format!("{}ab{}cd", "x".repeat(700), "y".repeat(600));
+    let outputs: Vec<String> = [1, 2, 4]
+        .iter()
+        .map(|jobs| {
+            let output = cicero(&["run", "ab|cd", "--text", &text, "--jobs", &jobs.to_string()]);
+            assert!(output.status.success(), "stderr: {}", stderr(&output));
+            // Strip host-dependent lines (wall clock, worker count).
+            stdout(&output)
+                .lines()
+                .filter(|l| !l.starts_with("host wall") && !l.starts_with("batch"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .collect();
+    assert!(outputs[0].contains("MATCH"), "output: {}", outputs[0]);
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[0], outputs[2]);
+}
+
+/// `scan --jobs N` reports which pattern of the set matched.
+#[test]
+fn scan_jobs_reports_per_pattern_matches() {
+    let text = format!("{}cd", "x".repeat(600));
+    let output = cicero(&["scan", "ab", "cd", "--text", &text, "--jobs", "2"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let stdout = stdout(&output);
+    assert!(stdout.contains("MATCH: pattern 1"), "stdout: {stdout}");
+    assert!(stdout.contains("\"cd\""), "stdout: {stdout}");
+}
+
+/// `--jobs` values must be numeric.
+#[test]
+fn run_jobs_rejects_non_numeric_values() {
+    let output = cicero(&["run", "ab", "--text", "ab", "--jobs", "lots"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("is not a number"));
+}
