@@ -1,0 +1,310 @@
+//! The equivalence matrix: one (pattern, input) case fanned out over
+//! every execution cell, with a precise description of the first
+//! disagreement.
+//!
+//! Cells per case:
+//!
+//! * the reference Pike VM ([`regex_oracle::Oracle`]) — ground truth for
+//!   `is_match` and the earliest match end;
+//! * the functional ISA interpreter over the compiled program at `O0`
+//!   (all optimizations off) and `O2` (all on) — must reproduce both the
+//!   verdict and the earliest end exactly;
+//! * the cycle-level simulator over both programs on every configuration
+//!   in [`sim_matrix`] (the single-core reference at `CC_ID` 3, the
+//!   two-engine ring, plus multi-core organizations at `CC_ID` 1 and 2) —
+//!   must reproduce the verdict and report a member of
+//!   [`Oracle::match_ends`]. Even the single-core configuration races in
+//!   hardware time (S2→S2 forwarding lets one NFA path run ahead of
+//!   queued threads at earlier positions), so *every* simulator cell has
+//!   any-match semantics — the ruling pinned in
+//!   `tests/match_end_semantics.rs`;
+//! * batch level: [`simulate_batch_parallel`] at 1/2/4 workers must be
+//!   byte-identical to the sequential [`simulate_batch`], and the
+//!   [`Runtime`]'s cached path must reproduce the same reports.
+
+use cicero_core::{CompileError, Compiler, CompilerOptions};
+use cicero_isa::Program;
+use cicero_sim::{simulate, simulate_batch, simulate_batch_parallel, ArchConfig};
+use regex_oracle::Oracle;
+
+/// Worker counts exercised at batch level.
+pub const PARALLEL_JOBS: [usize; 3] = [1, 2, 4];
+
+/// One concrete disagreement between two cells of the matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The cell that disagreed (e.g. `interp/O2`, `sim/O0/NEW 4x1 CORES`).
+    pub cell: String,
+    /// Human-readable got-vs-want description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.cell, self.detail)
+    }
+}
+
+/// The outcome of checking one case (or one whole input set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every cell agreed.
+    Pass,
+    /// The case could not be run (capacity limits, unparseable pattern);
+    /// not a divergence.
+    Skip(String),
+    /// Two cells disagreed.
+    Diverged(Divergence),
+}
+
+impl Outcome {
+    /// Whether this outcome is a divergence.
+    pub fn diverged(&self) -> bool {
+        matches!(self, Outcome::Diverged(_))
+    }
+}
+
+/// The simulator configurations every case runs on.
+///
+/// Spans every *viable* `CC_ID` from 1 to 3: the single-core reference,
+/// the two-engine ring of the old organization, and the
+/// in-engine-parallel new organizations at `CC_ID` 1/2.
+///
+/// `CC_ID = 0` is deliberately absent: a one-character window can never
+/// accept a consuming match's successor, so the FIFO window deadlocks by
+/// construction — the simulator rejects such configs (see
+/// `cicero_sim::Machine::new`).
+pub fn sim_matrix() -> Vec<ArchConfig> {
+    vec![
+        ArchConfig::old_organization(1),
+        ArchConfig::old_organization(2),
+        ArchConfig::new_organization(2, 1),
+        ArchConfig::new_organization(4, 1),
+        ArchConfig::new_organization(4, 2),
+    ]
+}
+
+/// A pattern compiled for every cell: the oracle plus both optimization
+/// levels of the multi-dialect compiler.
+pub struct PatternUnderTest {
+    /// The pattern text.
+    pub pattern: String,
+    /// The reference matcher.
+    pub oracle: Oracle,
+    /// `("O0"|"O2", program)` pairs.
+    pub programs: Vec<(&'static str, Program)>,
+}
+
+impl PatternUnderTest {
+    /// Parse and compile `pattern` at both levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Outcome::Skip`] for patterns the front-end rejects or
+    /// that exceed capacity limits (instruction memory), and
+    /// [`Outcome::Diverged`] when compilation fails for any *other*
+    /// reason — a pass error on a parseable pattern is a compiler bug.
+    pub fn build(pattern: &str) -> Result<PatternUnderTest, Outcome> {
+        let ast = regex_frontend::parse(pattern)
+            .map_err(|e| Outcome::Skip(format!("unparseable pattern: {e}")))?;
+        let oracle = Oracle::from_ast(&ast);
+        let mut programs = Vec::with_capacity(2);
+        for (level, options) in
+            [("O0", CompilerOptions::unoptimized()), ("O2", CompilerOptions::optimized())]
+        {
+            match Compiler::with_options(options).compile(pattern) {
+                Ok(compiled) => programs.push((level, compiled.into_program())),
+                Err(CompileError::Codegen(e)) => {
+                    return Err(Outcome::Skip(format!("{level} exceeds capacity: {e}")))
+                }
+                Err(e) => {
+                    return Err(Outcome::Diverged(Divergence {
+                        cell: format!("compile/{level}"),
+                        detail: format!("compilation failed on a parseable pattern: {e}"),
+                    }))
+                }
+            }
+        }
+        Ok(PatternUnderTest { pattern: pattern.to_owned(), oracle, programs })
+    }
+}
+
+/// Run one input through every per-input cell of the matrix.
+pub fn check_case(put: &PatternUnderTest, input: &[u8]) -> Outcome {
+    let want = put.oracle.is_match(input);
+    let want_end = put.oracle.match_end(input);
+    let valid_ends = put.oracle.match_ends(input);
+
+    for (level, program) in &put.programs {
+        let out = cicero_isa::run(program, input);
+        if out.accepted != want {
+            return diverged(
+                format!("interp/{level}"),
+                format!("is_match = {}, oracle says {want}", out.accepted),
+                put,
+                input,
+            );
+        }
+        if out.match_position != want_end {
+            return diverged(
+                format!("interp/{level}"),
+                format!("match_end = {:?}, oracle says {want_end:?}", out.match_position),
+                put,
+                input,
+            );
+        }
+        for config in sim_matrix() {
+            let report = simulate(program, input, &config);
+            let cell = format!("sim/{level}/{}/cc{}", config.name(), config.cc_id_bits);
+            if report.hit_cycle_limit {
+                return diverged(cell, "hit the cycle limit".to_owned(), put, input);
+            }
+            if report.accepted != want {
+                return diverged(
+                    cell,
+                    format!("is_match = {}, oracle says {want}", report.accepted),
+                    put,
+                    input,
+                );
+            }
+            match report.match_position {
+                Some(end) if !valid_ends.contains(&end) => {
+                    return diverged(
+                        cell,
+                        format!("match_end = {end} is not a valid end ({valid_ends:?})"),
+                        put,
+                        input,
+                    );
+                }
+                None if want => {
+                    return diverged(
+                        cell,
+                        "accepted without a match position".to_owned(),
+                        put,
+                        input,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    Outcome::Pass
+}
+
+/// Batch-level determinism: parallel enumeration over the worker pool must
+/// be observationally identical to sequential execution, and the runtime's
+/// cached path must serve byte-identical reports.
+pub fn check_batch(put: &PatternUnderTest, inputs: &[Vec<u8>]) -> Outcome {
+    if inputs.is_empty() {
+        return Outcome::Pass;
+    }
+    let config = ArchConfig::new_organization(4, 1);
+    for (level, program) in &put.programs {
+        let sequential = simulate_batch(program, inputs, &config);
+        for jobs in PARALLEL_JOBS {
+            let parallel = simulate_batch_parallel(program, inputs, &config, jobs);
+            if parallel != sequential {
+                let detail = first_report_difference(&sequential, &parallel, jobs);
+                return diverged(format!("parallel/{level}/jobs{jobs}"), detail, put, &[]);
+            }
+        }
+    }
+    Outcome::Pass
+}
+
+fn first_report_difference(
+    sequential: &[cicero_sim::ExecReport],
+    parallel: &[cicero_sim::ExecReport],
+    jobs: usize,
+) -> String {
+    for (i, (s, p)) in sequential.iter().zip(parallel).enumerate() {
+        if s != p {
+            return format!(
+                "input {i} differs at {jobs} workers: sequential {s:?}, parallel {p:?}"
+            );
+        }
+    }
+    format!("report count differs: {} sequential vs {} parallel", sequential.len(), parallel.len())
+}
+
+/// The full check for one pattern and its input set: every per-input cell
+/// plus the batch-level determinism cells. First divergence wins.
+pub fn check_all(pattern: &str, inputs: &[Vec<u8>]) -> Outcome {
+    let put = match PatternUnderTest::build(pattern) {
+        Ok(put) => put,
+        Err(outcome) => return outcome,
+    };
+    for input in inputs {
+        if let Outcome::Diverged(d) = check_case(&put, input) {
+            return Outcome::Diverged(d);
+        }
+    }
+    check_batch(&put, inputs)
+}
+
+fn diverged(cell: String, detail: String, put: &PatternUnderTest, input: &[u8]) -> Outcome {
+    let _ = (put, input); // context lives in the reproducer, not the cell
+    Outcome::Diverged(Divergence { cell, detail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_patterns_pass_the_whole_matrix() {
+        for pattern in [
+            "ab|cd",
+            "^(a*)*b$",
+            "x(a?|a*)y",
+            "[^ab]c",
+            "th(is|at|ose)",
+            "a{2,4}b?$",
+            "ab|",
+            "\\xff\\x80*",
+        ] {
+            let inputs: Vec<Vec<u8>> = vec![
+                b"".to_vec(),
+                b"ab".to_vec(),
+                b"xxaayy".to_vec(),
+                b"zcz".to_vec(),
+                vec![0xff, 0x80, 0x80],
+                vec![b'a'; 40],
+            ];
+            let outcome = check_all(pattern, &inputs);
+            assert_eq!(outcome, Outcome::Pass, "{pattern:?}: {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn unparseable_patterns_skip() {
+        assert!(matches!(check_all("(", &[]), Outcome::Skip(_)));
+        assert!(matches!(check_all("a{9999}{9999}", &[]), Outcome::Skip(_)));
+    }
+
+    #[test]
+    fn matrix_spans_every_viable_cc_id() {
+        let ccs: Vec<u32> = sim_matrix().iter().map(|c| c.cc_id_bits).collect();
+        for cc in 1..=3 {
+            assert!(ccs.contains(&cc), "matrix misses CC_ID {cc}: {ccs:?}");
+        }
+        // Exactly one single-core reference cell.
+        assert_eq!(sim_matrix().iter().filter(|c| c.total_cores() == 1).count(), 1);
+    }
+
+    #[test]
+    fn a_wrong_verdict_is_reported_as_a_divergence() {
+        // Hand-build a PatternUnderTest whose program is miscompiled: the
+        // pattern `ab` paired with a program for `ac`.
+        let put = PatternUnderTest {
+            pattern: "ab".to_owned(),
+            oracle: Oracle::new("ab").unwrap(),
+            programs: vec![("O2", cicero_core::compile("ac").unwrap().into_program())],
+        };
+        let outcome = check_case(&put, b"zzabzz");
+        match outcome {
+            Outcome::Diverged(d) => assert!(d.cell.starts_with("interp/"), "{d}"),
+            other => panic!("miscompile not caught: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Differential fuzzing subsystem: oracle-vs-compiler equivalence over a
+//! configuration matrix, with divergence minimization and a committed
+//! regression corpus.
+//!
+//! The pieces, in pipeline order:
+//!
+//! * [`generate`] — deterministic, seedable pattern and input generation
+//!   covering the full supported grammar plus adversarial shapes;
+//! * [`harness`] — the equivalence matrix: reference Pike VM × compiled
+//!   programs at `O0`/`O2` × interpreter × cycle-level simulator over
+//!   `CC_ID` 1–3 organizations × parallel batch execution at 1/2/4
+//!   workers;
+//! * [`shrink`] — greedy delta debugging that reduces a failing
+//!   `(pattern, inputs)` pair to a minimal reproducer;
+//! * [`corpus`] — the committed TOML regression corpus, replayed as a
+//!   normal `cargo test` (see `tests/corpus_replay.rs`).
+//!
+//! The [`fuzz`] entry point ties them together and is what the
+//! `cicero difftest` subcommand invokes.
+
+pub mod corpus;
+pub mod generate;
+pub mod harness;
+pub mod shrink;
+
+use cicero_telemetry::Telemetry;
+
+pub use corpus::{default_corpus_dir, load_dir, CorpusCase};
+pub use generate::Generator;
+pub use harness::{check_all, check_batch, check_case, Divergence, Outcome, PatternUnderTest};
+pub use shrink::{shrink, Shrunk};
+
+/// Options for one fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Base seed; the whole run is a pure function of
+    /// `(seed, iters, jobs)`.
+    pub seed: u64,
+    /// Number of generated patterns (each checked against its full input
+    /// set and the batch-determinism cells).
+    pub iters: usize,
+    /// Worker threads; `0` means all host cores.
+    pub jobs: usize,
+    /// Telemetry sink for `difftest.*` counters.
+    pub telemetry: Option<Telemetry>,
+}
+
+impl FuzzOptions {
+    /// A single-threaded run with the given seed and iteration count.
+    pub fn new(seed: u64, iters: usize) -> FuzzOptions {
+        FuzzOptions { seed, iters, jobs: 1, telemetry: None }
+    }
+}
+
+/// One minimized divergence found by [`fuzz`].
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// The first disagreeing cell, as found (pre-minimization).
+    pub divergence: Divergence,
+    /// The generated pattern that exposed it.
+    pub pattern: String,
+    /// The generated input set that exposed it.
+    pub inputs: Vec<Vec<u8>>,
+    /// The minimized reproducer.
+    pub shrunk: Shrunk,
+    /// The disagreeing cell of the *minimized* reproducer (minimization
+    /// keeps "some cell diverges", not necessarily the same cell).
+    pub shrunk_divergence: Divergence,
+}
+
+impl DivergenceReport {
+    /// Convert to a corpus entry named `name`.
+    pub fn to_corpus_case(&self, name: &str) -> CorpusCase {
+        CorpusCase {
+            name: name.to_owned(),
+            pattern: self.shrunk.pattern.clone(),
+            inputs: self.shrunk.inputs.clone(),
+            kind: "divergence".to_owned(),
+            note: format!(
+                "minimized from {:?}; diverged at {}",
+                self.pattern, self.shrunk_divergence
+            ),
+        }
+    }
+}
+
+/// Aggregate results of a fuzzing run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Patterns generated and checked.
+    pub patterns: usize,
+    /// `(pattern, input)` cases checked across the matrix.
+    pub cases: usize,
+    /// Patterns skipped (capacity limits — never divergences).
+    pub skipped: usize,
+    /// Shrink steps spent minimizing, summed over all divergences.
+    pub shrink_steps: usize,
+    /// Every divergence found, minimized.
+    pub divergences: Vec<DivergenceReport>,
+}
+
+impl FuzzReport {
+    fn merge(&mut self, other: FuzzReport) {
+        self.patterns += other.patterns;
+        self.cases += other.cases;
+        self.skipped += other.skipped;
+        self.shrink_steps += other.shrink_steps;
+        self.divergences.extend(other.divergences);
+    }
+}
+
+/// The failure predicate used for minimization: *any* cell diverges.
+///
+/// Minimization deliberately does not pin the original cell — a smaller
+/// reproducer that trips a different cell is still a compiler bug, and
+/// chasing "the same cell" makes shrinking much weaker (classic ddmin
+/// practice).
+pub fn still_diverges(pattern: &str, inputs: &[Vec<u8>]) -> bool {
+    check_all(pattern, inputs).diverged()
+}
+
+fn fuzz_worker(seed: u64, iters: usize) -> FuzzReport {
+    let mut generator = Generator::new(seed);
+    let mut report = FuzzReport::default();
+    for _ in 0..iters {
+        let (pattern, ast) = generator.pattern();
+        let inputs = generator.inputs(&ast);
+        report.patterns += 1;
+        report.cases += inputs.len();
+        match check_all(&pattern, &inputs) {
+            Outcome::Pass => {}
+            Outcome::Skip(_) => report.skipped += 1,
+            Outcome::Diverged(divergence) => {
+                let shrunk = shrink(&pattern, &inputs, &still_diverges);
+                let shrunk_divergence = match check_all(&shrunk.pattern, &shrunk.inputs) {
+                    Outcome::Diverged(d) => d,
+                    // Unreachable by construction (shrink preserves the
+                    // predicate), but stay total.
+                    _ => divergence.clone(),
+                };
+                report.shrink_steps += shrunk.steps;
+                report.divergences.push(DivergenceReport {
+                    divergence,
+                    pattern,
+                    inputs,
+                    shrunk,
+                    shrunk_divergence,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Mix a worker index into the base seed (SplitMix64 increment) so
+/// workers explore disjoint pattern streams.
+fn worker_seed(base: u64, worker: u64) -> u64 {
+    base ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(worker)
+}
+
+/// Run the differential fuzzer.
+///
+/// Iterations are split across `jobs` workers, each with a seed derived
+/// from `options.seed` and its worker index, so the run is reproducible
+/// for a fixed `(seed, iters, jobs)` triple.
+pub fn fuzz(options: &FuzzOptions) -> FuzzReport {
+    let jobs = match options.jobs {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(options.iters.max(1));
+
+    let mut report = FuzzReport::default();
+    if jobs <= 1 {
+        report = fuzz_worker(options.seed, options.iters);
+    } else {
+        let per = options.iters / jobs;
+        let extra = options.iters % jobs;
+        let partials = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    let iters = per + usize::from(w < extra);
+                    let seed = worker_seed(options.seed, w as u64);
+                    scope.spawn(move || fuzz_worker(seed, iters))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("fuzz worker panicked")).collect::<Vec<_>>()
+        });
+        for partial in partials {
+            report.merge(partial);
+        }
+    }
+
+    if let Some(telemetry) = &options.telemetry {
+        telemetry.counter_add("difftest.patterns", report.patterns as u64);
+        telemetry.counter_add("difftest.cases", report.cases as u64);
+        telemetry.counter_add("difftest.skipped", report.skipped as u64);
+        telemetry.counter_add("difftest.divergences", report.divergences.len() as u64);
+        telemetry.counter_add("difftest.shrink_steps", report.shrink_steps as u64);
+    }
+    report
+}
+
+/// Replay every corpus case in `dir` through the full matrix, returning
+/// each case with its outcome.
+///
+/// # Errors
+///
+/// Returns corpus I/O or parse errors; divergences are reported in the
+/// outcomes, not as errors.
+pub fn replay_corpus(dir: &std::path::Path) -> Result<Vec<(CorpusCase, Outcome)>, String> {
+    let cases = corpus::load_dir(dir)?;
+    Ok(cases
+        .into_iter()
+        .map(|case| {
+            let outcome = check_all(&case.pattern, &case.inputs);
+            (case, outcome)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_short_run_is_deterministic() {
+        let a = fuzz(&FuzzOptions::new(7, 20));
+        let b = fuzz(&FuzzOptions::new(7, 20));
+        assert_eq!(a.patterns, 20);
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.skipped, b.skipped);
+        assert_eq!(a.divergences.len(), b.divergences.len());
+    }
+
+    #[test]
+    fn a_short_run_finds_no_divergences() {
+        let report = fuzz(&FuzzOptions::new(42, 60));
+        assert!(
+            report.divergences.is_empty(),
+            "unexpected divergences: {:?}",
+            report
+                .divergences
+                .iter()
+                .map(|d| (&d.shrunk.pattern, &d.shrunk_divergence))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.patterns, 60);
+        assert!(report.cases >= 60, "each pattern contributes at least one input");
+    }
+
+    #[test]
+    fn workers_split_the_iteration_budget() {
+        let report = fuzz(&FuzzOptions { seed: 3, iters: 10, jobs: 4, telemetry: None });
+        assert_eq!(report.patterns, 10);
+    }
+
+    #[test]
+    fn telemetry_counters_are_exported() {
+        let telemetry = Telemetry::new();
+        let report =
+            fuzz(&FuzzOptions { seed: 11, iters: 15, jobs: 1, telemetry: Some(telemetry.clone()) });
+        assert_eq!(telemetry.counter("difftest.patterns"), 15);
+        assert_eq!(telemetry.counter("difftest.cases"), report.cases as u64);
+        assert_eq!(telemetry.counter("difftest.divergences"), 0);
+    }
+
+    /// End-to-end fault injection: emulate a miscompile (the "compiler"
+    /// silently rewrites every `b` to `c`) and check the pipeline catches
+    /// it and minimizes the reproducer to the acceptance bound of the
+    /// differential-fuzzing issue (<= 20 chars of pattern + input).
+    #[test]
+    fn an_injected_miscompile_is_caught_and_minimized() {
+        fn buggy_check(pattern: &str, inputs: &[Vec<u8>]) -> bool {
+            let Ok(oracle) = regex_oracle::Oracle::new(pattern) else {
+                return false;
+            };
+            let mangled = pattern.replace('b', "c");
+            let Ok(compiled) = cicero_core::compile(&mangled) else {
+                return false;
+            };
+            let program = compiled.into_program();
+            inputs
+                .iter()
+                .any(|input| cicero_isa::run(&program, input).accepted != oracle.is_match(input))
+        }
+
+        let pattern = "x+(ab|cd)y{1,3}|qq*";
+        let inputs: Vec<Vec<u8>> =
+            vec![b"unrelated noise".to_vec(), b"zz xxabyy zz".to_vec(), b"xcdy".to_vec()];
+        assert!(buggy_check(pattern, &inputs), "the injected fault must be visible");
+        let shrunk = shrink(pattern, &inputs, &buggy_check);
+        assert!(buggy_check(&shrunk.pattern, &shrunk.inputs));
+        assert!(
+            shrunk.size() <= 20,
+            "expected <= 20 chars of pattern + input, got {:?} / {:?}",
+            shrunk.pattern,
+            shrunk.inputs
+        );
+    }
+
+    #[test]
+    fn worker_seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> = (0..16).map(|w| worker_seed(42, w)).collect();
+        assert_eq!(seeds.len(), 16);
+    }
+}

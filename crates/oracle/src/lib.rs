@@ -91,6 +91,18 @@ impl Oracle {
         vm::match_end(&self.nfa, input)
     }
 
+    /// Every position at which some match ends, in ascending order.
+    ///
+    /// [`Oracle::match_end`] is always the first element (when any). The
+    /// full set is what a halt-on-first-accept engine with *parallel*
+    /// acceptance — the paper's multi-core organizations, which resolve
+    /// races in hardware time rather than position order — may legitimately
+    /// report; the differential harness validates simulator-reported
+    /// positions against this set.
+    pub fn match_ends(&self, input: &[u8]) -> Vec<usize> {
+        vm::match_ends(&self.nfa, input)
+    }
+
     /// The underlying NFA (for inspection and state-count metrics).
     pub fn nfa(&self) -> &Nfa {
         &self.nfa
@@ -176,6 +188,23 @@ mod tests {
         let o = Oracle::new("ab|cd").unwrap();
         assert_eq!(o.match_end(b"xxcdab"), Some(4));
         assert_eq!(o.match_end(b"nothing"), None);
+    }
+
+    #[test]
+    fn match_ends_collects_every_end_position() {
+        let o = Oracle::new("ab|cd").unwrap();
+        assert_eq!(o.match_ends(b"xcdab"), vec![3, 5]);
+        assert_eq!(o.match_ends(b"zzz"), Vec::<usize>::new());
+        // The earliest end always heads the list.
+        assert_eq!(o.match_ends(b"xcdab").first().copied(), o.match_end(b"xcdab"));
+
+        // Overlapping quantifier matches: every admissible end appears.
+        let o = Oracle::new("^a+").unwrap();
+        assert_eq!(o.match_ends(b"aaa"), vec![1, 2, 3]);
+
+        // `$`-anchored patterns can only end at the input boundary.
+        let o = Oracle::new("a+$").unwrap();
+        assert_eq!(o.match_ends(b"baaa"), vec![4]);
     }
 
     #[test]

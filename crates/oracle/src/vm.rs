@@ -47,6 +47,51 @@ pub fn match_end(nfa: &Nfa, input: &[u8]) -> Option<usize> {
     None
 }
 
+/// Every end position of a match, in ascending order (empty when the
+/// pattern does not match at all).
+///
+/// Unlike [`match_end`] this does **not** halt at the first acceptance: it
+/// keeps the lockstep simulation running to the end of the input and
+/// records every position at which an accept state is live. The result is
+/// exactly the set of end positions a halt-on-first-accept engine *could*
+/// report when acceptance races are resolved in hardware time rather than
+/// position order (the parallel organizations' any-match semantics), which
+/// is what the differential harness validates reported positions against.
+pub fn match_ends(nfa: &Nfa, input: &[u8]) -> Vec<usize> {
+    let mut ends = Vec::new();
+    let mut current: Vec<u32> = Vec::with_capacity(nfa.len());
+    let mut next: Vec<u32> = Vec::with_capacity(nfa.len());
+    let mut seen = vec![false; nfa.len()];
+
+    add_closure(nfa, nfa.start(), &mut current, &mut seen);
+    for position in 0..=input.len() {
+        let at_end = position == input.len();
+        if current.iter().any(|id| matches!(nfa.states()[*id as usize], State::Accept))
+            && (!nfa.exact_end() || at_end)
+        {
+            ends.push(position);
+        }
+        if at_end {
+            break;
+        }
+        let byte = input[position];
+        next.clear();
+        seen.iter_mut().for_each(|s| *s = false);
+        for id in &current {
+            if let State::Byte { test, next: succ } = &nfa.states()[*id as usize] {
+                if test.matches(byte) {
+                    add_closure(nfa, *succ, &mut next, &mut seen);
+                }
+            }
+        }
+        std::mem::swap(&mut current, &mut next);
+        if current.is_empty() {
+            break;
+        }
+    }
+    ends
+}
+
 /// Add `id` and its epsilon closure to the frontier.
 fn add_closure(nfa: &Nfa, id: u32, frontier: &mut Vec<u32>, seen: &mut [bool]) {
     if seen[id as usize] {

@@ -246,6 +246,88 @@ mod tests {
         assert_eq!(cache.stats().evictions, 2, "c evicted b, then b evicted c");
     }
 
+    /// With a single slot, every distinct key evicts the previous entry,
+    /// while repeated lookups of the resident key keep hitting. Also pins
+    /// the constructor's clamp: capacity 0 still holds one entry.
+    #[test]
+    fn capacity_one_keeps_only_the_latest_entry() {
+        for requested in [0usize, 1] {
+            let cache = ProgramCache::new(requested);
+            assert_eq!(cache.stats().capacity, 1, "capacity clamps to >= 1");
+            cache.get_or_insert_with::<()>(key("a"), || Ok(tiny_program(b'a'))).unwrap();
+            let (_, hit) = cache.get_or_insert_with::<()>(key("a"), || panic!("cached")).unwrap();
+            assert!(hit);
+            // A second key evicts the first…
+            cache.get_or_insert_with::<()>(key("b"), || Ok(tiny_program(b'b'))).unwrap();
+            assert_eq!(cache.stats().entries, 1);
+            let (_, hit) =
+                cache.get_or_insert_with::<()>(key("a"), || Ok(tiny_program(b'a'))).unwrap();
+            assert!(!hit, "the single slot now holds `b`");
+            // …and re-requesting the first evicts the second right back.
+            let (_, hit) =
+                cache.get_or_insert_with::<()>(key("b"), || Ok(tiny_program(b'b'))).unwrap();
+            assert!(!hit);
+            assert_eq!(cache.stats().evictions, 3);
+        }
+    }
+
+    /// Evictions happen strictly in least-recently-*used* order — a hit
+    /// refreshes recency, an insert counts as a use, and untouched entries
+    /// leave in insertion order.
+    #[test]
+    fn eviction_follows_exact_lru_order() {
+        let cache = ProgramCache::new(3);
+        for pattern in ["a", "b", "c"] {
+            cache
+                .get_or_insert_with::<()>(key(pattern), || Ok(tiny_program(pattern.as_bytes()[0])))
+                .unwrap();
+        }
+        // Recency order is now a < b < c; touching `a` makes it b < c < a.
+        cache.get_or_insert_with::<()>(key("a"), || panic!("cached")).unwrap();
+        // Each insert evicts exactly the current LRU entry: d evicts b,
+        // e evicts c.
+        cache.get_or_insert_with::<()>(key("d"), || Ok(tiny_program(b'd'))).unwrap();
+        cache.get_or_insert_with::<()>(key("e"), || Ok(tiny_program(b'e'))).unwrap();
+        // Probe hits first: a missing probe inserts (and evicts), so the
+        // resident keys must be confirmed before the evicted ones.
+        for (pattern, resident) in
+            [("a", true), ("d", true), ("e", true), ("b", false), ("c", false)]
+        {
+            let (_, hit) = cache
+                .get_or_insert_with::<()>(key(pattern), || Ok(tiny_program(pattern.as_bytes()[0])))
+                .unwrap();
+            assert_eq!(hit, resident, "residency of {pattern:?}");
+        }
+    }
+
+    /// A cached program is *the same artifact* as a fresh compile: equal
+    /// instruction stream (the ISA types implement `Eq`) and identical
+    /// encoded bytes. This is what makes the cache transparent to every
+    /// downstream consumer.
+    #[test]
+    fn cache_hit_is_byte_identical_to_a_fresh_compile() {
+        let pattern = "th(is|at|ose)|x[0-9]{2,4}$";
+        let cache = ProgramCache::new(2);
+        let compile = || {
+            cicero_core::Compiler::with_options(CompilerOptions::optimized())
+                .compile(pattern)
+                .map(|c| c.into_program())
+                .map_err(|e| e.to_string())
+        };
+        cache.get_or_insert_with(key(pattern), compile).unwrap();
+        let (cached, hit) =
+            cache.get_or_insert_with::<String>(key(pattern), || panic!("cached")).unwrap();
+        assert!(hit);
+        let fresh = compile().unwrap();
+        assert_eq!(*cached, fresh, "instruction streams must be equal");
+        assert_eq!(cached.instructions(), fresh.instructions());
+        assert_eq!(
+            cicero_isa::EncodedProgram::from_program(&cached).to_bytes(),
+            cicero_isa::EncodedProgram::from_program(&fresh).to_bytes(),
+            "encoded binaries must be byte-identical"
+        );
+    }
+
     #[test]
     fn build_errors_insert_nothing() {
         let cache = ProgramCache::new(2);

@@ -282,6 +282,15 @@ pub struct Machine<'p> {
 impl<'p> Machine<'p> {
     /// Create a machine for the given program and configuration.
     pub fn new(program: &'p Program, config: ArchConfig) -> Machine<'p> {
+        // A one-slot window (`CC_ID = 0`) livelocks by construction: a
+        // consuming match's successor lands at `pos + 1`, which can never
+        // fit inside `[base, base + 1)`, so the thread requeues until the
+        // cycle limit. Fail loudly instead of spinning for `max_cycles`.
+        assert!(
+            config.window() >= 2,
+            "cc_id_bits must be >= 1: a window of one character cannot accept a consuming \
+             successor, so the FIFO window deadlocks"
+        );
         let engines = (0..config.engines).map(|_| Engine::new(&config)).collect();
         Machine {
             program,
@@ -884,6 +893,16 @@ mod tests {
                 report.match_position
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "cc_id_bits must be >= 1")]
+    fn a_one_slot_window_is_rejected() {
+        // `CC_ID = 0` would livelock (a consume can never fit its
+        // successor in a one-slot window), so construction fails loudly.
+        let mut config = ArchConfig::old_organization(1);
+        config.cc_id_bits = 0;
+        let _ = simulate(&ab_or_cd(), b"ab", &config);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! cicero scan    <pattern>... (--text STR | --input FILE) [--config NxM] [--jobs N]
 //! cicero explain <pattern>
 //! cicero configs
+//! cicero difftest [--seed N] [--iters K] [--jobs J] [--corpus DIR] [--save]
 //! ```
 //!
 //! `--config NxM` uses the paper's naming: `1x9` is the old organization
@@ -16,8 +17,9 @@
 //!
 //! `--jobs N` switches `run`/`scan` to the parallel batch runtime: the
 //! input is split into 500-byte chunks (the paper's §6 methodology) and
-//! matched chunk-by-chunk on a pool of `N` workers (`0` = all host cores),
-//! with the compiled program served from the runtime's LRU cache.
+//! matched chunk-by-chunk on a pool of `N` workers (`auto` = all host
+//! cores; a literal `0` is rejected as ambiguous), with the compiled
+//! program served from the runtime's LRU cache.
 //!
 //! A `--` separator ends flag parsing; everything after it is positional,
 //! which is how patterns beginning with `-` are expressed
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
         Some("scan") => cmd_scan(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("configs") => cmd_configs(),
+        Some("difftest") => cmd_difftest(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -70,6 +73,8 @@ USAGE:
     cicero scan    <p1> <p2> ... (--text STR | --input FILE) [--config NxM] [--jobs N]
     cicero explain <pattern>
     cicero configs
+    cicero difftest [--seed N] [--iters K] [--jobs J] [--corpus DIR] [--save]
+                    [--no-replay] [--metrics PATH] [--metrics-format FORMAT]
     cicero <pattern> [run flags]      shorthand for `cicero run` (empty input
                                       unless --text/--input is given)
 
@@ -88,7 +93,15 @@ OPTIONS:
     -o, --output FILE write `--emit` output to FILE instead of stdout
     --config          architecture: 1xM = old organization, Nx1/NxM = new (default 16x1)
     --jobs N          batch mode: split the input into 500-byte chunks and match
-                      them on N runtime workers (0 = all host cores)
+                      them on N runtime workers (N >= 1, or `auto` for all host
+                      cores; a literal 0 is rejected as ambiguous)
+    --seed N          difftest: base seed (default 42); the run is reproducible
+                      for a fixed (seed, iters, jobs)
+    --iters K         difftest: number of generated patterns (default 1000)
+    --corpus DIR      difftest: regression corpus directory (default the
+                      committed crates/difftest/corpus)
+    --save            difftest: write each minimized divergence into the corpus
+    --no-replay       difftest: skip the corpus replay before fuzzing
     --pass-timing     print the per-pass timing table (time, %, op-count delta)
     --metrics PATH    export telemetry (pass spans + simulator histograms +
                       runtime counters) to PATH, or to stdout when PATH is `-`
@@ -292,9 +305,16 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Parse a `--jobs` value: a worker count, `0` meaning all host cores.
+/// Parse a `--jobs` value: a positive worker count, or `auto` for all
+/// host cores (mapped to the runtime's `0` sentinel). A literal `0` is
+/// rejected: it historically meant "all cores", which reads as "no
+/// workers", so the spelling is now explicit.
 fn parse_jobs(value: &str) -> Result<usize, String> {
-    value.parse::<usize>().map_err(|_| format!("--jobs `{value}` is not a number"))
+    match value {
+        "auto" => Ok(0),
+        "0" => Err("--jobs 0 is ambiguous; use `--jobs auto` for all host cores".to_owned()),
+        _ => value.parse::<usize>().map_err(|_| format!("--jobs `{value}` is not a number")),
+    }
 }
 
 /// Split an input into the paper's §6 batch granularity (500-byte
@@ -481,6 +501,97 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         artifacts.compiled.code_size(),
         artifacts.compiled.d_offset()
     );
+    Ok(())
+}
+
+/// `cicero difftest`: replay the committed regression corpus, then fuzz —
+/// generated patterns and inputs through the full oracle-vs-compiler
+/// equivalence matrix, minimizing any divergence found.
+fn cmd_difftest(args: &[String]) -> Result<(), String> {
+    use cicero::difftest;
+
+    let flags = parse_flags(
+        args,
+        &["seed", "iters", "jobs", "corpus", "metrics", "metrics-format"],
+        &["save", "no-replay"],
+    )?;
+    if !flags.positional.is_empty() {
+        return Err(format!("difftest takes no positional arguments, got {:?}", flags.positional));
+    }
+    let seed = match flags.value("seed") {
+        Some(v) => v.parse::<u64>().map_err(|_| format!("--seed `{v}` is not a number"))?,
+        None => 42,
+    };
+    let iters = match flags.value("iters") {
+        Some(v) => v.parse::<usize>().map_err(|_| format!("--iters `{v}` is not a number"))?,
+        None => 1000,
+    };
+    let jobs = match flags.value("jobs") {
+        Some(v) => parse_jobs(v)?,
+        None => 1,
+    };
+    let corpus_dir = match flags.value("corpus") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => difftest::default_corpus_dir(),
+    };
+    let telemetry = Telemetry::new();
+
+    let mut failures = 0usize;
+    if !flags.has("no-replay") {
+        let replayed = difftest::replay_corpus(&corpus_dir)?;
+        telemetry.counter_add("difftest.corpus_cases", replayed.len() as u64);
+        let mut corpus_failures = 0usize;
+        for (case, outcome) in &replayed {
+            if let difftest::Outcome::Diverged(d) = outcome {
+                eprintln!("corpus case `{}` ({:?}) diverges: {d}", case.name, case.pattern);
+                corpus_failures += 1;
+            }
+        }
+        println!(
+            "corpus     : {} case(s) from {}, {} failing",
+            replayed.len(),
+            corpus_dir.display(),
+            corpus_failures
+        );
+        failures += corpus_failures;
+    }
+
+    let report = difftest::fuzz(&difftest::FuzzOptions {
+        seed,
+        iters,
+        jobs,
+        telemetry: Some(telemetry.clone()),
+    });
+    println!("fuzz       : seed {seed}, {} pattern(s), {} case(s)", report.patterns, report.cases);
+    println!("skipped    : {} pattern(s) (capacity limits)", report.skipped);
+    println!("divergences: {}", report.divergences.len());
+    for (i, finding) in report.divergences.iter().enumerate() {
+        eprintln!("--- divergence {i} ---");
+        eprintln!("found with : {:?}", finding.pattern);
+        eprintln!("cell       : {}", finding.divergence);
+        eprintln!(
+            "minimized  : {:?} on {:?} ({} shrink steps)",
+            finding.shrunk.pattern,
+            finding
+                .shrunk
+                .inputs
+                .iter()
+                .map(|input| String::from_utf8_lossy(input).into_owned())
+                .collect::<Vec<_>>(),
+            finding.shrunk.steps
+        );
+        eprintln!("now fails  : {}", finding.shrunk_divergence);
+        if flags.has("save") {
+            let case = finding.to_corpus_case(&format!("divergence-seed{seed}-{i}"));
+            let path = case.save(&corpus_dir).map_err(|e| e.to_string())?;
+            eprintln!("saved      : {}", path.display());
+        }
+    }
+    failures += report.divergences.len();
+    write_metrics(&flags, &telemetry)?;
+    if failures > 0 {
+        return Err(format!("{failures} divergence(s); the compiler and oracle disagree"));
+    }
     Ok(())
 }
 

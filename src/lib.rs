@@ -22,6 +22,9 @@
 //! * [`telemetry`] — spans, metrics, and summary/JSON-lines sinks shared
 //!   by the compiler, simulator, CLI, and benchmark drivers;
 //! * [`oracle`] — the reference Pike-VM matcher (ground truth);
+//! * [`difftest`] — the differential fuzzing subsystem: oracle-vs-compiler
+//!   equivalence over a configuration matrix, divergence minimization, and
+//!   the committed regression corpus;
 //! * [`workloads`] — Protomata/Brill-style benchmark generators.
 //!
 //! # Quick start
@@ -43,6 +46,7 @@
 
 pub use cicero_core as compiler;
 pub use cicero_dialect;
+pub use cicero_difftest as difftest;
 pub use cicero_isa as isa;
 pub use cicero_legacy as legacy;
 pub use cicero_runtime as runtime;

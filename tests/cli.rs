@@ -145,3 +145,108 @@ fn run_jobs_rejects_non_numeric_values() {
     assert!(!output.status.success());
     assert!(stderr(&output).contains("is not a number"));
 }
+
+/// `--jobs 0` historically meant "all host cores", which reads as "no
+/// workers"; it is now rejected in favour of the explicit `auto`.
+#[test]
+fn jobs_zero_is_rejected_with_a_pointer_to_auto() {
+    for subcommand in [&["run", "ab", "--text", "ab"][..], &["scan", "ab", "--text", "ab"][..]] {
+        let mut args = subcommand.to_vec();
+        args.extend(["--jobs", "0"]);
+        let output = cicero(&args);
+        assert!(!output.status.success(), "{args:?} must fail");
+        let err = stderr(&output);
+        assert!(err.contains("--jobs 0 is ambiguous"), "stderr: {err}");
+        assert!(err.contains("--jobs auto"), "stderr: {err}");
+    }
+}
+
+/// `--jobs auto` is the supported spelling for "all host cores".
+#[test]
+fn jobs_auto_uses_all_host_cores() {
+    let output = cicero(&["run", "ab|cd", "--text", "xxabyy", "--jobs", "auto"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("MATCH"), "stdout: {}", stdout(&output));
+}
+
+/// Unknown flags name the flag and print usage, on every subcommand.
+#[test]
+fn unknown_flag_errors_name_the_flag_and_show_usage() {
+    for args in [
+        &["run", "ab", "--frobnicate"][..],
+        &["scan", "ab", "--frobnicate", "--text", "x"][..],
+        &["difftest", "--frobnicate"][..],
+    ] {
+        let output = cicero(args);
+        assert!(!output.status.success(), "{args:?} must fail");
+        let err = stderr(&output);
+        assert!(err.contains("unknown flag `--frobnicate`"), "stderr: {err}");
+        assert!(err.contains("USAGE"), "unknown-flag errors include usage; stderr: {err}");
+    }
+}
+
+/// A flag-like pattern after `--` must reach the matcher verbatim even
+/// when it collides with a *registered* flag name.
+#[test]
+fn double_dash_passes_registered_flag_names_as_patterns() {
+    // `--jobs` is a registered value flag of `run`; after `--` it is a
+    // pattern. `--text` provides input containing the literal `--jobs`.
+    let output = cicero(&["run", "--text", "x--jobsx", "--", "--jobs"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("MATCH"), "stdout: {}", stdout(&output));
+
+    // And `--` itself can precede a pattern that is only dashes.
+    let output = cicero(&["run", "--text", "a---b", "--", "---"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("MATCH"), "stdout: {}", stdout(&output));
+}
+
+/// `cicero difftest` smoke test: a tiny seeded run over the committed
+/// corpus plus fresh fuzzing, exercising the full subcommand path.
+#[test]
+fn difftest_subcommand_runs_clean() {
+    let output = cicero(&["difftest", "--seed", "7", "--iters", "25"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let out = stdout(&output);
+    assert!(out.contains("corpus"), "stdout: {out}");
+    assert!(out.contains("divergences: 0"), "stdout: {out}");
+}
+
+/// The difftest subcommand validates its flags.
+#[test]
+fn difftest_rejects_bad_flag_values() {
+    let output = cicero(&["difftest", "--seed", "banana"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("--seed `banana` is not a number"));
+
+    let output = cicero(&["difftest", "--jobs", "0"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("--jobs 0 is ambiguous"));
+
+    let output = cicero(&["difftest", "stray-positional"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("no positional arguments"));
+}
+
+/// Difftest exports its `difftest.*` telemetry counters via `--metrics`.
+#[test]
+fn difftest_exports_telemetry_counters() {
+    let path = temp_file("difftest-metrics.jsonl");
+    let output = cicero(&[
+        "difftest",
+        "--seed",
+        "5",
+        "--iters",
+        "10",
+        "--no-replay",
+        "--metrics",
+        path.to_str().unwrap(),
+        "--metrics-format",
+        "jsonl",
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let metrics = std::fs::read_to_string(&path).expect("metrics file written");
+    assert!(metrics.contains("difftest.patterns"), "metrics: {metrics}");
+    assert!(metrics.contains("difftest.cases"), "metrics: {metrics}");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,53 @@
+//! Replays the committed differential-fuzzing regression corpus
+//! (`crates/difftest/corpus/*.toml`) through the full equivalence matrix
+//! as a normal `cargo test`.
+//!
+//! Every minimized divergence the fuzzer ever finds is committed here, so
+//! a fixed bug stays fixed. Triage workflow: see TESTING.md.
+
+use cicero::difftest;
+
+#[test]
+fn every_corpus_case_passes_the_full_matrix() {
+    let dir = difftest::default_corpus_dir();
+    let replayed = difftest::replay_corpus(&dir).expect("corpus loads");
+    assert!(!replayed.is_empty(), "the committed corpus at {} must not be empty", dir.display());
+    for (case, outcome) in &replayed {
+        assert_eq!(
+            *outcome,
+            difftest::Outcome::Pass,
+            "corpus case `{}` (pattern {:?}, {}): {outcome:?}",
+            case.name,
+            case.pattern,
+            case.note
+        );
+    }
+}
+
+/// The corpus carries the proptest regression seed (satellite of the
+/// differential-fuzzing issue): the stored shrink from
+/// `tests/proptest_properties.proptest-regressions` must be present.
+#[test]
+fn the_proptest_regression_seed_is_committed() {
+    let replayed = difftest::replay_corpus(&difftest::default_corpus_dir()).expect("corpus loads");
+    assert!(
+        replayed.iter().any(|(case, _)| case.pattern == "x(a?|a*)y"),
+        "missing the proptest-regressions seed x(a?|a*)y"
+    );
+}
+
+/// Corpus files are exactly reproducible through the TOML writer: loading
+/// and re-rendering is the identity on the key/value content, so `--save`
+/// output and hand-written files stay interchangeable.
+#[test]
+fn corpus_files_roundtrip_through_the_writer() {
+    for (case, _) in replay_all() {
+        let rendered = case.to_toml();
+        let reparsed = difftest::CorpusCase::from_toml(&case.name, &rendered).unwrap();
+        assert_eq!(reparsed, case);
+    }
+}
+
+fn replay_all() -> Vec<(difftest::CorpusCase, difftest::Outcome)> {
+    difftest::replay_corpus(&difftest::default_corpus_dir()).expect("corpus loads")
+}

@@ -1,0 +1,148 @@
+//! Pins the shared end-position semantics between the reference oracle
+//! and the compiled programs (satellite of the differential-fuzzing
+//! issue).
+//!
+//! The ruling, stated once and tested here so every layer inherits it:
+//!
+//! * **Earliest end wins.** `Oracle::match_end` and the functional ISA
+//!   interpreter (`cicero_isa::run(..).match_position`) both report the
+//!   byte index just past the *earliest-ending* match — the DSA's
+//!   halt-on-first-accept behaviour walked in position order. This holds
+//!   at `O0` and at `O2`: the shortest-match transform (§4.2) only prunes
+//!   continuations *beyond* the earliest acceptance, so it can never move
+//!   the reported end.
+//! * **The simulator may report any end.** Every cycle-level
+//!   configuration — including the single-core one — resolves acceptance
+//!   races in *hardware time*: S2→S2 forwarding lets one NFA path run
+//!   ahead of queued threads at earlier positions (e.g. `gb|g` on `"gb"`
+//!   can report end 2 before the `g`-only branch reaches its accept at
+//!   end 1). The simulator is therefore only required to report *some*
+//!   element of `Oracle::match_ends`; that contract is pinned in
+//!   `simulator_ends_are_members_of_the_oracle_end_set` below and
+//!   exercised across the whole config matrix by `crates/difftest`.
+
+fn programs(pattern: &str) -> Vec<(&'static str, cicero_isa::Program)> {
+    let o2 = cicero_core::compile(pattern).unwrap().into_program();
+    let o0 = cicero_core::Compiler::with_options(cicero_core::CompilerOptions::unoptimized())
+        .compile(pattern)
+        .unwrap()
+        .into_program();
+    vec![("O0", o0), ("O2", o2)]
+}
+
+fn assert_end(pattern: &str, input: &[u8], expected: Option<usize>) {
+    let oracle = regex_oracle::Oracle::new(pattern).unwrap();
+    assert_eq!(
+        oracle.match_end(input),
+        expected,
+        "oracle end for {pattern:?} on {:?}",
+        String::from_utf8_lossy(input)
+    );
+    for (level, program) in programs(pattern) {
+        let out = cicero_isa::run(&program, input);
+        assert_eq!(
+            out.match_position,
+            expected,
+            "{level} end for {pattern:?} on {:?}",
+            String::from_utf8_lossy(input)
+        );
+    }
+}
+
+/// Greedy-looking quantifiers still end at the earliest admissible
+/// position (the §4.2 shortest-match rule is observationally a no-op).
+#[test]
+fn quantifiers_report_the_earliest_end() {
+    assert_end("a+", b"aaaa", Some(1));
+    assert_end("^a+", b"aaaa", Some(1));
+    assert_end("a{2,4}", b"aaaa", Some(2));
+    assert_end("ab*", b"xabbb", Some(2));
+    assert_end("a(b|c)*", b"abcbc", Some(1));
+    assert_end("(ab){1,3}", b"ababab", Some(2));
+    // A mandatory tail forces the longer expansion.
+    assert_end("a+b", b"aaab", Some(4));
+    assert_end("a{2,4}b", b"aaaab", Some(5));
+}
+
+/// Alternation order must not matter: the earliest *end* wins even when a
+/// longer alternative is listed first or starts earlier in the input.
+#[test]
+fn alternation_reports_the_earliest_end() {
+    assert_end("aa|a", b"aa", Some(1));
+    assert_end("a|aa", b"aa", Some(1));
+    assert_end("ab|cd", b"xcdab", Some(3));
+    assert_end("abc|bc", b"zabc", Some(4));
+    assert_end("(this|that)", b"say that", Some(8));
+}
+
+/// Anchors restrict which ends are admissible at all.
+#[test]
+fn anchors_pin_the_reported_end() {
+    assert_end("a+$", b"baaa", Some(4));
+    assert_end("^a+$", b"aaa", Some(3));
+    assert_end("^ab", b"abab", Some(2));
+    assert_end("ab$", b"abab", Some(4));
+}
+
+/// Non-matches report no end everywhere.
+#[test]
+fn non_matches_have_no_end() {
+    assert_end("a+b", b"ccc", None);
+    assert_end("^ab$", b"aab", None);
+}
+
+/// Empty-input and empty-alternative edges share the same rule.
+#[test]
+fn empty_edges_share_the_rule() {
+    assert_end("ab|", b"", Some(0));
+    assert_end("ab|", b"zz", Some(0));
+    assert_end("a*b", b"b", Some(1));
+}
+
+/// Even a single simulated core is not earliest-end-exact: hardware-time
+/// races are allowed, but every reported end must be one the oracle
+/// admits.
+#[test]
+fn simulator_ends_are_members_of_the_oracle_end_set() {
+    for (pattern, input) in
+        [("gb|g", b"xgbx".as_slice()), ("aa|a", b"aa"), ("ab|cd", b"xcdab"), ("a+", b"aaaa")]
+    {
+        let oracle = regex_oracle::Oracle::new(pattern).unwrap();
+        let ends = oracle.match_ends(input);
+        for engines in [1usize, 2] {
+            let config = cicero::sim::ArchConfig::old_organization(engines);
+            for (level, program) in programs(pattern) {
+                let report = cicero::sim::simulate(&program, input, &config);
+                assert!(report.accepted, "{level} {pattern:?} on {engines} engine(s)");
+                let end = report.match_position.expect("accepted runs report an end");
+                assert!(
+                    ends.contains(&end),
+                    "{level} on {engines} engine(s): end {end} for {pattern:?} not in {ends:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The earliest end is always the head of the oracle's full end set, and
+/// the interpreter's report is always a member of it — the containment
+/// the simulator contract builds on.
+#[test]
+fn earliest_end_heads_the_full_end_set() {
+    for (pattern, input) in [
+        ("a+", b"aaaa".as_slice()),
+        ("ab|cd", b"xcdab"),
+        ("a{2,4}b?", b"aaaab"),
+        ("x(a?|a*)y", b"xxaayy"),
+    ] {
+        let oracle = regex_oracle::Oracle::new(pattern).unwrap();
+        let ends = oracle.match_ends(input);
+        assert_eq!(ends.first().copied(), oracle.match_end(input), "{pattern:?}");
+        for (level, program) in programs(pattern) {
+            let out = cicero_isa::run(&program, input);
+            if let Some(position) = out.match_position {
+                assert!(ends.contains(&position), "{level} end {position} not in {ends:?}");
+            }
+        }
+    }
+}
