@@ -10,10 +10,14 @@
 //! kind = "seed"
 //! note = "where this case came from"
 //! inputs = ["786179", ""]
+//! splits = [1, 2]
 //! ```
 //!
 //! Inputs are lowercase hex so arbitrary bytes (the generator emits
-//! `0x00`–`0xff`) survive the text format losslessly.
+//! `0x00`–`0xff`) survive the text format losslessly. `splits` is
+//! optional (and omitted when empty): chunk-split points for cases that
+//! only diverge on the streaming axis — replay re-streams every input
+//! split at those positions.
 
 use std::fs;
 use std::io;
@@ -33,6 +37,9 @@ pub struct CorpusCase {
     pub kind: String,
     /// Free-text triage note (the cell that diverged, the fix commit, …).
     pub note: String,
+    /// Chunk-split points for stream-axis cases; empty for cases that
+    /// diverge on the whole-input matrix alone.
+    pub splits: Vec<usize>,
 }
 
 /// The committed corpus directory (`crates/difftest/corpus`).
@@ -49,6 +56,10 @@ impl CorpusCase {
         out.push_str(&format!("note = {}\n", quote(&self.note)));
         let inputs: Vec<String> = self.inputs.iter().map(|i| quote(&to_hex(i))).collect();
         out.push_str(&format!("inputs = [{}]\n", inputs.join(", ")));
+        if !self.splits.is_empty() {
+            let splits: Vec<String> = self.splits.iter().map(usize::to_string).collect();
+            out.push_str(&format!("splits = [{}]\n", splits.join(", ")));
+        }
         out
     }
 
@@ -63,6 +74,7 @@ impl CorpusCase {
         let mut kind = None;
         let mut note = None;
         let mut inputs = None;
+        let mut splits = None;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -86,6 +98,7 @@ impl CorpusCase {
                     }
                     inputs = Some(decoded);
                 }
+                "splits" => splits = Some(parse_usize_array(value).map_err(at)?),
                 other => return Err(format!("{name}:{}: unknown key `{other}`", lineno + 1)),
             }
         }
@@ -95,6 +108,7 @@ impl CorpusCase {
             inputs: inputs.ok_or_else(|| format!("{name}: missing `inputs`"))?,
             kind: kind.unwrap_or_else(|| "divergence".to_owned()),
             note: note.unwrap_or_default(),
+            splits: splits.unwrap_or_default(),
         })
     }
 
@@ -195,6 +209,24 @@ fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
     inner.split(',').map(|item| unquote(item.trim())).collect()
 }
 
+fn parse_usize_array(value: &str) -> Result<Vec<usize>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an integer array, got `{value}`"))?
+        .trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| {
+            let item = item.trim();
+            item.parse::<usize>().map_err(|_| format!("bad integer `{item}`"))
+        })
+        .collect()
+}
+
 fn to_hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
@@ -223,6 +255,7 @@ mod tests {
             inputs: vec![b"xay".to_vec(), Vec::new(), vec![0x00, 0x7f, 0xff]],
             kind: "divergence".to_owned(),
             note: "found by seed 7, cell sim/O2".to_owned(),
+            splits: vec![1, 2],
         }
     }
 
@@ -240,6 +273,23 @@ mod tests {
         assert_eq!(case.pattern, "ab");
         assert!(case.inputs.is_empty());
         assert_eq!(case.kind, "divergence");
+        // `splits` is optional: files written before the streaming axis
+        // existed (no `splits` line) stay loadable.
+        assert!(case.splits.is_empty());
+    }
+
+    #[test]
+    fn splits_roundtrip_and_reject_garbage() {
+        let text = "pattern = \"ab\"\ninputs = [\"61\"]\nsplits = [1, 4, 9]\n";
+        let case = CorpusCase::from_toml("c", text).unwrap();
+        assert_eq!(case.splits, vec![1, 4, 9]);
+        // Empty splits are omitted from the rendered form entirely.
+        let mut no_splits = sample();
+        no_splits.splits = Vec::new();
+        assert!(!no_splits.to_toml().contains("splits"));
+        let err = CorpusCase::from_toml("c", "pattern = \"a\"\ninputs = []\nsplits = [1, x]\n")
+            .unwrap_err();
+        assert!(err.contains("bad integer"), "{err}");
     }
 
     #[test]

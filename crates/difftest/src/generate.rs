@@ -80,6 +80,27 @@ impl Generator {
         inputs
     }
 
+    /// A random chunk-split vector for the streaming axis: 1–4 split
+    /// points drawn over the longest input (shorter inputs simply ignore
+    /// the out-of-range points). Biased toward small positions so splits
+    /// frequently land inside the witness match near the input's start.
+    pub fn splits(&mut self, inputs: &[Vec<u8>]) -> Vec<usize> {
+        let max_len = inputs.iter().map(Vec::len).max().unwrap_or(0);
+        if max_len < 2 {
+            return Vec::new();
+        }
+        let n = self.rng.random_range(1usize..=4);
+        (0..n)
+            .map(|_| {
+                if self.rng.random_bool(0.5) {
+                    self.rng.random_range(1usize..=8.min(max_len - 1))
+                } else {
+                    self.rng.random_range(1usize..max_len)
+                }
+            })
+            .collect()
+    }
+
     // ---- patterns ----------------------------------------------------
 
     fn random_ast(&mut self) -> RegexAst {
@@ -355,6 +376,22 @@ mod tests {
         }
         // The budget bail-out must stay the exception, not the rule.
         assert!(verified > 250, "only {verified}/300 witnesses completed");
+    }
+
+    #[test]
+    fn splits_are_in_range_and_deterministic() {
+        let inputs: Vec<Vec<u8>> = vec![b"short".to_vec(), vec![b'x'; 30]];
+        let mut a = Generator::new(9);
+        let mut b = Generator::new(9);
+        for _ in 0..50 {
+            let sa = a.splits(&inputs);
+            assert_eq!(sa, b.splits(&inputs));
+            assert!(!sa.is_empty());
+            assert!(sa.iter().all(|&p| (1..30).contains(&p)), "{sa:?}");
+        }
+        // Inputs too short to split yield no points at all.
+        assert!(a.splits(&[vec![b'x']]).is_empty());
+        assert!(a.splits(&[]).is_empty());
     }
 
     #[test]

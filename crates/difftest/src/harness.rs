@@ -20,7 +20,15 @@
 //!   `tests/match_end_semantics.rs`;
 //! * batch level: [`simulate_batch_parallel`] at 1/2/4 workers must be
 //!   byte-identical to the sequential [`simulate_batch`], and the
-//!   [`Runtime`]'s cached path must reproduce the same reports.
+//!   [`Runtime`]'s cached path must reproduce the same reports;
+//! * stream level (chunk-split invariance): the input re-run through the
+//!   resumable matchers — [`cicero_isa::run_chunked`] and
+//!   [`cicero_sim::simulate_streaming`] over every simulator
+//!   configuration — split at chunk boundaries, must be *byte-identical*
+//!   to the whole-input cells. Every case gets the two deterministic
+//!   worst-case splits (all 1-byte chunks, and a middle split) plus any
+//!   caller-provided split vectors (randomized ones from the fuzzer,
+//!   committed ones from the corpus).
 
 use cicero_core::{CompileError, Compiler, CompilerOptions};
 use cicero_isa::Program;
@@ -191,6 +199,76 @@ pub fn check_case(put: &PatternUnderTest, input: &[u8]) -> Outcome {
     Outcome::Pass
 }
 
+/// Split `input` at the given split points (positions in `0..len`,
+/// in any order, duplicates and out-of-range points ignored), producing
+/// the chunk sequence a streaming matcher would be fed.
+///
+/// `&[]` yields the whole input as one chunk; an empty input yields no
+/// chunks at all (a stream with zero reads).
+pub fn apply_splits(input: &[u8], splits: &[usize]) -> Vec<Vec<u8>> {
+    let mut points: Vec<usize> =
+        splits.iter().copied().filter(|&p| p > 0 && p < input.len()).collect();
+    points.sort_unstable();
+    points.dedup();
+    let mut chunks = Vec::with_capacity(points.len() + 1);
+    let mut start = 0;
+    for point in points {
+        chunks.push(input[start..point].to_vec());
+        start = point;
+    }
+    if start < input.len() {
+        chunks.push(input[start..].to_vec());
+    }
+    chunks
+}
+
+/// Chunk-split invariance for one `(input, splits)` pair: the resumable
+/// interpreter and the resumable simulator over every configuration must
+/// reproduce the whole-input results *byte-identically* when the input
+/// arrives split at the given points.
+pub fn check_stream_case(put: &PatternUnderTest, input: &[u8], splits: &[usize]) -> Outcome {
+    let chunks = apply_splits(input, splits);
+    let borrowed = || chunks.iter().map(Vec::as_slice);
+    for (level, program) in &put.programs {
+        let whole = cicero_isa::run(program, input);
+        let streamed = cicero_isa::run_chunked(program, borrowed());
+        if streamed != whole {
+            return diverged(
+                format!("stream/interp/{level}"),
+                format!("streamed at {splits:?} gives {streamed:?}, whole input gives {whole:?}"),
+                put,
+                input,
+            );
+        }
+        for config in sim_matrix() {
+            let whole = simulate(program, input, &config);
+            let streamed = cicero_sim::simulate_streaming(program, borrowed(), &config);
+            if streamed != whole {
+                return diverged(
+                    format!("stream/sim/{level}/{}/cc{}", config.name(), config.cc_id_bits),
+                    format!(
+                        "streamed at {splits:?} gives {streamed:?}, whole input gives {whole:?}"
+                    ),
+                    put,
+                    input,
+                );
+            }
+        }
+    }
+    Outcome::Pass
+}
+
+/// The deterministic split vectors every input is checked with: all
+/// 1-byte chunks (every boundary, including ones inside a match) and a
+/// single middle split.
+fn deterministic_splits(input: &[u8]) -> Vec<Vec<usize>> {
+    let mut splits = vec![(1..input.len()).collect::<Vec<usize>>()];
+    if input.len() >= 2 {
+        splits.push(vec![input.len() / 2]);
+    }
+    splits
+}
+
 /// Batch-level determinism: parallel enumeration over the worker pool must
 /// be observationally identical to sequential execution, and the runtime's
 /// cached path must serve byte-identical reports.
@@ -227,9 +305,22 @@ fn first_report_difference(
     format!("report count differs: {} sequential vs {} parallel", sequential.len(), parallel.len())
 }
 
-/// The full check for one pattern and its input set: every per-input cell
-/// plus the batch-level determinism cells. First divergence wins.
+/// The full check for one pattern and its input set: every per-input cell,
+/// the chunk-split-invariance cells at the deterministic splits, plus the
+/// batch-level determinism cells. First divergence wins.
 pub fn check_all(pattern: &str, inputs: &[Vec<u8>]) -> Outcome {
+    check_with_splits(pattern, inputs, &[])
+}
+
+/// [`check_all`] plus extra chunk-split vectors: each input is re-checked
+/// streamed at every vector in `extra_splits` on top of the deterministic
+/// splits (randomized vectors from the fuzzer, committed ones from the
+/// corpus).
+pub fn check_with_splits(
+    pattern: &str,
+    inputs: &[Vec<u8>],
+    extra_splits: &[Vec<usize>],
+) -> Outcome {
     let put = match PatternUnderTest::build(pattern) {
         Ok(put) => put,
         Err(outcome) => return outcome,
@@ -237,6 +328,11 @@ pub fn check_all(pattern: &str, inputs: &[Vec<u8>]) -> Outcome {
     for input in inputs {
         if let Outcome::Diverged(d) = check_case(&put, input) {
             return Outcome::Diverged(d);
+        }
+        for splits in deterministic_splits(input).iter().chain(extra_splits) {
+            if let Outcome::Diverged(d) = check_stream_case(&put, input, splits) {
+                return Outcome::Diverged(d);
+            }
         }
     }
     check_batch(&put, inputs)
@@ -273,6 +369,32 @@ mod tests {
             ];
             let outcome = check_all(pattern, &inputs);
             assert_eq!(outcome, Outcome::Pass, "{pattern:?}: {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn apply_splits_partitions_losslessly() {
+        let input = b"abcdefgh";
+        for splits in [vec![], vec![4], vec![1, 2, 3, 4, 5, 6, 7], vec![7, 3, 3, 99, 0]] {
+            let chunks = apply_splits(input, &splits);
+            let rejoined: Vec<u8> = chunks.concat();
+            assert_eq!(rejoined, input, "splits {splits:?}");
+            assert!(chunks.iter().all(|c| !c.is_empty()), "splits {splits:?} made empty chunks");
+        }
+        assert_eq!(apply_splits(b"", &[1, 2]), Vec::<Vec<u8>>::new());
+        assert_eq!(apply_splits(b"ab", &[1]), vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+
+    #[test]
+    fn stream_cells_pass_for_known_patterns_at_adversarial_splits() {
+        let put = PatternUnderTest::build("x(a?|a*)y|th(is|at)").unwrap();
+        for input in [b"zzthiszz".as_slice(), b"xay", b"", b"thatthis"] {
+            for splits in
+                [vec![], vec![1], (1..input.len()).collect::<Vec<usize>>(), vec![input.len() / 2]]
+            {
+                let outcome = check_stream_case(&put, input, &splits);
+                assert_eq!(outcome, Outcome::Pass, "{input:?} at {splits:?}: {outcome:?}");
+            }
         }
     }
 

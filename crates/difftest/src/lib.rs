@@ -27,8 +27,11 @@ use cicero_telemetry::Telemetry;
 
 pub use corpus::{default_corpus_dir, load_dir, CorpusCase};
 pub use generate::Generator;
-pub use harness::{check_all, check_batch, check_case, Divergence, Outcome, PatternUnderTest};
-pub use shrink::{shrink, Shrunk};
+pub use harness::{
+    apply_splits, check_all, check_batch, check_case, check_stream_case, check_with_splits,
+    Divergence, Outcome, PatternUnderTest,
+};
+pub use shrink::{shrink, shrink_streamed, Shrunk, ShrunkStreamed};
 
 /// Options for one fuzzing run.
 #[derive(Debug, Clone)]
@@ -41,6 +44,10 @@ pub struct FuzzOptions {
     pub iters: usize,
     /// Worker threads; `0` means all host cores.
     pub jobs: usize,
+    /// Randomized chunk-split vectors per pattern on the streaming axis,
+    /// on top of the deterministic splits [`check_all`] always runs
+    /// (all-1-byte chunks and a middle split).
+    pub stream_splits: usize,
     /// Telemetry sink for `difftest.*` counters.
     pub telemetry: Option<Telemetry>,
 }
@@ -48,7 +55,7 @@ pub struct FuzzOptions {
 impl FuzzOptions {
     /// A single-threaded run with the given seed and iteration count.
     pub fn new(seed: u64, iters: usize) -> FuzzOptions {
-        FuzzOptions { seed, iters, jobs: 1, telemetry: None }
+        FuzzOptions { seed, iters, jobs: 1, stream_splits: 1, telemetry: None }
     }
 }
 
@@ -63,6 +70,11 @@ pub struct DivergenceReport {
     pub inputs: Vec<Vec<u8>>,
     /// The minimized reproducer.
     pub shrunk: Shrunk,
+    /// The minimized chunk-split points, for divergences that only fire
+    /// on the streaming axis at a randomized split; `None` when the
+    /// whole-input matrix (which includes the deterministic splits)
+    /// already diverges.
+    pub splits: Option<Vec<usize>>,
     /// The disagreeing cell of the *minimized* reproducer (minimization
     /// keeps "some cell diverges", not necessarily the same cell).
     pub shrunk_divergence: Divergence,
@@ -80,6 +92,7 @@ impl DivergenceReport {
                 "minimized from {:?}; diverged at {}",
                 self.pattern, self.shrunk_divergence
             ),
+            splits: self.splits.clone().unwrap_or_default(),
         }
     }
 }
@@ -119,37 +132,93 @@ pub fn still_diverges(pattern: &str, inputs: &[Vec<u8>]) -> bool {
     check_all(pattern, inputs).diverged()
 }
 
-fn fuzz_worker(seed: u64, iters: usize) -> FuzzReport {
+/// The stream-axis failure predicate: some cell diverges when every input
+/// is additionally streamed at the given split points.
+pub fn still_diverges_with_splits(pattern: &str, inputs: &[Vec<u8>], splits: &[usize]) -> bool {
+    check_with_splits(pattern, inputs, std::slice::from_ref(&splits.to_vec())).diverged()
+}
+
+fn fuzz_worker(seed: u64, iters: usize, stream_splits: usize) -> FuzzReport {
     let mut generator = Generator::new(seed);
     let mut report = FuzzReport::default();
     for _ in 0..iters {
         let (pattern, ast) = generator.pattern();
         let inputs = generator.inputs(&ast);
+        let extra: Vec<Vec<usize>> =
+            (0..stream_splits).map(|_| generator.splits(&inputs)).collect();
         report.patterns += 1;
         report.cases += inputs.len();
-        match check_all(&pattern, &inputs) {
+        match check_with_splits(&pattern, &inputs, &extra) {
             Outcome::Pass => {}
             Outcome::Skip(_) => report.skipped += 1,
             Outcome::Diverged(divergence) => {
-                let shrunk = shrink(&pattern, &inputs, &still_diverges);
-                let shrunk_divergence = match check_all(&shrunk.pattern, &shrunk.inputs) {
-                    Outcome::Diverged(d) => d,
-                    // Unreachable by construction (shrink preserves the
-                    // predicate), but stay total.
-                    _ => divergence.clone(),
-                };
-                report.shrink_steps += shrunk.steps;
-                report.divergences.push(DivergenceReport {
-                    divergence,
-                    pattern,
-                    inputs,
-                    shrunk,
-                    shrunk_divergence,
-                });
+                let finding = minimize(divergence, pattern, inputs, &extra);
+                report.shrink_steps += finding.shrunk.steps;
+                report.divergences.push(finding);
             }
         }
     }
     report
+}
+
+/// Minimize one divergence, picking the split-aware shrinker when the
+/// failure only fires at one of the randomized split vectors.
+fn minimize(
+    divergence: Divergence,
+    pattern: String,
+    inputs: Vec<Vec<u8>>,
+    extra: &[Vec<usize>],
+) -> DivergenceReport {
+    if still_diverges(&pattern, &inputs) {
+        let shrunk = shrink(&pattern, &inputs, &still_diverges);
+        let shrunk_divergence = match check_all(&shrunk.pattern, &shrunk.inputs) {
+            Outcome::Diverged(d) => d,
+            // Unreachable by construction (shrink preserves the
+            // predicate), but stay total.
+            _ => divergence.clone(),
+        };
+        return DivergenceReport {
+            divergence,
+            pattern,
+            inputs,
+            shrunk,
+            splits: None,
+            shrunk_divergence,
+        };
+    }
+    // The whole-input matrix passes, so the failure needs one of the
+    // randomized split vectors; minimize the splits along with the case.
+    if let Some(splits) =
+        extra.iter().find(|splits| still_diverges_with_splits(&pattern, &inputs, splits))
+    {
+        let minimized = shrink_streamed(&pattern, &inputs, splits, &still_diverges_with_splits);
+        let shrunk_divergence = match check_with_splits(
+            &minimized.shrunk.pattern,
+            &minimized.shrunk.inputs,
+            std::slice::from_ref(&minimized.splits),
+        ) {
+            Outcome::Diverged(d) => d,
+            _ => divergence.clone(),
+        };
+        return DivergenceReport {
+            divergence,
+            pattern,
+            inputs,
+            shrunk: minimized.shrunk,
+            splits: Some(minimized.splits),
+            shrunk_divergence,
+        };
+    }
+    // Not reproducible in isolation (should not happen — the checks are
+    // deterministic); report it unminimized rather than lose it.
+    DivergenceReport {
+        divergence: divergence.clone(),
+        shrunk: Shrunk { pattern: pattern.clone(), inputs: inputs.clone(), steps: 0 },
+        pattern,
+        inputs,
+        splits: None,
+        shrunk_divergence: divergence,
+    }
 }
 
 /// Mix a worker index into the base seed (SplitMix64 increment) so
@@ -172,7 +241,7 @@ pub fn fuzz(options: &FuzzOptions) -> FuzzReport {
 
     let mut report = FuzzReport::default();
     if jobs <= 1 {
-        report = fuzz_worker(options.seed, options.iters);
+        report = fuzz_worker(options.seed, options.iters, options.stream_splits);
     } else {
         let per = options.iters / jobs;
         let extra = options.iters % jobs;
@@ -181,7 +250,8 @@ pub fn fuzz(options: &FuzzOptions) -> FuzzReport {
                 .map(|w| {
                     let iters = per + usize::from(w < extra);
                     let seed = worker_seed(options.seed, w as u64);
-                    scope.spawn(move || fuzz_worker(seed, iters))
+                    let stream_splits = options.stream_splits;
+                    scope.spawn(move || fuzz_worker(seed, iters, stream_splits))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("fuzz worker panicked")).collect::<Vec<_>>()
@@ -213,7 +283,11 @@ pub fn replay_corpus(dir: &std::path::Path) -> Result<Vec<(CorpusCase, Outcome)>
     Ok(cases
         .into_iter()
         .map(|case| {
-            let outcome = check_all(&case.pattern, &case.inputs);
+            // Cases minimized on the streaming axis carry their split
+            // points; replaying them re-streams every input at those
+            // splits on top of the whole-input matrix.
+            let outcome =
+                check_with_splits(&case.pattern, &case.inputs, std::slice::from_ref(&case.splits));
             (case, outcome)
         })
         .collect())
@@ -250,16 +324,57 @@ mod tests {
     }
 
     #[test]
+    fn stream_axis_runs_clean_with_extra_random_splits() {
+        let report =
+            fuzz(&FuzzOptions { seed: 42, iters: 30, jobs: 1, stream_splits: 3, telemetry: None });
+        assert!(
+            report.divergences.is_empty(),
+            "chunk-split invariance violated: {:?}",
+            report
+                .divergences
+                .iter()
+                .map(|d| (&d.shrunk.pattern, &d.splits, &d.shrunk_divergence))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.patterns, 30);
+    }
+
+    #[test]
+    fn stream_axis_corpus_cases_roundtrip_their_splits() {
+        let finding = DivergenceReport {
+            divergence: Divergence { cell: "stream/interp/O2".to_owned(), detail: "x".to_owned() },
+            pattern: "ab".to_owned(),
+            inputs: vec![b"xaby".to_vec()],
+            shrunk: Shrunk { pattern: "ab".to_owned(), inputs: vec![b"ab".to_vec()], steps: 3 },
+            splits: Some(vec![1]),
+            shrunk_divergence: Divergence {
+                cell: "stream/interp/O2".to_owned(),
+                detail: "x".to_owned(),
+            },
+        };
+        let case = finding.to_corpus_case("stream-case");
+        assert_eq!(case.splits, vec![1]);
+        let reparsed = CorpusCase::from_toml("stream-case", &case.to_toml()).unwrap();
+        assert_eq!(reparsed.splits, vec![1]);
+    }
+
+    #[test]
     fn workers_split_the_iteration_budget() {
-        let report = fuzz(&FuzzOptions { seed: 3, iters: 10, jobs: 4, telemetry: None });
+        let report =
+            fuzz(&FuzzOptions { seed: 3, iters: 10, jobs: 4, stream_splits: 1, telemetry: None });
         assert_eq!(report.patterns, 10);
     }
 
     #[test]
     fn telemetry_counters_are_exported() {
         let telemetry = Telemetry::new();
-        let report =
-            fuzz(&FuzzOptions { seed: 11, iters: 15, jobs: 1, telemetry: Some(telemetry.clone()) });
+        let report = fuzz(&FuzzOptions {
+            seed: 11,
+            iters: 15,
+            jobs: 1,
+            stream_splits: 1,
+            telemetry: Some(telemetry.clone()),
+        });
         assert_eq!(telemetry.counter("difftest.patterns"), 15);
         assert_eq!(telemetry.counter("difftest.cases"), report.cases as u64);
         assert_eq!(telemetry.counter("difftest.divergences"), 0);

@@ -89,6 +89,66 @@ pub fn shrink(pattern: &str, inputs: &[Vec<u8>], still_fails: StillFails<'_>) ->
     }
 }
 
+/// Predicate for minimizing stream-axis failures: does the candidate
+/// `(pattern, inputs)` still fail when streamed at the candidate splits?
+pub type StillFailsStreamed<'a> = &'a dyn Fn(&str, &[Vec<u8>], &[usize]) -> bool;
+
+/// A minimized streamed reproducer: [`Shrunk`] plus the minimized split
+/// vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrunkStreamed {
+    /// The minimized pattern and inputs.
+    pub shrunk: Shrunk,
+    /// The minimized chunk-split points.
+    pub splits: Vec<usize>,
+}
+
+/// Minimize a stream-axis failure: alternate [`shrink`] passes over the
+/// pattern and inputs (with the splits held fixed) with greedy passes
+/// that drop split points (with the pattern and inputs held fixed), until
+/// neither makes progress.
+///
+/// Termination: every accepted candidate strictly shrinks either the
+/// `(pattern, inputs)` score or the split count, and neither pass ever
+/// grows the other's quantity.
+pub fn shrink_streamed(
+    pattern: &str,
+    inputs: &[Vec<u8>],
+    splits: &[usize],
+    still_fails: StillFailsStreamed<'_>,
+) -> ShrunkStreamed {
+    let mut pattern = pattern.to_owned();
+    let mut inputs = inputs.to_vec();
+    let mut splits = splits.to_vec();
+    let mut steps = 0usize;
+    loop {
+        let fixed = splits.clone();
+        let pass = shrink(&pattern, &inputs, &|p, i| still_fails(p, i, &fixed));
+        let improved_case = pass.steps > 0;
+        steps += pass.steps;
+        pattern = pass.pattern;
+        inputs = pass.inputs;
+
+        let mut improved_splits = false;
+        'splits: loop {
+            for i in 0..splits.len() {
+                let mut candidate = splits.clone();
+                candidate.remove(i);
+                if still_fails(&pattern, &inputs, &candidate) {
+                    splits = candidate;
+                    steps += 1;
+                    improved_splits = true;
+                    continue 'splits;
+                }
+            }
+            break;
+        }
+        if !improved_case && !improved_splits {
+            return ShrunkStreamed { shrunk: Shrunk { pattern, inputs, steps }, splits };
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Pattern variants: one AST edit each.
 // ---------------------------------------------------------------------------
@@ -300,6 +360,36 @@ mod tests {
         let shrunk = shrink("a+b", &[b"aab".to_vec()], &always_passes);
         assert_eq!(shrunk.pattern, "a+b");
         assert_eq!(shrunk.steps, 0);
+    }
+
+    #[test]
+    fn shrink_streamed_minimizes_the_split_vector_too() {
+        // Synthetic stream-axis bug: needs a `b` in the pattern, a 0xff
+        // byte in some input, and at least one split point to fire.
+        fn streamed_bug(pattern: &str, inputs: &[Vec<u8>], splits: &[usize]) -> bool {
+            pattern.contains('b') && inputs.iter().any(|i| i.contains(&0xff)) && !splits.is_empty()
+        }
+
+        let pattern = "ab{2,5}c|[^q]+";
+        let inputs: Vec<Vec<u8>> =
+            vec![b"noise".to_vec(), [b"pad ".as_slice(), &[0xff], b" pad"].concat()];
+        let splits = vec![1, 3, 5, 7];
+        assert!(streamed_bug(pattern, &inputs, &splits));
+        let minimized = shrink_streamed(pattern, &inputs, &splits, &streamed_bug);
+        assert!(
+            streamed_bug(&minimized.shrunk.pattern, &minimized.shrunk.inputs, &minimized.splits),
+            "shrinker lost the failure"
+        );
+        assert_eq!(minimized.splits.len(), 1, "splits not minimized: {:?}", minimized.splits);
+        assert!(minimized.shrunk.size() <= 3, "{:?}", minimized.shrunk);
+        assert!(minimized.shrunk.steps > 0);
+    }
+
+    #[test]
+    fn shrink_streamed_drops_all_splits_when_they_are_irrelevant() {
+        let splitless_bug = |pattern: &str, _: &[Vec<u8>], _: &[usize]| pattern.contains('b');
+        let minimized = shrink_streamed("ab", &[b"x".to_vec()], &[1, 2], &splitless_bug);
+        assert_eq!(minimized.splits, Vec::<usize>::new());
     }
 
     #[test]

@@ -51,8 +51,10 @@ pub mod instruction;
 pub mod interp;
 pub mod locality;
 pub mod program;
+pub mod stream;
 
 pub use encoding::{DecodeError, EncodedProgram};
 pub use instruction::{Instruction, Opcode, MAX_OPERAND};
 pub use interp::{accepts, run, ExecOutcome};
 pub use program::{ParseAsmError, Program, ProgramError};
+pub use stream::{run_chunked, StreamMatcher};

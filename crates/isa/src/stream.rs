@@ -1,0 +1,398 @@
+//! Resumable interpreter: the reference semantics of [`interp::run`]
+//! split at chunk boundaries.
+//!
+//! [`StreamMatcher`] carries the breadth-first frontier (the live thread
+//! set at the current input position) across calls to [`StreamMatcher::feed`],
+//! so an input of unbounded size can be matched one chunk at a time while
+//! holding only `O(program)` state. The contract is *chunk-split
+//! invariance*:
+//!
+//! ```
+//! use cicero_isa::{Instruction, Program, StreamMatcher};
+//!
+//! let program = Program::from_instructions(vec![
+//!     Instruction::Match(b'a'),
+//!     Instruction::Match(b'b'),
+//!     Instruction::Accept,
+//! ])?;
+//! let mut matcher = StreamMatcher::new(&program);
+//! matcher.feed(b"a");
+//! matcher.feed(b"b");
+//! let streamed = matcher.finish();
+//! assert_eq!(streamed, cicero_isa::run(&program, b"ab"));
+//! # Ok::<(), cicero_isa::ProgramError>(())
+//! ```
+//!
+//! The outcome — including the `instructions_executed` work metric — is
+//! byte-identical to the whole-input run for *every* split of the input,
+//! because the per-position drain order, deduplication, and early-exit
+//! conditions are the same; the only difference is where the loop over
+//! positions pauses. This is deliberately a second implementation rather
+//! than a refactor of [`interp::run`] so the differential tests compare
+//! two independently written paths.
+//!
+//! [`interp::run`]: crate::interp::run
+
+use crate::instruction::Instruction;
+use crate::interp::ExecOutcome;
+use crate::program::Program;
+
+/// A resumable breadth-first Thompson matcher.
+///
+/// Lifecycle: [`feed`] any number of chunks (each returns the final
+/// outcome early if the match concluded mid-chunk), then [`finish`] to
+/// apply end-of-input semantics. Feeding after conclusion is a no-op that
+/// re-reports the outcome, so pipelines need not special-case early
+/// acceptance.
+///
+/// [`feed`]: StreamMatcher::feed
+/// [`finish`]: StreamMatcher::finish
+#[derive(Debug, Clone)]
+pub struct StreamMatcher<'p> {
+    program: &'p Program,
+    /// Live PCs at the current position, in discovery order.
+    current: Vec<u16>,
+    /// PCs scheduled for the next position.
+    next: Vec<u16>,
+    /// Dedup filter: whether a PC is already in `current`.
+    in_current: Vec<bool>,
+    /// Dedup filter for `next`.
+    in_next: Vec<bool>,
+    /// Absolute input position of the `current` frontier.
+    position: usize,
+    /// Instructions executed so far, across all threads.
+    executed: u64,
+    /// The concluded outcome, once the run ends (accept or dead frontier).
+    done: Option<ExecOutcome>,
+}
+
+impl<'p> StreamMatcher<'p> {
+    /// Start a match at position 0 with a single thread at PC 0.
+    pub fn new(program: &'p Program) -> StreamMatcher<'p> {
+        let mut matcher = StreamMatcher {
+            program,
+            current: Vec::with_capacity(program.len()),
+            next: Vec::with_capacity(program.len()),
+            in_current: vec![false; program.len()],
+            in_next: vec![false; program.len()],
+            position: 0,
+            executed: 0,
+            done: None,
+        };
+        matcher.push_current(0);
+        matcher
+    }
+
+    /// Absolute input position of the live frontier (bytes consumed).
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Whether the run has concluded (no more input can change the verdict).
+    pub fn is_done(&self) -> bool {
+        self.done.is_some()
+    }
+
+    /// Consume one chunk. Returns `Some(outcome)` as soon as the run
+    /// concludes (acceptance, or every thread died); `None` means the
+    /// matcher suspended at the chunk boundary and wants more input.
+    pub fn feed(&mut self, chunk: &[u8]) -> Option<ExecOutcome> {
+        if self.done.is_some() {
+            return self.done;
+        }
+        for &byte in chunk {
+            if let Some(outcome) = self.advance(Some(byte)) {
+                self.done = Some(outcome);
+                return self.done;
+            }
+        }
+        None
+    }
+
+    /// Signal end of input and return the final outcome.
+    ///
+    /// Idempotent: calling again (or after [`feed`](StreamMatcher::feed)
+    /// already concluded) re-reports the same outcome.
+    pub fn finish(&mut self) -> ExecOutcome {
+        if let Some(outcome) = self.done {
+            return outcome;
+        }
+        let outcome = self.advance(None).expect("end of input always concludes the run");
+        self.done = Some(outcome);
+        outcome
+    }
+
+    /// Process exactly one input position (`ch == None` is end of input).
+    /// Returns the final outcome if the run concluded here.
+    fn advance(&mut self, ch: Option<u8>) -> Option<ExecOutcome> {
+        // Drain the current frontier; Split/Jump/NotMatch push back onto
+        // it (same position), Match/MatchAny push onto `next`. Indexing
+        // instead of iterating because the drain appends as it goes.
+        let mut i = 0;
+        while i < self.current.len() {
+            let pc = self.current[i];
+            i += 1;
+            self.executed += 1;
+            let ins = self.program.get(pc).expect("validated program");
+            match ins {
+                Instruction::Accept => {
+                    if ch.is_none() {
+                        return Some(self.outcome(true, None));
+                    }
+                }
+                Instruction::AcceptPartial => {
+                    return Some(self.outcome(true, None));
+                }
+                Instruction::AcceptPartialId(id) => {
+                    return Some(self.outcome(true, Some(id)));
+                }
+                Instruction::Split(target) => {
+                    self.push_current(pc + 1);
+                    self.push_current(target);
+                }
+                Instruction::Jump(target) => {
+                    self.push_current(target);
+                }
+                Instruction::MatchAny => {
+                    if ch.is_some() {
+                        self.push_next(pc + 1);
+                    }
+                }
+                Instruction::Match(expected) => {
+                    if ch == Some(expected) {
+                        self.push_next(pc + 1);
+                    }
+                }
+                Instruction::NotMatch(unexpected) => {
+                    // Non-consuming: stays at this position. At end of
+                    // input it kills the thread like the other matchers.
+                    if ch.is_some() && ch != Some(unexpected) {
+                        self.push_current(pc + 1);
+                    }
+                }
+            }
+        }
+        if ch.is_none() || self.next.is_empty() {
+            // End of input, or no thread survived into the next position.
+            return Some(self.outcome(false, None));
+        }
+        for pc in self.current.drain(..) {
+            self.in_current[usize::from(pc)] = false;
+        }
+        std::mem::swap(&mut self.current, &mut self.next);
+        std::mem::swap(&mut self.in_current, &mut self.in_next);
+        self.position += 1;
+        None
+    }
+
+    fn outcome(&self, accepted: bool, matched_id: Option<u16>) -> ExecOutcome {
+        ExecOutcome {
+            accepted,
+            match_position: accepted.then_some(self.position),
+            matched_id,
+            instructions_executed: self.executed,
+        }
+    }
+
+    fn push_current(&mut self, pc: u16) {
+        let seen = &mut self.in_current[usize::from(pc)];
+        if !*seen {
+            *seen = true;
+            self.current.push(pc);
+        }
+    }
+
+    fn push_next(&mut self, pc: u16) {
+        let seen = &mut self.in_next[usize::from(pc)];
+        if !*seen {
+            *seen = true;
+            self.next.push(pc);
+        }
+    }
+}
+
+/// Execute `program` over `chunks` as if they were one concatenated
+/// input. Equivalent to `run(program, concat(chunks))` for every split.
+pub fn run_chunked<'a, I>(program: &Program, chunks: I) -> ExecOutcome
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut matcher = StreamMatcher::new(program);
+    for chunk in chunks {
+        if let Some(outcome) = matcher.feed(chunk) {
+            return outcome;
+        }
+    }
+    matcher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Instruction::*;
+    use crate::interp::run;
+
+    fn ab_or_cd() -> Program {
+        Program::from_instructions(vec![
+            Split(3),
+            MatchAny,
+            Jump(0),
+            Split(7),
+            Match(b'a'),
+            Match(b'b'),
+            AcceptPartial,
+            Match(b'c'),
+            Match(b'd'),
+            AcceptPartial,
+        ])
+        .unwrap()
+    }
+
+    fn test_programs() -> Vec<Program> {
+        vec![
+            ab_or_cd(),
+            // `^ab$`
+            Program::from_instructions(vec![Match(b'a'), Match(b'b'), Accept]).unwrap(),
+            // `[^ab]` with no implicit prefix.
+            Program::from_instructions(vec![
+                NotMatch(b'a'),
+                NotMatch(b'b'),
+                MatchAny,
+                AcceptPartial,
+            ])
+            .unwrap(),
+            // Pathological split loop (terminates via dedup).
+            Program::from_instructions(vec![Split(2), Jump(0), Match(b'a'), Jump(0), Accept])
+                .unwrap(),
+            // Multi-match id reporting.
+            Program::from_instructions(vec![
+                Split(3),
+                MatchAny,
+                Jump(0),
+                Split(6),
+                Match(b'a'),
+                AcceptPartialId(7),
+                Match(b'b'),
+                AcceptPartialId(9),
+            ])
+            .unwrap(),
+        ]
+    }
+
+    fn test_inputs() -> Vec<&'static [u8]> {
+        vec![
+            b"",
+            b"a",
+            b"b",
+            b"ab",
+            b"ba",
+            b"abab",
+            b"xxabyy",
+            b"xcdab",
+            b"zzzzzzzz",
+            b"aaabbb",
+            &[0x00, 0xff, b'a', b'b'],
+        ]
+    }
+
+    /// Split `input` at the set of points encoded by `mask` (bit `i` set
+    /// means a boundary after byte `i`).
+    fn split_by_mask(input: &[u8], mask: u32) -> Vec<&[u8]> {
+        let mut chunks = Vec::new();
+        let mut start = 0;
+        for i in 0..input.len() {
+            if mask & (1 << i) != 0 {
+                chunks.push(&input[start..=i]);
+                start = i + 1;
+            }
+        }
+        chunks.push(&input[start..]);
+        chunks
+    }
+
+    #[test]
+    fn every_split_of_every_input_is_invariant() {
+        for program in test_programs() {
+            for input in test_inputs() {
+                let whole = run(&program, input);
+                let masks = 1u32 << input.len().min(10);
+                for mask in 0..masks {
+                    let chunks = split_by_mask(input, mask);
+                    let streamed = run_chunked(&program, chunks.iter().copied());
+                    assert_eq!(
+                        streamed, whole,
+                        "split {mask:#b} of {input:?} diverged from the whole-input run"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_byte_chunks_are_invariant() {
+        for program in test_programs() {
+            for input in test_inputs() {
+                let whole = run(&program, input);
+                let streamed = run_chunked(&program, input.chunks(1));
+                assert_eq!(streamed, whole, "1-byte chunks diverged on {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_chunks_are_transparent() {
+        let p = ab_or_cd();
+        let mut m = StreamMatcher::new(&p);
+        assert_eq!(m.feed(b""), None);
+        assert_eq!(m.feed(b"xxa"), None);
+        assert_eq!(m.feed(b""), None);
+        // The accepting thread sits at position 4, which is only
+        // processed at the next byte or at end of input.
+        assert_eq!(m.feed(b"b"), None);
+        assert_eq!(m.finish(), run(&p, b"xxab"));
+    }
+
+    #[test]
+    fn early_acceptance_concludes_mid_chunk() {
+        let p = ab_or_cd();
+        let mut m = StreamMatcher::new(&p);
+        let out = m.feed(b"xabzzzz").expect("accepts inside the chunk");
+        assert!(out.accepted);
+        assert_eq!(out, run(&p, b"xabzzzz"));
+        // `ab` ends at index 3 (AcceptPartial fires one position later).
+        assert_eq!(out.match_position, Some(3));
+        assert!(m.is_done());
+        // Feeding after conclusion re-reports the same outcome.
+        assert_eq!(m.feed(b"more"), Some(out));
+        assert_eq!(m.finish(), out);
+    }
+
+    #[test]
+    fn a_dead_frontier_concludes_early() {
+        // `^ab$`: after a mismatching first byte no thread survives.
+        let p = Program::from_instructions(vec![Match(b'a'), Match(b'b'), Accept]).unwrap();
+        let mut m = StreamMatcher::new(&p);
+        let out = m.feed(b"x").expect("frontier dies on the first byte");
+        assert!(!out.accepted);
+        assert_eq!(out, run(&p, b"x"));
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let p = ab_or_cd();
+        let mut m = StreamMatcher::new(&p);
+        m.feed(b"zz");
+        let first = m.finish();
+        assert_eq!(m.finish(), first);
+        assert_eq!(first, run(&p, b"zz"));
+    }
+
+    #[test]
+    fn position_tracks_consumed_bytes() {
+        let p = ab_or_cd();
+        let mut m = StreamMatcher::new(&p);
+        assert_eq!(m.position(), 0);
+        m.feed(b"zzz");
+        assert_eq!(m.position(), 3);
+    }
+}

@@ -1,0 +1,507 @@
+//! Per-request resource budgets and the guarded batch pool.
+//!
+//! The plain batch path ([`Runtime::match_batch`]) assumes execution
+//! cannot fail: no bound on simulated work beyond the architecture's own
+//! `max_cycles` safety valve, no wall-clock bound, and a panicking worker
+//! tears the whole batch down. That is fine for benchmarks; a serving
+//! runtime needs the opposite defaults. The *guarded* path adds:
+//!
+//! * **fuel** — a per-input cap on simulated cycles; exhausting it yields
+//!   [`MatchOutcome::Budget`] with the partial report instead of letting a
+//!   pathological pattern spin to the 200M-cycle architectural limit;
+//! * **deadline** — a wall-clock budget for the whole batch; inputs not
+//!   started before expiry complete immediately as budget errors;
+//! * **panic isolation** — each input runs under `catch_unwind`; a panic
+//!   discards the (possibly corrupt) worker [`Machine`], respawns a fresh
+//!   one, and retries the input once. The recovery is counted in
+//!   [`GuardedBatch::worker_restarts`] and the `runtime.worker_restarts`
+//!   telemetry counter; a second panic on the same input reports
+//!   [`MatchOutcome::Fault`] and the batch still completes.
+//!
+//! [`Runtime::match_batch`]: crate::Runtime::match_batch
+
+use std::time::{Duration, Instant};
+
+use cicero_core::CompileError;
+use cicero_isa::Program;
+use cicero_sim::{ArchConfig, ExecReport, Machine, WorkerStats};
+
+use crate::Runtime;
+
+/// Resource limits for one request (batch or stream). The default is
+/// unlimited on both axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Maximum simulated cycles per input; exceeding it yields
+    /// [`MatchOutcome::Budget`] with [`BudgetKind::Fuel`].
+    pub fuel: Option<u64>,
+    /// Wall-clock budget for the whole request.
+    pub deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits (the plain batch path's semantics).
+    pub const UNLIMITED: Budget = Budget { fuel: None, deadline: None };
+
+    /// Limit each input to `fuel` simulated cycles.
+    pub fn with_fuel(fuel: u64) -> Budget {
+        Budget { fuel: Some(fuel), ..Budget::default() }
+    }
+
+    /// Limit the whole request to `deadline` of wall-clock time.
+    pub fn with_deadline(deadline: Duration) -> Budget {
+        Budget { deadline: Some(deadline), ..Budget::default() }
+    }
+
+    /// The architecture config actually simulated: `max_cycles` clamped
+    /// down to the fuel budget (never raised).
+    pub(crate) fn clamp_config(&self, config: &ArchConfig) -> ArchConfig {
+        let mut clamped = config.clone();
+        if let Some(fuel) = self.fuel {
+            clamped.max_cycles = clamped.max_cycles.min(fuel);
+        }
+        clamped
+    }
+
+    /// Classify a report produced under [`Budget::clamp_config`]: hitting
+    /// the clamped cycle limit is a fuel exhaustion only when the fuel cap
+    /// is tighter than the architecture's own `max_cycles` safety valve.
+    pub(crate) fn classify(&self, report: ExecReport, original: &ArchConfig) -> MatchOutcome {
+        if report.hit_cycle_limit && self.fuel.is_some_and(|fuel| fuel < original.max_cycles) {
+            MatchOutcome::Budget { kind: BudgetKind::Fuel, partial: Some(report) }
+        } else {
+            MatchOutcome::Complete(report)
+        }
+    }
+}
+
+/// Which budget axis was exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The per-input simulated-cycle cap.
+    Fuel,
+    /// The wall-clock deadline.
+    Deadline,
+}
+
+/// The result of one guarded input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchOutcome {
+    /// The run concluded normally.
+    Complete(ExecReport),
+    /// A budget was exhausted. `partial` carries the progress made before
+    /// the cut-off (`None` when the input never started).
+    Budget {
+        /// The exhausted axis.
+        kind: BudgetKind,
+        /// Progress up to the cut-off, if the input started.
+        partial: Option<ExecReport>,
+    },
+    /// The input panicked the worker twice; the message is the panic
+    /// payload. The rest of the batch is unaffected.
+    Fault(String),
+}
+
+impl MatchOutcome {
+    /// The report, complete or partial (absent for `Fault` and
+    /// never-started deadline misses).
+    pub fn report(&self) -> Option<&ExecReport> {
+        match self {
+            MatchOutcome::Complete(report) => Some(report),
+            MatchOutcome::Budget { partial, .. } => partial.as_ref(),
+            MatchOutcome::Fault(_) => None,
+        }
+    }
+
+    /// Whether the run concluded normally.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, MatchOutcome::Complete(_))
+    }
+}
+
+/// The result of one guarded batch: one outcome per input, plus recovery
+/// and budget accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedBatch {
+    /// One outcome per input, in input order.
+    pub outcomes: Vec<MatchOutcome>,
+    /// Per-worker accounting, in worker order (completed and partial runs
+    /// both count).
+    pub workers: Vec<WorkerStats>,
+    /// Worker threads the batch actually used.
+    pub jobs: usize,
+    /// Workers respawned after a panic (also exported as the
+    /// `runtime.worker_restarts` counter).
+    pub worker_restarts: u64,
+    /// Whether the program came out of the cache.
+    pub cache_hit: bool,
+    /// Host wall-clock time spent executing the batch.
+    pub wall: Duration,
+}
+
+impl GuardedBatch {
+    /// Inputs that concluded normally.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_complete()).count()
+    }
+
+    /// Inputs that concluded normally *and* matched.
+    pub fn matches(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, MatchOutcome::Complete(r) if r.accepted))
+            .count()
+    }
+
+    /// Inputs that exhausted a budget.
+    pub fn budget_exceeded(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, MatchOutcome::Budget { .. })).count()
+    }
+
+    /// Inputs that faulted (panicked twice).
+    pub fn faults(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, MatchOutcome::Fault(_))).count()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_owned()
+    }
+}
+
+impl Runtime {
+    /// Compile `pattern` (through the cache) and run it over every input
+    /// with per-request budgets and worker panic isolation.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors only; execution failures are reported per input
+    /// in [`GuardedBatch::outcomes`].
+    pub fn match_batch_guarded(
+        &self,
+        pattern: &str,
+        inputs: &[Vec<u8>],
+        config: &ArchConfig,
+        budget: &Budget,
+    ) -> Result<GuardedBatch, CompileError> {
+        let (program, cache_hit) = self.compile_tracked(pattern)?;
+        Ok(self.run_batch_guarded_inner(&program, inputs, config, budget, cache_hit))
+    }
+
+    /// Run an already-compiled program over every input with budgets and
+    /// panic isolation (`cache_hit` is reported as `false`).
+    pub fn run_batch_guarded(
+        &self,
+        program: &Program,
+        inputs: &[Vec<u8>],
+        config: &ArchConfig,
+        budget: &Budget,
+    ) -> GuardedBatch {
+        self.run_batch_guarded_inner(program, inputs, config, budget, false)
+    }
+
+    fn run_batch_guarded_inner(
+        &self,
+        program: &Program,
+        inputs: &[Vec<u8>],
+        config: &ArchConfig,
+        budget: &Budget,
+        cache_hit: bool,
+    ) -> GuardedBatch {
+        let span = self.telemetry.as_ref().map(|t| {
+            let span = t.span("runtime.guarded_batch");
+            span.annotate("inputs", inputs.len());
+            span.annotate("fuel", budget.fuel.map_or(-1i64, |f| f as i64));
+            span
+        });
+        let start = Instant::now();
+        let deadline_at = budget.deadline.map(|d| start + d);
+        let run_config = budget.clamp_config(config);
+        let jobs = self.jobs.clamp(1, inputs.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let restarts = std::sync::atomic::AtomicU64::new(0);
+        let hook = self.run_hook.clone();
+
+        let per_worker: Vec<(Vec<(usize, MatchOutcome)>, WorkerStats)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|worker| {
+                        let next = &next;
+                        let restarts = &restarts;
+                        let run_config = run_config.clone();
+                        let hook = hook.clone();
+                        scope.spawn(move || {
+                            // `None` after a panic poisons the machine;
+                            // the next input respawns a fresh one.
+                            let mut machine = Some(Machine::new(program, run_config.clone()));
+                            let mut out = Vec::new();
+                            let mut stats = WorkerStats { worker, ..WorkerStats::default() };
+                            loop {
+                                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some(input) = inputs.get(index) else { break };
+                                if deadline_at.is_some_and(|at| Instant::now() >= at) {
+                                    out.push((
+                                        index,
+                                        MatchOutcome::Budget {
+                                            kind: BudgetKind::Deadline,
+                                            partial: None,
+                                        },
+                                    ));
+                                    continue;
+                                }
+                                let mut attempts = 0u32;
+                                let outcome = loop {
+                                    let m = machine.get_or_insert_with(|| {
+                                        Machine::new(program, run_config.clone())
+                                    });
+                                    let result = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            if let Some(hook) = &hook {
+                                                hook(index);
+                                            }
+                                            m.prefetch_icache();
+                                            m.run(input)
+                                        }),
+                                    );
+                                    match result {
+                                        Ok(report) => break budget.classify(report, config),
+                                        Err(payload) => {
+                                            machine = None;
+                                            restarts
+                                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                            attempts += 1;
+                                            if attempts >= 2 {
+                                                break MatchOutcome::Fault(panic_message(
+                                                    payload.as_ref(),
+                                                ));
+                                            }
+                                        }
+                                    }
+                                };
+                                if let Some(report) = outcome.report() {
+                                    stats.absorb(report);
+                                }
+                                out.push((index, outcome));
+                            }
+                            (out, stats)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("guarded worker panicked")).collect()
+            });
+
+        let mut outcomes =
+            vec![MatchOutcome::Budget { kind: BudgetKind::Deadline, partial: None }; inputs.len()];
+        let mut workers = Vec::with_capacity(jobs);
+        for (chunk, stats) in per_worker {
+            for (index, outcome) in chunk {
+                outcomes[index] = outcome;
+            }
+            workers.push(stats);
+        }
+        let batch = GuardedBatch {
+            outcomes,
+            workers,
+            jobs,
+            worker_restarts: restarts.into_inner(),
+            cache_hit,
+            wall: start.elapsed(),
+        };
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.counter_add("runtime.guarded_batches", 1);
+            telemetry.counter_add("runtime.inputs", batch.outcomes.len() as u64);
+            telemetry.counter_add("runtime.matches", batch.matches() as u64);
+            telemetry.counter_add("runtime.worker_restarts", batch.worker_restarts);
+            telemetry.counter_add("runtime.budget_exceeded", batch.budget_exceeded() as u64);
+            telemetry.counter_add("runtime.faults", batch.faults() as u64);
+            for outcome in &batch.outcomes {
+                if let Some(report) = outcome.report() {
+                    report.record_into(telemetry);
+                }
+            }
+            if let Some(span) = span {
+                span.annotate("completed", batch.completed());
+                span.annotate("worker_restarts", batch.worker_restarts);
+            }
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    use cicero_telemetry::Telemetry;
+
+    use super::*;
+    use crate::RuntimeOptions;
+
+    const PATTERN: &str = "(abcd|bcda|cdab|dabc)";
+
+    fn chunks() -> Vec<Vec<u8>> {
+        let mut inputs: Vec<Vec<u8>> = (0..7).map(|i| vec![b'x'; 30 + i]).collect();
+        inputs[2] = b"xxxabcdxxx".to_vec();
+        inputs[5] = b"bcda".to_vec();
+        inputs
+    }
+
+    fn runtime(jobs: usize) -> Runtime {
+        Runtime::new(RuntimeOptions { jobs, ..RuntimeOptions::default() })
+    }
+
+    /// Suppress the default panic-to-stderr hook for a deliberately
+    /// panicking section, so test output stays readable.
+    fn quietly<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = f();
+        std::panic::set_hook(prev);
+        result
+    }
+
+    #[test]
+    fn unlimited_guarded_batch_equals_the_plain_path() {
+        let config = ArchConfig::new_organization(8, 1);
+        let plain = runtime(3).match_batch(PATTERN, &chunks(), &config).unwrap();
+        let guarded = runtime(3)
+            .match_batch_guarded(PATTERN, &chunks(), &config, &Budget::UNLIMITED)
+            .unwrap();
+        assert_eq!(guarded.outcomes.len(), plain.reports.len());
+        for (outcome, report) in guarded.outcomes.iter().zip(&plain.reports) {
+            assert_eq!(outcome, &MatchOutcome::Complete(*report));
+        }
+        assert_eq!(guarded.worker_restarts, 0);
+        assert_eq!(guarded.matches(), plain.matches());
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_a_clean_budget_outcome() {
+        // A scanning pattern over a long input needs well over 8 cycles;
+        // the fuel budget cuts it off with the partial report attached.
+        let config = ArchConfig::old_organization(1);
+        let inputs = vec![vec![b'x'; 500]];
+        let batch = runtime(1)
+            .match_batch_guarded(PATTERN, &inputs, &config, &Budget::with_fuel(8))
+            .unwrap();
+        match &batch.outcomes[0] {
+            MatchOutcome::Budget { kind: BudgetKind::Fuel, partial: Some(report) } => {
+                assert_eq!(report.cycles, 8);
+                assert!(report.hit_cycle_limit);
+                assert!(!report.accepted);
+            }
+            other => panic!("expected a fuel cut-off, got {other:?}"),
+        }
+        assert_eq!(batch.budget_exceeded(), 1);
+    }
+
+    #[test]
+    fn ample_fuel_does_not_change_results() {
+        let config = ArchConfig::old_organization(1);
+        let plain = runtime(2).match_batch(PATTERN, &chunks(), &config).unwrap();
+        let guarded = runtime(2)
+            .match_batch_guarded(PATTERN, &chunks(), &config, &Budget::with_fuel(1_000_000))
+            .unwrap();
+        for (outcome, report) in guarded.outcomes.iter().zip(&plain.reports) {
+            assert_eq!(outcome, &MatchOutcome::Complete(*report));
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_inputs_instead_of_hanging() {
+        let config = ArchConfig::old_organization(1);
+        let batch = runtime(2)
+            .match_batch_guarded(
+                PATTERN,
+                &chunks(),
+                &config,
+                &Budget::with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(batch.outcomes.len(), chunks().len());
+        assert!(
+            batch
+                .outcomes
+                .iter()
+                .all(|o| matches!(o, MatchOutcome::Budget { kind: BudgetKind::Deadline, .. })),
+            "{:?}",
+            batch.outcomes
+        );
+    }
+
+    #[test]
+    fn a_worker_panic_is_recovered_and_the_batch_completes() {
+        // The hook panics exactly once, on input 3's first attempt: the
+        // worker discards its machine, respawns, retries, and every input
+        // still completes with a report identical to the plain path.
+        let config = ArchConfig::new_organization(8, 1);
+        let plain = runtime(2).match_batch(PATTERN, &chunks(), &config).unwrap();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook = {
+            let fired = Arc::clone(&fired);
+            Arc::new(move |index: usize| {
+                if index == 3 && fired.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("injected fault on input 3");
+                }
+            })
+        };
+        let telemetry = Telemetry::new();
+        let runtime = runtime(2).with_telemetry(telemetry.clone()).with_run_hook(hook);
+        let batch = quietly(|| {
+            runtime.match_batch_guarded(PATTERN, &chunks(), &config, &Budget::UNLIMITED).unwrap()
+        });
+        assert!(batch.worker_restarts >= 1);
+        assert_eq!(batch.completed(), chunks().len(), "{:?}", batch.outcomes);
+        for (outcome, report) in batch.outcomes.iter().zip(&plain.reports) {
+            assert_eq!(outcome, &MatchOutcome::Complete(*report));
+        }
+        assert!(telemetry.counter("runtime.worker_restarts") >= 1);
+    }
+
+    #[test]
+    fn a_persistent_panic_faults_only_its_input() {
+        // Input 3 panics on every attempt: it faults, everything else
+        // completes.
+        let config = ArchConfig::old_organization(1);
+        let hook = Arc::new(|index: usize| {
+            if index == 3 {
+                panic!("persistent fault on input 3");
+            }
+        });
+        let runtime = runtime(2).with_run_hook(hook);
+        let batch = quietly(|| {
+            runtime.match_batch_guarded(PATTERN, &chunks(), &config, &Budget::UNLIMITED).unwrap()
+        });
+        assert_eq!(batch.faults(), 1);
+        assert!(matches!(&batch.outcomes[3], MatchOutcome::Fault(m) if m.contains("input 3")));
+        assert_eq!(batch.completed(), chunks().len() - 1);
+        assert_eq!(batch.worker_restarts, 2);
+    }
+
+    #[test]
+    fn worker_stats_cover_completed_work() {
+        let config = ArchConfig::old_organization(1);
+        let batch = runtime(3)
+            .match_batch_guarded(PATTERN, &chunks(), &config, &Budget::UNLIMITED)
+            .unwrap();
+        assert_eq!(batch.workers.iter().map(|w| w.inputs).sum::<usize>(), chunks().len());
+        let outcome_cycles: u64 =
+            batch.outcomes.iter().filter_map(|o| o.report().map(|r| r.cycles)).sum();
+        assert_eq!(batch.workers.iter().map(|w| w.cycles).sum::<u64>(), outcome_cycles);
+    }
+
+    #[test]
+    fn guarded_batch_handles_empty_input_sets() {
+        let config = ArchConfig::old_organization(1);
+        let batch =
+            runtime(4).match_batch_guarded(PATTERN, &[], &config, &Budget::UNLIMITED).unwrap();
+        assert!(batch.outcomes.is_empty());
+        assert_eq!(batch.worker_restarts, 0);
+    }
+}

@@ -35,12 +35,16 @@
 //! # Ok::<(), cicero_core::CompileError>(())
 //! ```
 
+mod budget;
 mod cache;
+mod stream;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub use budget::{Budget, BudgetKind, GuardedBatch, MatchOutcome};
 pub use cache::{CacheKey, CacheStats, ProgramCache};
+pub use stream::{StreamError, StreamOptions, StreamReport};
 
 use cicero_core::{CompileError, Compiler, CompilerOptions};
 use cicero_isa::Program;
@@ -104,17 +108,35 @@ impl BatchReport {
     }
 }
 
+/// A pre-run hook invoked with each input index on the worker thread
+/// about to simulate it (guarded path only). Exists so tests can inject
+/// deterministic faults — a panicking hook exercises the worker
+/// panic-isolation path.
+pub type RunHook = Arc<dyn Fn(usize) + Send + Sync>;
+
 /// A batch-matching runtime: worker pool + compiled-program cache.
 ///
 /// Cheap to share behind an [`Arc`]; all interior state (the cache) is
 /// thread-safe, and batches from concurrent front-end threads interleave
 /// freely.
-#[derive(Debug)]
 pub struct Runtime {
     options: RuntimeOptions,
     jobs: usize,
     cache: ProgramCache,
     telemetry: Option<Telemetry>,
+    run_hook: Option<RunHook>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("options", &self.options)
+            .field("jobs", &self.jobs)
+            .field("cache", &self.cache)
+            .field("telemetry", &self.telemetry)
+            .field("run_hook", &self.run_hook.as_ref().map(|_| "..."))
+            .finish()
+    }
 }
 
 impl Default for Runtime {
@@ -132,7 +154,13 @@ impl Runtime {
         } else {
             options.jobs
         };
-        Runtime { jobs, cache: ProgramCache::new(options.cache_capacity), options, telemetry: None }
+        Runtime {
+            jobs,
+            cache: ProgramCache::new(options.cache_capacity),
+            options,
+            telemetry: None,
+            run_hook: None,
+        }
     }
 
     /// Attach a telemetry collector: every batch then records `runtime.*`
@@ -141,6 +169,13 @@ impl Runtime {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Runtime {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Install a pre-run hook for the guarded batch path (see [`RunHook`]).
+    #[must_use]
+    pub fn with_run_hook(mut self, hook: RunHook) -> Runtime {
+        self.run_hook = Some(hook);
         self
     }
 

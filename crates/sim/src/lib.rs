@@ -47,15 +47,17 @@ pub mod machine;
 pub mod power;
 pub mod resources;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 
 pub use cache::CacheCounters;
 pub use config::{ArchConfig, CacheConfig, Organization};
 pub use machine::{
     simulate, simulate_batch, simulate_batch_parallel, simulate_batch_parallel_stats,
-    simulate_with_telemetry, Machine, WorkerStats,
+    simulate_with_telemetry, InputRead, Machine, WorkerStats,
 };
 pub use power::power_watts;
 pub use resources::{resource_usage, ResourceUsage, XCZU3EG};
 pub use stats::ExecReport;
+pub use stream::{simulate_streaming, StreamMachine, StreamStatus};
 pub use trace::{render_trace, TraceEvent, TraceNote};

@@ -105,7 +105,8 @@ pub struct WorkerStats {
 }
 
 impl WorkerStats {
-    fn absorb(&mut self, report: &ExecReport) {
+    /// Fold one finished run into this worker's totals.
+    pub fn absorb(&mut self, report: &ExecReport) {
         self.inputs += 1;
         self.cycles += report.cycles;
         self.instructions += report.instructions;
@@ -190,6 +191,27 @@ pub fn simulate_batch_parallel_stats(
         stats.push(worker_stats);
     }
     (reports, stats)
+}
+
+/// Source of input bytes for the machine: a whole in-memory slice, or the
+/// sliding window of a [`StreamBuffer`] during streaming execution.
+///
+/// `byte_at(pos)` returns `None` at (and past) end of input — exactly
+/// `input.get(pos).copied()` for a slice. A streaming source must keep
+/// every byte the live window can still reach; the machine only ever reads
+/// positions of currently live threads, which span at most one lockstep
+/// window starting at the oldest live position.
+///
+/// [`StreamBuffer`]: crate::stream::StreamBuffer
+pub trait InputRead {
+    /// The byte at absolute position `pos`, or `None` at end of input.
+    fn byte_at(&self, pos: usize) -> Option<u8>;
+}
+
+impl InputRead for [u8] {
+    fn byte_at(&self, pos: usize) -> Option<u8> {
+        self.get(pos).copied()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,6 +299,9 @@ pub struct Machine<'p> {
     trace: Option<Vec<TraceEvent>>,
     /// Telemetry collector; every finished run is folded into it.
     telemetry: Option<cicero_telemetry::Telemetry>,
+    /// Cumulative icache counters snapshotted at [`Machine::begin`]; the
+    /// per-run `icache_*` report fields are the delta beyond this.
+    icache_baseline: crate::cache::CacheCounters,
 }
 
 impl<'p> Machine<'p> {
@@ -306,6 +331,7 @@ impl<'p> Machine<'p> {
             loads: Vec::new(),
             trace: None,
             telemetry: None,
+            icache_baseline: crate::cache::CacheCounters::default(),
         }
     }
 
@@ -393,21 +419,61 @@ impl<'p> Machine<'p> {
             span.annotate("config", self.config.name());
             span
         });
+        self.begin();
+        self.drive(input, None);
+        let report = self.finalize();
+        if let Some(span) = run_span {
+            span.annotate("cycles", report.cycles);
+            span.annotate("accepted", report.accepted);
+        }
+        report
+    }
+
+    /// Start a run: reset dynamic state, snapshot the icache counters, and
+    /// seed the initial thread (PC 0, position 0) in engine 0. Paired with
+    /// [`Machine::drive`] and [`Machine::finalize`]; [`Machine::run`] is
+    /// the three in sequence over a whole in-memory input.
+    pub(crate) fn begin(&mut self) {
         self.reset();
         // Per-run cache accounting is a delta over the cores' cumulative
         // counters: the tags stay warm across runs, the counters are never
         // reset, and this run's hits/misses are whatever the cores
         // accumulate beyond this snapshot.
-        let icache_baseline = self.icache_counters();
+        self.icache_baseline = self.icache_counters();
         self.push(0, Thread { pc: 0, pos: 0 }, PushKind::Control, 0);
+    }
+
+    /// Execute cycles until the run concludes (returns `true`: acceptance,
+    /// a dead thread set, or the cycle limit) or — when `pause_before` is
+    /// `Some(available)` — until some live thread sits at a position `>=
+    /// available` (returns `false`).
+    ///
+    /// Pausing happens *before* the blocked cycle executes and mutates no
+    /// state, so resuming with more input replays the exact cycle sequence
+    /// of a whole-input run: streamed reports are byte-identical to
+    /// [`Machine::run`]'s for every chunking. The pause test is sound
+    /// because every position a core can read this cycle belongs to a live
+    /// thread, and `counts` tracks all live threads (queued, scheduled,
+    /// and in-pipeline).
+    pub(crate) fn drive<I: InputRead + ?Sized>(
+        &mut self,
+        input: &I,
+        pause_before: Option<usize>,
+    ) -> bool {
         loop {
             if self.cycle >= self.config.max_cycles {
                 self.report.hit_cycle_limit = true;
-                break;
+                return true;
             }
             self.deliver();
             if self.live == 0 {
-                break;
+                return true;
+            }
+            if let Some(available) = pause_before {
+                let frontier = self.counts.keys().next_back().copied();
+                if frontier.is_some_and(|pos| pos >= available) {
+                    return false;
+                }
             }
             // Load = queued + in-flight work; counting pipeline occupancy
             // lets the balancer see a busy neighbour before its FIFOs
@@ -439,25 +505,35 @@ impl<'p> Machine<'p> {
             }
             self.cycle += 1;
             if self.accepted.is_some() {
-                break;
+                return true;
             }
             self.collect_garbage();
         }
+    }
+
+    /// Fill in the report's summary fields (cycle count, verdict, icache
+    /// deltas) and fold the run into the attached telemetry. Returns the
+    /// completed report.
+    pub(crate) fn finalize(&mut self) -> ExecReport {
         let icache_now = self.icache_counters();
-        self.report.icache_hits = icache_now.hits - icache_baseline.hits;
-        self.report.icache_misses = icache_now.misses - icache_baseline.misses;
+        self.report.icache_hits = icache_now.hits - self.icache_baseline.hits;
+        self.report.icache_misses = icache_now.misses - self.icache_baseline.misses;
         self.report.cycles = self.cycle;
         self.report.accepted = self.accepted.is_some();
         self.report.match_position = self.accepted;
         self.report.matched_id = self.matched_id;
         if let Some(telemetry) = &self.telemetry {
             self.report.record_into(telemetry);
-            if let Some(span) = run_span {
-                span.annotate("cycles", self.report.cycles);
-                span.annotate("accepted", self.report.accepted);
-            }
         }
         self.report
+    }
+
+    /// The oldest live position (the lockstep window's base), or `None`
+    /// when no thread is live. Bytes below the base can never be read
+    /// again — positions only increase — so a streaming buffer may drop
+    /// them.
+    pub(crate) fn window_base(&self) -> Option<usize> {
+        self.counts.keys().next().copied()
     }
 
     /// Move due deliveries into engine queues.
@@ -473,7 +549,7 @@ impl<'p> Machine<'p> {
     }
 
     /// Advance one core by one cycle.
-    fn step_core(&mut self, e: usize, c: usize, input: &[u8]) {
+    fn step_core<I: InputRead + ?Sized>(&mut self, e: usize, c: usize, input: &I) {
         let window = self.config.window();
         let base = match self.counts.keys().next() {
             Some(b) => *b,
@@ -532,7 +608,7 @@ impl<'p> Machine<'p> {
         // S2: execute.
         if let Some(slot) = core.s2 {
             let ins = self.program.get(slot.pc).expect("validated program");
-            let ch = input.get(slot.pos).copied();
+            let ch = input.byte_at(slot.pos);
             self.report.instructions += 1;
             match ins {
                 Instruction::Split(target) => {

@@ -27,6 +27,23 @@
 //! inside), so one collector can be threaded through compiler, simulator,
 //! CLI, and benchmark drivers simultaneously.
 //!
+//! # Metric namespaces
+//!
+//! Series names are dot-separated, with the first segment identifying the
+//! emitting layer:
+//!
+//! * `compile.*` — compiler pass pipeline (spans per stage/pass);
+//! * `sim.*` — one fold per simulated run: cycles, instructions, icache
+//!   hit rate, stalls, verdicts;
+//! * `runtime.*` — batch serving: batches, inputs, cache hits/misses,
+//!   per-worker distributions, `worker_restarts` (panic recoveries) and
+//!   `budget_exceeded` on the guarded path;
+//! * `stream.*` — streaming scan sessions: `sessions`, `chunks`, `bytes`,
+//!   `suspends` (chunk-boundary pauses), `peak_buffered` (sliding-buffer
+//!   high-water mark), `budget_exceeded`;
+//! * `difftest.*` — differential fuzzing: patterns, cases, divergences,
+//!   shrink steps.
+//!
 //! # Example
 //!
 //! ```

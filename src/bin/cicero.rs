@@ -5,6 +5,7 @@
 //! cicero run     <pattern> [--text STR | --input FILE] [--config NxM] [--old] [-O0]
 //!                [--jobs N]
 //! cicero scan    <pattern>... (--text STR | --input FILE) [--config NxM] [--jobs N]
+//!                [--stream] [--chunk-size N] [--fuel N] [--deadline-ms N]
 //! cicero explain <pattern>
 //! cicero configs
 //! cicero difftest [--seed N] [--iters K] [--jobs J] [--corpus DIR] [--save]
@@ -20,6 +21,14 @@
 //! matched chunk-by-chunk on a pool of `N` workers (`auto` = all host
 //! cores; a literal `0` is rejected as ambiguous), with the compiled
 //! program served from the runtime's LRU cache.
+//!
+//! `scan --stream` switches to the streaming runtime: the input is read
+//! chunk by chunk (`--chunk-size N` bytes, default 64 KiB) through a
+//! bounded queue, so a file of any size is matched in O(chunk + machine
+//! window) memory with a verdict byte-identical to the whole-input scan.
+//! `--fuel N` caps simulated cycles and `--deadline-ms N` caps wall-clock
+//! time; exceeding either concludes the session with a clean budget
+//! error instead of a hang.
 //!
 //! A `--` separator ends flag parsing; everything after it is positional,
 //! which is how patterns beginning with `-` are expressed
@@ -71,10 +80,12 @@ USAGE:
     cicero run     <pattern> [--text STR | --input FILE] [--config NxM] [--old] [-O0]
                    [--jobs N] [--pass-timing] [--metrics PATH] [--metrics-format FORMAT]
     cicero scan    <p1> <p2> ... (--text STR | --input FILE) [--config NxM] [--jobs N]
+                   [--stream] [--chunk-size N] [--fuel N] [--deadline-ms N]
     cicero explain <pattern>
     cicero configs
     cicero difftest [--seed N] [--iters K] [--jobs J] [--corpus DIR] [--save]
-                    [--no-replay] [--metrics PATH] [--metrics-format FORMAT]
+                    [--stream-splits K] [--no-replay] [--metrics PATH]
+                    [--metrics-format FORMAT]
     cicero <pattern> [run flags]      shorthand for `cicero run` (empty input
                                       unless --text/--input is given)
 
@@ -95,11 +106,23 @@ OPTIONS:
     --jobs N          batch mode: split the input into 500-byte chunks and match
                       them on N runtime workers (N >= 1, or `auto` for all host
                       cores; a literal 0 is rejected as ambiguous)
+    --stream          scan: stream the input chunk by chunk in bounded memory
+                      (byte-identical verdict to a whole-input scan); not
+                      combinable with --jobs
+    --chunk-size N    scan --stream: bytes read per chunk (default 65536;
+                      must be at least 1)
+    --fuel N          scan --stream: cap the session at N simulated cycles;
+                      exceeding it exits with a budget error
+    --deadline-ms N   scan --stream: cap the session at N milliseconds of
+                      wall-clock time; exceeding it exits with a budget error
     --seed N          difftest: base seed (default 42); the run is reproducible
                       for a fixed (seed, iters, jobs)
     --iters K         difftest: number of generated patterns (default 1000)
     --corpus DIR      difftest: regression corpus directory (default the
                       committed crates/difftest/corpus)
+    --stream-splits K difftest: randomized chunk-split vectors per pattern on the
+                      streaming axis (default 1), on top of the deterministic
+                      all-1-byte and middle splits every case gets
     --save            difftest: write each minimized divergence into the corpus
     --no-replay       difftest: skip the corpus replay before fuzzing
     --pass-timing     print the per-pass timing table (time, %, op-count delta)
@@ -423,12 +446,27 @@ fn run_batch_mode(
 }
 
 fn cmd_scan(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["text", "input", "config", "jobs"], &[])?;
+    let flags = parse_flags(
+        args,
+        &["text", "input", "config", "jobs", "chunk-size", "fuel", "deadline-ms"],
+        &["stream"],
+    )?;
     if flags.positional.is_empty() {
         return Err("scan takes one or more patterns".to_owned());
     }
-    let input = read_input(&flags)?;
     let config = parse_config(flags.value("config"))?;
+    if flags.has("stream") {
+        if flags.value("jobs").is_some() {
+            return Err("--stream and --jobs cannot be combined; pick one runtime".to_owned());
+        }
+        return scan_stream_mode(&flags.positional, &config, &flags);
+    }
+    for flag in ["chunk-size", "fuel", "deadline-ms"] {
+        if flags.value(flag).is_some() {
+            return Err(format!("--{flag} only applies to `scan --stream`"));
+        }
+    }
+    let input = read_input(&flags)?;
     if let Some(jobs) = flags.value("jobs") {
         return scan_batch_mode(&flags.positional, &input, &config, parse_jobs(jobs)?);
     }
@@ -485,6 +523,79 @@ fn scan_batch_mode(
     Ok(())
 }
 
+/// `scan --stream`: feed the input through the bounded-memory streaming
+/// runtime, with optional fuel / deadline budgets.
+fn scan_stream_mode(patterns: &[String], config: &ArchConfig, flags: &Flags) -> Result<(), String> {
+    use cicero::runtime::{BudgetKind, MatchOutcome, StreamOptions};
+
+    let mut options = StreamOptions::default();
+    if let Some(value) = flags.value("chunk-size") {
+        let chunk: usize =
+            value.parse().map_err(|_| format!("--chunk-size `{value}` is not a number"))?;
+        if chunk == 0 {
+            return Err("--chunk-size 0 is invalid; chunks must be at least 1 byte".to_owned());
+        }
+        options.chunk_size = chunk;
+    }
+    if let Some(value) = flags.value("fuel") {
+        let fuel: u64 = value.parse().map_err(|_| format!("--fuel `{value}` is not a number"))?;
+        options.budget.fuel = Some(fuel);
+    }
+    if let Some(value) = flags.value("deadline-ms") {
+        let ms: u64 =
+            value.parse().map_err(|_| format!("--deadline-ms `{value}` is not a number"))?;
+        options.budget.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+
+    // The set keeps the id -> pattern mapping for the verdict line; the
+    // runtime only needs the compiled program.
+    let set = Compiler::new().compile_set(patterns).map_err(|e| e.to_string())?;
+    let source: Box<dyn std::io::Read + Send> = match (flags.value("text"), flags.value("input")) {
+        (Some(text), None) => Box::new(std::io::Cursor::new(text.as_bytes().to_vec())),
+        (None, Some(path)) => {
+            let path = path.to_owned();
+            Box::new(std::fs::File::open(&path).map_err(|e| format!("opening {path}: {e}"))?)
+        }
+        _ => return Err("provide exactly one of --text STR or --input FILE".to_owned()),
+    };
+    let runtime = Runtime::new(RuntimeOptions::default());
+    let report =
+        runtime.scan_stream(set.program(), source, config, &options).map_err(|e| e.to_string())?;
+
+    println!("config     : {} @ {} MHz", config.name(), config.clock_mhz());
+    println!(
+        "stream     : {} chunk(s) of <= {} B, {} suspend(s), peak buffer {} B",
+        report.chunks, options.chunk_size, report.suspends, report.peak_buffered
+    );
+    println!("bytes      : {}", report.bytes);
+    println!("host wall  : {:.3} ms", report.wall.as_secs_f64() * 1e3);
+    match &report.outcome {
+        MatchOutcome::Complete(exec) => {
+            match exec.matched_id {
+                Some(id) => println!(
+                    "verdict    : MATCH: pattern {} ({:?}) in {} cycles",
+                    id,
+                    set.pattern(id).unwrap_or("?"),
+                    exec.cycles
+                ),
+                None => println!("verdict    : no match in {} cycles", exec.cycles),
+            }
+            Ok(())
+        }
+        MatchOutcome::Budget { kind, partial } => {
+            let kind = match kind {
+                BudgetKind::Fuel => "fuel",
+                BudgetKind::Deadline => "deadline",
+            };
+            if let Some(partial) = partial {
+                println!("partial    : {} cycles before the cut-off", partial.cycles);
+            }
+            Err(format!("{kind} budget exceeded before the stream concluded"))
+        }
+        MatchOutcome::Fault(message) => Err(format!("worker fault: {message}")),
+    }
+}
+
 fn cmd_explain(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &[], &[])?;
     let [pattern] = flags.positional.as_slice() else {
@@ -512,7 +623,7 @@ fn cmd_difftest(args: &[String]) -> Result<(), String> {
 
     let flags = parse_flags(
         args,
-        &["seed", "iters", "jobs", "corpus", "metrics", "metrics-format"],
+        &["seed", "iters", "jobs", "corpus", "stream-splits", "metrics", "metrics-format"],
         &["save", "no-replay"],
     )?;
     if !flags.positional.is_empty() {
@@ -528,6 +639,12 @@ fn cmd_difftest(args: &[String]) -> Result<(), String> {
     };
     let jobs = match flags.value("jobs") {
         Some(v) => parse_jobs(v)?,
+        None => 1,
+    };
+    let stream_splits = match flags.value("stream-splits") {
+        Some(v) => {
+            v.parse::<usize>().map_err(|_| format!("--stream-splits `{v}` is not a number"))?
+        }
         None => 1,
     };
     let corpus_dir = match flags.value("corpus") {
@@ -560,6 +677,7 @@ fn cmd_difftest(args: &[String]) -> Result<(), String> {
         seed,
         iters,
         jobs,
+        stream_splits,
         telemetry: Some(telemetry.clone()),
     });
     println!("fuzz       : seed {seed}, {} pattern(s), {} case(s)", report.patterns, report.cases);
@@ -580,6 +698,9 @@ fn cmd_difftest(args: &[String]) -> Result<(), String> {
                 .collect::<Vec<_>>(),
             finding.shrunk.steps
         );
+        if let Some(splits) = &finding.splits {
+            eprintln!("splits     : {splits:?} (streaming-axis divergence)");
+        }
         eprintln!("now fails  : {}", finding.shrunk_divergence);
         if flags.has("save") {
             let case = finding.to_corpus_case(&format!("divergence-seed{seed}-{i}"));

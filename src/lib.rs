@@ -63,7 +63,10 @@ pub mod prelude {
     pub use cicero_core::{compile, Compiler, CompilerOptions};
     pub use cicero_isa::{Instruction, Program};
     pub use cicero_legacy::LegacyCompiler;
-    pub use cicero_runtime::{Runtime, RuntimeOptions};
+    pub use cicero_runtime::{
+        Budget, BudgetKind, MatchOutcome, Runtime, RuntimeOptions, StreamError, StreamOptions,
+        StreamReport,
+    };
     pub use cicero_sim::{
         simulate, simulate_batch, simulate_batch_parallel, simulate_with_telemetry, ArchConfig,
     };

@@ -201,11 +201,124 @@ fn double_dash_passes_registered_flag_names_as_patterns() {
     assert!(stdout(&output).contains("MATCH"), "stdout: {}", stdout(&output));
 }
 
+/// `scan --stream` must print the same verdict and cycle count as the
+/// whole-input scan, for any chunk size — the chunk-split-invariance
+/// contract observed end to end through the CLI.
+#[test]
+fn scan_stream_verdict_matches_whole_input_scan() {
+    let text = format!("{}cd{}", "x".repeat(300), "y".repeat(100));
+    let whole = cicero(&["scan", "ab", "cd", "--text", &text]);
+    assert!(whole.status.success(), "stderr: {}", stderr(&whole));
+    let whole_verdict = stdout(&whole);
+    for chunk_size in ["1", "7", "64", "100000"] {
+        let streamed =
+            cicero(&["scan", "ab", "cd", "--text", &text, "--stream", "--chunk-size", chunk_size]);
+        assert!(streamed.status.success(), "stderr: {}", stderr(&streamed));
+        let out = stdout(&streamed);
+        // The streamed verdict line carries the same pattern id and cycle
+        // count the whole-input scan printed.
+        let verdict = out.lines().find(|l| l.starts_with("verdict")).unwrap();
+        assert!(verdict.contains("MATCH: pattern 1"), "chunk {chunk_size}: {out}");
+        let cycles = whole_verdict.split("in ").nth(1).unwrap();
+        assert!(verdict.contains(cycles.trim()), "chunk {chunk_size}: {verdict} vs {cycles}");
+    }
+}
+
+/// `scan --stream --input FILE` processes a file much larger than the
+/// chunk size, and reports a bounded peak buffer.
+#[test]
+fn scan_stream_handles_files_larger_than_the_chunk_size() {
+    let path = temp_file("stream-large.txt");
+    let mut data = vec![b'q'; 256 * 1024];
+    data.extend_from_slice(b"needle");
+    std::fs::write(&path, &data).unwrap();
+    let output = cicero(&[
+        "scan",
+        "needle",
+        "--input",
+        path.to_str().unwrap(),
+        "--stream",
+        "--chunk-size",
+        "4096",
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let out = stdout(&output);
+    assert!(out.contains("MATCH: pattern 0"), "stdout: {out}");
+    let peak: usize = out
+        .split("peak buffer ")
+        .nth(1)
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|n| n.parse().ok())
+        .expect("peak buffer reported");
+    assert!(peak < 16 * 1024, "peak buffer {peak} not bounded by the chunk size");
+    std::fs::remove_file(&path).ok();
+}
+
+/// `--chunk-size 0` is rejected with a clean error, not a hang or panic.
+#[test]
+fn scan_stream_rejects_chunk_size_zero() {
+    let output = cicero(&["scan", "ab", "--text", "x", "--stream", "--chunk-size", "0"]);
+    assert!(!output.status.success());
+    let err = stderr(&output);
+    assert!(err.contains("--chunk-size 0"), "stderr: {err}");
+    assert!(err.contains("at least 1 byte"), "stderr: {err}");
+}
+
+/// An unreadable `--input` path produces a clean error naming the path —
+/// on the whole-input path and the streaming path alike.
+#[test]
+fn scan_errors_cleanly_on_unreadable_input_paths() {
+    let missing = "/nonexistent/cicero-cli-test/input.txt";
+    for extra in [&[][..], &["--stream"][..]] {
+        let mut args = vec!["scan", "ab", "--input", missing];
+        args.extend_from_slice(extra);
+        let output = cicero(&args);
+        assert!(!output.status.success(), "{args:?} must fail");
+        let err = stderr(&output);
+        assert!(err.starts_with("error:"), "{args:?} stderr: {err}");
+        assert!(err.contains(missing), "error must name the path; stderr: {err}");
+    }
+}
+
+/// Streaming-only flags are rejected outside `--stream`, and `--stream`
+/// cannot be combined with the batch runtime.
+#[test]
+fn scan_stream_flag_combinations_are_validated() {
+    let output = cicero(&["scan", "ab", "--text", "x", "--chunk-size", "8"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("only applies to `scan --stream`"));
+
+    let output = cicero(&["scan", "ab", "--text", "x", "--stream", "--jobs", "2"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("--stream and --jobs"));
+}
+
+/// An exhausted fuel budget exits non-zero with a budget error naming the
+/// partial progress, instead of hanging on a pathological pattern.
+#[test]
+fn scan_stream_fuel_budget_exits_with_a_clean_error() {
+    let text = "z".repeat(4096);
+    let output = cicero(&[
+        "scan",
+        "ab|cd",
+        "--text",
+        &text,
+        "--stream",
+        "--chunk-size",
+        "64",
+        "--fuel",
+        "16",
+    ]);
+    assert!(!output.status.success(), "a cut-off stream is an error exit");
+    assert!(stderr(&output).contains("fuel budget exceeded"), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("partial"), "stdout: {}", stdout(&output));
+}
+
 /// `cicero difftest` smoke test: a tiny seeded run over the committed
 /// corpus plus fresh fuzzing, exercising the full subcommand path.
 #[test]
 fn difftest_subcommand_runs_clean() {
-    let output = cicero(&["difftest", "--seed", "7", "--iters", "25"]);
+    let output = cicero(&["difftest", "--seed", "7", "--iters", "25", "--stream-splits", "2"]);
     assert!(output.status.success(), "stderr: {}", stderr(&output));
     let out = stdout(&output);
     assert!(out.contains("corpus"), "stdout: {out}");
@@ -226,6 +339,10 @@ fn difftest_rejects_bad_flag_values() {
     let output = cicero(&["difftest", "stray-positional"]);
     assert!(!output.status.success());
     assert!(stderr(&output).contains("no positional arguments"));
+
+    let output = cicero(&["difftest", "--stream-splits", "many"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("--stream-splits `many` is not a number"));
 }
 
 /// Difftest exports its `difftest.*` telemetry counters via `--metrics`.

@@ -107,6 +107,48 @@ proptest! {
         }
     }
 
+    /// Chunk-split invariance: feeding the input in arbitrary chunks to
+    /// the resumable matchers gives byte-identical results to matching the
+    /// whole input at once — for the functional interpreter and for the
+    /// cycle-level simulator on both organizations.
+    #[test]
+    fn streaming_is_chunk_split_invariant(
+        pattern in pattern_strategy(),
+        input in input_strategy(),
+        splits in prop::collection::vec(0usize..30, 0..6),
+    ) {
+        let program = cicero_core::compile(&pattern).unwrap().into_program();
+        let chunks = cicero_difftest::apply_splits(&input, &splits);
+        let whole = cicero_isa::run(&program, &input);
+        let streamed = cicero_isa::run_chunked(&program, chunks.iter().map(Vec::as_slice));
+        prop_assert_eq!(
+            streamed,
+            whole,
+            "interpreter diverges on {:?} split at {:?}",
+            &pattern,
+            &splits
+        );
+        for config in [
+            cicero_sim::ArchConfig::old_organization(2),
+            cicero_sim::ArchConfig::new_organization(8, 1),
+        ] {
+            let whole = cicero_sim::simulate(&program, &input, &config);
+            let streamed = cicero_sim::simulate_streaming(
+                &program,
+                chunks.iter().map(Vec::as_slice),
+                &config,
+            );
+            prop_assert_eq!(
+                streamed,
+                whole,
+                "simulator {} diverges on {:?} split at {:?}",
+                config.name(),
+                &pattern,
+                &splits
+            );
+        }
+    }
+
     /// Jump Simplification never increases code size: its rules only
     /// delete (jump-to-next, dead code) or replace in place (threading,
     /// acceptance duplication). `D_offset` improves in aggregate

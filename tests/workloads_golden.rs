@@ -1,0 +1,111 @@
+//! Golden tests for the synthetic workload suites: pinned pattern and
+//! match counts plus exact simulator report fields at fixed seeds, so an
+//! accidental change to workload generation (or to execution semantics)
+//! shows up as a concrete diff instead of silently shifting benchmark
+//! results.
+//!
+//! The pinned numbers were produced by running these suites once at the
+//! seeds below; they have no external meaning. If a deliberate generator
+//! or simulator change moves them, re-pin by running the test and copying
+//! the reported values — but treat any *unexplained* movement as a bug.
+
+use cicero_core::Compiler;
+use cicero_sim::{simulate, simulate_streaming, ArchConfig, ExecReport};
+use workloads::Benchmark;
+
+/// Oracle matches over every (pattern, chunk) pair.
+fn oracle_matches(bench: &Benchmark) -> usize {
+    let oracles: Vec<_> =
+        bench.patterns.iter().map(|p| regex_oracle::Oracle::new(p).unwrap()).collect();
+    bench.chunks.iter().map(|chunk| oracles.iter().filter(|o| o.is_match(chunk)).count()).sum()
+}
+
+/// The compiled multi-pattern set over every chunk on the paper's 16-core
+/// organization: (chunks that matched, total cycles, total instructions).
+fn simulated_totals(bench: &Benchmark) -> (usize, u64, u64) {
+    let set = Compiler::new().compile_set(&bench.patterns).unwrap();
+    let config = ArchConfig::new_organization(16, 1);
+    let mut matched = 0usize;
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    for chunk in &bench.chunks {
+        let report = simulate(set.program(), chunk, &config);
+        assert!(!report.hit_cycle_limit, "{} hit the cycle limit", bench.name);
+        matched += usize::from(report.accepted);
+        cycles += report.cycles;
+        instructions += report.instructions;
+    }
+    (matched, cycles, instructions)
+}
+
+#[test]
+fn protomata_golden_counts() {
+    let bench = Benchmark::protomata(42, 8, 12);
+    assert_eq!(bench.patterns.len(), 8);
+    assert_eq!(bench.chunks.len(), 12);
+    assert_eq!(oracle_matches(&bench), 2);
+    assert_eq!(simulated_totals(&bench), (2, 49983, 233340));
+}
+
+#[test]
+fn brill_golden_counts() {
+    let bench = Benchmark::brill(42, 8, 12);
+    assert_eq!(bench.patterns.len(), 8);
+    assert_eq!(bench.chunks.len(), 12);
+    assert_eq!(oracle_matches(&bench), 8);
+    assert_eq!(simulated_totals(&bench), (6, 112421, 589154));
+}
+
+#[test]
+fn alternate_suites_golden_counts() {
+    let protomata4 = Benchmark::protomata4(42, 3, 8);
+    assert_eq!(protomata4.patterns.len(), 3);
+    assert_eq!(oracle_matches(&protomata4), 4);
+    let brill4 = Benchmark::brill4(42, 3, 8);
+    assert_eq!(brill4.patterns.len(), 3);
+    assert_eq!(oracle_matches(&brill4), 23);
+}
+
+/// One representative run pinned field by field: the full [`ExecReport`]
+/// of the Brill set over its first chunk. Any semantic drift in the
+/// simulator (cycle accounting, icache behaviour, dedup) lands here.
+#[test]
+fn brill_first_chunk_report_is_pinned() {
+    let bench = Benchmark::brill(42, 8, 12);
+    let set = Compiler::new().compile_set(&bench.patterns).unwrap();
+    let report = simulate(set.program(), &bench.chunks[0], &ArchConfig::new_organization(16, 1));
+    assert_eq!(
+        report,
+        ExecReport {
+            cycles: 11723,
+            accepted: false,
+            match_position: None,
+            matched_id: None,
+            instructions: 62852,
+            icache_hits: 32552,
+            icache_misses: 31011,
+            memory_stall_cycles: 101344,
+            window_stall_cycles: 711,
+            cross_engine_transfers: 0,
+            deduplicated: 832,
+            peak_threads: 59,
+            hit_cycle_limit: false,
+        }
+    );
+}
+
+/// The workload chunks are exactly what the streaming runtime sees in
+/// batch serving: streaming a chunk split into 100-byte pieces must be
+/// byte-identical to simulating it whole.
+#[test]
+fn workload_chunks_are_chunk_split_invariant() {
+    for bench in [Benchmark::protomata(42, 8, 4), Benchmark::brill(42, 8, 4)] {
+        let set = Compiler::new().compile_set(&bench.patterns).unwrap();
+        let config = ArchConfig::new_organization(16, 1);
+        for chunk in &bench.chunks {
+            let whole = simulate(set.program(), chunk, &config);
+            let streamed = simulate_streaming(set.program(), chunk.chunks(100), &config);
+            assert_eq!(streamed, whole, "{}", bench.name);
+        }
+    }
+}
