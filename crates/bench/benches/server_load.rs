@@ -1,0 +1,283 @@
+//! **Server load** — closed-loop load generation against the
+//! `cicero-server` HTTP front door over real sockets, exported to
+//! `BENCH_server.json`.
+//!
+//! The scenario is the serving tier under steady traffic: `CLIENTS`
+//! closed-loop clients (each issues its next request only after reading
+//! the previous response) share one in-process server over loopback TCP.
+//! The request mix is seeded from the `workloads` suites — `POST /scan`
+//! with a suite's full pattern set over its chunks, interleaved with
+//! `POST /match` for a single pattern over one chunk — so the program
+//! cache sees the repeated-set traffic it was built for.
+//!
+//! Reported: sustained throughput (requests/s), client-observed latency
+//! percentiles (p50/p90/p99), and the shutdown drain — the run ends with
+//! `POST /shutdown` and asserts that every request got a `200` (zero
+//! drops) and that the drain completed inside the timeout.
+//!
+//! Request volume follows `CICERO_BENCH_SCALE`: `quick` 1 000, default
+//! 10 000, `full` 20 000. Output path via `CICERO_BENCH_SERVER` (empty to
+//! disable, default `BENCH_server.json`).
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cicero_bench::{banner, f2, Scale, SEED};
+use cicero_runtime::RuntimeOptions;
+use cicero_server::{Server, ServerOptions};
+use cicero_telemetry::escape_json;
+use workloads::Benchmark;
+
+/// Concurrent closed-loop clients (the acceptance floor is 4).
+const CLIENTS: usize = 4;
+
+/// Patterns per suite / chunks per suite in the request mix. Kept small:
+/// the load bench measures the serving tier, not simulator throughput.
+const MIX_PATTERNS: usize = 4;
+const MIX_CHUNKS: usize = 2;
+
+fn total_requests(scale: Scale) -> usize {
+    match scale.patterns {
+        8 => 1_000,    // quick
+        200 => 20_000, // full
+        _ => 10_000,
+    }
+}
+
+/// One pre-rendered request: the raw bytes and the endpoint label.
+struct RequestTemplate {
+    raw: Vec<u8>,
+    endpoint: &'static str,
+}
+
+fn post(path: &str, body: &str) -> Vec<u8> {
+    format!("POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len()).into_bytes()
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape_json(s))).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Build the seeded request mix for one suite: one `/scan` of the whole
+/// set over the suite input, then one `/match` per pattern over one
+/// chunk.
+fn suite_templates(bench: &Benchmark) -> Vec<RequestTemplate> {
+    let input: Vec<u8> = bench.chunks.iter().flatten().copied().collect();
+    let input = String::from_utf8(input).expect("workload chunks are ASCII");
+    let mut templates = vec![RequestTemplate {
+        raw: post(
+            "/scan",
+            &format!(
+                "{{\"patterns\":{},\"input\":\"{}\"}}",
+                json_str_array(&bench.patterns),
+                escape_json(&input)
+            ),
+        ),
+        endpoint: "scan",
+    }];
+    for (i, pattern) in bench.patterns.iter().enumerate() {
+        let chunk = &bench.chunks[i % bench.chunks.len()];
+        let chunk = std::str::from_utf8(chunk).expect("workload chunks are ASCII");
+        templates.push(RequestTemplate {
+            raw: post(
+                "/match",
+                &format!(
+                    "{{\"pattern\":\"{}\",\"input\":\"{}\"}}",
+                    escape_json(pattern),
+                    escape_json(chunk)
+                ),
+            ),
+            endpoint: "match",
+        });
+    }
+    templates
+}
+
+/// Read one keep-alive response; returns the status code.
+fn read_response(reader: &mut BufReader<TcpStream>) -> u16 {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("response status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(value) = line.strip_prefix("content-length: ") {
+            content_length = value.parse().expect("content-length value");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("response body");
+    status
+}
+
+/// One closed-loop client: `count` requests round-robin over the mix on
+/// a single keep-alive connection. Returns per-request latencies (ms).
+fn run_client(
+    addr: std::net::SocketAddr,
+    templates: &[RequestTemplate],
+    start_at: usize,
+    count: usize,
+) -> Vec<f64> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(count);
+    for i in 0..count {
+        let template = &templates[(start_at + i) % templates.len()];
+        let start = Instant::now();
+        writer.write_all(&template.raw).expect("send request");
+        let status = read_response(&mut reader);
+        assert_eq!(status, 200, "closed-loop request to /{} failed", template.endpoint);
+        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    latencies
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let index = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[index]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Server", "closed-loop HTTP load vs the cicero-server front door", scale);
+    let total = total_requests(scale);
+    let per_client = total / CLIENTS;
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+
+    // The request mix: the simple suites, small, seeded — repeated sets
+    // are the cache-friendly common case for serving traffic.
+    let mut templates = Vec::new();
+    templates.extend(suite_templates(&Benchmark::protomata(SEED, MIX_PATTERNS, MIX_CHUNKS)));
+    templates.extend(suite_templates(&Benchmark::brill(SEED, MIX_PATTERNS, MIX_CHUNKS)));
+    let scan_templates = templates.iter().filter(|t| t.endpoint == "scan").count();
+
+    let server = Server::bind(ServerOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: CLIENTS,
+        queue_depth: 64,
+        drain_timeout: Duration::from_millis(5000),
+        runtime: RuntimeOptions { jobs: 1, ..RuntimeOptions::default() },
+        ..ServerOptions::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    println!(
+        "  {total} requests from {CLIENTS} closed-loop clients over {} ({} templates, \
+         {scan_templates} scans/cycle)",
+        addr,
+        templates.len()
+    );
+    let templates = std::sync::Arc::new(templates);
+    let run_start = Instant::now();
+    let mut clients = Vec::new();
+    for client in 0..CLIENTS {
+        let templates = std::sync::Arc::clone(&templates);
+        clients.push(std::thread::spawn(move || {
+            // Stagger the round-robin start so clients exercise different
+            // endpoints concurrently.
+            run_client(addr, &templates, client * 3, per_client)
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::with_capacity(total);
+    for client in clients {
+        latencies.extend(client.join().expect("client thread"));
+    }
+    let run_wall = run_start.elapsed();
+    let served = latencies.len();
+    assert_eq!(served, per_client * CLIENTS, "every closed-loop request must be answered");
+
+    // Graceful shutdown: the server must answer the shutdown request,
+    // drain, and report zero drops.
+    let drain_requested = Instant::now();
+    {
+        let stream = TcpStream::connect(addr).expect("connect for shutdown");
+        let mut writer = stream.try_clone().expect("clone stream");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(&post("/shutdown", "")).expect("send shutdown");
+        assert_eq!(read_response(&mut reader), 200, "shutdown must be acknowledged");
+    }
+    let report = server_thread.join().expect("server thread");
+    let drain_wall = drain_requested.elapsed();
+    assert!(report.drained, "drain must complete inside the timeout: {report:?}");
+    assert!(handle.is_draining());
+    assert_eq!(report.rejected, 0, "a closed loop within queue_depth never trips admission");
+    assert_eq!(
+        report.requests,
+        served as u64 + 1, // + the shutdown request itself
+        "no in-flight request may be dropped during drain"
+    );
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let throughput_rps = served as f64 / run_wall.as_secs_f64();
+    let p50 = percentile(&latencies, 0.50);
+    let p90 = percentile(&latencies, 0.90);
+    let p99 = percentile(&latencies, 0.99);
+    let max = latencies.last().copied().unwrap_or(0.0);
+
+    println!();
+    println!("  throughput : {} req/s over {:.2} s", f2(throughput_rps), run_wall.as_secs_f64());
+    println!(
+        "  latency    : p50 {} ms  p90 {} ms  p99 {} ms  max {} ms",
+        f2(p50),
+        f2(p90),
+        f2(p99),
+        f2(max)
+    );
+    println!(
+        "  drain      : complete in {:.1} ms, {} served, {} rejected",
+        report.wall.as_secs_f64() * 1e3,
+        report.requests,
+        report.rejected
+    );
+    println!("  host       : {host_cpus} CPU(s); closed-loop, so concurrency == {CLIENTS}");
+
+    let path =
+        std::env::var("CICERO_BENCH_SERVER").unwrap_or_else(|_| "BENCH_server.json".to_owned());
+    if !path.is_empty() {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"server_load\",\n");
+        let _ = writeln!(json, "  \"clients\": {CLIENTS},");
+        let _ = writeln!(json, "  \"requests\": {served},");
+        let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+        json.push_str(
+            "  \"notes\": \"closed-loop clients over loopback TCP; latency is client-observed \
+             round-trip per request (POST /scan with a suite's pattern set, POST /match per \
+             pattern); the run ends with POST /shutdown and asserts a complete drain with zero \
+             dropped requests\",\n",
+        );
+        let _ = writeln!(json, "  \"throughput_rps\": {throughput_rps:.1},");
+        let _ = writeln!(json, "  \"latency_ms\": {{\"p50\": {p50:.3}, \"p90\": {p90:.3}, \"p99\": {p99:.3}, \"max\": {max:.3}}},");
+        let _ = writeln!(json, "  \"run_seconds\": {:.3},", run_wall.as_secs_f64());
+        let _ = writeln!(json, "  \"drained\": {},", report.drained);
+        let _ = writeln!(json, "  \"drain_ms\": {:.1},", drain_wall.as_secs_f64() * 1e3);
+        let _ = writeln!(json, "  \"served_total\": {},", report.requests);
+        let _ = writeln!(json, "  \"rejected_at_admission\": {}", report.rejected);
+        json.push_str("}\n");
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("\n  results written to {path}"),
+            Err(e) => eprintln!("  warning: could not write {path}: {e}"),
+        }
+    }
+}

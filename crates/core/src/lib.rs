@@ -234,6 +234,9 @@ pub enum CompileError {
     /// Code generation failed (e.g. the program exceeds instruction
     /// memory).
     Codegen(CodegenError),
+    /// [`Compiler::compile_set`] was called with no patterns; a
+    /// multi-matching program needs at least one set member.
+    EmptySet,
 }
 
 impl fmt::Display for CompileError {
@@ -242,6 +245,9 @@ impl fmt::Display for CompileError {
             CompileError::Parse(e) => write!(f, "parse error: {e}"),
             CompileError::Pass(e) => write!(f, "{e}"),
             CompileError::Codegen(e) => write!(f, "codegen error: {e}"),
+            CompileError::EmptySet => {
+                write!(f, "cannot compile an empty pattern set; provide at least one pattern")
+            }
         }
     }
 }
@@ -467,9 +473,13 @@ impl Compiler {
     ///
     /// # Errors
     ///
-    /// Fails like [`Compiler::compile`], and additionally for anchored
-    /// patterns (`^`/`$`), which cannot participate in a combined scan.
+    /// Fails like [`Compiler::compile`], and additionally for an empty
+    /// set ([`CompileError::EmptySet`]) and for anchored patterns
+    /// (`^`/`$`), which cannot participate in a combined scan.
     pub fn compile_set<S: AsRef<str>>(&self, patterns: &[S]) -> Result<CompiledSet, CompileError> {
+        if patterns.is_empty() {
+            return Err(CompileError::EmptySet);
+        }
         let mut optimized_irs = Vec::with_capacity(patterns.len());
         for pattern in patterns {
             let artifacts = self.compile_with_artifacts(pattern.as_ref())?;
@@ -737,5 +747,38 @@ mod compile_set_tests {
     fn anchored_patterns_rejected_in_sets() {
         let err = Compiler::new().compile_set(&["^abc", "xyz"]).unwrap_err();
         assert!(matches!(err, CompileError::Pass(_)));
+    }
+
+    #[test]
+    fn empty_sets_are_rejected_with_a_clear_error() {
+        let err = Compiler::new().compile_set::<&str>(&[]).unwrap_err();
+        assert!(matches!(err, CompileError::EmptySet));
+        assert!(err.to_string().contains("empty pattern set"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_patterns_keep_distinct_ids() {
+        let set = Compiler::new().compile_set(&["ab", "cd", "ab"]).unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.pattern(0), Some("ab"));
+        assert_eq!(set.pattern(2), Some("ab"));
+        // Both copies accept independently: an exhaustive execution sees
+        // ids 0 and 2 fire on the same input.
+        let all = cicero_isa::run_all(set.program(), b"xxabyy");
+        assert_eq!(all.matched_ids, vec![0, 2]);
+        let all = cicero_isa::run_all(set.program(), b"abcd");
+        assert_eq!(all.matched_ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_all_reports_every_matching_set_member() {
+        let patterns = ["GET /", "POST /", "ab+c"];
+        let set = Compiler::new().compile_set(&patterns).unwrap();
+        let all = cicero_isa::run_all(set.program(), b"GET /abc POST /x");
+        assert_eq!(all.matched_ids, vec![0, 1, 2]);
+        // The halting path reports only the hardware's first acceptance.
+        let one = cicero_isa::run(set.program(), b"GET /abc POST /x");
+        assert_eq!(one.matched_id, Some(0));
+        assert!(cicero_isa::run_all(set.program(), b"nothing").matched_ids.is_empty());
     }
 }

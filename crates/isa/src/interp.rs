@@ -49,6 +49,43 @@ pub fn accepts(program: &Program, input: &[u8]) -> bool {
     run(program, input).accepted
 }
 
+/// Result of an exhaustive multi-matching execution ([`run_all`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecAllOutcome {
+    /// Whether any acceptance fired.
+    pub accepted: bool,
+    /// Every distinct RE identifier reported by `AcceptPartialId`, in
+    /// ascending order. Empty for single-pattern programs (whose
+    /// acceptances carry no identifier).
+    pub matched_ids: Vec<u16>,
+    /// Input position of the earliest acceptance, if any.
+    pub first_match_position: Option<usize>,
+    /// Total instructions executed across all threads.
+    pub instructions_executed: u64,
+}
+
+impl ExecAllOutcome {
+    /// Whether the set member with identifier `id` matched.
+    pub fn matched(&self, id: u16) -> bool {
+        self.matched_ids.binary_search(&id).is_ok()
+    }
+}
+
+/// Execute `program` over the whole input, collecting *every* distinct
+/// `AcceptPartialId` instead of halting at the first acceptance.
+///
+/// [`run`] mirrors the hardware: the engine stops the moment any thread
+/// accepts, so a multi-matching set reports at most one identifier even
+/// when several members match. This mode answers the stronger question —
+/// *which members of the set match anywhere in the input* — by killing
+/// only the accepting thread and carrying on until the frontier drains or
+/// every identifier has been seen. Un-identified acceptances
+/// (`Accept`/`AcceptPartial`) set [`ExecAllOutcome::accepted`] without
+/// contributing an identifier; they keep their usual semantics otherwise.
+pub fn run_all(program: &Program, input: &[u8]) -> ExecAllOutcome {
+    Executor::new(program).run_all(input)
+}
+
 struct Executor<'p> {
     program: &'p Program,
     /// Dedup filter: whether a PC is already in the current frontier.
@@ -151,6 +188,95 @@ impl<'p> Executor<'p> {
             matched_id: None,
             instructions_executed: executed,
         }
+    }
+
+    fn run_all(&mut self, input: &[u8]) -> ExecAllOutcome {
+        // Early-exit bound: once every identifier that appears in the
+        // program has fired there is nothing left to learn.
+        let distinct_ids: Vec<u16> = {
+            let mut ids: Vec<u16> = (0..self.program.len() as u16)
+                .filter_map(|pc| match self.program.get(pc) {
+                    Some(Instruction::AcceptPartialId(id)) => Some(id),
+                    _ => None,
+                })
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        let mut out = ExecAllOutcome {
+            accepted: false,
+            matched_ids: Vec::new(),
+            first_match_position: None,
+            instructions_executed: 0,
+        };
+        let mut current: Vec<u16> = Vec::with_capacity(self.program.len());
+        let mut next: Vec<u16> = Vec::with_capacity(self.program.len());
+        self.push(&mut current, 0, Frontier::Current);
+
+        'positions: for position in 0..=input.len() {
+            let ch = input.get(position).copied();
+            let mut i = 0;
+            while i < current.len() {
+                let pc = current[i];
+                i += 1;
+                out.instructions_executed += 1;
+                let ins = self.program.get(pc).expect("validated program");
+                match ins {
+                    Instruction::Accept => {
+                        if ch.is_none() {
+                            out.accepted = true;
+                            out.first_match_position.get_or_insert(position);
+                        }
+                    }
+                    Instruction::AcceptPartial => {
+                        out.accepted = true;
+                        out.first_match_position.get_or_insert(position);
+                    }
+                    Instruction::AcceptPartialId(id) => {
+                        out.accepted = true;
+                        out.first_match_position.get_or_insert(position);
+                        if let Err(at) = out.matched_ids.binary_search(&id) {
+                            out.matched_ids.insert(at, id);
+                            if out.matched_ids.len() == distinct_ids.len() {
+                                break 'positions;
+                            }
+                        }
+                    }
+                    Instruction::Split(target) => {
+                        self.push(&mut current, pc + 1, Frontier::Current);
+                        self.push(&mut current, target, Frontier::Current);
+                    }
+                    Instruction::Jump(target) => {
+                        self.push(&mut current, target, Frontier::Current);
+                    }
+                    Instruction::MatchAny => {
+                        if ch.is_some() {
+                            self.push(&mut next, pc + 1, Frontier::Next);
+                        }
+                    }
+                    Instruction::Match(expected) => {
+                        if ch == Some(expected) {
+                            self.push(&mut next, pc + 1, Frontier::Next);
+                        }
+                    }
+                    Instruction::NotMatch(unexpected) => {
+                        if ch.is_some() && ch != Some(unexpected) {
+                            self.push(&mut current, pc + 1, Frontier::Current);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            for pc in current.drain(..) {
+                self.in_current[usize::from(pc)] = false;
+            }
+            std::mem::swap(&mut current, &mut next);
+            std::mem::swap(&mut self.in_current, &mut self.in_next);
+        }
+        out
     }
 
     fn push(&mut self, frontier: &mut Vec<u16>, pc: u16, which: Frontier) {
@@ -277,5 +403,75 @@ mod tests {
         let out = run(&p, b"zzzz");
         assert!(!out.accepted);
         assert!(out.instructions_executed > 4, "{out:?}");
+    }
+
+    /// `ab|cd` as an identified multi-matching set: id 0 accepts after
+    /// `ab`, id 1 after `cd` (same scan-loop shape as `ab_or_cd`).
+    fn ab_cd_set() -> Program {
+        Program::from_instructions(vec![
+            Split(3),
+            MatchAny,
+            Jump(0),
+            Split(7),
+            Match(b'a'),
+            Match(b'b'),
+            AcceptPartialId(0),
+            Match(b'c'),
+            Match(b'd'),
+            AcceptPartialId(1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn run_all_collects_every_distinct_id() {
+        let p = ab_cd_set();
+        let out = run_all(&p, b"xxabyycdzz");
+        assert!(out.accepted);
+        assert_eq!(out.matched_ids, vec![0, 1]);
+        assert!(out.matched(0) && out.matched(1));
+        // `run` halts at the first acceptance and sees only `ab`.
+        assert_eq!(run(&p, b"xxabyycdzz").matched_id, Some(0));
+    }
+
+    #[test]
+    fn run_all_agrees_with_run_on_verdict_and_position() {
+        let p = ab_cd_set();
+        for input in [b"xcdab".as_slice(), b"ab", b"zzzz", b""] {
+            let one = run(&p, input);
+            let all = run_all(&p, input);
+            assert_eq!(all.accepted, one.accepted, "{input:?}");
+            assert_eq!(all.first_match_position, one.match_position, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn run_all_dedups_repeated_acceptances_of_one_id() {
+        let p = ab_cd_set();
+        let out = run_all(&p, b"ab ab ab cd");
+        assert_eq!(out.matched_ids, vec![0, 1]);
+        assert_eq!(out.first_match_position, Some(2));
+    }
+
+    #[test]
+    fn run_all_stops_early_once_every_id_has_fired() {
+        let p = ab_cd_set();
+        let mut input = b"abcd".to_vec();
+        input.extend(vec![b'x'; 10_000]);
+        let out = run_all(&p, &input);
+        assert_eq!(out.matched_ids, vec![0, 1]);
+        // Both ids fire within the first few positions; the long tail is
+        // never scanned.
+        assert!(out.instructions_executed < 200, "{out:?}");
+    }
+
+    #[test]
+    fn run_all_without_ids_reports_plain_acceptance() {
+        let p = ab_or_cd();
+        let out = run_all(&p, b"xxab");
+        assert!(out.accepted);
+        assert!(out.matched_ids.is_empty());
+        assert_eq!(out.first_match_position, Some(4));
+        assert!(!run_all(&p, b"zz").accepted);
     }
 }

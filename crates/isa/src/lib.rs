@@ -55,6 +55,6 @@ pub mod stream;
 
 pub use encoding::{DecodeError, EncodedProgram};
 pub use instruction::{Instruction, Opcode, MAX_OPERAND};
-pub use interp::{accepts, run, ExecOutcome};
+pub use interp::{accepts, run, run_all, ExecAllOutcome, ExecOutcome};
 pub use program::{ParseAsmError, Program, ProgramError};
 pub use stream::{run_chunked, StreamMatcher};

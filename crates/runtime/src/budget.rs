@@ -497,6 +497,53 @@ mod tests {
     }
 
     #[test]
+    fn a_set_scan_survives_a_worker_panic_with_correct_per_pattern_counts() {
+        // A multi-pattern set on the guarded pool: one injected panic on
+        // chunk 2's first attempt exercises the respawn path, and the
+        // exhaustive per-pattern counts (run_all over every completed
+        // chunk) still equal the panic-free run.
+        let config = ArchConfig::new_organization(8, 1);
+        let patterns = ["abcd", "bcda", "zzz"];
+        let chunks = chunks(); // chunk 2 contains "abcd", chunk 5 "bcda"
+        let runtime_plain = runtime(2);
+        let program = runtime_plain.compile_set(&patterns).unwrap();
+
+        let count_per_pattern = |outcomes: &[MatchOutcome], inputs: &[Vec<u8>]| {
+            let mut counts = vec![0usize; patterns.len()];
+            for (outcome, input) in outcomes.iter().zip(inputs) {
+                if outcome.is_complete() {
+                    for id in cicero_isa::run_all(&program, input).matched_ids {
+                        counts[usize::from(id)] += 1;
+                    }
+                }
+            }
+            counts
+        };
+
+        let plain = runtime_plain.run_batch_guarded(&program, &chunks, &config, &Budget::UNLIMITED);
+        assert_eq!(plain.completed(), chunks.len());
+        let expected = count_per_pattern(&plain.outcomes, &chunks);
+        assert_eq!(expected, vec![1, 1, 0], "chunk fixtures drifted");
+
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook = {
+            let fired = Arc::clone(&fired);
+            Arc::new(move |index: usize| {
+                if index == 2 && fired.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("injected fault on chunk 2");
+                }
+            })
+        };
+        let guarded_runtime = runtime(3).with_run_hook(hook);
+        let batch = quietly(|| {
+            guarded_runtime.run_batch_guarded(&program, &chunks, &config, &Budget::UNLIMITED)
+        });
+        assert!(batch.worker_restarts >= 1, "the injected panic must recycle a worker");
+        assert_eq!(batch.completed(), chunks.len(), "{:?}", batch.outcomes);
+        assert_eq!(count_per_pattern(&batch.outcomes, &chunks), expected);
+    }
+
+    #[test]
     fn guarded_batch_handles_empty_input_sets() {
         let config = ArchConfig::old_organization(1);
         let batch =

@@ -381,6 +381,19 @@ mod tests {
     }
 
     #[test]
+    fn empty_sets_error_through_the_cache_without_polluting_it() {
+        let runtime = runtime(1);
+        let err = runtime.compile_set::<&str>(&[]).unwrap_err();
+        assert!(matches!(err, CompileError::EmptySet));
+        assert_eq!(runtime.cache().stats().entries, 0);
+        // A duplicate-bearing set still compiles and caches normally.
+        let set = runtime.compile_set(&["ab", "ab"]).unwrap();
+        let all = cicero_isa::run_all(&set, b"xab");
+        assert_eq!(all.matched_ids, vec![0, 1]);
+        assert_eq!(runtime.cache().stats().entries, 1);
+    }
+
+    #[test]
     fn worker_accounting_covers_every_input() {
         let batch = runtime(3)
             .match_batch(PATTERN, &chunks(), &ArchConfig::new_organization(8, 1))

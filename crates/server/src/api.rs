@@ -1,0 +1,343 @@
+//! Endpoint handlers: route one parsed [`Request`] to a [`Response`].
+//!
+//! All handlers are pure request → response functions over the shared
+//! server state; transport concerns (timeouts, keep-alive, draining)
+//! live in the connection loop, and every error path produces a typed
+//! JSON body — a client never sees a hang or a bare connection reset
+//! for a request the server actually read.
+
+use std::time::Duration;
+
+use cicero_runtime::{Budget, BudgetKind, MatchOutcome};
+use cicero_sim::ArchConfig;
+use cicero_telemetry::JsonObject;
+
+use crate::http::{Request, Response};
+use crate::json::{self, Json};
+use crate::Shared;
+
+/// Route a request to its handler.
+pub(crate) fn handle(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/match") => handle_match(shared, request),
+        ("POST", "/scan") => handle_scan(shared, request),
+        ("GET", "/metrics") => handle_metrics(shared, request),
+        ("GET", "/healthz") => handle_healthz(shared),
+        ("POST", "/shutdown") => handle_shutdown(shared),
+        (_, "/match" | "/scan" | "/metrics" | "/healthz" | "/shutdown") => error_response(
+            405,
+            &format!("method {} not allowed on {}", request.method, request.path),
+        ),
+        _ => error_response(404, &format!("no such endpoint {:?}", request.path)),
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, JsonObject::new().field("error", message).finish())
+}
+
+/// The `X-Cicero-Fuel` / `X-Cicero-Deadline-Ms` headers as a [`Budget`].
+fn budget_from_headers(request: &Request) -> Result<Budget, Response> {
+    let mut budget = Budget::default();
+    if let Some(value) = request.header("x-cicero-fuel") {
+        let fuel: u64 = value
+            .parse()
+            .map_err(|_| error_response(400, &format!("bad X-Cicero-Fuel value {value:?}")))?;
+        budget.fuel = Some(fuel);
+    }
+    if let Some(value) = request.header("x-cicero-deadline-ms") {
+        let ms: u64 = value.parse().map_err(|_| {
+            error_response(400, &format!("bad X-Cicero-Deadline-Ms value {value:?}"))
+        })?;
+        budget.deadline = Some(Duration::from_millis(ms));
+    }
+    Ok(budget)
+}
+
+/// The paper's `NxM` architecture naming, as also used by the CLI's
+/// `--config` flag.
+fn parse_arch_config(spec: &str) -> Result<ArchConfig, String> {
+    let (n, m) =
+        spec.split_once('x').ok_or_else(|| format!("config {spec:?} is not of the form NxM"))?;
+    let n: usize = n.parse().map_err(|_| format!("bad core count in {spec:?}"))?;
+    let m: usize = m.parse().map_err(|_| format!("bad engine count in {spec:?}"))?;
+    if n == 1 {
+        Ok(ArchConfig::old_organization(m))
+    } else if n.is_power_of_two() {
+        Ok(ArchConfig::new_organization(n, m))
+    } else {
+        Err(format!("core count {n} must be 1 (old organization) or a power of two"))
+    }
+}
+
+/// The body shape shared by `/match` and `/scan`.
+struct MatchBody {
+    patterns: Vec<String>,
+    input: Vec<u8>,
+    config: ArchConfig,
+}
+
+fn parse_match_body(shared: &Shared, request: &Request) -> Result<MatchBody, Response> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| error_response(400, "request body is not UTF-8"))?;
+    let doc = json::parse(text)
+        .map_err(|e| error_response(400, &format!("request body is not valid JSON: {e}")))?;
+    let patterns: Vec<String> = match (doc.get("patterns"), doc.get("pattern")) {
+        (Some(list), None) => list
+            .as_arr()
+            .ok_or_else(|| error_response(400, "\"patterns\" must be an array of strings"))?
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| error_response(400, "\"patterns\" must be an array of strings"))
+            })
+            .collect::<Result<_, _>>()?,
+        (None, Some(Json::Str(pattern))) => vec![pattern.clone()],
+        (None, Some(_)) => return Err(error_response(400, "\"pattern\" must be a string")),
+        (Some(_), Some(_)) => {
+            return Err(error_response(400, "provide \"patterns\" or \"pattern\", not both"))
+        }
+        (None, None) => {
+            return Err(error_response(400, "missing \"patterns\" (or \"pattern\") field"))
+        }
+    };
+    if patterns.is_empty() {
+        return Err(error_response(400, "\"patterns\" must name at least one pattern"));
+    }
+    let input = doc
+        .get("input")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_response(400, "missing \"input\" string field"))?
+        .as_bytes()
+        .to_vec();
+    let config = match doc.get("config") {
+        None => shared.config.clone(),
+        Some(Json::Str(spec)) => parse_arch_config(spec).map_err(|e| error_response(400, &e))?,
+        Some(_) => return Err(error_response(400, "\"config\" must be a string like \"16x1\"")),
+    };
+    Ok(MatchBody { patterns, input, config })
+}
+
+/// The §6 batch granularity, mirroring the CLI's chunker: 500-byte
+/// chunks, with an empty input still yielding one (empty) chunk.
+fn chunk_input(input: &[u8]) -> Vec<Vec<u8>> {
+    if input.is_empty() {
+        return vec![Vec::new()];
+    }
+    input.chunks(workloads::CHUNK_BYTES).map(<[u8]>::to_vec).collect()
+}
+
+fn budget_kind_name(kind: BudgetKind) -> &'static str {
+    match kind {
+        BudgetKind::Fuel => "fuel",
+        BudgetKind::Deadline => "deadline",
+    }
+}
+
+/// Wrap per-row JSON objects and top-level summary fields into the final
+/// response, downgrading the status to `429` on a tripped budget (the
+/// partial rows still ship) or `500` on a worker fault.
+fn verdict_status(budget_kind: Option<BudgetKind>, faults: usize) -> u16 {
+    if budget_kind.is_some() {
+        429
+    } else if faults > 0 {
+        500
+    } else {
+        200
+    }
+}
+
+fn finish_with_budget(
+    mut object: JsonObject,
+    budget_kind: Option<BudgetKind>,
+    faults: usize,
+) -> Response {
+    object = object.field("budget_exceeded", budget_kind.is_some());
+    if let Some(kind) = budget_kind {
+        object = object.field("kind", budget_kind_name(kind));
+    }
+    if faults > 0 {
+        object = object.field("faults", faults as u64);
+    }
+    let status = verdict_status(budget_kind, faults);
+    let response = Response::json(status, object.finish());
+    if status == 429 {
+        response.with_header("retry-after", "1".to_owned())
+    } else {
+        response
+    }
+}
+
+/// `POST /match`: each pattern is matched independently over the whole
+/// input through the runtime's guarded path (cache, budgets, panic
+/// isolation). Body: `{"patterns": [...], "input": "...", "config"?: "NxM"}`.
+fn handle_match(shared: &Shared, request: &Request) -> Response {
+    let budget = match budget_from_headers(request) {
+        Ok(budget) => budget,
+        Err(response) => return response,
+    };
+    let body = match parse_match_body(shared, request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let inputs = vec![body.input.clone()];
+    let mut rows = Vec::new();
+    let mut budget_kind = None;
+    let mut faults = 0usize;
+    for pattern in &body.patterns {
+        let batch =
+            match shared.runtime.match_batch_guarded(pattern, &inputs, &body.config, &budget) {
+                Ok(batch) => batch,
+                Err(e) => return error_response(400, &format!("pattern {pattern:?}: {e}")),
+            };
+        let outcome = &batch.outcomes[0];
+        let mut row = JsonObject::new().field("pattern", pattern.as_str());
+        match outcome {
+            MatchOutcome::Complete(report) => {
+                row = row
+                    .field("verdict", if report.accepted { "match" } else { "no-match" })
+                    .field("matched", report.accepted)
+                    .field("cycles", report.cycles);
+                if let Some(position) = report.match_position {
+                    row = row.field("match_position", position as u64);
+                }
+            }
+            MatchOutcome::Budget { kind, partial } => {
+                budget_kind = Some(*kind);
+                row = row
+                    .field("verdict", "budget")
+                    .field("matched", false)
+                    .field("kind", budget_kind_name(*kind));
+                if let Some(partial) = partial {
+                    row = row.field("partial_cycles", partial.cycles);
+                }
+            }
+            MatchOutcome::Fault(message) => {
+                faults += 1;
+                row = row
+                    .field("verdict", "fault")
+                    .field("matched", false)
+                    .field("fault", message.as_str());
+            }
+        }
+        rows.push(row.field("cache_hit", batch.cache_hit).finish());
+    }
+    let object = JsonObject::new()
+        .field("input_bytes", body.input.len() as u64)
+        .field("config", body.config.name())
+        .field_raw("results", &format!("[{}]", rows.join(",")));
+    finish_with_budget(object, budget_kind, faults)
+}
+
+/// `POST /scan`: the patterns compile as one multi-matching set (through
+/// the LRU cache), the input is scanned in 500-byte chunks on the worker
+/// pool, and per-pattern chunk counts come from the all-matches
+/// interpreter ([`cicero_isa::run_all`]) so overlapping set members are
+/// all reported — the same accounting as `cicero scan --jobs N`.
+fn handle_scan(shared: &Shared, request: &Request) -> Response {
+    let budget = match budget_from_headers(request) {
+        Ok(budget) => budget,
+        Err(response) => return response,
+    };
+    let body = match parse_match_body(shared, request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let program = match shared.runtime.compile_set(&body.patterns) {
+        Ok(program) => program,
+        Err(e) => return error_response(400, &format!("compiling the pattern set: {e}")),
+    };
+    let chunks = chunk_input(&body.input);
+    let batch = shared.runtime.run_batch_guarded(&program, &chunks, &body.config, &budget);
+
+    let mut per_pattern = vec![0u64; body.patterns.len()];
+    let mut cycles = 0u64;
+    let mut budget_kind = None;
+    let mut faults = 0usize;
+    for (chunk, outcome) in chunks.iter().zip(&batch.outcomes) {
+        match outcome {
+            MatchOutcome::Complete(report) => {
+                cycles += report.cycles;
+                if report.accepted {
+                    // The cycle-level run halts on the first acceptance
+                    // (hardware semantics); the functional all-matches
+                    // interpreter reports every distinct set member.
+                    for id in cicero_isa::run_all(&program, chunk).matched_ids {
+                        if let Some(count) = per_pattern.get_mut(usize::from(id)) {
+                            *count += 1;
+                        }
+                    }
+                }
+            }
+            MatchOutcome::Budget { kind, partial } => {
+                budget_kind = Some(*kind);
+                if let Some(partial) = partial {
+                    cycles += partial.cycles;
+                }
+            }
+            MatchOutcome::Fault(_) => faults += 1,
+        }
+    }
+
+    let rows: Vec<String> = body
+        .patterns
+        .iter()
+        .zip(&per_pattern)
+        .enumerate()
+        .map(|(id, (pattern, count))| {
+            JsonObject::new()
+                .field("id", id as u64)
+                .field("pattern", pattern.as_str())
+                .field("chunks_matched", *count)
+                .finish()
+        })
+        .collect();
+    let object = JsonObject::new()
+        .field("chunks", chunks.len() as u64)
+        .field("chunk_bytes", workloads::CHUNK_BYTES as u64)
+        .field("completed", batch.completed() as u64)
+        .field("matched", per_pattern.iter().any(|c| *c > 0))
+        .field("cycles", cycles)
+        .field("jobs", batch.jobs as u64)
+        .field("worker_restarts", batch.worker_restarts)
+        .field_raw("per_pattern", &format!("[{}]", rows.join(",")));
+    finish_with_budget(object, budget_kind, faults)
+}
+
+/// `GET /metrics?format=summary|jsonl`: the unified telemetry dump.
+fn handle_metrics(shared: &Shared, request: &Request) -> Response {
+    shared.refresh_gauges();
+    match request.query_param("format").unwrap_or("summary") {
+        "summary" => Response::text(200, shared.telemetry.render_summary()),
+        "jsonl" => Response {
+            status: 200,
+            headers: Vec::new(),
+            content_type: "application/jsonl",
+            body: shared.telemetry.render_jsonl().into_bytes(),
+        },
+        other => error_response(400, &format!("unknown format {other:?} (use summary or jsonl)")),
+    }
+}
+
+/// `GET /healthz`: liveness plus the drain state.
+fn handle_healthz(shared: &Shared) -> Response {
+    Response::json(
+        200,
+        JsonObject::new()
+            .field("status", "ok")
+            .field("draining", shared.is_draining())
+            .field("requests", shared.requests.load(std::sync::atomic::Ordering::SeqCst))
+            .field("cache_entries", shared.runtime.cache().stats().entries as u64)
+            .finish(),
+    )
+}
+
+/// `POST /shutdown`: begin draining. The acceptor stops taking
+/// connections; queued and in-flight requests (including this one)
+/// complete.
+fn handle_shutdown(shared: &Shared) -> Response {
+    shared.shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    shared.telemetry.counter_add("server.shutdown_requests", 1);
+    Response::json(200, JsonObject::new().field("status", "draining").finish())
+}

@@ -1,0 +1,628 @@
+//! `cicero-server` — a std-only HTTP/1.1 match-serving subsystem.
+//!
+//! The paper frames Cicero as a datacenter offload target: a regex
+//! accelerator sitting behind deep-packet-inspection and log-scanning
+//! services (§1). This crate is the host-side serving tier for that
+//! story — a dependency-free HTTP front door over the existing
+//! [`Runtime`] (worker pool + LRU compiled-program cache), built from
+//! `std::net` only:
+//!
+//! * **Admission control** — the acceptor pushes connections into a
+//!   *bounded* queue ([`ServerOptions::queue_depth`]). When the queue is
+//!   full the connection is answered `503` with a `Retry-After` hint and
+//!   closed immediately: overload sheds load at the front door instead of
+//!   piling up latency, and a rejected client always gets a response,
+//!   never a hang.
+//! * **Endpoints** — `POST /match` (per-pattern verdicts over one input),
+//!   `POST /scan` (multi-pattern set over 500-byte chunks, with
+//!   all-matches per-pattern counts via [`cicero_isa::run_all`]),
+//!   `GET /metrics` (the unified telemetry in summary or JSONL form),
+//!   `GET /healthz`, and `POST /shutdown` (begin draining).
+//! * **Per-request budgets** — `X-Cicero-Fuel` and `X-Cicero-Deadline-Ms`
+//!   headers map onto the runtime's [`Budget`]; a tripped budget is a
+//!   typed `429` carrying whatever partial progress was made.
+//! * **Graceful drain** — shutdown (via [`ServerHandle::shutdown`] or
+//!   `POST /shutdown`) stops accepting, closes the listener, and lets
+//!   in-flight plus already-queued requests finish under
+//!   [`ServerOptions::drain_timeout`]; the [`DrainReport`] says whether
+//!   the drain completed.
+//! * **Telemetry** — `server.*` metrics (requests by endpoint and status,
+//!   queue-depth gauge, latency histogram, admission rejections) join the
+//!   existing `runtime.*` / `sim.*` namespaces on one collector, so
+//!   `GET /metrics` shows the whole stack.
+//!
+//! The CLI surfaces this as `cicero serve`.
+
+pub mod api;
+pub mod http;
+pub mod json;
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cicero_runtime::{Runtime, RuntimeOptions};
+use cicero_sim::ArchConfig;
+use cicero_telemetry::Telemetry;
+
+pub use cicero_runtime::Budget;
+
+/// How often the nonblocking acceptor polls for connections and the
+/// shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Socket read timeout. Idle keep-alive connections wake at this cadence
+/// to check the draining flag, which bounds how long a silent client can
+/// hold a worker after shutdown begins.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Latency histogram bucket upper bounds, in milliseconds.
+const LATENCY_BUCKETS_MS: &[f64] =
+    &[0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0];
+
+/// Construction-time knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Listen address; port `0` binds an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Connection-handler threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Bound on accepted-but-unserved connections; beyond it new
+    /// connections are rejected with `503`.
+    pub queue_depth: usize,
+    /// How long shutdown waits for queued + in-flight requests to finish.
+    pub drain_timeout: Duration,
+    /// Options for the inner matching [`Runtime`].
+    pub runtime: RuntimeOptions,
+    /// Architecture simulated when a request does not name one.
+    pub config: ArchConfig,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            addr: "127.0.0.1:8787".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            drain_timeout: Duration::from_millis(5000),
+            runtime: RuntimeOptions::default(),
+            config: ArchConfig::new_organization(16, 1),
+        }
+    }
+}
+
+/// What happened during shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Whether every worker finished (queued + in-flight requests all
+    /// served) before [`ServerOptions::drain_timeout`].
+    pub drained: bool,
+    /// Wall-clock time the drain took.
+    pub wall: Duration,
+    /// Requests served over the server's lifetime.
+    pub requests: u64,
+    /// Connections rejected at admission (`503`) over the lifetime.
+    pub rejected: u64,
+}
+
+/// State shared between the acceptor, the workers, and handles.
+pub(crate) struct Shared {
+    pub(crate) runtime: Runtime,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) config: ArchConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) queued: AtomicUsize,
+    pub(crate) in_flight: AtomicUsize,
+    pub(crate) requests: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+}
+
+impl Shared {
+    pub(crate) fn is_draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Refresh the gauges surfaced by `GET /metrics`.
+    pub(crate) fn refresh_gauges(&self) {
+        self.telemetry.gauge_set("server.queue_depth", self.queued.load(Ordering::SeqCst) as f64);
+        self.telemetry.gauge_set("server.in_flight", self.in_flight.load(Ordering::SeqCst) as f64);
+        let stats = self.runtime.cache().stats();
+        let lookups = stats.hits + stats.misses;
+        if lookups > 0 {
+            self.telemetry.gauge_set("server.cache_hit_ratio", stats.hits as f64 / lookups as f64);
+        }
+    }
+}
+
+/// A remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin draining: the acceptor stops taking connections and
+    /// [`Server::run`] returns once queued + in-flight requests finish
+    /// (or the drain timeout passes). Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+
+    /// Requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.shared.requests.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    options: ServerOptions,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listen socket and build the inner runtime with a fresh
+    /// telemetry collector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(options: ServerOptions) -> std::io::Result<Server> {
+        Server::bind_with_telemetry(options, Telemetry::new())
+    }
+
+    /// [`Server::bind`] with a caller-supplied collector (so the embedding
+    /// process can export the metrics after shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with_telemetry(
+        options: ServerOptions,
+        telemetry: Telemetry,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let runtime = Runtime::new(options.runtime).with_telemetry(telemetry.clone());
+        let shared = Arc::new(Shared {
+            runtime,
+            telemetry,
+            config: options.config.clone(),
+            shutdown: AtomicBool::new(false),
+            queued: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        Ok(Server { listener, options, shared })
+    }
+
+    /// The bound address (resolves the ephemeral port when `addr` ended
+    /// in `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A clonable remote control (shutdown, liveness queries).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// The telemetry collector every request reports into.
+    pub fn telemetry(&self) -> Telemetry {
+        self.shared.telemetry.clone()
+    }
+
+    /// Accept and serve until shutdown is requested, then drain.
+    ///
+    /// Blocks the calling thread for the server's whole lifetime; the
+    /// acceptor runs here while `workers` handler threads serve
+    /// connections from the bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection failures are handled
+    /// (and counted) without stopping the server.
+    pub fn run(self) -> std::io::Result<DrainReport> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.options.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for worker in 0..self.options.workers.max(1) {
+            let shared = Arc::clone(&self.shared);
+            let rx = Arc::clone(&rx);
+            let live = Arc::clone(&live);
+            live.fetch_add(1, Ordering::SeqCst);
+            joins.push(std::thread::Builder::new().name(format!("cicero-serve-{worker}")).spawn(
+                move || {
+                    loop {
+                        // Hold the lock only for the dequeue, not
+                        // while serving.
+                        let next = {
+                            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                            guard.recv()
+                        };
+                        let Ok(stream) = next else {
+                            break; // queue closed and fully drained
+                        };
+                        shared.queued.fetch_sub(1, Ordering::SeqCst);
+                        serve_connection(&shared, stream);
+                    }
+                    live.fetch_sub(1, Ordering::SeqCst);
+                },
+            )?);
+        }
+
+        while !self.shared.is_draining() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared.telemetry.counter_add("server.connections", 1);
+                    match tx.try_send(stream) {
+                        Ok(()) => {
+                            self.shared.queued.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(TrySendError::Full(stream)) => {
+                            reject_at_admission(&self.shared, stream)
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: close the front door, then let workers finish what was
+        // already admitted. Dropping `tx` makes `recv` fail once the
+        // queue empties, so each worker exits after its current
+        // connection.
+        drop(tx);
+        drop(self.listener);
+        let drain_start = Instant::now();
+        while live.load(Ordering::SeqCst) > 0 && drain_start.elapsed() < self.options.drain_timeout
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let drained = live.load(Ordering::SeqCst) == 0;
+        if drained {
+            for join in joins {
+                let _ = join.join();
+            }
+        }
+        // Workers that missed the deadline are detached; their sockets
+        // have read timeouts, so they exit shortly after — but the drain
+        // is reported as incomplete.
+        let wall = drain_start.elapsed();
+        self.shared.telemetry.counter_add("server.drains", 1);
+        self.shared.telemetry.gauge_set("server.drain_ms", wall.as_secs_f64() * 1e3);
+        self.shared.refresh_gauges();
+        Ok(DrainReport {
+            drained,
+            wall,
+            requests: self.shared.requests.load(Ordering::SeqCst),
+            rejected: self.shared.rejected.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Queue full: answer `503` with a retry hint on the acceptor thread and
+/// close. The write gets a short timeout so a slow-reading client cannot
+/// stall admission for everyone else.
+fn reject_at_admission(shared: &Shared, mut stream: TcpStream) {
+    shared.rejected.fetch_add(1, Ordering::SeqCst);
+    shared.telemetry.counter_add("server.rejected", 1);
+    shared.telemetry.counter_add("server.requests.other.503", 1);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let body = cicero_telemetry::JsonObject::new()
+        .field("error", "server at capacity; connection queue is full")
+        .finish();
+    let _ = http::Response::json(503, body)
+        .with_header("retry-after", "1".to_owned())
+        .write_to(&mut stream, true);
+    let _ = stream.flush();
+}
+
+/// The per-endpoint label used in `server.requests.<endpoint>.<status>`.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/match" => "match",
+        "/scan" => "scan",
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        "/shutdown" => "shutdown",
+        _ => "other",
+    }
+}
+
+/// Serve one connection until it closes, errors, or the server drains.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match http::read_request(&mut stream) {
+            Ok(request) => {
+                shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                let start = Instant::now();
+                let response = api::handle(shared, &request);
+                let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+                shared.telemetry.counter_add("server.requests", 1);
+                shared.telemetry.counter_add(
+                    &format!(
+                        "server.requests.{}.{}",
+                        endpoint_label(&request.path),
+                        response.status
+                    ),
+                    1,
+                );
+                shared.telemetry.observe_with("server.latency_ms", latency_ms, LATENCY_BUCKETS_MS);
+                shared.requests.fetch_add(1, Ordering::SeqCst);
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                // Draining closes after the response: the client gets its
+                // answer, the worker gets free to exit.
+                let close = request.wants_close() || shared.is_draining();
+                if response.write_to(&mut stream, close).is_err() || close {
+                    break;
+                }
+            }
+            Err(http::ReadError::Eof) => break,
+            Err(http::ReadError::IdleTimeout) => {
+                if shared.is_draining() {
+                    break;
+                }
+            }
+            Err(http::ReadError::Io(_)) => break,
+            Err(error @ http::ReadError::Malformed(_)) => {
+                answer_read_error(shared, &mut stream, 400, &error);
+                break;
+            }
+            Err(error @ http::ReadError::TooLarge(_)) => {
+                answer_read_error(shared, &mut stream, 413, &error);
+                break;
+            }
+        }
+    }
+}
+
+fn answer_read_error(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    status: u16,
+    error: &http::ReadError,
+) {
+    shared.telemetry.counter_add("server.requests", 1);
+    shared.telemetry.counter_add(&format!("server.requests.other.{status}"), 1);
+    let body = cicero_telemetry::JsonObject::new().field("error", error.to_string()).finish();
+    let _ = http::Response::json(status, body).write_to(stream, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn start(
+        options: ServerOptions,
+    ) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<DrainReport>) {
+        let server = Server::bind(options).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle, join)
+    }
+
+    fn options() -> ServerOptions {
+        ServerOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_depth: 8,
+            drain_timeout: Duration::from_millis(3000),
+            runtime: RuntimeOptions { jobs: 1, ..RuntimeOptions::default() },
+            ..ServerOptions::default()
+        }
+    }
+
+    /// One request over a fresh connection; returns (status, body).
+    fn roundtrip(addr: SocketAddr, request: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        parse_response(&raw)
+    }
+
+    /// Read exactly one keep-alive response: head to CRLFCRLF, then
+    /// `content-length` body bytes.
+    fn read_one_response(stream: &mut TcpStream) -> String {
+        let mut raw = Vec::new();
+        let mut byte = [0u8; 1];
+        while !raw.ends_with(b"\r\n\r\n") {
+            assert_eq!(stream.read(&mut byte).unwrap(), 1, "eof in response head");
+            raw.push(byte[0]);
+        }
+        let head = String::from_utf8(raw.clone()).unwrap();
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .expect("content-length header")
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; length];
+        stream.read_exact(&mut body).unwrap();
+        raw.extend_from_slice(&body);
+        String::from_utf8(raw).unwrap()
+    }
+
+    fn parse_response(raw: &str) -> (u16, String) {
+        let status: u16 =
+            raw.split(' ').nth(1).and_then(|code| code.parse().ok()).expect("status line");
+        let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+        (status, body)
+    }
+
+    fn get(path: &str) -> String {
+        format!("GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n")
+    }
+
+    fn post(path: &str, body: &str, extra_headers: &str) -> String {
+        format!(
+            "POST {path} HTTP/1.1\r\n{extra_headers}content-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    #[test]
+    fn serves_health_match_scan_and_metrics_then_drains() {
+        let (addr, handle, join) = start(options());
+
+        let (status, body) = roundtrip(addr, &get("/healthz"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+        let (status, body) = roundtrip(
+            addr,
+            &post("/match", r#"{"patterns":["ab|cd","zz+"],"input":"xxcdxx"}"#, ""),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"pattern\":\"ab|cd\""), "{body}");
+        assert!(body.contains("\"matched\":true"), "{body}");
+        assert!(body.contains("\"matched\":false"), "{body}");
+
+        let (status, body) = roundtrip(
+            addr,
+            &post("/scan", r#"{"patterns":["GET /","POST /"],"input":"GET /index POST /x"}"#, ""),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"matched\":true"), "{body}");
+        // Both set members hit in the single chunk: all-matches counts.
+        assert!(body.contains("\"chunks_matched\":1"), "{body}");
+
+        let (status, body) = roundtrip(addr, &get("/metrics?format=summary"));
+        assert_eq!(status, 200);
+        assert!(body.contains("server.requests"), "{body}");
+        let (status, jsonl) = roundtrip(addr, &get("/metrics?format=jsonl"));
+        assert_eq!(status, 200);
+        assert!(jsonl.lines().any(|l| l.contains("server.latency_ms")), "{jsonl}");
+
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert!(report.drained, "drain timed out: {report:?}");
+        assert!(report.requests >= 5);
+        assert_eq!(report.rejected, 0);
+    }
+
+    #[test]
+    fn budget_header_trips_as_429_with_partial_progress() {
+        let (addr, handle, join) = start(options());
+        // One unit of fuel cannot finish any real input.
+        let (status, body) = roundtrip(
+            addr,
+            &post(
+                "/match",
+                r#"{"patterns":["(ab|ba)+x"],"input":"abbaabbaabbaabba"}"#,
+                "x-cicero-fuel: 1\r\n",
+            ),
+        );
+        assert_eq!(status, 429, "{body}");
+        assert!(body.contains("\"budget_exceeded\":true"), "{body}");
+        assert!(body.contains("\"verdict\":\"budget\""), "{body}");
+        assert!(body.contains("\"kind\":\"fuel\""), "{body}");
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+    }
+
+    #[test]
+    fn malformed_requests_get_400_class_answers_not_hangs() {
+        let (addr, handle, join) = start(options());
+        let (status, _) = roundtrip(addr, &post("/match", "{not json", ""));
+        assert_eq!(status, 400);
+        let (status, _) = roundtrip(addr, &post("/match", r#"{"patterns":[],"input":"x"}"#, ""));
+        assert_eq!(status, 400);
+        let (status, _) = roundtrip(addr, &post("/scan", r#"{"patterns":["("],"input":"x"}"#, ""));
+        assert_eq!(status, 400);
+        let (status, _) = roundtrip(addr, &get("/nowhere"));
+        assert_eq!(status, 404);
+        let (status, _) = roundtrip(addr, &get("/match"));
+        assert_eq!(status, 405);
+        let (status, _) = roundtrip(addr, "BOGUS\r\n\r\n");
+        assert_eq!(status, 400);
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_503_and_a_retry_hint() {
+        let (addr, handle, join) = start(ServerOptions { workers: 1, queue_depth: 1, ..options() });
+        // Occupy the single worker: a connection that never sends a
+        // request sits in the keep-alive idle loop.
+        let idle = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // Fill the queue with a second silent connection.
+        let queued = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // The third connection must be rejected at admission, instantly.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_millis(2000))).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (status, body) = parse_response(&raw);
+        assert_eq!(status, 503, "{raw}");
+        assert!(raw.contains("retry-after: 1"), "{raw}");
+        assert!(body.contains("capacity"), "{body}");
+        // Free the worker and the queue slot, then drain.
+        drop(idle);
+        drop(queued);
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert!(report.drained);
+        assert_eq!(report.rejected, 1);
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_the_server() {
+        let (addr, _handle, join) = start(options());
+        let (status, body) = roundtrip(addr, &post("/shutdown", "", ""));
+        assert_eq!(status, 200);
+        assert!(body.contains("draining"), "{body}");
+        let report = join.join().unwrap();
+        assert!(report.drained);
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let (addr, handle, join) = start(options());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for _ in 0..3 {
+            let body = r#"{"patterns":["ab"],"input":"xaby"}"#;
+            stream
+                .write_all(
+                    format!("POST /match HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len())
+                        .as_bytes(),
+                )
+                .unwrap();
+            let raw = read_one_response(&mut stream);
+            assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+            assert!(raw.contains("connection: keep-alive"), "{raw}");
+        }
+        drop(stream);
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+    }
+}

@@ -41,6 +41,10 @@
 //! * `stream.*` — streaming scan sessions: `sessions`, `chunks`, `bytes`,
 //!   `suspends` (chunk-boundary pauses), `peak_buffered` (sliding-buffer
 //!   high-water mark), `budget_exceeded`;
+//! * `server.*` — the HTTP serving tier: `requests` (total and
+//!   per-`{endpoint}.{status}`), `rejected` (admission-control 503s),
+//!   `latency_ms` histogram, `queue_depth`/`in_flight` gauges,
+//!   `cache_hit_ratio`, `drains`/`drain_ms`;
 //! * `difftest.*` — differential fuzzing: patterns, cases, divergences,
 //!   shrink steps.
 //!

@@ -6,6 +6,8 @@
 //!                [--jobs N]
 //! cicero scan    <pattern>... (--text STR | --input FILE) [--config NxM] [--jobs N]
 //!                [--stream] [--chunk-size N] [--fuel N] [--deadline-ms N]
+//! cicero serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!                [--drain-timeout-ms N] [--config NxM] [--jobs N]
 //! cicero explain <pattern>
 //! cicero configs
 //! cicero difftest [--seed N] [--iters K] [--jobs J] [--corpus DIR] [--save]
@@ -30,6 +32,13 @@
 //! time; exceeding either concludes the session with a clean budget
 //! error instead of a hang.
 //!
+//! `serve` starts the std-only HTTP front door (`crates/server`): `POST
+//! /match`, `POST /scan`, `GET /metrics`, `GET /healthz`, and `POST
+//! /shutdown` for a graceful drain. It prints one `listening on ADDR`
+//! line at startup (so `--addr host:0` ephemeral ports are
+//! discoverable), and exits `0` only when the drain completed within
+//! `--drain-timeout-ms`.
+//!
 //! A `--` separator ends flag parsing; everything after it is positional,
 //! which is how patterns beginning with `-` are expressed
 //! (`cicero run --text a-b -- '-b'`).
@@ -50,6 +59,7 @@ fn main() -> ExitCode {
         Some("compile") => cmd_compile(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("configs") => cmd_configs(),
         Some("difftest") => cmd_difftest(&args[1..]),
@@ -81,6 +91,9 @@ USAGE:
                    [--jobs N] [--pass-timing] [--metrics PATH] [--metrics-format FORMAT]
     cicero scan    <p1> <p2> ... (--text STR | --input FILE) [--config NxM] [--jobs N]
                    [--stream] [--chunk-size N] [--fuel N] [--deadline-ms N]
+    cicero serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                   [--drain-timeout-ms N] [--config NxM] [--jobs N]
+                   [--metrics PATH] [--metrics-format FORMAT]
     cicero explain <pattern>
     cicero configs
     cicero difftest [--seed N] [--iters K] [--jobs J] [--corpus DIR] [--save]
@@ -115,6 +128,14 @@ OPTIONS:
                       exceeding it exits with a budget error
     --deadline-ms N   scan --stream: cap the session at N milliseconds of
                       wall-clock time; exceeding it exits with a budget error
+    --addr HOST:PORT  serve: listen address (default 127.0.0.1:8787; port 0
+                      binds an ephemeral port, printed as `listening on ADDR`)
+    --workers N       serve: connection-handler threads (default 4)
+    --queue-depth N   serve: bound on accepted-but-unserved connections; beyond
+                      it new connections get 503 + Retry-After (default 64)
+    --drain-timeout-ms N
+                      serve: how long shutdown waits for queued + in-flight
+                      requests before giving up (default 5000)
     --seed N          difftest: base seed (default 42); the run is reproducible
                       for a fixed (seed, iters, jobs)
     --iters K         difftest: number of generated patterns (default 1000)
@@ -472,14 +493,21 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     }
     let set = Compiler::new().compile_set(&flags.positional).map_err(|e| e.to_string())?;
     let report = simulate(set.program(), &input, &config);
-    match report.matched_id {
-        Some(id) => println!(
-            "MATCH: pattern {} ({:?}) in {} cycles",
-            id,
-            set.pattern(id).unwrap_or("?"),
-            report.cycles
-        ),
-        None => println!("no match in {} cycles", report.cycles),
+    // The cycle-level run halts at the first acceptance (hardware
+    // semantics); the all-matches interpreter reports every set member
+    // that fired, so overlapping patterns are no longer dropped.
+    let all = cicero::isa::run_all(set.program(), &input);
+    if all.matched_ids.is_empty() {
+        println!("no match in {} cycles", report.cycles);
+    } else {
+        for &id in &all.matched_ids {
+            println!(
+                "MATCH: pattern {} ({:?}) in {} cycles",
+                id,
+                set.pattern(id).unwrap_or("?"),
+                report.cycles
+            );
+        }
     }
     Ok(())
 }
@@ -503,11 +531,18 @@ fn scan_batch_mode(
         batch.jobs,
         batch.aggregate.cycles
     );
+    // Per-chunk all-matches accounting: the cycle-level report halts at
+    // the first acceptance, so a chunk matching several set members would
+    // otherwise count only one of them. Re-running accepted chunks
+    // through the functional all-matches interpreter recovers every
+    // distinct id — the same accounting the server's `POST /scan` uses.
     let mut per_pattern = vec![0usize; patterns.len()];
-    for report in &batch.reports {
-        if let Some(id) = report.matched_id {
-            if let Some(count) = per_pattern.get_mut(usize::from(id)) {
-                *count += 1;
+    for (chunk, report) in chunks.iter().zip(&batch.reports) {
+        if report.accepted {
+            for id in cicero::isa::run_all(&program, chunk).matched_ids {
+                if let Some(count) = per_pattern.get_mut(usize::from(id)) {
+                    *count += 1;
+                }
             }
         }
     }
@@ -593,6 +628,76 @@ fn scan_stream_mode(patterns: &[String], config: &ArchConfig, flags: &Flags) -> 
             Err(format!("{kind} budget exceeded before the stream concluded"))
         }
         MatchOutcome::Fault(message) => Err(format!("worker fault: {message}")),
+    }
+}
+
+/// `cicero serve`: run the HTTP match-serving front door until a
+/// `POST /shutdown` begins the graceful drain.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use cicero::server::{Server, ServerOptions};
+
+    let flags = parse_flags(
+        args,
+        &[
+            "addr",
+            "workers",
+            "queue-depth",
+            "drain-timeout-ms",
+            "config",
+            "jobs",
+            "metrics",
+            "metrics-format",
+        ],
+        &[],
+    )?;
+    if !flags.positional.is_empty() {
+        return Err("serve takes no positional arguments".to_owned());
+    }
+    let mut options =
+        ServerOptions { config: parse_config(flags.value("config"))?, ..ServerOptions::default() };
+    if let Some(addr) = flags.value("addr") {
+        options.addr = addr.to_owned();
+    }
+    if let Some(value) = flags.value("workers") {
+        options.workers = match value.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("--workers `{value}` is not a positive number")),
+        };
+    }
+    if let Some(value) = flags.value("queue-depth") {
+        options.queue_depth = match value.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("--queue-depth `{value}` is not a positive number")),
+        };
+    }
+    if let Some(value) = flags.value("drain-timeout-ms") {
+        let ms: u64 =
+            value.parse().map_err(|_| format!("--drain-timeout-ms `{value}` is not a number"))?;
+        options.drain_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(value) = flags.value("jobs") {
+        options.runtime.jobs = parse_jobs(value)?;
+    }
+
+    let telemetry = Telemetry::new();
+    let server = Server::bind_with_telemetry(options, telemetry.clone())
+        .map_err(|e| format!("binding the listener: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("querying the bound address: {e}"))?;
+    // One parseable line so scripts (and the smoke tests) can discover an
+    // ephemeral port from `--addr host:0`.
+    println!("listening on {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    let report = server.run().map_err(|e| format!("serving: {e}"))?;
+    println!("drained    : {}", if report.drained { "yes" } else { "TIMED OUT" });
+    println!("requests   : {}", report.requests);
+    println!("rejected   : {}", report.rejected);
+    println!("drain wall : {:.3} ms", report.wall.as_secs_f64() * 1e3);
+    write_metrics(&flags, &telemetry)?;
+    if report.drained {
+        Ok(())
+    } else {
+        Err("drain timed out with requests still in flight".to_owned())
     }
 }
 

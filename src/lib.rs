@@ -19,6 +19,8 @@
 //! * [`sim`] — the cycle-level DSA simulator with power/resource models;
 //! * [`runtime`] — the parallel batch-matching runtime: worker pool over
 //!   the simulator fronted by an LRU compiled-program cache;
+//! * [`server`] — the std-only HTTP/1.1 match-serving subsystem over the
+//!   runtime: admission control, per-request budgets, graceful draining;
 //! * [`telemetry`] — spans, metrics, and summary/JSON-lines sinks shared
 //!   by the compiler, simulator, CLI, and benchmark drivers;
 //! * [`oracle`] — the reference Pike-VM matcher (ground truth);
@@ -50,6 +52,7 @@ pub use cicero_difftest as difftest;
 pub use cicero_isa as isa;
 pub use cicero_legacy as legacy;
 pub use cicero_runtime as runtime;
+pub use cicero_server as server;
 pub use cicero_sim as sim;
 pub use cicero_telemetry as telemetry;
 pub use mlir_lite as mlir;
@@ -67,6 +70,7 @@ pub mod prelude {
         Budget, BudgetKind, MatchOutcome, Runtime, RuntimeOptions, StreamError, StreamOptions,
         StreamReport,
     };
+    pub use cicero_server::{DrainReport, Server, ServerHandle, ServerOptions};
     pub use cicero_sim::{
         simulate, simulate_batch, simulate_batch_parallel, simulate_with_telemetry, ArchConfig,
     };

@@ -1,0 +1,220 @@
+//! End-to-end smoke tests for `cicero serve`: the real binary, a real
+//! ephemeral TCP port, raw HTTP over sockets.
+//!
+//! This is the serving layer's outermost contract — the one the CI
+//! `server-smoke` job also exercises: the server announces its address,
+//! answers every endpoint, reports tripped budgets as `429`, agrees
+//! byte-for-byte with the `cicero scan` CLI on the same seeded workload,
+//! and exits `0` after a graceful drain.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use cicero::server::json::{self, Json};
+
+/// A `cicero serve` child plus the address it announced.
+struct ServeProcess {
+    child: Child,
+    addr: String,
+}
+
+impl ServeProcess {
+    /// Spawn `cicero serve --addr 127.0.0.1:0 ...` and read the
+    /// `listening on ADDR` line to discover the ephemeral port.
+    fn start(extra_args: &[&str]) -> ServeProcess {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cicero"))
+            .args(["serve", "--addr", "127.0.0.1:0", "--drain-timeout-ms", "10000"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawning cicero serve");
+        let stdout = child.stdout.as_mut().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("reading the listening line");
+        let addr = line
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected startup line {line:?}"))
+            .trim()
+            .to_owned();
+        ServeProcess { child, addr }
+    }
+
+    /// POST `/shutdown`, wait for the drain, and assert exit code 0.
+    fn shutdown_and_wait(mut self) {
+        let (status, _, _) = self.request("POST", "/shutdown", "", &[]);
+        assert_eq!(status, 200);
+        let deadline = std::time::Instant::now() + Duration::from_secs(15);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("polling the child") {
+                assert!(status.success(), "cicero serve must exit 0 after a graceful drain");
+                return;
+            }
+            assert!(std::time::Instant::now() < deadline, "serve did not exit after shutdown");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// One request over a fresh connection; returns (status, headers, body).
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(&self.addr).expect("connecting to cicero serve");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut raw = format!("{method} {path} HTTP/1.1\r\n");
+        for (name, value) in headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        raw.push_str(&format!("content-length: {}\r\nconnection: close\r\n\r\n{body}", body.len()));
+        stream.write_all(raw.as_bytes()).expect("sending the request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("reading the response");
+        let status: u16 = response
+            .split(' ')
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .unwrap_or_else(|| panic!("bad response {response:?}"));
+        let (head, body) = response.split_once("\r\n\r\n").unwrap_or((response.as_str(), ""));
+        (status, head.to_owned(), body.to_owned())
+    }
+}
+
+#[test]
+fn serve_answers_every_endpoint_and_drains_cleanly() {
+    let server = ServeProcess::start(&["--workers", "2", "--queue-depth", "16"]);
+
+    let (status, _, body) = server.request("GET", "/healthz", "", &[]);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (status, _, body) =
+        server.request("POST", "/match", r#"{"patterns":["ab|cd","zzz"],"input":"xxabyy"}"#, &[]);
+    assert_eq!(status, 200, "{body}");
+    let doc = json::parse(&body).expect("match response is JSON");
+    let results = doc.get("results").and_then(Json::as_arr).expect("results array");
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].get("verdict").and_then(Json::as_str), Some("match"));
+    assert_eq!(results[1].get("verdict").and_then(Json::as_str), Some("no-match"));
+
+    let (status, _, body) = server.request(
+        "POST",
+        "/scan",
+        r#"{"patterns":["GET /","POST /"],"input":"GET /index POST /submit"}"#,
+        &[],
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = json::parse(&body).expect("scan response is JSON");
+    assert_eq!(doc.get("matched"), Some(&Json::Bool(true)));
+    let per_pattern = doc.get("per_pattern").and_then(Json::as_arr).expect("per_pattern");
+    // Both set members hit the single chunk: the all-matches accounting.
+    for row in per_pattern {
+        assert_eq!(row.get("chunks_matched").and_then(Json::as_u64), Some(1), "{body}");
+    }
+
+    let (status, _, body) = server.request("GET", "/metrics?format=summary", "", &[]);
+    assert_eq!(status, 200);
+    assert!(body.contains("server.requests"), "{body}");
+    let (status, _, jsonl) = server.request("GET", "/metrics?format=jsonl", "", &[]);
+    assert_eq!(status, 200);
+    assert!(jsonl.lines().any(|l| l.contains("server.latency_ms")), "{jsonl}");
+    assert!(jsonl.lines().any(|l| l.contains("runtime.cache_")), "{jsonl}");
+
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn serve_reports_tripped_budgets_as_429() {
+    let server = ServeProcess::start(&[]);
+    let (status, head, body) = server.request(
+        "POST",
+        "/match",
+        r#"{"patterns":["(ab|ba)+x"],"input":"abbaabbaabbaabbaabba"}"#,
+        &[("X-Cicero-Fuel", "1")],
+    );
+    assert_eq!(status, 429, "{body}");
+    assert!(head.contains("retry-after"), "{head}");
+    let doc = json::parse(&body).expect("budget response is JSON");
+    assert_eq!(doc.get("budget_exceeded"), Some(&Json::Bool(true)));
+    assert_eq!(doc.get("kind").and_then(Json::as_str), Some("fuel"));
+    server.shutdown_and_wait();
+}
+
+/// The served `POST /scan` and the `cicero scan --jobs` CLI must agree
+/// byte-for-byte on per-pattern match counts for the same seeded
+/// workload — same chunking, same set compilation, same all-matches
+/// accounting.
+#[test]
+fn served_scan_matches_the_cli_scan_on_a_seeded_workload() {
+    let bench = cicero::workloads::Benchmark::protomata(0xC1CE_2025, 6, 8);
+    let input: Vec<u8> = bench.chunks.iter().flatten().copied().collect();
+    let input_text = String::from_utf8(input).expect("workload chunks are ASCII");
+
+    // CLI side: scan the joined input with the same pattern set.
+    let mut path = std::env::temp_dir();
+    path.push(format!("cicero-server-e2e-{}.txt", std::process::id()));
+    std::fs::write(&path, &input_text).expect("writing the workload input");
+    let mut args = vec!["scan".to_owned()];
+    args.extend(bench.patterns.iter().cloned());
+    args.extend(["--input".to_owned(), path.to_str().unwrap().to_owned()]);
+    args.extend(["--jobs".to_owned(), "2".to_owned()]);
+    let output = Command::new(env!("CARGO_BIN_EXE_cicero"))
+        .args(&args)
+        .output()
+        .expect("running cicero scan");
+    std::fs::remove_file(&path).ok();
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    let mut cli_counts = vec![0u64; bench.patterns.len()];
+    for line in stdout.lines() {
+        if let Some(rest) = line.strip_prefix("MATCH: pattern ") {
+            let id: usize = rest.split(' ').next().unwrap().parse().expect("pattern id");
+            // `rsplit` so a pattern containing " in " cannot confuse
+            // the parse: the count is always in the final segment.
+            let chunks: u64 = rest
+                .rsplit(" in ")
+                .next()
+                .and_then(|s| s.split(' ').next())
+                .unwrap()
+                .parse()
+                .expect("chunk count");
+            cli_counts[id] = chunks;
+        }
+    }
+
+    // Server side: the same patterns and input through POST /scan.
+    let server = ServeProcess::start(&["--jobs", "2"]);
+    let patterns_json: Vec<String> = bench
+        .patterns
+        .iter()
+        .map(|p| format!("\"{}\"", cicero::telemetry::escape_json(p)))
+        .collect();
+    let body = format!(
+        "{{\"patterns\":[{}],\"input\":\"{}\"}}",
+        patterns_json.join(","),
+        cicero::telemetry::escape_json(&input_text)
+    );
+    let (status, _, response) = server.request("POST", "/scan", &body, &[]);
+    assert_eq!(status, 200, "{response}");
+    let doc = json::parse(&response).expect("scan response is JSON");
+    assert_eq!(doc.get("chunks").and_then(Json::as_u64), Some(bench.chunks.len() as u64));
+    let per_pattern = doc.get("per_pattern").and_then(Json::as_arr).expect("per_pattern");
+    let server_counts: Vec<u64> = per_pattern
+        .iter()
+        .map(|row| row.get("chunks_matched").and_then(Json::as_u64).expect("count"))
+        .collect();
+    assert_eq!(
+        server_counts, cli_counts,
+        "served /scan and `cicero scan --jobs` must report identical per-pattern counts\n\
+         stdout: {stdout}\nresponse: {response}"
+    );
+    // The seeded workload plants witnesses; an all-zero vector would mean
+    // the comparison was vacuous.
+    assert!(server_counts.iter().any(|c| *c > 0), "workload must produce at least one match");
+    server.shutdown_and_wait();
+}
