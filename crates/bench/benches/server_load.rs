@@ -46,10 +46,24 @@ fn total_requests(scale: Scale) -> usize {
     }
 }
 
-/// One pre-rendered request: the raw bytes and the endpoint label.
+/// One request template: path + body, rendered per send so each request
+/// carries its own `X-Cicero-Request-Id` header.
 struct RequestTemplate {
-    raw: Vec<u8>,
+    path: &'static str,
+    body: String,
     endpoint: &'static str,
+}
+
+impl RequestTemplate {
+    fn render(&self, request_id: &str) -> Vec<u8> {
+        format!(
+            "POST {} HTTP/1.1\r\ncontent-length: {}\r\nx-cicero-request-id: {request_id}\r\n\r\n{}",
+            self.path,
+            self.body.len(),
+            self.body
+        )
+        .into_bytes()
+    }
 }
 
 fn post(path: &str, body: &str) -> Vec<u8> {
@@ -68,13 +82,11 @@ fn suite_templates(bench: &Benchmark) -> Vec<RequestTemplate> {
     let input: Vec<u8> = bench.chunks.iter().flatten().copied().collect();
     let input = String::from_utf8(input).expect("workload chunks are ASCII");
     let mut templates = vec![RequestTemplate {
-        raw: post(
-            "/scan",
-            &format!(
-                "{{\"patterns\":{},\"input\":\"{}\"}}",
-                json_str_array(&bench.patterns),
-                escape_json(&input)
-            ),
+        path: "/scan",
+        body: format!(
+            "{{\"patterns\":{},\"input\":\"{}\"}}",
+            json_str_array(&bench.patterns),
+            escape_json(&input)
         ),
         endpoint: "scan",
     }];
@@ -82,13 +94,11 @@ fn suite_templates(bench: &Benchmark) -> Vec<RequestTemplate> {
         let chunk = &bench.chunks[i % bench.chunks.len()];
         let chunk = std::str::from_utf8(chunk).expect("workload chunks are ASCII");
         templates.push(RequestTemplate {
-            raw: post(
-                "/match",
-                &format!(
-                    "{{\"pattern\":\"{}\",\"input\":\"{}\"}}",
-                    escape_json(pattern),
-                    escape_json(chunk)
-                ),
+            path: "/match",
+            body: format!(
+                "{{\"pattern\":\"{}\",\"input\":\"{}\"}}",
+                escape_json(pattern),
+                escape_json(chunk)
             ),
             endpoint: "match",
         });
@@ -96,8 +106,9 @@ fn suite_templates(bench: &Benchmark) -> Vec<RequestTemplate> {
     templates
 }
 
-/// Read one keep-alive response; returns the status code.
-fn read_response(reader: &mut BufReader<TcpStream>) -> u16 {
+/// Read one keep-alive response; returns the status code and the echoed
+/// `X-Cicero-Request-Id` header.
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, Option<String>) {
     let mut status_line = String::new();
     reader.read_line(&mut status_line).expect("response status line");
     let status: u16 = status_line
@@ -106,6 +117,7 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> u16 {
         .and_then(|code| code.parse().ok())
         .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
     let mut content_length = 0usize;
+    let mut request_id = None;
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).expect("response header line");
@@ -116,18 +128,23 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> u16 {
         if let Some(value) = line.strip_prefix("content-length: ") {
             content_length = value.parse().expect("content-length value");
         }
+        if let Some(value) = line.strip_prefix("x-cicero-request-id: ") {
+            request_id = Some(value.to_owned());
+        }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).expect("response body");
-    status
+    (status, request_id)
 }
 
 /// One closed-loop client: `count` requests round-robin over the mix on
-/// a single keep-alive connection. Returns per-request latencies (ms).
+/// a single keep-alive connection, each tagged with a unique
+/// `X-Cicero-Request-Id` that the response must echo back. Returns
+/// per-request latencies (ms).
 fn run_client(
     addr: std::net::SocketAddr,
     templates: &[RequestTemplate],
-    start_at: usize,
+    client: usize,
     count: usize,
 ) -> Vec<f64> {
     let stream = TcpStream::connect(addr).expect("connect");
@@ -135,12 +152,21 @@ fn run_client(
     let mut writer = stream.try_clone().expect("clone stream");
     let mut reader = BufReader::new(stream);
     let mut latencies = Vec::with_capacity(count);
+    // Stagger the round-robin start so clients exercise different
+    // endpoints concurrently.
+    let start_at = client * 3;
     for i in 0..count {
         let template = &templates[(start_at + i) % templates.len()];
+        let request_id = format!("load-c{client}-r{i}");
         let start = Instant::now();
-        writer.write_all(&template.raw).expect("send request");
-        let status = read_response(&mut reader);
+        writer.write_all(&template.render(&request_id)).expect("send request");
+        let (status, echoed) = read_response(&mut reader);
         assert_eq!(status, 200, "closed-loop request to /{} failed", template.endpoint);
+        assert_eq!(
+            echoed.as_deref(),
+            Some(request_id.as_str()),
+            "response must echo the client's X-Cicero-Request-Id"
+        );
         latencies.push(start.elapsed().as_secs_f64() * 1e3);
     }
     latencies
@@ -193,11 +219,7 @@ fn main() {
     let mut clients = Vec::new();
     for client in 0..CLIENTS {
         let templates = std::sync::Arc::clone(&templates);
-        clients.push(std::thread::spawn(move || {
-            // Stagger the round-robin start so clients exercise different
-            // endpoints concurrently.
-            run_client(addr, &templates, client * 3, per_client)
-        }));
+        clients.push(std::thread::spawn(move || run_client(addr, &templates, client, per_client)));
     }
     let mut latencies: Vec<f64> = Vec::with_capacity(total);
     for client in clients {
@@ -215,7 +237,9 @@ fn main() {
         let mut writer = stream.try_clone().expect("clone stream");
         let mut reader = BufReader::new(stream);
         writer.write_all(&post("/shutdown", "")).expect("send shutdown");
-        assert_eq!(read_response(&mut reader), 200, "shutdown must be acknowledged");
+        let (status, minted) = read_response(&mut reader);
+        assert_eq!(status, 200, "shutdown must be acknowledged");
+        assert!(minted.is_some(), "even an id-less request gets a server-minted request id");
     }
     let report = server_thread.join().expect("server thread");
     let drain_wall = drain_requested.elapsed();

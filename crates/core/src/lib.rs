@@ -36,7 +36,10 @@ use std::time::{Duration, Instant};
 use cicero_dialect::CodegenError;
 use cicero_isa::Program;
 use cicero_telemetry::Telemetry;
-use mlir_lite::{Context, Operation, PassError, PassInstrumentation, PassReport, PipelineReport};
+use mlir_lite::{Context, Operation, PassError, PassInstrumentation};
+// Re-exported so downstream crates (runtime, server) can consume per-pass
+// reports without depending on mlir-lite directly.
+pub use mlir_lite::{PassReport, PipelineReport};
 use regex_frontend::ParseRegexError;
 
 /// Pass instrumentation bridging the pass manager to a [`Telemetry`]
@@ -439,12 +442,19 @@ impl Compiler {
 pub struct CompiledSet {
     program: Program,
     patterns: Vec<String>,
+    pass_report: PipelineReport,
 }
 
 impl CompiledSet {
     /// The combined executable program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// Per-pass timing and op-count report, accumulated across every
+    /// pattern's high-level pipeline run.
+    pub fn pass_report(&self) -> &PipelineReport {
+        &self.pass_report
     }
 
     /// The pattern with the given identifier (as reported in
@@ -481,8 +491,10 @@ impl Compiler {
             return Err(CompileError::EmptySet);
         }
         let mut optimized_irs = Vec::with_capacity(patterns.len());
+        let mut pass_report = PipelineReport::default();
         for pattern in patterns {
             let artifacts = self.compile_with_artifacts(pattern.as_ref())?;
+            pass_report.extend(artifacts.compiled.pass_report());
             optimized_irs.push(artifacts.regex_ir_optimized);
         }
         let refs: Vec<&Operation> = optimized_irs.iter().collect();
@@ -494,6 +506,7 @@ impl Compiler {
         Ok(CompiledSet {
             program,
             patterns: patterns.iter().map(|p| p.as_ref().to_owned()).collect(),
+            pass_report,
         })
     }
 }

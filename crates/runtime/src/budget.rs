@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 use cicero_core::CompileError;
 use cicero_isa::Program;
 use cicero_sim::{ArchConfig, ExecReport, Machine, WorkerStats};
+use cicero_telemetry::{TraceContext, TraceSpan};
 
 use crate::Runtime;
 
@@ -189,8 +190,28 @@ impl Runtime {
         config: &ArchConfig,
         budget: &Budget,
     ) -> Result<GuardedBatch, CompileError> {
-        let (program, cache_hit) = self.compile_tracked(pattern)?;
-        Ok(self.run_batch_guarded_inner(&program, inputs, config, budget, cache_hit))
+        self.match_batch_guarded_traced(pattern, inputs, config, budget, None)
+    }
+
+    /// [`Runtime::match_batch_guarded`] with request tracing: a `compile`
+    /// child span (per-pass children on a miss) and an `execute` child
+    /// span with one `sim.worker-N` span per pool worker, annotated with
+    /// cycle and i-cache totals.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors only; execution failures are reported per input
+    /// in [`GuardedBatch::outcomes`].
+    pub fn match_batch_guarded_traced(
+        &self,
+        pattern: &str,
+        inputs: &[Vec<u8>],
+        config: &ArchConfig,
+        budget: &Budget,
+        trace: Option<&TraceSpan>,
+    ) -> Result<GuardedBatch, CompileError> {
+        let (program, cache_hit) = self.compile_traced(pattern, trace)?;
+        Ok(self.run_batch_guarded_inner(&program, inputs, config, budget, cache_hit, trace))
     }
 
     /// Run an already-compiled program over every input with budgets and
@@ -202,7 +223,20 @@ impl Runtime {
         config: &ArchConfig,
         budget: &Budget,
     ) -> GuardedBatch {
-        self.run_batch_guarded_inner(program, inputs, config, budget, false)
+        self.run_batch_guarded_inner(program, inputs, config, budget, false, None)
+    }
+
+    /// [`Runtime::run_batch_guarded`] with request tracing (see
+    /// [`Runtime::match_batch_guarded_traced`]).
+    pub fn run_batch_guarded_traced(
+        &self,
+        program: &Program,
+        inputs: &[Vec<u8>],
+        config: &ArchConfig,
+        budget: &Budget,
+        trace: Option<&TraceSpan>,
+    ) -> GuardedBatch {
+        self.run_batch_guarded_inner(program, inputs, config, budget, false, trace)
     }
 
     fn run_batch_guarded_inner(
@@ -212,6 +246,7 @@ impl Runtime {
         config: &ArchConfig,
         budget: &Budget,
         cache_hit: bool,
+        trace: Option<&TraceSpan>,
     ) -> GuardedBatch {
         let span = self.telemetry.as_ref().map(|t| {
             let span = t.span("runtime.guarded_batch");
@@ -223,6 +258,15 @@ impl Runtime {
         let deadline_at = budget.deadline.map(|d| start + d);
         let run_config = budget.clamp_config(config);
         let jobs = self.jobs.clamp(1, inputs.len().max(1));
+        let exec_span = trace.map(|parent| {
+            let span = parent.child("execute");
+            span.annotate("inputs", inputs.len());
+            span.annotate("jobs", jobs);
+            span
+        });
+        // (context, execute-span id) pairs worker threads parent under.
+        let worker_trace: Option<(TraceContext, u32)> =
+            exec_span.as_ref().map(|span| (span.context().clone(), span.id()));
         let next = std::sync::atomic::AtomicUsize::new(0);
         let restarts = std::sync::atomic::AtomicU64::new(0);
         let hook = self.run_hook.clone();
@@ -235,7 +279,11 @@ impl Runtime {
                         let restarts = &restarts;
                         let run_config = run_config.clone();
                         let hook = hook.clone();
+                        let worker_trace = worker_trace.clone();
                         scope.spawn(move || {
+                            let worker_span = worker_trace.as_ref().map(|(ctx, parent)| {
+                                ctx.child_of(Some(*parent), format!("sim.worker-{worker}"))
+                            });
                             // `None` after a panic poisons the machine;
                             // the next input respawns a fresh one.
                             let mut machine = Some(Machine::new(program, run_config.clone()));
@@ -288,6 +336,13 @@ impl Runtime {
                                 }
                                 out.push((index, outcome));
                             }
+                            if let Some(span) = worker_span {
+                                span.annotate("inputs", stats.inputs);
+                                span.annotate("cycles", stats.cycles);
+                                span.annotate("instructions", stats.instructions);
+                                span.annotate("icache_hits", stats.icache_hits);
+                                span.annotate("icache_misses", stats.icache_misses);
+                            }
                             (out, stats)
                         })
                     })
@@ -328,6 +383,12 @@ impl Runtime {
                 span.annotate("completed", batch.completed());
                 span.annotate("worker_restarts", batch.worker_restarts);
             }
+        }
+        if let Some(span) = exec_span {
+            span.annotate("completed", batch.completed());
+            span.annotate("matches", batch.matches());
+            span.annotate("budget_exceeded", batch.budget_exceeded());
+            span.annotate("worker_restarts", batch.worker_restarts);
         }
         batch
     }
@@ -541,6 +602,81 @@ mod tests {
         assert!(batch.worker_restarts >= 1, "the injected panic must recycle a worker");
         assert_eq!(batch.completed(), chunks.len(), "{:?}", batch.outcomes);
         assert_eq!(count_per_pattern(&batch.outcomes, &chunks), expected);
+    }
+
+    #[test]
+    fn traced_guarded_batch_yields_a_connected_span_tree() {
+        use cicero_telemetry::TraceContext;
+        let config = ArchConfig::new_organization(8, 1);
+        let ctx = TraceContext::new("trace-batch");
+        let root = ctx.root_span("request");
+        let batch = runtime(3)
+            .match_batch_guarded_traced(
+                PATTERN,
+                &chunks(),
+                &config,
+                &Budget::UNLIMITED,
+                Some(&root),
+            )
+            .unwrap();
+        drop(root);
+        let trace = ctx.finish();
+
+        // compile (with per-pass children) → execute → one span per worker.
+        let compile = trace.span("compile").expect("compile span");
+        assert!(compile.attrs.iter().any(|(k, v)| k == "cache_hit" && v.to_string() == "false"));
+        let passes = trace.spans_with_prefix("pass:");
+        assert!(!passes.is_empty(), "cache miss must backfill pass spans");
+        assert!(passes.iter().all(|p| p.parent == Some(compile.id)));
+        let execute = trace.span("execute").expect("execute span");
+        let workers = trace.spans_with_prefix("sim.worker-");
+        assert_eq!(workers.len(), batch.jobs);
+        for worker in &workers {
+            assert_eq!(worker.parent, Some(execute.id));
+            for key in ["cycles", "icache_hits", "icache_misses", "inputs"] {
+                assert!(
+                    worker.attrs.iter().any(|(k, _)| k == key),
+                    "worker span missing {key}: {:?}",
+                    worker.attrs
+                );
+            }
+        }
+        // Connectivity: exactly one root; every parent id resolves.
+        assert_eq!(trace.spans.iter().filter(|s| s.parent.is_none()).count(), 1);
+        for span in &trace.spans {
+            assert!(span.closed, "{} still open", span.name);
+            if let Some(parent) = span.parent {
+                assert!((parent as usize) < trace.spans.len());
+            }
+        }
+
+        // A second traced run hits the cache: no pass spans this time.
+        let ctx2 = TraceContext::new("trace-batch-2");
+        let runtime2 = runtime(2);
+        let root2 = ctx2.root_span("request");
+        runtime2
+            .match_batch_guarded_traced(
+                PATTERN,
+                &chunks(),
+                &config,
+                &Budget::UNLIMITED,
+                Some(&root2),
+            )
+            .unwrap();
+        runtime2
+            .match_batch_guarded_traced(
+                PATTERN,
+                &chunks(),
+                &config,
+                &Budget::UNLIMITED,
+                Some(&root2),
+            )
+            .unwrap();
+        drop(root2);
+        let trace2 = ctx2.finish();
+        let compiles: Vec<_> = trace2.spans.iter().filter(|s| s.name == "compile").collect();
+        assert_eq!(compiles.len(), 2);
+        assert!(compiles[1].attrs.iter().any(|(k, v)| k == "cache_hit" && v.to_string() == "true"));
     }
 
     #[test]

@@ -46,10 +46,30 @@ pub use budget::{Budget, BudgetKind, GuardedBatch, MatchOutcome};
 pub use cache::{CacheKey, CacheStats, ProgramCache};
 pub use stream::{StreamError, StreamOptions, StreamReport};
 
-use cicero_core::{CompileError, Compiler, CompilerOptions};
+use cicero_core::{CompileError, Compiler, CompilerOptions, PipelineReport};
 use cicero_isa::Program;
 use cicero_sim::{simulate_batch_parallel_stats, ArchConfig, ExecReport, WorkerStats};
-use cicero_telemetry::Telemetry;
+use cicero_telemetry::{Telemetry, TraceSpan, Value};
+
+/// Backfill per-pass compile timings under `span` as synthetic child
+/// spans, laid out end-to-end from the span's start (the pass manager
+/// ran them sequentially, so the cumulative layout is faithful).
+pub(crate) fn record_pass_spans(span: &TraceSpan, report: &PipelineReport) {
+    let mut offset = span.start_offset();
+    for pass in &report.passes {
+        span.context().record_complete(
+            Some(span.id()),
+            format!("pass:{}", pass.name),
+            offset,
+            pass.duration,
+            vec![
+                ("ops_before".to_owned(), Value::from(pass.ops_before)),
+                ("ops_after".to_owned(), Value::from(pass.ops_after)),
+            ],
+        );
+        offset += pass.duration;
+    }
+}
 
 /// Construction-time knobs for a [`Runtime`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,12 +224,41 @@ impl Runtime {
     }
 
     fn compile_tracked(&self, pattern: &str) -> Result<(Arc<Program>, bool), CompileError> {
+        self.compile_traced(pattern, None)
+    }
+
+    /// Compile `pattern` through the cache, attaching a `compile` child
+    /// span (with per-pass children on a cache miss) under `trace`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`]; failures are not cached.
+    pub fn compile_traced(
+        &self,
+        pattern: &str,
+        trace: Option<&TraceSpan>,
+    ) -> Result<(Arc<Program>, bool), CompileError> {
+        let span = trace.map(|parent| parent.child("compile"));
+        let mut report: Option<PipelineReport> = None;
         let key = CacheKey::pattern(pattern, self.options.compiler);
         let result: Result<(Arc<Program>, bool), CompileError> =
             self.cache.get_or_insert_with(key, || {
-                Ok(Compiler::with_options(self.options.compiler).compile(pattern)?.into_program())
+                let compiled = Compiler::with_options(self.options.compiler).compile(pattern)?;
+                if span.is_some() {
+                    report = Some(compiled.pass_report().clone());
+                }
+                Ok(compiled.into_program())
             });
         self.note_lookup(&result);
+        if let Some(span) = &span {
+            if let Ok((_, hit)) = &result {
+                span.annotate("cache_hit", *hit);
+            }
+            if let Some(report) = &report {
+                span.annotate("passes", report.passes.len());
+                record_pass_spans(span, report);
+            }
+        }
         result
     }
 
@@ -221,16 +270,47 @@ impl Runtime {
     ///
     /// See [`Compiler::compile_set`].
     pub fn compile_set<S: AsRef<str>>(&self, patterns: &[S]) -> Result<Arc<Program>, CompileError> {
+        Ok(self.compile_set_traced(patterns, None)?.0)
+    }
+
+    /// Compile a multi-matching set through the cache, attaching a
+    /// `compile` child span (with per-pass children covering every
+    /// pattern's pipeline on a cache miss) under `trace`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::compile_set`].
+    pub fn compile_set_traced<S: AsRef<str>>(
+        &self,
+        patterns: &[S],
+        trace: Option<&TraceSpan>,
+    ) -> Result<(Arc<Program>, bool), CompileError> {
+        let span = trace.map(|parent| {
+            let span = parent.child("compile");
+            span.annotate("patterns", patterns.len());
+            span
+        });
+        let mut report: Option<PipelineReport> = None;
         let key = CacheKey::set(patterns, self.options.compiler);
         let result: Result<(Arc<Program>, bool), CompileError> =
             self.cache.get_or_insert_with(key, || {
-                Ok(Compiler::with_options(self.options.compiler)
-                    .compile_set(patterns)?
-                    .program()
-                    .clone())
+                let set = Compiler::with_options(self.options.compiler).compile_set(patterns)?;
+                if span.is_some() {
+                    report = Some(set.pass_report().clone());
+                }
+                Ok(set.program().clone())
             });
         self.note_lookup(&result);
-        Ok(result?.0)
+        if let Some(span) = &span {
+            if let Ok((_, hit)) = &result {
+                span.annotate("cache_hit", *hit);
+            }
+            if let Some(report) = &report {
+                span.annotate("passes", report.passes.len());
+                record_pass_spans(span, report);
+            }
+        }
+        result
     }
 
     fn note_lookup<E>(&self, result: &Result<(Arc<Program>, bool), E>) {

@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 use cicero_core::CompileError;
 use cicero_isa::Program;
 use cicero_sim::{ArchConfig, StreamMachine, StreamStatus};
+use cicero_telemetry::TraceSpan;
 
 use crate::budget::{Budget, BudgetKind, MatchOutcome};
 use crate::Runtime;
@@ -124,9 +125,27 @@ impl Runtime {
     pub fn scan_stream<R: Read + Send>(
         &self,
         program: &Program,
+        reader: R,
+        config: &ArchConfig,
+        options: &StreamOptions,
+    ) -> Result<StreamReport, StreamError> {
+        self.scan_stream_traced(program, reader, config, options, None)
+    }
+
+    /// [`Runtime::scan_stream`] with request tracing: the whole session
+    /// runs under a `stream.execute` child span annotated with byte,
+    /// chunk, and suspend totals.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::scan_stream`].
+    pub fn scan_stream_traced<R: Read + Send>(
+        &self,
+        program: &Program,
         mut reader: R,
         config: &ArchConfig,
         options: &StreamOptions,
+        trace: Option<&TraceSpan>,
     ) -> Result<StreamReport, StreamError> {
         if options.chunk_size == 0 {
             return Err(StreamError::Options("chunk size must be at least 1 byte".to_owned()));
@@ -136,6 +155,12 @@ impl Runtime {
         }
         let span = self.telemetry.as_ref().map(|t| {
             let span = t.span("stream.session");
+            span.annotate("chunk_size", options.chunk_size);
+            span.annotate("queue_depth", options.queue_depth);
+            span
+        });
+        let trace_span = trace.map(|parent| {
+            let span = parent.child("stream.execute");
             span.annotate("chunk_size", options.chunk_size);
             span.annotate("queue_depth", options.queue_depth);
             span
@@ -225,6 +250,12 @@ impl Runtime {
                 span.annotate("bytes", report.bytes);
                 span.annotate("complete", report.outcome.is_complete());
             }
+        }
+        if let Some(span) = trace_span {
+            span.annotate("bytes", report.bytes);
+            span.annotate("chunks", report.chunks);
+            span.annotate("suspends", report.suspends);
+            span.annotate("complete", report.outcome.is_complete());
         }
         Ok(report)
     }

@@ -10,21 +10,33 @@ use std::time::Duration;
 
 use cicero_runtime::{Budget, BudgetKind, MatchOutcome};
 use cicero_sim::ArchConfig;
-use cicero_telemetry::JsonObject;
+use cicero_telemetry::{render_chrome_trace, JsonObject, TraceSpan};
 
 use crate::http::{Request, Response};
 use crate::json::{self, Json};
 use crate::Shared;
 
-/// Route a request to its handler.
-pub(crate) fn handle(shared: &Shared, request: &Request) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/match") => handle_match(shared, request),
-        ("POST", "/scan") => handle_scan(shared, request),
+/// Whether `path` addresses the flight-recorder debug surface.
+fn is_traces_path(path: &str) -> bool {
+    path == "/debug/traces" || path.starts_with("/debug/traces/")
+}
+
+/// Route a request to its handler. `root` is the request's trace span;
+/// handlers hang their compile/execute/merge children off it.
+pub(crate) fn handle(shared: &Shared, request: &Request, root: &TraceSpan) -> Response {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("POST", "/match") => handle_match(shared, request, root),
+        ("POST", "/scan") => handle_scan(shared, request, root),
         ("GET", "/metrics") => handle_metrics(shared, request),
         ("GET", "/healthz") => handle_healthz(shared),
         ("POST", "/shutdown") => handle_shutdown(shared),
+        ("GET", _) if is_traces_path(path) => handle_traces(shared, request),
         (_, "/match" | "/scan" | "/metrics" | "/healthz" | "/shutdown") => error_response(
+            405,
+            &format!("method {} not allowed on {}", request.method, request.path),
+        ),
+        _ if is_traces_path(path) => error_response(
             405,
             &format!("method {} not allowed on {}", request.method, request.path),
         ),
@@ -172,7 +184,7 @@ fn finish_with_budget(
 /// `POST /match`: each pattern is matched independently over the whole
 /// input through the runtime's guarded path (cache, budgets, panic
 /// isolation). Body: `{"patterns": [...], "input": "...", "config"?: "NxM"}`.
-fn handle_match(shared: &Shared, request: &Request) -> Response {
+fn handle_match(shared: &Shared, request: &Request, root: &TraceSpan) -> Response {
     let budget = match budget_from_headers(request) {
         Ok(budget) => budget,
         Err(response) => return response,
@@ -186,11 +198,16 @@ fn handle_match(shared: &Shared, request: &Request) -> Response {
     let mut budget_kind = None;
     let mut faults = 0usize;
     for pattern in &body.patterns {
-        let batch =
-            match shared.runtime.match_batch_guarded(pattern, &inputs, &body.config, &budget) {
-                Ok(batch) => batch,
-                Err(e) => return error_response(400, &format!("pattern {pattern:?}: {e}")),
-            };
+        let batch = match shared.runtime.match_batch_guarded_traced(
+            pattern,
+            &inputs,
+            &body.config,
+            &budget,
+            Some(root),
+        ) {
+            Ok(batch) => batch,
+            Err(e) => return error_response(400, &format!("pattern {pattern:?}: {e}")),
+        };
         let outcome = &batch.outcomes[0];
         let mut row = JsonObject::new().field("pattern", pattern.as_str());
         match outcome {
@@ -235,7 +252,7 @@ fn handle_match(shared: &Shared, request: &Request) -> Response {
 /// pool, and per-pattern chunk counts come from the all-matches
 /// interpreter ([`cicero_isa::run_all`]) so overlapping set members are
 /// all reported — the same accounting as `cicero scan --jobs N`.
-fn handle_scan(shared: &Shared, request: &Request) -> Response {
+fn handle_scan(shared: &Shared, request: &Request, root: &TraceSpan) -> Response {
     let budget = match budget_from_headers(request) {
         Ok(budget) => budget,
         Err(response) => return response,
@@ -244,13 +261,23 @@ fn handle_scan(shared: &Shared, request: &Request) -> Response {
         Ok(body) => body,
         Err(response) => return response,
     };
-    let program = match shared.runtime.compile_set(&body.patterns) {
-        Ok(program) => program,
+    let (program, _cache_hit) = match shared.runtime.compile_set_traced(&body.patterns, Some(root))
+    {
+        Ok(compiled) => compiled,
         Err(e) => return error_response(400, &format!("compiling the pattern set: {e}")),
     };
     let chunks = chunk_input(&body.input);
-    let batch = shared.runtime.run_batch_guarded(&program, &chunks, &body.config, &budget);
+    let batch = shared.runtime.run_batch_guarded_traced(
+        &program,
+        &chunks,
+        &body.config,
+        &budget,
+        Some(root),
+    );
 
+    // Merging the per-chunk outcomes re-runs accepted chunks through the
+    // all-matches interpreter, which is real work worth its own span.
+    let merge_span = root.child("merge");
     let mut per_pattern = vec![0u64; body.patterns.len()];
     let mut cycles = 0u64;
     let mut budget_kind = None;
@@ -279,6 +306,9 @@ fn handle_scan(shared: &Shared, request: &Request) -> Response {
             MatchOutcome::Fault(_) => faults += 1,
         }
     }
+    merge_span.annotate("chunks", chunks.len());
+    merge_span.annotate("pattern_hits", per_pattern.iter().sum::<u64>());
+    merge_span.close();
 
     let rows: Vec<String> = body
         .patterns
@@ -305,7 +335,8 @@ fn handle_scan(shared: &Shared, request: &Request) -> Response {
     finish_with_budget(object, budget_kind, faults)
 }
 
-/// `GET /metrics?format=summary|jsonl`: the unified telemetry dump.
+/// `GET /metrics?format=summary|jsonl|prometheus`: the unified telemetry
+/// dump, including the Prometheus text exposition format scrapers expect.
 fn handle_metrics(shared: &Shared, request: &Request) -> Response {
     shared.refresh_gauges();
     match request.query_param("format").unwrap_or("summary") {
@@ -316,7 +347,43 @@ fn handle_metrics(shared: &Shared, request: &Request) -> Response {
             content_type: "application/jsonl",
             body: shared.telemetry.render_jsonl().into_bytes(),
         },
-        other => error_response(400, &format!("unknown format {other:?} (use summary or jsonl)")),
+        "prometheus" => Response {
+            status: 200,
+            headers: Vec::new(),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: shared.telemetry.render_prometheus().into_bytes(),
+        },
+        other => error_response(
+            400,
+            &format!("unknown format {other:?} (use summary, jsonl, or prometheus)"),
+        ),
+    }
+}
+
+/// `GET /debug/traces[/{request_id}]`: the flight recorder. The index
+/// lists retained traces (`?format=chrome` exports them all as one
+/// Chrome `trace_event` document); a request id fetches one trace as
+/// span-tree JSON (`?format=chrome` or `?format=tree` re-render it).
+fn handle_traces(shared: &Shared, request: &Request) -> Response {
+    let format = request.query_param("format").unwrap_or("json");
+    let id = request.path.strip_prefix("/debug/traces").unwrap_or("").trim_start_matches('/');
+    if id.is_empty() {
+        return match format {
+            "json" => Response::json(200, shared.recorder.render_index_json()),
+            "chrome" => Response::json(200, shared.recorder.render_chrome_json()),
+            other => error_response(400, &format!("unknown format {other:?} (use json or chrome)")),
+        };
+    }
+    let Some(trace) = shared.recorder.get(id) else {
+        return error_response(404, &format!("no retained trace for request id {id:?}"));
+    };
+    match format {
+        "json" => Response::json(200, trace.render_json(shared.recorder.is_slow(&trace))),
+        "chrome" => Response::json(200, render_chrome_trace(&[trace])),
+        "tree" => Response::text(200, trace.render_tree()),
+        other => {
+            error_response(400, &format!("unknown format {other:?} (use json, chrome, or tree)"))
+        }
     }
 }
 

@@ -46,7 +46,7 @@ use std::time::{Duration, Instant};
 
 use cicero_runtime::{Runtime, RuntimeOptions};
 use cicero_sim::ArchConfig;
-use cicero_telemetry::Telemetry;
+use cicero_telemetry::{FlightRecorder, FlightRecorderOptions, Telemetry, TraceContext};
 
 pub use cicero_runtime::Budget;
 
@@ -80,6 +80,12 @@ pub struct ServerOptions {
     pub runtime: RuntimeOptions,
     /// Architecture simulated when a request does not name one.
     pub config: ArchConfig,
+    /// Flight-recorder sizing and slow-trace policy (served at
+    /// `GET /debug/traces`).
+    pub recorder: FlightRecorderOptions,
+    /// When set, the retained traces are dumped to this path as Chrome
+    /// `trace_event` JSON on graceful drain.
+    pub trace_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerOptions {
@@ -91,6 +97,8 @@ impl Default for ServerOptions {
             drain_timeout: Duration::from_millis(5000),
             runtime: RuntimeOptions::default(),
             config: ArchConfig::new_organization(16, 1),
+            recorder: FlightRecorderOptions::default(),
+            trace_dump: None,
         }
     }
 }
@@ -113,12 +121,14 @@ pub struct DrainReport {
 pub(crate) struct Shared {
     pub(crate) runtime: Runtime,
     pub(crate) telemetry: Telemetry,
+    pub(crate) recorder: FlightRecorder,
     pub(crate) config: ArchConfig,
     pub(crate) shutdown: AtomicBool,
     pub(crate) queued: AtomicUsize,
     pub(crate) in_flight: AtomicUsize,
     pub(crate) requests: AtomicU64,
     pub(crate) rejected: AtomicU64,
+    pub(crate) next_request_id: AtomicU64,
 }
 
 impl Shared {
@@ -126,10 +136,20 @@ impl Shared {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// The request id a response is tagged with: the client-supplied
+    /// `X-Cicero-Request-Id` when present, a minted `req-N` otherwise.
+    pub(crate) fn request_id_for(&self, request: &http::Request) -> String {
+        match request.header("x-cicero-request-id") {
+            Some(id) if !id.is_empty() => id.to_owned(),
+            _ => format!("req-{}", self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1),
+        }
+    }
+
     /// Refresh the gauges surfaced by `GET /metrics`.
     pub(crate) fn refresh_gauges(&self) {
         self.telemetry.gauge_set("server.queue_depth", self.queued.load(Ordering::SeqCst) as f64);
         self.telemetry.gauge_set("server.in_flight", self.in_flight.load(Ordering::SeqCst) as f64);
+        self.telemetry.gauge_set("trace.retained", self.recorder.len() as f64);
         let stats = self.runtime.cache().stats();
         let lookups = stats.hits + stats.misses;
         if lookups > 0 {
@@ -196,12 +216,14 @@ impl Server {
         let shared = Arc::new(Shared {
             runtime,
             telemetry,
+            recorder: FlightRecorder::new(options.recorder),
             config: options.config.clone(),
             shutdown: AtomicBool::new(false),
             queued: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            next_request_id: AtomicU64::new(0),
         });
         Ok(Server { listener, options, shared })
     }
@@ -226,6 +248,12 @@ impl Server {
         self.shared.telemetry.clone()
     }
 
+    /// The flight recorder request traces land in (also served at
+    /// `GET /debug/traces`).
+    pub fn recorder(&self) -> FlightRecorder {
+        self.shared.recorder.clone()
+    }
+
     /// Accept and serve until shutdown is requested, then drain.
     ///
     /// Blocks the calling thread for the server's whole lifetime; the
@@ -238,7 +266,9 @@ impl Server {
     /// (and counted) without stopping the server.
     pub fn run(self) -> std::io::Result<DrainReport> {
         self.listener.set_nonblocking(true)?;
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.options.queue_depth.max(1));
+        // Each queue entry carries its accept instant so latency (and the
+        // admission-wait span) starts at the front door, not at dequeue.
+        let (tx, rx) = mpsc::sync_channel::<(TcpStream, Instant)>(self.options.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let live = Arc::new(AtomicUsize::new(0));
         let mut joins = Vec::new();
@@ -256,11 +286,11 @@ impl Server {
                             let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
                             guard.recv()
                         };
-                        let Ok(stream) = next else {
+                        let Ok((stream, accepted_at)) = next else {
                             break; // queue closed and fully drained
                         };
                         shared.queued.fetch_sub(1, Ordering::SeqCst);
-                        serve_connection(&shared, stream);
+                        serve_connection(&shared, stream, accepted_at);
                     }
                     live.fetch_sub(1, Ordering::SeqCst);
                 },
@@ -271,14 +301,21 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     self.shared.telemetry.counter_add("server.connections", 1);
-                    match tx.try_send(stream) {
-                        Ok(()) => {
-                            self.shared.queued.fetch_add(1, Ordering::SeqCst);
-                        }
-                        Err(TrySendError::Full(stream)) => {
+                    // Count the connection as queued *before* enqueueing it:
+                    // a worker can dequeue (and decrement) the instant
+                    // try_send returns, so incrementing afterwards would let
+                    // the counter underflow past zero.
+                    self.shared.queued.fetch_add(1, Ordering::SeqCst);
+                    match tx.try_send((stream, Instant::now())) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full((stream, _))) => {
+                            self.shared.queued.fetch_sub(1, Ordering::SeqCst);
                             reject_at_admission(&self.shared, stream)
                         }
-                        Err(TrySendError::Disconnected(_)) => break,
+                        Err(TrySendError::Disconnected(_)) => {
+                            self.shared.queued.fetch_sub(1, Ordering::SeqCst);
+                            break;
+                        }
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -312,6 +349,12 @@ impl Server {
         let wall = drain_start.elapsed();
         self.shared.telemetry.counter_add("server.drains", 1);
         self.shared.telemetry.gauge_set("server.drain_ms", wall.as_secs_f64() * 1e3);
+        if let Some(path) = &self.options.trace_dump {
+            match std::fs::write(path, self.shared.recorder.render_chrome_json()) {
+                Ok(()) => self.shared.telemetry.counter_add("trace.dumps", 1),
+                Err(_) => self.shared.telemetry.counter_add("trace.dump_errors", 1),
+            }
+        }
         self.shared.refresh_gauges();
         Ok(DrainReport {
             drained,
@@ -324,17 +367,20 @@ impl Server {
 
 /// Queue full: answer `503` with a retry hint on the acceptor thread and
 /// close. The write gets a short timeout so a slow-reading client cannot
-/// stall admission for everyone else.
+/// stall admission for everyone else. The rejection never read the
+/// request head, so the echoed request id is always server-minted.
 fn reject_at_admission(shared: &Shared, mut stream: TcpStream) {
     shared.rejected.fetch_add(1, Ordering::SeqCst);
     shared.telemetry.counter_add("server.rejected", 1);
     shared.telemetry.counter_add("server.requests.other.503", 1);
+    let request_id = format!("req-{}", shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
     let body = cicero_telemetry::JsonObject::new()
         .field("error", "server at capacity; connection queue is full")
         .finish();
     let _ = http::Response::json(503, body)
         .with_header("retry-after", "1".to_owned())
+        .with_header("x-cicero-request-id", request_id)
         .write_to(&mut stream, true);
     let _ = stream.flush();
 }
@@ -347,37 +393,87 @@ fn endpoint_label(path: &str) -> &'static str {
         "/metrics" => "metrics",
         "/healthz" => "healthz",
         "/shutdown" => "shutdown",
+        _ if path == "/debug/traces" || path.starts_with("/debug/traces/") => "traces",
         _ => "other",
     }
 }
 
 /// Serve one connection until it closes, errors, or the server drains.
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+///
+/// The first request's latency epoch is the *accept* instant, so the
+/// admission-queue wait (observed into `server.queue_wait_ms` and
+/// visible as the `admission.queue_wait` span) counts against it;
+/// subsequent keep-alive requests start their clock when their head
+/// finishes reading (the connection was idle, not queued, in between).
+fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted_at: Instant) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
+    let queue_wait = accepted_at.elapsed();
+    shared.telemetry.observe_with(
+        "server.queue_wait_ms",
+        queue_wait.as_secs_f64() * 1e3,
+        LATENCY_BUCKETS_MS,
+    );
+    let mut first_request = Some((accepted_at, queue_wait));
     loop {
         match http::read_request(&mut stream) {
             Ok(request) => {
                 shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                let start = Instant::now();
-                let response = api::handle(shared, &request);
-                let latency_ms = start.elapsed().as_secs_f64() * 1e3;
-                shared.telemetry.counter_add("server.requests", 1);
-                shared.telemetry.counter_add(
-                    &format!(
-                        "server.requests.{}.{}",
-                        endpoint_label(&request.path),
-                        response.status
-                    ),
-                    1,
-                );
-                shared.telemetry.observe_with("server.latency_ms", latency_ms, LATENCY_BUCKETS_MS);
-                shared.requests.fetch_add(1, Ordering::SeqCst);
-                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                let (epoch, queue_wait) = match first_request.take() {
+                    Some((accepted_at, wait)) => (accepted_at, Some(wait)),
+                    None => (Instant::now(), None),
+                };
+                let request_id = shared.request_id_for(&request);
+                let ctx = TraceContext::with_epoch(&request_id, epoch);
+                let root = ctx.root_span("request");
+                root.annotate("method", request.method.as_str());
+                root.annotate("path", request.path.as_str());
+                root.annotate("queue_depth", shared.queued.load(Ordering::SeqCst));
+                if let Some(wait) = queue_wait {
+                    ctx.record_complete(
+                        Some(root.id()),
+                        "admission.queue_wait",
+                        Duration::ZERO,
+                        wait,
+                        Vec::new(),
+                    );
+                }
+
+                let response = api::handle(shared, &request, &root)
+                    .with_header("x-cicero-request-id", request_id.clone());
+                let status = response.status;
                 // Draining closes after the response: the client gets its
                 // answer, the worker gets free to exit.
                 let close = request.wants_close() || shared.is_draining();
-                if response.write_to(&mut stream, close).is_err() || close {
+                let write_result = {
+                    let span = root.child("response.write");
+                    span.annotate("bytes", response.body.len());
+                    response.write_to(&mut stream, close)
+                };
+                let latency_ms = epoch.elapsed().as_secs_f64() * 1e3;
+                root.annotate("status", u64::from(status));
+                root.annotate("latency_ms", latency_ms);
+                drop(root);
+
+                let slow = shared.recorder.record(ctx.finish());
+                shared.telemetry.counter_add("trace.requests", 1);
+                if slow {
+                    shared.telemetry.counter_add("trace.slow", 1);
+                }
+                shared.telemetry.counter_add("server.requests", 1);
+                shared.telemetry.counter_add(
+                    &format!("server.requests.{}.{}", endpoint_label(&request.path), status),
+                    1,
+                );
+                shared.telemetry.observe_with_exemplar(
+                    "server.latency_ms",
+                    latency_ms,
+                    LATENCY_BUCKETS_MS,
+                    &request_id,
+                );
+                shared.requests.fetch_add(1, Ordering::SeqCst);
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                if write_result.is_err() || close {
                     break;
                 }
             }
@@ -438,13 +534,18 @@ mod tests {
         }
     }
 
-    /// One request over a fresh connection; returns (status, body).
-    fn roundtrip(addr: SocketAddr, request: &str) -> (u16, String) {
+    /// One request over a fresh connection; returns the raw response.
+    fn roundtrip_raw(addr: SocketAddr, request: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream.write_all(request.as_bytes()).unwrap();
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
-        parse_response(&raw)
+        raw
+    }
+
+    /// One request over a fresh connection; returns (status, body).
+    fn roundtrip(addr: SocketAddr, request: &str) -> (u16, String) {
+        parse_response(&roundtrip_raw(addr, request))
     }
 
     /// Read exactly one keep-alive response: head to CRLFCRLF, then
@@ -526,6 +627,144 @@ mod tests {
         assert!(report.drained, "drain timed out: {report:?}");
         assert!(report.requests >= 5);
         assert_eq!(report.rejected, 0);
+    }
+
+    #[test]
+    fn every_response_echoes_a_request_id() {
+        let (addr, handle, join) = start(options());
+        // No client id: the server mints one and echoes it.
+        let raw = roundtrip_raw(addr, &get("/healthz"));
+        assert!(raw.contains("x-cicero-request-id: req-1"), "{raw}");
+        // Client-supplied ids are echoed verbatim, even on error paths.
+        let raw = roundtrip_raw(
+            addr,
+            "GET /nowhere HTTP/1.1\r\nx-cicero-request-id: mine-42\r\nconnection: close\r\n\r\n",
+        );
+        let (status, _) = parse_response(&raw);
+        assert_eq!(status, 404);
+        assert!(raw.contains("x-cicero-request-id: mine-42"), "{raw}");
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+    }
+
+    #[test]
+    fn prometheus_exposition_and_queue_wait_are_served() {
+        let (addr, handle, join) = start(options());
+        let raw = roundtrip_raw(
+            addr,
+            "GET /healthz HTTP/1.1\r\nx-cicero-request-id: prom-1\r\nconnection: close\r\n\r\n",
+        );
+        assert!(raw.contains("200"), "{raw}");
+        let (status, text) = roundtrip(addr, &get("/metrics?format=prometheus"));
+        assert_eq!(status, 200, "{text}");
+        assert!(text.contains("# TYPE server_requests counter"), "{text}");
+        assert!(text.contains("server_latency_ms_bucket{le="), "{text}");
+        assert!(text.contains("server_latency_ms_sum"), "{text}");
+        assert!(text.contains("server_queue_wait_ms_count"), "{text}");
+        // The latency histogram carries a request-id exemplar.
+        assert!(text.contains("request_id=\"prom-1\""), "{text}");
+        let (status, _) = roundtrip(addr, &get("/metrics?format=bogus"));
+        assert_eq!(status, 400);
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+    }
+
+    /// The tentpole acceptance path: one seeded `/scan` against a
+    /// multi-worker server reconstructs, via `GET /debug/traces/{id}`,
+    /// as a single connected span tree covering admission wait, compile
+    /// (with per-pass timings), every worker's sim execution (cycle and
+    /// icache attributes), the merge, and the response write.
+    #[test]
+    fn traced_scan_reconstructs_a_connected_span_tree() {
+        use crate::json::{self, Json};
+        let (addr, handle, join) = start(ServerOptions {
+            runtime: RuntimeOptions { jobs: 2, ..RuntimeOptions::default() },
+            ..options()
+        });
+        // ~1320 bytes → three 500-byte chunks across two sim workers.
+        let input = "GET /index ".repeat(120);
+        let body = format!(r#"{{"patterns":["GET /","POST /"],"input":"{input}"}}"#);
+        let raw = roundtrip_raw(addr, &post("/scan", &body, "x-cicero-request-id: trace-e2e\r\n"));
+        let (status, _) = parse_response(&raw);
+        assert_eq!(status, 200, "{raw}");
+        assert!(raw.contains("x-cicero-request-id: trace-e2e"), "{raw}");
+
+        let (status, trace_body) = roundtrip(addr, &get("/debug/traces/trace-e2e"));
+        assert_eq!(status, 200, "{trace_body}");
+        let doc = json::parse(&trace_body).unwrap();
+        assert_eq!(doc.get("request_id").and_then(Json::as_str), Some("trace-e2e"));
+        let spans = doc.get("spans").and_then(Json::as_arr).unwrap();
+        let ids: Vec<u64> =
+            spans.iter().map(|s| s.get("id").and_then(Json::as_u64).unwrap()).collect();
+        let mut roots = 0;
+        for span in spans {
+            match span.get("parent") {
+                None => roots += 1,
+                Some(parent) => {
+                    let parent = parent.as_u64().unwrap();
+                    assert!(ids.contains(&parent), "dangling parent {parent}: {trace_body}");
+                }
+            }
+            assert!(span.get("open").is_none(), "unclosed span: {trace_body}");
+        }
+        assert_eq!(roots, 1, "{trace_body}");
+
+        let names: Vec<&str> =
+            spans.iter().map(|s| s.get("name").and_then(Json::as_str).unwrap()).collect();
+        for expect in
+            ["request", "admission.queue_wait", "compile", "execute", "merge", "response.write"]
+        {
+            assert!(names.contains(&expect), "missing {expect} span: {names:?}");
+        }
+        assert!(
+            names.iter().any(|n| n.starts_with("pass:")),
+            "missing per-pass compile spans: {names:?}"
+        );
+        let workers: Vec<&Json> = spans
+            .iter()
+            .filter(|s| s.get("name").and_then(Json::as_str).unwrap().starts_with("sim.worker-"))
+            .collect();
+        assert!(!workers.is_empty(), "no worker spans: {names:?}");
+        for worker in workers {
+            let attrs = worker.get("attrs").expect("worker span attrs");
+            assert!(attrs.get("cycles").and_then(Json::as_u64).is_some(), "{trace_body}");
+            for key in ["icache_hits", "icache_misses", "inputs", "instructions"] {
+                assert!(attrs.get(key).is_some(), "worker attrs missing {key}: {trace_body}");
+            }
+        }
+
+        // The index lists it; the Chrome export is loadable trace JSON.
+        let (status, index) = roundtrip(addr, &get("/debug/traces"));
+        assert_eq!(status, 200);
+        assert!(index.contains("trace-e2e"), "{index}");
+        let (status, chrome) = roundtrip(addr, &get("/debug/traces/trace-e2e?format=chrome"));
+        assert_eq!(status, 200);
+        assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+        assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+        let (status, _) = roundtrip(addr, &get("/debug/traces/unknown-id"));
+        assert_eq!(status, 404);
+
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+    }
+
+    #[test]
+    fn drain_dumps_retained_traces_as_chrome_json() {
+        let path =
+            std::env::temp_dir().join(format!("cicero-trace-dump-{}.json", std::process::id()));
+        let (addr, handle, join) =
+            start(ServerOptions { trace_dump: Some(path.clone()), ..options() });
+        let raw = roundtrip_raw(
+            addr,
+            "GET /healthz HTTP/1.1\r\nx-cicero-request-id: dump-1\r\nconnection: close\r\n\r\n",
+        );
+        assert!(raw.contains("200"), "{raw}");
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+        let dumped = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(dumped.contains("\"traceEvents\""), "{dumped}");
+        assert!(dumped.contains("dump-1"), "{dumped}");
     }
 
     #[test]

@@ -72,22 +72,26 @@
 
 pub mod json;
 pub mod metrics;
+pub mod recorder;
+pub(crate) mod shard;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 pub use json::{escape_json, JsonObject, Value};
-pub use metrics::{HistogramSnapshot, Metric, MetricsRegistry};
+pub use metrics::{Exemplar, HistogramSnapshot, Metric, MetricsRegistry};
+pub use recorder::{FlightRecorder, FlightRecorderOptions};
 pub use span::{Span, SpanRecord};
+pub use trace::{render_chrome_trace, RequestTrace, TraceContext, TraceSpan, TraceSpanRecord};
 
 pub(crate) struct Inner {
     pub(crate) epoch: Instant,
     pub(crate) spans: Vec<SpanRecord>,
     /// Indices of currently open spans, innermost last.
     pub(crate) open: Vec<usize>,
-    pub(crate) metrics: MetricsRegistry,
     /// Instantaneous named records (benchmark rows, one-off facts).
     pub(crate) events: Vec<(String, Vec<(String, Value)>)>,
 }
@@ -95,7 +99,11 @@ pub(crate) struct Inner {
 /// A clonable handle to one telemetry collector.
 #[derive(Clone)]
 pub struct Telemetry {
+    /// Spans and events: low-rate, mutex-backed.
     inner: Arc<Mutex<Inner>>,
+    /// Counters / gauges / histograms: per-thread shards, lock-free on
+    /// the hot path, merged on read (see [`mod@shard`]).
+    metrics: Arc<shard::ShardedMetrics>,
 }
 
 impl Default for Telemetry {
@@ -106,11 +114,14 @@ impl Default for Telemetry {
 
 impl std::fmt::Debug for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.lock();
+        let (spans, events) = {
+            let inner = self.lock();
+            (inner.spans.len(), inner.events.len())
+        };
         f.debug_struct("Telemetry")
-            .field("spans", &inner.spans.len())
-            .field("metrics", &inner.metrics.len())
-            .field("events", &inner.events.len())
+            .field("spans", &spans)
+            .field("metrics", &self.merged_metrics().len())
+            .field("events", &events)
             .finish()
     }
 }
@@ -124,9 +135,9 @@ impl Telemetry {
                 epoch: Instant::now(),
                 spans: Vec::new(),
                 open: Vec::new(),
-                metrics: MetricsRegistry::new(),
                 events: Vec::new(),
             })),
+            metrics: shard::ShardedMetrics::new(),
         }
     }
 
@@ -153,43 +164,61 @@ impl Telemetry {
     }
 
     // -- metrics -----------------------------------------------------------
+    //
+    // All writes land in the calling thread's shard: after the first
+    // touch of a name, `counter_add` / `observe` are a thread-local map
+    // lookup plus relaxed atomics — no global mutex on the hot path.
 
     /// Add `delta` to a (auto-registered) counter.
     pub fn counter_add(&self, name: &str, delta: u64) {
-        self.lock().metrics.counter_add(name, delta);
+        self.metrics.counter_add(name, delta);
     }
 
     /// Set a (auto-registered) gauge.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        self.lock().metrics.gauge_set(name, value);
+        self.metrics.gauge_set(name, value);
     }
 
     /// Record one observation into a histogram with default power-of-ten
     /// buckets (see [`metrics::DEFAULT_BUCKETS`]).
     pub fn observe(&self, name: &str, value: f64) {
-        self.lock().metrics.observe(name, value, metrics::DEFAULT_BUCKETS);
+        self.metrics.observe(name, value, metrics::DEFAULT_BUCKETS);
     }
 
     /// Record one observation into a histogram with explicit fixed bucket
     /// upper bounds (used on first registration; later calls reuse the
     /// registered bounds).
     pub fn observe_with(&self, name: &str, value: f64, bounds: &[f64]) {
-        self.lock().metrics.observe(name, value, bounds);
+        self.metrics.observe(name, value, bounds);
+    }
+
+    /// Record one observation and pin `label` (conventionally a request
+    /// id) as the latest exemplar of the bucket it lands in, linking
+    /// e.g. a p99 latency bucket back to the request that populated it.
+    pub fn observe_with_exemplar(&self, name: &str, value: f64, bounds: &[f64], label: &str) {
+        self.metrics.observe_with_exemplar(name, value, bounds, label);
     }
 
     /// Snapshot of one counter (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
-        self.lock().metrics.counter(name)
+        self.merged_metrics().counter(name)
     }
 
     /// Snapshot of one gauge.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.lock().metrics.gauge(name)
+        self.merged_metrics().gauge(name)
     }
 
     /// Snapshot of one histogram.
     pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
-        self.lock().metrics.histogram(name)
+        self.merged_metrics().histogram(name)
+    }
+
+    /// Deterministically merge every thread's shard into one registry
+    /// (counters sum; gauges and exemplars resolve last-write-wins by a
+    /// global stamp; histogram buckets sum).
+    pub fn merged_metrics(&self) -> MetricsRegistry {
+        self.metrics.merged()
     }
 
     // -- sinks -------------------------------------------------------------
@@ -202,6 +231,11 @@ impl Telemetry {
     /// JSON-lines export: one self-describing record per line.
     pub fn render_jsonl(&self) -> String {
         sink::render_jsonl(self)
+    }
+
+    /// Prometheus text exposition of the merged metrics.
+    pub fn render_prometheus(&self) -> String {
+        sink::render_prometheus(&self.merged_metrics())
     }
 
     /// Write the JSON-lines export to any writer.

@@ -18,6 +18,16 @@ pub enum Metric {
     Histogram(Histogram),
 }
 
+/// A sampled observation pinned to a histogram bucket, linking the
+/// bucket back to the entity (e.g. a request id) that populated it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// The observed value.
+    pub value: f64,
+    /// Free-form label, conventionally a request id.
+    pub label: String,
+}
+
 /// A fixed-bucket histogram.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
@@ -30,6 +40,8 @@ pub struct Histogram {
     sum: f64,
     min: f64,
     max: f64,
+    /// Latest exemplar per bucket (same length as `counts`).
+    exemplars: Vec<Option<Exemplar>>,
 }
 
 impl Histogram {
@@ -42,7 +54,21 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            exemplars: vec![None; bounds.len() + 1],
         }
+    }
+
+    /// Reassemble a histogram from merged shard state.
+    pub(crate) fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        exemplars: Vec<Option<Exemplar>>,
+    ) -> Histogram {
+        Histogram { bounds, counts, count, sum, min, max, exemplars }
     }
 
     fn record(&mut self, value: f64) {
@@ -57,6 +83,15 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    fn record_with_exemplar(&mut self, value: f64, label: &str) {
+        if !value.is_finite() {
+            return;
+        }
+        self.record(value);
+        let index = self.bounds.iter().position(|b| value <= *b).unwrap_or(self.bounds.len());
+        self.exemplars[index] = Some(Exemplar { value, label: label.to_owned() });
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             bounds: self.bounds.clone(),
@@ -65,6 +100,7 @@ impl Histogram {
             sum: self.sum,
             min: if self.count == 0 { 0.0 } else { self.min },
             max: if self.count == 0 { 0.0 } else { self.max },
+            exemplars: self.exemplars.clone(),
         }
     }
 }
@@ -85,6 +121,8 @@ pub struct HistogramSnapshot {
     pub min: f64,
     /// Largest observation (0 when empty).
     pub max: f64,
+    /// Latest exemplar per bucket (one entry per bound plus overflow).
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 impl HistogramSnapshot {
@@ -158,6 +196,38 @@ impl MetricsRegistry {
             Metric::Histogram(histogram) => histogram.record(value),
             other => panic!("metric `{name}` is not a histogram: {other:?}"),
         }
+    }
+
+    /// Record into a histogram and pin `label` as the latest exemplar of
+    /// the bucket the value lands in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn observe_with_exemplar(&mut self, name: &str, value: f64, bounds: &[f64], label: &str) {
+        match self
+            .metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(histogram) => histogram.record_with_exemplar(value, label),
+            other => panic!("metric `{name}` is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Install a fully-merged counter (shard merge path).
+    pub(crate) fn insert_counter(&mut self, name: String, total: u64) {
+        self.metrics.insert(name, Metric::Counter(total));
+    }
+
+    /// Install a fully-merged gauge (shard merge path).
+    pub(crate) fn insert_gauge(&mut self, name: String, value: f64) {
+        self.metrics.insert(name, Metric::Gauge(value));
+    }
+
+    /// Install a fully-merged histogram (shard merge path).
+    pub(crate) fn insert_histogram(&mut self, name: String, histogram: Histogram) {
+        self.metrics.insert(name, Metric::Histogram(histogram));
     }
 
     /// Counter value (0 when absent).

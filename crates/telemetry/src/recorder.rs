@@ -1,0 +1,267 @@
+//! The flight recorder: a fixed-size ring buffer of finished request
+//! traces.
+//!
+//! Two rings: `recent` keeps the last N complete traces regardless of
+//! latency; `slow` separately retains any trace whose total duration
+//! crossed the slow-request threshold, so a burst of fast requests can't
+//! evict the one slow outlier you need for a post-mortem. The recorder
+//! is dumped on graceful drain and served live at `GET /debug/traces`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::json::JsonObject;
+use crate::trace::{render_chrome_trace, RequestTrace};
+
+/// Flight-recorder sizing and slow-trace policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightRecorderOptions {
+    /// How many most-recent traces to retain.
+    pub capacity: usize,
+    /// How many slow traces to retain (in addition to `capacity`).
+    pub slow_capacity: usize,
+    /// Traces at or above this total duration are retained as slow.
+    pub slow_threshold: Duration,
+}
+
+impl Default for FlightRecorderOptions {
+    fn default() -> FlightRecorderOptions {
+        FlightRecorderOptions {
+            capacity: 64,
+            slow_capacity: 32,
+            slow_threshold: Duration::from_millis(250),
+        }
+    }
+}
+
+struct RecorderInner {
+    options: FlightRecorderOptions,
+    recent: VecDeque<Arc<RequestTrace>>,
+    slow: VecDeque<Arc<RequestTrace>>,
+    recorded: u64,
+    slow_recorded: u64,
+}
+
+/// A clonable handle to one flight recorder.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<RecorderInner>>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("FlightRecorder")
+            .field("recent", &inner.recent.len())
+            .field("slow", &inner.slow.len())
+            .field("recorded", &inner.recorded)
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(FlightRecorderOptions::default())
+    }
+}
+
+impl FlightRecorder {
+    /// A fresh, empty recorder.
+    pub fn new(options: FlightRecorderOptions) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(RecorderInner {
+                options,
+                recent: VecDeque::with_capacity(options.capacity.min(1024)),
+                slow: VecDeque::with_capacity(options.slow_capacity.min(1024)),
+                recorded: 0,
+                slow_recorded: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RecorderInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The recorder's configuration.
+    pub fn options(&self) -> FlightRecorderOptions {
+        self.lock().options
+    }
+
+    /// Whether `trace` qualifies as slow under the recorder's threshold.
+    pub fn is_slow(&self, trace: &RequestTrace) -> bool {
+        trace.total() >= self.lock().options.slow_threshold
+    }
+
+    /// Retain a finished trace; returns whether it was classified slow.
+    pub fn record(&self, trace: RequestTrace) -> bool {
+        let trace = Arc::new(trace);
+        let mut inner = self.lock();
+        let slow = trace.total() >= inner.options.slow_threshold;
+        inner.recorded += 1;
+        if inner.options.capacity > 0 {
+            if inner.recent.len() == inner.options.capacity {
+                inner.recent.pop_front();
+            }
+            inner.recent.push_back(Arc::clone(&trace));
+        }
+        if slow {
+            inner.slow_recorded += 1;
+            if inner.options.slow_capacity > 0 {
+                if inner.slow.len() == inner.options.slow_capacity {
+                    inner.slow.pop_front();
+                }
+                inner.slow.push_back(trace);
+            }
+        }
+        slow
+    }
+
+    /// Look up a retained trace by request id (newest wins when a client
+    /// reused an id).
+    pub fn get(&self, request_id: &str) -> Option<Arc<RequestTrace>> {
+        let inner = self.lock();
+        inner
+            .recent
+            .iter()
+            .rev()
+            .chain(inner.slow.iter().rev())
+            .find(|trace| trace.request_id == request_id)
+            .map(Arc::clone)
+    }
+
+    /// All retained traces, oldest first; slow-only traces (already
+    /// evicted from the recent ring) come before the recent ring.
+    pub fn traces(&self) -> Vec<Arc<RequestTrace>> {
+        let inner = self.lock();
+        let mut out: Vec<Arc<RequestTrace>> = Vec::new();
+        for trace in inner.slow.iter() {
+            if !inner.recent.iter().any(|recent| Arc::ptr_eq(recent, trace)) {
+                out.push(Arc::clone(trace));
+            }
+        }
+        out.extend(inner.recent.iter().map(Arc::clone));
+        out
+    }
+
+    /// Total traces ever recorded (not just retained).
+    pub fn recorded(&self) -> u64 {
+        self.lock().recorded
+    }
+
+    /// Total traces ever classified slow.
+    pub fn slow_recorded(&self) -> u64 {
+        self.lock().slow_recorded
+    }
+
+    /// Number of currently retained traces.
+    pub fn len(&self) -> usize {
+        self.traces().len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        let inner = self.lock();
+        inner.recent.is_empty() && inner.slow.is_empty()
+    }
+
+    /// JSON index of retained traces (newest last).
+    pub fn render_index_json(&self) -> String {
+        let traces = self.traces();
+        let (recorded, slow_recorded, threshold) = {
+            let inner = self.lock();
+            (inner.recorded, inner.slow_recorded, inner.options.slow_threshold)
+        };
+        let mut rows = String::from("[");
+        for (i, trace) in traces.iter().enumerate() {
+            if i > 0 {
+                rows.push(',');
+            }
+            rows.push_str(
+                &JsonObject::new()
+                    .field("request_id", trace.request_id.as_str())
+                    .field("total_us", (trace.total().as_secs_f64() * 1e9).round() / 1e3)
+                    .field("span_count", trace.spans.len())
+                    .field("slow", trace.total() >= threshold)
+                    .finish(),
+            );
+        }
+        rows.push(']');
+        JsonObject::new()
+            .field("recorded", recorded)
+            .field("slow_recorded", slow_recorded)
+            .field("retained", traces.len())
+            .field("slow_threshold_ms", threshold.as_secs_f64() * 1e3)
+            .field_raw("traces", &rows)
+            .finish()
+    }
+
+    /// All retained traces as one Chrome `trace_event` document.
+    pub fn render_chrome_json(&self) -> String {
+        render_chrome_trace(&self.traces())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceContext;
+
+    fn trace_with_total(id: &str, micros_total: u64) -> RequestTrace {
+        let ctx = TraceContext::new(id);
+        ctx.record_complete(
+            None,
+            "request",
+            Duration::ZERO,
+            Duration::from_micros(micros_total),
+            Vec::new(),
+        );
+        ctx.finish()
+    }
+
+    #[test]
+    fn recent_ring_evicts_oldest() {
+        let recorder = FlightRecorder::new(FlightRecorderOptions {
+            capacity: 2,
+            slow_capacity: 2,
+            slow_threshold: Duration::from_secs(1),
+        });
+        for i in 0..3 {
+            recorder.record(trace_with_total(&format!("req-{i}"), 10));
+        }
+        assert!(recorder.get("req-0").is_none());
+        assert!(recorder.get("req-1").is_some());
+        assert!(recorder.get("req-2").is_some());
+        assert_eq!(recorder.recorded(), 3);
+        assert_eq!(recorder.len(), 2);
+    }
+
+    #[test]
+    fn slow_traces_survive_recent_eviction() {
+        let recorder = FlightRecorder::new(FlightRecorderOptions {
+            capacity: 1,
+            slow_capacity: 4,
+            slow_threshold: Duration::from_micros(100),
+        });
+        assert!(recorder.record(trace_with_total("slow-1", 500)));
+        assert!(!recorder.record(trace_with_total("fast-1", 10)));
+        assert!(!recorder.record(trace_with_total("fast-2", 10)));
+        // Evicted from recent, retained as slow.
+        assert!(recorder.get("slow-1").is_some());
+        assert_eq!(recorder.slow_recorded(), 1);
+        let index = recorder.render_index_json();
+        assert!(index.contains("\"slow\":true"), "{index}");
+    }
+
+    #[test]
+    fn index_and_chrome_renderings_are_json() {
+        let recorder = FlightRecorder::default();
+        recorder.record(trace_with_total("req-a", 42));
+        let index = recorder.render_index_json();
+        assert!(index.starts_with('{') && index.ends_with('}'), "{index}");
+        assert!(index.contains("req-a"), "{index}");
+        let chrome = recorder.render_chrome_json();
+        assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+    }
+}

@@ -8,6 +8,9 @@
 //!                [--stream] [--chunk-size N] [--fuel N] [--deadline-ms N]
 //! cicero serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!                [--drain-timeout-ms N] [--config NxM] [--jobs N]
+//!                [--trace-dump PATH] [--slow-trace-ms N] [--trace-capacity N]
+//! cicero trace   <pattern>... (--text STR | --input FILE) [--config NxM] [--jobs N]
+//!                [--export tree|json|chrome] [-o FILE] [--request-id ID]
 //! cicero explain <pattern>
 //! cicero configs
 //! cicero difftest [--seed N] [--iters K] [--jobs J] [--corpus DIR] [--save]
@@ -60,6 +63,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("configs") => cmd_configs(),
         Some("difftest") => cmd_difftest(&args[1..]),
@@ -94,6 +98,10 @@ USAGE:
     cicero serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
                    [--drain-timeout-ms N] [--config NxM] [--jobs N]
                    [--metrics PATH] [--metrics-format FORMAT]
+                   [--trace-dump PATH] [--slow-trace-ms N] [--trace-capacity N]
+    cicero trace   <p1> <p2> ... (--text STR | --input FILE) [--config NxM]
+                   [--jobs N] [--export tree|json|chrome] [-o|--output FILE]
+                   [--request-id ID] [--fuel N] [--deadline-ms N]
     cicero explain <pattern>
     cicero configs
     cicero difftest [--seed N] [--iters K] [--jobs J] [--corpus DIR] [--save]
@@ -136,6 +144,19 @@ OPTIONS:
     --drain-timeout-ms N
                       serve: how long shutdown waits for queued + in-flight
                       requests before giving up (default 5000)
+    --trace-dump PATH serve: on graceful drain, dump the flight recorder's
+                      retained request traces to PATH as Chrome trace_event
+                      JSON (loadable in Perfetto / chrome://tracing)
+    --slow-trace-ms N serve: requests at or above N ms are retained in the
+                      recorder's separate slow ring (default 250)
+    --trace-capacity N
+                      serve: how many recent request traces the flight
+                      recorder retains (default 64)
+    --export KIND     trace: rendering — `tree` (indented text, default),
+                      `json` (span-tree JSON), or `chrome` (trace_event JSON
+                      for Perfetto); `-o FILE` writes it to a file
+    --request-id ID   trace: the request id stamped on the trace
+                      (default cli-trace)
     --seed N          difftest: base seed (default 42); the run is reproducible
                       for a fixed (seed, iters, jobs)
     --iters K         difftest: number of generated patterns (default 1000)
@@ -647,6 +668,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "jobs",
             "metrics",
             "metrics-format",
+            "trace-dump",
+            "slow-trace-ms",
+            "trace-capacity",
         ],
         &[],
     )?;
@@ -678,6 +702,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(value) = flags.value("jobs") {
         options.runtime.jobs = parse_jobs(value)?;
     }
+    if let Some(path) = flags.value("trace-dump") {
+        options.trace_dump = Some(std::path::PathBuf::from(path));
+    }
+    if let Some(value) = flags.value("slow-trace-ms") {
+        let ms: u64 =
+            value.parse().map_err(|_| format!("--slow-trace-ms `{value}` is not a number"))?;
+        options.recorder.slow_threshold = std::time::Duration::from_millis(ms);
+    }
+    if let Some(value) = flags.value("trace-capacity") {
+        options.recorder.capacity = value
+            .parse::<usize>()
+            .map_err(|_| format!("--trace-capacity `{value}` is not a number"))?;
+    }
 
     let telemetry = Telemetry::new();
     let server = Server::bind_with_telemetry(options, telemetry.clone())
@@ -698,6 +735,85 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err("drain timed out with requests still in flight".to_owned())
+    }
+}
+
+/// `cicero trace`: run one traced set-scan through the parallel runtime
+/// and render the resulting span tree — the CLI twin of the server's
+/// `GET /debug/traces/{id}` (same span names, same schema).
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use cicero::telemetry::{render_chrome_trace, TraceContext};
+
+    let flags = parse_flags(
+        args,
+        &[
+            "text",
+            "input",
+            "config",
+            "jobs",
+            "export",
+            "output",
+            "request-id",
+            "fuel",
+            "deadline-ms",
+        ],
+        &[],
+    )?;
+    if flags.positional.is_empty() {
+        return Err("trace takes one or more patterns".to_owned());
+    }
+    let config = parse_config(flags.value("config"))?;
+    let input = read_input(&flags)?;
+    let jobs = match flags.value("jobs") {
+        Some(value) => parse_jobs(value)?,
+        None => 1,
+    };
+    let mut budget = Budget::default();
+    if let Some(value) = flags.value("fuel") {
+        budget.fuel = Some(value.parse().map_err(|_| format!("--fuel `{value}` is not a number"))?);
+    }
+    if let Some(value) = flags.value("deadline-ms") {
+        let ms: u64 =
+            value.parse().map_err(|_| format!("--deadline-ms `{value}` is not a number"))?;
+        budget.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    let request_id = flags.value("request-id").unwrap_or("cli-trace");
+
+    let runtime = Runtime::new(RuntimeOptions { jobs, ..RuntimeOptions::default() });
+    let chunks = chunk_input(&input);
+    let ctx = TraceContext::new(request_id);
+    {
+        let root = ctx.root_span("request");
+        root.annotate("patterns", flags.positional.len());
+        root.annotate("input_bytes", input.len());
+        root.annotate("config", config.name());
+        let (program, _cache_hit) = runtime
+            .compile_set_traced(&flags.positional, Some(&root))
+            .map_err(|e| e.to_string())?;
+        let batch =
+            runtime.run_batch_guarded_traced(&program, &chunks, &config, &budget, Some(&root));
+        root.annotate("completed", batch.completed());
+    }
+    let trace = ctx.finish();
+
+    let export = flags.value("export").unwrap_or("tree");
+    let rendered = match export {
+        "tree" => trace.render_tree(),
+        "json" => trace.render_json(false),
+        "chrome" => render_chrome_trace(&[&trace]),
+        other => return Err(format!("unknown export kind `{other}` (use tree, json, or chrome)")),
+    };
+    match flags.value("output") {
+        Some(path) if path != "-" => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))
+        }
+        _ => {
+            print!("{rendered}");
+            if !rendered.ends_with('\n') {
+                println!();
+            }
+            Ok(())
+        }
     }
 }
 

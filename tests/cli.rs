@@ -367,3 +367,57 @@ fn difftest_exports_telemetry_counters() {
     assert!(metrics.contains("difftest.cases"), "metrics: {metrics}");
     std::fs::remove_file(&path).ok();
 }
+
+/// `cicero trace` renders one connected span tree for a traced set-scan:
+/// compile with per-pass children, execute with per-worker sim spans.
+#[test]
+fn trace_renders_a_span_tree_with_passes_and_workers() {
+    let output = cicero(&[
+        "trace",
+        "GET /",
+        "POST /",
+        "--text",
+        "GET /index POST /submit",
+        "--request-id",
+        "cli-tree",
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let tree = stdout(&output);
+    assert!(tree.starts_with("trace cli-tree"), "{tree}");
+    for expect in ["request", "compile", "pass:", "execute", "sim.worker-0", "cycles="] {
+        assert!(tree.contains(expect), "missing {expect} in:\n{tree}");
+    }
+}
+
+/// `--export chrome -o FILE` writes a Perfetto-loadable trace_event
+/// document; `--export json` emits the span-tree JSON schema.
+#[test]
+fn trace_exports_chrome_and_json_documents() {
+    let path = temp_file("trace.chrome.json");
+    let output = cicero(&[
+        "trace",
+        "ab|cd",
+        "--text",
+        "xxcdxx",
+        "--export",
+        "chrome",
+        "-o",
+        path.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let chrome = std::fs::read_to_string(&path).expect("chrome export written");
+    std::fs::remove_file(&path).ok();
+    assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+    assert!(chrome.contains("\"displayTimeUnit\":\"ms\""), "{chrome}");
+
+    let output = cicero(&["trace", "ab", "--text", "ab", "--export", "json"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let json = stdout(&output);
+    assert!(json.contains("\"request_id\":\"cli-trace\""), "{json}");
+    assert!(json.contains("\"spans\":["), "{json}");
+
+    let output = cicero(&["trace", "ab", "--text", "ab", "--export", "bogus"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("unknown export kind"));
+}
