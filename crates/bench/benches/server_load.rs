@@ -10,14 +10,21 @@
 //! `POST /match` for a single pattern over one chunk — so the program
 //! cache sees the repeated-set traffic it was built for.
 //!
-//! Reported: sustained throughput (requests/s), client-observed latency
-//! percentiles (p50/p90/p99), and the shutdown drain — the run ends with
-//! `POST /shutdown` and asserts that every request got a `200` (zero
-//! drops) and that the drain completed inside the timeout.
+//! The bench runs **two passes** against fresh servers: a single-worker
+//! baseline and a `CLIENTS`-worker configuration. The ratio is the
+//! multi-worker speedup; on a host with ≥ 4 CPUs the bench *asserts*
+//! the multi-worker pass sustains ≥ 2× the single-worker req/s (the
+//! acceptance floor), so a single-core CI cannot silently mask a
+//! parallelism regression on real hardware.
+//!
+//! Reported per pass: sustained throughput (requests/s), client-observed
+//! latency percentiles (p50/p90/p99), and the shutdown drain — each pass
+//! ends with `POST /shutdown` and asserts that every request got a `200`
+//! (zero drops) and that the drain completed inside the timeout.
 //!
 //! Request volume follows `CICERO_BENCH_SCALE`: `quick` 1 000, default
-//! 10 000, `full` 20 000. Output path via `CICERO_BENCH_SERVER` (empty to
-//! disable, default `BENCH_server.json`).
+//! 10 000, `full` 20 000 (split across the two passes). Output path via
+//! `CICERO_BENCH_SERVER` (empty to disable, default `BENCH_server.json`).
 
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -26,12 +33,16 @@ use std::time::{Duration, Instant};
 
 use cicero_bench::{banner, f2, Scale, SEED};
 use cicero_runtime::RuntimeOptions;
-use cicero_server::{Server, ServerOptions};
+use cicero_server::{DrainReport, Server, ServerOptions};
 use cicero_telemetry::escape_json;
 use workloads::Benchmark;
 
 /// Concurrent closed-loop clients (the acceptance floor is 4).
 const CLIENTS: usize = 4;
+
+/// The multi-worker pass must beat the single-worker pass by at least
+/// this factor on a host with ≥ 4 CPUs.
+const SPEEDUP_FLOOR: f64 = 2.0;
 
 /// Patterns per suite / chunks per suite in the request mix. Kept small:
 /// the load bench measures the serving tier, not simulator throughput.
@@ -180,24 +191,31 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[index]
 }
 
-fn main() {
-    let scale = Scale::from_env();
-    banner("Server", "closed-loop HTTP load vs the cicero-server front door", scale);
-    let total = total_requests(scale);
-    let per_client = total / CLIENTS;
-    let host_cpus =
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+/// Everything one pass produces for the report.
+struct PassResult {
+    workers: usize,
+    served: usize,
+    throughput_rps: f64,
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    max: f64,
+    run_wall: Duration,
+    drain_wall: Duration,
+    report: DrainReport,
+}
 
-    // The request mix: the simple suites, small, seeded — repeated sets
-    // are the cache-friendly common case for serving traffic.
-    let mut templates = Vec::new();
-    templates.extend(suite_templates(&Benchmark::protomata(SEED, MIX_PATTERNS, MIX_CHUNKS)));
-    templates.extend(suite_templates(&Benchmark::brill(SEED, MIX_PATTERNS, MIX_CHUNKS)));
-    let scan_templates = templates.iter().filter(|t| t.endpoint == "scan").count();
-
+/// Run one full closed-loop pass against a fresh server with the given
+/// worker count, including graceful shutdown with zero-drop assertions.
+fn run_pass(
+    templates: &std::sync::Arc<Vec<RequestTemplate>>,
+    workers: usize,
+    total: usize,
+) -> PassResult {
+    let per_client = (total / CLIENTS).max(1);
     let server = Server::bind(ServerOptions {
         addr: "127.0.0.1:0".to_owned(),
-        workers: CLIENTS,
+        workers,
         queue_depth: 64,
         drain_timeout: Duration::from_millis(5000),
         runtime: RuntimeOptions { jobs: 1, ..RuntimeOptions::default() },
@@ -208,20 +226,13 @@ fn main() {
     let handle = server.handle();
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));
 
-    println!(
-        "  {total} requests from {CLIENTS} closed-loop clients over {} ({} templates, \
-         {scan_templates} scans/cycle)",
-        addr,
-        templates.len()
-    );
-    let templates = std::sync::Arc::new(templates);
     let run_start = Instant::now();
     let mut clients = Vec::new();
     for client in 0..CLIENTS {
-        let templates = std::sync::Arc::clone(&templates);
+        let templates = std::sync::Arc::clone(templates);
         clients.push(std::thread::spawn(move || run_client(addr, &templates, client, per_client)));
     }
-    let mut latencies: Vec<f64> = Vec::with_capacity(total);
+    let mut latencies: Vec<f64> = Vec::with_capacity(per_client * CLIENTS);
     for client in clients {
         latencies.extend(client.join().expect("client thread"));
     }
@@ -245,7 +256,7 @@ fn main() {
     let drain_wall = drain_requested.elapsed();
     assert!(report.drained, "drain must complete inside the timeout: {report:?}");
     assert!(handle.is_draining());
-    assert_eq!(report.rejected, 0, "a closed loop within queue_depth never trips admission");
+    assert_eq!(report.rejected, 0, "a closed loop within capacity never trips admission");
     assert_eq!(
         report.requests,
         served as u64 + 1, // + the shutdown request itself
@@ -253,28 +264,107 @@ fn main() {
     );
 
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let throughput_rps = served as f64 / run_wall.as_secs_f64();
-    let p50 = percentile(&latencies, 0.50);
-    let p90 = percentile(&latencies, 0.90);
-    let p99 = percentile(&latencies, 0.99);
-    let max = latencies.last().copied().unwrap_or(0.0);
+    PassResult {
+        workers,
+        served,
+        throughput_rps: served as f64 / run_wall.as_secs_f64(),
+        p50: percentile(&latencies, 0.50),
+        p90: percentile(&latencies, 0.90),
+        p99: percentile(&latencies, 0.99),
+        max: latencies.last().copied().unwrap_or(0.0),
+        run_wall,
+        drain_wall,
+        report,
+    }
+}
+
+fn print_pass(label: &str, pass: &PassResult) {
+    println!(
+        "  {label:<13}: {} req/s over {:.2} s ({} workers)",
+        f2(pass.throughput_rps),
+        pass.run_wall.as_secs_f64(),
+        pass.workers
+    );
+    println!(
+        "                 p50 {} ms  p90 {} ms  p99 {} ms  max {} ms; drain {:.1} ms, {} served, \
+         {} rejected",
+        f2(pass.p50),
+        f2(pass.p90),
+        f2(pass.p99),
+        f2(pass.max),
+        pass.report.wall.as_secs_f64() * 1e3,
+        pass.report.requests,
+        pass.report.rejected
+    );
+}
+
+fn pass_json(pass: &PassResult) -> String {
+    format!(
+        "{{\"workers\": {}, \"requests\": {}, \"throughput_rps\": {:.1}, \
+         \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}, \
+         \"run_seconds\": {:.3}, \"drained\": {}, \"drain_ms\": {:.1}, \
+         \"served_total\": {}, \"rejected_at_admission\": {}}}",
+        pass.workers,
+        pass.served,
+        pass.throughput_rps,
+        pass.p50,
+        pass.p90,
+        pass.p99,
+        pass.max,
+        pass.run_wall.as_secs_f64(),
+        pass.report.drained,
+        pass.drain_wall.as_secs_f64() * 1e3,
+        pass.report.requests,
+        pass.report.rejected,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Server", "closed-loop HTTP load vs the cicero-server front door", scale);
+    let total = total_requests(scale);
+    let per_pass = total / 2;
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+
+    // The request mix: the simple suites, small, seeded — repeated sets
+    // are the cache-friendly common case for serving traffic.
+    let mut templates = Vec::new();
+    templates.extend(suite_templates(&Benchmark::protomata(SEED, MIX_PATTERNS, MIX_CHUNKS)));
+    templates.extend(suite_templates(&Benchmark::brill(SEED, MIX_PATTERNS, MIX_CHUNKS)));
+    let scan_templates = templates.iter().filter(|t| t.endpoint == "scan").count();
+    let templates = std::sync::Arc::new(templates);
+
+    println!(
+        "  {total} requests from {CLIENTS} closed-loop clients, split over a 1-worker and a \
+         {CLIENTS}-worker pass ({} templates, {scan_templates} scans/cycle)",
+        templates.len()
+    );
+
+    let single = run_pass(&templates, 1, per_pass);
+    let multi = run_pass(&templates, CLIENTS, per_pass);
+    let speedup = multi.throughput_rps / single.throughput_rps;
+    let speedup_asserted = host_cpus >= 4;
 
     println!();
-    println!("  throughput : {} req/s over {:.2} s", f2(throughput_rps), run_wall.as_secs_f64());
+    print_pass("single-worker", &single);
+    print_pass("multi-worker", &multi);
     println!(
-        "  latency    : p50 {} ms  p90 {} ms  p99 {} ms  max {} ms",
-        f2(p50),
-        f2(p90),
-        f2(p99),
-        f2(max)
+        "  speedup      : {}x multi-worker over single-worker on {host_cpus} CPU(s) \
+         (floor {SPEEDUP_FLOOR}x, asserted only when host_cpus >= 4)",
+        f2(speedup)
     );
-    println!(
-        "  drain      : complete in {:.1} ms, {} served, {} rejected",
-        report.wall.as_secs_f64() * 1e3,
-        report.requests,
-        report.rejected
-    );
-    println!("  host       : {host_cpus} CPU(s); closed-loop, so concurrency == {CLIENTS}");
+    if speedup_asserted {
+        assert!(
+            speedup >= SPEEDUP_FLOOR,
+            "multi-core host must sustain >= {SPEEDUP_FLOOR}x single-worker throughput, \
+             got {speedup:.2}x ({:.1} vs {:.1} req/s)",
+            multi.throughput_rps,
+            single.throughput_rps
+        );
+    } else {
+        println!("  (single-core host: speedup recorded but not asserted)");
+    }
 
     let path =
         std::env::var("CICERO_BENCH_SERVER").unwrap_or_else(|_| "BENCH_server.json".to_owned());
@@ -283,21 +373,27 @@ fn main() {
         json.push_str("{\n");
         json.push_str("  \"bench\": \"server_load\",\n");
         let _ = writeln!(json, "  \"clients\": {CLIENTS},");
-        let _ = writeln!(json, "  \"requests\": {served},");
+        let _ = writeln!(json, "  \"requests\": {},", single.served + multi.served);
         let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
         json.push_str(
             "  \"notes\": \"closed-loop clients over loopback TCP; latency is client-observed \
              round-trip per request (POST /scan with a suite's pattern set, POST /match per \
-             pattern); the run ends with POST /shutdown and asserts a complete drain with zero \
-             dropped requests\",\n",
+             pattern); two passes against fresh servers (1 worker, then `clients` workers) and \
+             multiworker_speedup is their req/s ratio, asserted >= 2.0 when host_cpus >= 4; each \
+             pass ends with POST /shutdown and asserts a complete drain with zero dropped \
+             requests\",\n",
         );
-        let _ = writeln!(json, "  \"throughput_rps\": {throughput_rps:.1},");
-        let _ = writeln!(json, "  \"latency_ms\": {{\"p50\": {p50:.3}, \"p90\": {p90:.3}, \"p99\": {p99:.3}, \"max\": {max:.3}}},");
-        let _ = writeln!(json, "  \"run_seconds\": {:.3},", run_wall.as_secs_f64());
-        let _ = writeln!(json, "  \"drained\": {},", report.drained);
-        let _ = writeln!(json, "  \"drain_ms\": {:.1},", drain_wall.as_secs_f64() * 1e3);
-        let _ = writeln!(json, "  \"served_total\": {},", report.requests);
-        let _ = writeln!(json, "  \"rejected_at_admission\": {}", report.rejected);
+        let _ = writeln!(json, "  \"throughput_rps\": {:.1},", multi.throughput_rps);
+        let _ = writeln!(
+            json,
+            "  \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},",
+            multi.p50, multi.p90, multi.p99, multi.max
+        );
+        let _ = writeln!(json, "  \"multiworker_speedup\": {speedup:.3},");
+        let _ = writeln!(json, "  \"speedup_floor\": {SPEEDUP_FLOOR:.1},");
+        let _ = writeln!(json, "  \"speedup_asserted\": {speedup_asserted},");
+        let _ = writeln!(json, "  \"single_worker\": {},", pass_json(&single));
+        let _ = writeln!(json, "  \"multi_worker\": {}", pass_json(&multi));
         json.push_str("}\n");
         match std::fs::write(&path, json) {
             Ok(()) => println!("\n  results written to {path}"),

@@ -1,0 +1,644 @@
+//! Models of the repo's three load-bearing concurrency protocols, in
+//! the shape the [`crate::Explorer`] can exhaust.
+//!
+//! Each model mirrors one real protocol step-for-step at the
+//! granularity of its atomic operations (one lock-protected region,
+//! channel op, or atomic RMW per [`crate::Model::step`]):
+//!
+//! * [`AdmissionModel`] — the server's bounded admission queue
+//!   (`cicero-server`): acceptor increments the `queued` gauge, then
+//!   `try_send`s; on a full queue it decrements and rejects with a 503.
+//!   Workers `recv`, decrement the gauge, and serve. The
+//!   `gauge_after_send` flag re-creates the tempting-but-wrong ordering
+//!   (send first, count after) whose gauge goes negative when a worker
+//!   dequeues between the two steps.
+//! * [`DrainModel`] — the readiness-loop drain protocol: a poller owns
+//!   parked keep-alive connections, dispatches readable ones to a
+//!   bounded ready queue, and on drain must *sweep* — dispatch parked
+//!   connections that already have bytes waiting, closing only the truly
+//!   idle ones — before dropping the dispatch channel. The
+//!   `close_parked_on_drain` flag re-creates the shortcut of closing
+//!   every parked connection at drain, which silently drops requests
+//!   that had already arrived.
+//! * [`RespawnModel`] — the guarded set-scan from `cicero-runtime`'s
+//!   budget module: workers pull input indices off a shared atomic
+//!   counter, run them on a per-worker machine, and on a panic respawn
+//!   the machine and retry the same input once before recording a
+//!   fault. The `lose_input_on_panic` flag re-creates the pre-guard
+//!   behaviour where a panic abandoned the in-flight input entirely.
+
+use std::collections::VecDeque;
+
+use crate::{Model, Step};
+
+// ---------------------------------------------------------------------------
+// Admission: bounded queue + gauge + drain.
+// ---------------------------------------------------------------------------
+
+/// See module docs. Thread 0 is the acceptor; threads `1..=workers` are
+/// queue workers.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionModel {
+    /// Connections the acceptor admits or rejects, in order.
+    pub connections: usize,
+    /// Bounded queue depth (`sync_channel` capacity).
+    pub queue_depth: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Re-create the historical bug: count into the gauge *after* a
+    /// successful send instead of before.
+    pub gauge_after_send: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AcceptorPc {
+    /// Correct path: bump the gauge before attempting the send.
+    GaugeUp,
+    /// Attempt `try_send` of the current connection.
+    Send,
+    /// Send failed (queue full): undo the gauge bump, reject.
+    GaugeDownReject,
+    /// Buggy path: send succeeded, *now* bump the gauge.
+    LateGaugeUp,
+    /// All connections handled: drop the sender so workers exit.
+    DropTx,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueWorkerPc {
+    /// Blocked on `recv` until the queue is non-empty or the sender is
+    /// dropped.
+    Recv,
+    /// Decrement the gauge for the dequeued connection.
+    GaugeDown,
+    /// Serve the dequeued connection.
+    Serve,
+}
+
+/// Shared state of the admission protocol.
+#[derive(Debug)]
+pub struct AdmissionState {
+    queue: VecDeque<usize>,
+    /// The `queued` gauge; `i64` so the underflow bug is visible rather
+    /// than a wrap.
+    gauge: i64,
+    tx_dropped: bool,
+    next_conn: usize,
+    acceptor_pc: AcceptorPc,
+    workers: Vec<(QueueWorkerPc, Option<usize>)>,
+    served: Vec<usize>,
+    rejected: Vec<usize>,
+}
+
+impl Model for AdmissionModel {
+    type State = AdmissionState;
+
+    fn name(&self) -> &'static str {
+        "admission"
+    }
+
+    fn threads(&self) -> usize {
+        1 + self.workers
+    }
+
+    fn init(&self) -> AdmissionState {
+        AdmissionState {
+            queue: VecDeque::new(),
+            gauge: 0,
+            tx_dropped: false,
+            next_conn: 0,
+            acceptor_pc: if self.connections == 0 {
+                AcceptorPc::DropTx
+            } else if self.gauge_after_send {
+                AcceptorPc::Send
+            } else {
+                AcceptorPc::GaugeUp
+            },
+            workers: vec![(QueueWorkerPc::Recv, None); self.workers],
+            served: Vec::new(),
+            rejected: Vec::new(),
+        }
+    }
+
+    fn enabled(&self, state: &AdmissionState, tid: usize) -> bool {
+        if tid == 0 {
+            return !state.tx_dropped;
+        }
+        let (pc, _) = state.workers[tid - 1];
+        match pc {
+            QueueWorkerPc::Recv => !state.queue.is_empty() || state.tx_dropped,
+            _ => true,
+        }
+    }
+
+    fn step(&self, state: &mut AdmissionState, tid: usize) -> Step {
+        if tid == 0 {
+            let first_pc =
+                if self.gauge_after_send { AcceptorPc::Send } else { AcceptorPc::GaugeUp };
+            match state.acceptor_pc {
+                AcceptorPc::GaugeUp => {
+                    state.gauge += 1;
+                    state.acceptor_pc = AcceptorPc::Send;
+                }
+                AcceptorPc::Send => {
+                    if state.queue.len() < self.queue_depth {
+                        state.queue.push_back(state.next_conn);
+                        state.next_conn += 1;
+                        state.acceptor_pc = if self.gauge_after_send {
+                            AcceptorPc::LateGaugeUp
+                        } else if state.next_conn == self.connections {
+                            AcceptorPc::DropTx
+                        } else {
+                            first_pc
+                        };
+                    } else if self.gauge_after_send {
+                        // Buggy variant never touched the gauge, so a
+                        // rejection is a single step.
+                        state.rejected.push(state.next_conn);
+                        state.next_conn += 1;
+                        if state.next_conn == self.connections {
+                            state.acceptor_pc = AcceptorPc::DropTx;
+                        }
+                    } else {
+                        state.acceptor_pc = AcceptorPc::GaugeDownReject;
+                    }
+                }
+                AcceptorPc::GaugeDownReject => {
+                    state.gauge -= 1;
+                    state.rejected.push(state.next_conn);
+                    state.next_conn += 1;
+                    state.acceptor_pc = if state.next_conn == self.connections {
+                        AcceptorPc::DropTx
+                    } else {
+                        first_pc
+                    };
+                }
+                AcceptorPc::LateGaugeUp => {
+                    state.gauge += 1;
+                    state.acceptor_pc = if state.next_conn == self.connections {
+                        AcceptorPc::DropTx
+                    } else {
+                        first_pc
+                    };
+                }
+                AcceptorPc::DropTx => {
+                    state.tx_dropped = true;
+                    return Step::Done;
+                }
+            }
+            return Step::Progress;
+        }
+
+        let widx = tid - 1;
+        match state.workers[widx].0 {
+            QueueWorkerPc::Recv => match state.queue.pop_front() {
+                Some(conn) => {
+                    state.workers[widx] = (QueueWorkerPc::GaugeDown, Some(conn));
+                }
+                None => {
+                    debug_assert!(state.tx_dropped);
+                    return Step::Done;
+                }
+            },
+            QueueWorkerPc::GaugeDown => {
+                state.gauge -= 1;
+                state.workers[widx].0 = QueueWorkerPc::Serve;
+            }
+            QueueWorkerPc::Serve => {
+                let conn = state.workers[widx].1.take().expect("serving without a connection");
+                state.served.push(conn);
+                state.workers[widx].0 = QueueWorkerPc::Recv;
+            }
+        }
+        Step::Progress
+    }
+
+    fn invariant(&self, state: &AdmissionState) -> Result<(), String> {
+        if state.gauge < 0 {
+            return Err(format!("queued gauge underflowed to {}", state.gauge));
+        }
+        if state.queue.len() > self.queue_depth {
+            return Err(format!(
+                "queue holds {} entries, depth is {}",
+                state.queue.len(),
+                self.queue_depth
+            ));
+        }
+        Ok(())
+    }
+
+    fn check(&self, state: &AdmissionState) -> Result<(), String> {
+        let mut seen = vec![0u32; self.connections];
+        for &conn in state.served.iter().chain(&state.rejected) {
+            seen[conn] += 1;
+        }
+        if let Some(conn) = seen.iter().position(|&n| n != 1) {
+            return Err(format!(
+                "connection {conn} finished {} times (served {:?}, rejected {:?})",
+                seen[conn], state.served, state.rejected
+            ));
+        }
+        if !state.queue.is_empty() {
+            return Err(format!("{} connections stranded in the queue", state.queue.len()));
+        }
+        if state.gauge != 0 {
+            return Err(format!("queued gauge settled at {} != 0", state.gauge));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drain: readiness loop shutdown vs in-flight requests.
+// ---------------------------------------------------------------------------
+
+/// See module docs. Thread 0 triggers the drain, thread 1 is the
+/// poller, threads `2..2 + workers` serve dispatched connections.
+#[derive(Debug, Clone)]
+pub struct DrainModel {
+    /// Parked keep-alive connections; `true` means a request has already
+    /// arrived on it (readable) when the model starts.
+    pub parked: Vec<bool>,
+    /// Bounded ready-queue depth between poller and workers.
+    pub queue_depth: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Re-create the shortcut bug: on drain, close every parked
+    /// connection instead of sweeping readable ones into the queue.
+    pub close_parked_on_drain: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PollerPc {
+    /// Normal operation: dispatch readable parked connections.
+    Poll,
+    /// Draining: walk the remaining parked list once.
+    Sweep,
+    /// Sweep finished: drop the dispatch channel.
+    DropTx,
+}
+
+/// Shared state of the drain protocol.
+#[derive(Debug)]
+pub struct DrainState {
+    /// Still-parked connections: `(conn id, readable)`.
+    parked: Vec<(usize, bool)>,
+    ready: VecDeque<usize>,
+    tx_dropped: bool,
+    draining: bool,
+    poller_pc: PollerPc,
+    workers: Vec<Option<usize>>,
+    served: Vec<usize>,
+    closed_idle: Vec<usize>,
+    dropped_ready: Vec<usize>,
+}
+
+impl DrainModel {
+    fn first_readable(state: &DrainState) -> Option<usize> {
+        state.parked.iter().position(|&(_, readable)| readable)
+    }
+}
+
+impl Model for DrainModel {
+    type State = DrainState;
+
+    fn name(&self) -> &'static str {
+        "drain"
+    }
+
+    fn threads(&self) -> usize {
+        2 + self.workers
+    }
+
+    fn init(&self) -> DrainState {
+        DrainState {
+            parked: self.parked.iter().copied().enumerate().collect(),
+            ready: VecDeque::new(),
+            tx_dropped: false,
+            draining: false,
+            poller_pc: PollerPc::Poll,
+            workers: vec![None; self.workers],
+            served: Vec::new(),
+            closed_idle: Vec::new(),
+            dropped_ready: Vec::new(),
+        }
+    }
+
+    fn enabled(&self, state: &DrainState, tid: usize) -> bool {
+        match tid {
+            // Drain trigger: a shutdown request can land at any moment.
+            0 => true,
+            1 => match state.poller_pc {
+                // Polling blocks when nothing is readable (the real loop
+                // sleeps) and backpressures when the queue is full; the
+                // drain flag always wakes it.
+                PollerPc::Poll => {
+                    state.draining
+                        || (Self::first_readable(state).is_some()
+                            && state.ready.len() < self.queue_depth)
+                }
+                PollerPc::Sweep => match state.parked.first() {
+                    // Dispatching a readable connection is a blocking
+                    // send: wait for queue room. Closing an idle one
+                    // never blocks.
+                    Some(&(_, readable)) => {
+                        self.close_parked_on_drain
+                            || !readable
+                            || state.ready.len() < self.queue_depth
+                    }
+                    None => true,
+                },
+                PollerPc::DropTx => true,
+            },
+            _ => {
+                let widx = tid - 2;
+                state.workers[widx].is_some() || !state.ready.is_empty() || state.tx_dropped
+            }
+        }
+    }
+
+    fn step(&self, state: &mut DrainState, tid: usize) -> Step {
+        match tid {
+            0 => {
+                state.draining = true;
+                return Step::Done;
+            }
+            1 => match state.poller_pc {
+                PollerPc::Poll => {
+                    if state.draining {
+                        state.poller_pc = PollerPc::Sweep;
+                    } else {
+                        let slot = Self::first_readable(state)
+                            .expect("poll stepped with nothing readable");
+                        let (conn, _) = state.parked.remove(slot);
+                        state.ready.push_back(conn);
+                    }
+                }
+                PollerPc::Sweep => match state.parked.first().copied() {
+                    Some((conn, readable)) => {
+                        state.parked.remove(0);
+                        if self.close_parked_on_drain {
+                            if readable {
+                                state.dropped_ready.push(conn);
+                            } else {
+                                state.closed_idle.push(conn);
+                            }
+                        } else if readable {
+                            state.ready.push_back(conn);
+                        } else {
+                            state.closed_idle.push(conn);
+                        }
+                    }
+                    None => state.poller_pc = PollerPc::DropTx,
+                },
+                PollerPc::DropTx => {
+                    state.tx_dropped = true;
+                    return Step::Done;
+                }
+            },
+            _ => {
+                let widx = tid - 2;
+                if let Some(conn) = state.workers[widx].take() {
+                    state.served.push(conn);
+                } else {
+                    match state.ready.pop_front() {
+                        Some(conn) => state.workers[widx] = Some(conn),
+                        None => {
+                            debug_assert!(state.tx_dropped);
+                            return Step::Done;
+                        }
+                    }
+                }
+            }
+        }
+        Step::Progress
+    }
+
+    fn invariant(&self, state: &DrainState) -> Result<(), String> {
+        if state.ready.len() > self.queue_depth {
+            return Err(format!(
+                "ready queue holds {} entries, depth is {}",
+                state.ready.len(),
+                self.queue_depth
+            ));
+        }
+        Ok(())
+    }
+
+    fn check(&self, state: &DrainState) -> Result<(), String> {
+        if !state.dropped_ready.is_empty() {
+            return Err(format!(
+                "connections {:?} had requests waiting but were closed unserved",
+                state.dropped_ready
+            ));
+        }
+        for (conn, readable) in self.parked.iter().copied().enumerate() {
+            if readable && !state.served.contains(&conn) {
+                return Err(format!(
+                    "readable connection {conn} never served (served {:?})",
+                    state.served
+                ));
+            }
+            if !readable && !state.closed_idle.contains(&conn) {
+                return Err(format!(
+                    "idle connection {conn} never closed (closed {:?})",
+                    state.closed_idle
+                ));
+            }
+        }
+        if !state.ready.is_empty() {
+            return Err(format!("{} dispatches stranded in the ready queue", state.ready.len()));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Respawn: panic → machine respawn → bounded retry during a set scan.
+// ---------------------------------------------------------------------------
+
+/// Attempt cap before an input is recorded as a fault instead of
+/// retried — mirrors `MAX_ATTEMPTS` in the runtime's guarded batch.
+pub const RESPAWN_MAX_ATTEMPTS: usize = 2;
+
+/// See module docs. All threads are scan workers.
+#[derive(Debug, Clone)]
+pub struct RespawnModel {
+    /// Per input: how many attempts panic before one succeeds.
+    /// `0` = clean, `1` = panics once then matches,
+    /// `>= RESPAWN_MAX_ATTEMPTS` = faults.
+    pub panics: Vec<usize>,
+    /// Scan worker threads.
+    pub workers: usize,
+    /// Re-create the unguarded behaviour: a panic abandons the in-flight
+    /// input instead of respawning and retrying.
+    pub lose_input_on_panic: bool,
+}
+
+/// Final disposition of one scanned input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanOutcome {
+    /// The machine ran it to completion.
+    Completed,
+    /// It panicked [`RESPAWN_MAX_ATTEMPTS`] times and was written off.
+    Fault,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanPc {
+    /// `fetch_add` the shared index.
+    Fetch,
+    /// Lazily (re)spawn the per-worker machine.
+    Ensure,
+    /// Run the current input on the machine.
+    Run,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ScanWorker {
+    pc: ScanPc,
+    machine_alive: bool,
+    current: Option<(usize, usize)>, // (input index, attempts so far)
+}
+
+/// Shared state of the respawn protocol.
+#[derive(Debug)]
+pub struct RespawnState {
+    next: usize,
+    outcomes: Vec<Option<ScanOutcome>>,
+    restarts: usize,
+    workers: Vec<ScanWorker>,
+    double_write: Option<usize>,
+}
+
+impl RespawnState {
+    fn record(&mut self, input: usize, outcome: ScanOutcome) {
+        if self.outcomes[input].is_some() {
+            self.double_write = Some(input);
+        }
+        self.outcomes[input] = Some(outcome);
+    }
+}
+
+impl Model for RespawnModel {
+    type State = RespawnState;
+
+    fn name(&self) -> &'static str {
+        "respawn"
+    }
+
+    fn threads(&self) -> usize {
+        self.workers
+    }
+
+    fn init(&self) -> RespawnState {
+        RespawnState {
+            next: 0,
+            outcomes: vec![None; self.panics.len()],
+            restarts: 0,
+            workers: vec![
+                ScanWorker { pc: ScanPc::Fetch, machine_alive: true, current: None };
+                self.workers
+            ],
+            double_write: None,
+        }
+    }
+
+    fn enabled(&self, _state: &RespawnState, _tid: usize) -> bool {
+        true
+    }
+
+    fn step(&self, state: &mut RespawnState, tid: usize) -> Step {
+        let mut worker = state.workers[tid];
+        let step = match worker.pc {
+            ScanPc::Fetch => {
+                let index = state.next;
+                state.next += 1;
+                if index >= self.panics.len() {
+                    Step::Done
+                } else {
+                    worker.current = Some((index, 0));
+                    worker.pc = ScanPc::Ensure;
+                    Step::Progress
+                }
+            }
+            ScanPc::Ensure => {
+                worker.machine_alive = true;
+                worker.pc = ScanPc::Run;
+                Step::Progress
+            }
+            ScanPc::Run => {
+                let (input, attempts) = worker.current.expect("run step without an input");
+                debug_assert!(worker.machine_alive, "ran on a dead machine");
+                if attempts < self.panics[input] {
+                    // This attempt panics: the machine is poisoned and
+                    // torn down, the restart counter bumps.
+                    state.restarts += 1;
+                    worker.machine_alive = false;
+                    let attempts = attempts + 1;
+                    if self.lose_input_on_panic {
+                        // Buggy: walk away from the input entirely.
+                        worker.current = None;
+                        worker.pc = ScanPc::Fetch;
+                    } else if attempts >= RESPAWN_MAX_ATTEMPTS {
+                        state.record(input, ScanOutcome::Fault);
+                        worker.current = None;
+                        worker.pc = ScanPc::Fetch;
+                    } else {
+                        worker.current = Some((input, attempts));
+                        worker.pc = ScanPc::Ensure;
+                    }
+                } else {
+                    state.record(input, ScanOutcome::Completed);
+                    worker.current = None;
+                    worker.pc = ScanPc::Fetch;
+                }
+                Step::Progress
+            }
+        };
+        state.workers[tid] = worker;
+        step
+    }
+
+    fn invariant(&self, state: &RespawnState) -> Result<(), String> {
+        if let Some(input) = state.double_write {
+            return Err(format!("input {input} recorded twice"));
+        }
+        let max_restarts: usize = self.panics.iter().map(|&p| p.min(RESPAWN_MAX_ATTEMPTS)).sum();
+        if state.restarts > max_restarts {
+            return Err(format!(
+                "{} machine restarts, at most {max_restarts} possible",
+                state.restarts
+            ));
+        }
+        Ok(())
+    }
+
+    fn check(&self, state: &RespawnState) -> Result<(), String> {
+        for (input, &panics) in self.panics.iter().enumerate() {
+            let expected = if panics >= RESPAWN_MAX_ATTEMPTS {
+                ScanOutcome::Fault
+            } else {
+                ScanOutcome::Completed
+            };
+            match state.outcomes[input] {
+                None => return Err(format!("input {input} was never scanned to an outcome")),
+                Some(actual) if actual != expected => {
+                    return Err(format!(
+                        "input {input} finished {actual:?}, expected {expected:?}"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        let expected_restarts: usize =
+            self.panics.iter().map(|&p| p.min(RESPAWN_MAX_ATTEMPTS)).sum();
+        if state.restarts != expected_restarts {
+            return Err(format!(
+                "{} machine restarts recorded, expected {expected_restarts}",
+                state.restarts
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,4 +1,4 @@
-//! LRU cache of compiled programs.
+//! Sharded LRU cache of compiled programs with miss coalescing.
 //!
 //! Serving traffic repeats patterns: deep-packet rules are applied to
 //! every packet, log-scan expressions to every shard. Compilation walks
@@ -8,12 +8,33 @@
 //! [`Program`] keyed by `(pattern, CompilerOptions)` — the options are
 //! part of the key because every transformation toggle changes the emitted
 //! code (that is the point of the paper's per-transformation flags).
+//!
+//! Two properties matter once the server actually runs on multiple cores:
+//!
+//! * **Lock striping** — the cache is split into N shards, each guarding
+//!   its own LRU with its own mutex, keyed by the hash of the cache key.
+//!   Front-end threads looking up *different* patterns never contend on
+//!   one global lock (the pre-sharding design serialized every lookup).
+//! * **Miss coalescing** — two threads missing on the *same* key used to
+//!   both run the full pass pipeline, with the loser's artifact discarded
+//!   at insert. Now the first miss registers an in-flight ticket; racers
+//!   wait on its condvar and receive the winner's [`Arc<Program>`], so
+//!   each key is compiled exactly once no matter how many threads ask for
+//!   it concurrently. A failed compile wakes all waiters, the first of
+//!   which retries as the new leader — errors are per-caller and never
+//!   cached.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use cicero_core::CompilerOptions;
 use cicero_isa::Program;
+
+/// Default shard count for [`ProgramCache::new`]. Fixed (rather than
+/// derived from host parallelism) so cache behavior is identical on every
+/// machine; 8 stripes are plenty for the worker counts the server runs.
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// Cache key: what was asked to be compiled, plus how.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -46,18 +67,21 @@ impl CacheKey {
     }
 }
 
-/// Point-in-time cache statistics.
+/// Point-in-time cache statistics (aggregated over every shard).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that had to compile.
     pub misses: u64,
+    /// Lookups that waited for another thread's in-flight compile of the
+    /// same key instead of compiling themselves (also counted in `hits`).
+    pub coalesced: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
-    /// Maximum resident entries.
+    /// Maximum resident entries (summed shard capacities).
     pub capacity: usize,
 }
 
@@ -73,31 +97,118 @@ impl CacheStats {
     }
 }
 
+/// What an in-flight compile resolved to, from a waiter's point of view.
+enum FlightOutcome {
+    /// The leader published the program.
+    Ready(Arc<Program>),
+    /// The leader's build failed; the waiter should retry (and may become
+    /// the new leader).
+    Failed,
+}
+
+/// A ticket for one in-flight compilation: waiters block on the condvar
+/// until the leader publishes a result.
+struct InFlight {
+    result: Mutex<Option<FlightOutcome>>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Arc<InFlight> {
+        Arc::new(InFlight { result: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    fn publish(&self, outcome: FlightOutcome) {
+        let mut slot = self.result.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> FlightOutcome {
+        let mut slot = self.result.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match slot.take() {
+                Some(FlightOutcome::Ready(program)) => {
+                    // Put it back for any other waiter still to wake.
+                    *slot = Some(FlightOutcome::Ready(Arc::clone(&program)));
+                    return FlightOutcome::Ready(program);
+                }
+                Some(FlightOutcome::Failed) => {
+                    *slot = Some(FlightOutcome::Failed);
+                    return FlightOutcome::Failed;
+                }
+                None => {
+                    slot = self.ready.wait(slot).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+        }
+    }
+}
+
 struct Inner {
     capacity: usize,
     entries: HashMap<CacheKey, Arc<Program>>,
     /// Keys in least-recently-used-first order.
     order: Vec<CacheKey>,
+    /// Compilations currently running for keys in this shard.
+    in_flight: HashMap<CacheKey, Arc<InFlight>>,
     hits: u64,
     misses: u64,
+    coalesced: u64,
     evictions: u64,
 }
 
-/// A thread-safe LRU cache of compiled programs.
+struct Shard {
+    inner: Mutex<Inner>,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            inner: Mutex::new(Inner {
+                capacity,
+                entries: HashMap::new(),
+                order: Vec::new(),
+                in_flight: HashMap::new(),
+                hits: 0,
+                misses: 0,
+                coalesced: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// What one shard lookup resolved to.
+enum Lookup {
+    /// Resident entry, recency refreshed.
+    Hit(Arc<Program>),
+    /// No entry and no in-flight compile; the caller is now the leader
+    /// for this key and must compile and publish on the returned ticket.
+    Lead(Arc<InFlight>),
+    /// Another thread is compiling this key; wait on the ticket.
+    Join(Arc<InFlight>),
+}
+
+/// A thread-safe, lock-striped LRU cache of compiled programs.
 ///
 /// Shared by every worker and every front-end thread of a
-/// [`Runtime`](crate::Runtime); lookups and insertions take one short
-/// mutex hold, while compilation itself runs outside the lock (two racing
-/// misses may both compile, the second insert winning — compilation is
-/// deterministic, so both produce the same program).
+/// [`Runtime`](crate::Runtime). Lookups take one short mutex hold on the
+/// key's shard; compilation runs outside every lock, and concurrent
+/// misses on the same key coalesce onto a single compile.
 pub struct ProgramCache {
-    inner: Mutex<Inner>,
+    shards: Vec<Shard>,
 }
 
 impl std::fmt::Debug for ProgramCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = self.stats();
         f.debug_struct("ProgramCache")
+            .field("shards", &self.shards.len())
             .field("entries", &stats.entries)
             .field("capacity", &stats.capacity)
             .field("hits", &stats.hits)
@@ -107,80 +218,144 @@ impl std::fmt::Debug for ProgramCache {
 }
 
 impl ProgramCache {
-    /// An empty cache holding at most `capacity` programs (minimum 1).
+    /// An empty cache holding at most `capacity` programs (minimum 1),
+    /// striped over [`DEFAULT_SHARDS`] shards (fewer when the capacity is
+    /// smaller, so every shard can hold at least one entry).
     pub fn new(capacity: usize) -> ProgramCache {
+        ProgramCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// An empty cache striped over exactly `shards` shards (clamped to
+    /// `[1, capacity]` so each shard holds at least one entry). A
+    /// single-shard cache behaves as one global LRU — exact global
+    /// eviction order is only guaranteed with `shards == 1`, since a
+    /// striped cache evicts per shard.
+    pub fn with_shards(capacity: usize, shards: usize) -> ProgramCache {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        // Distribute the capacity as evenly as possible; the first
+        // `capacity % shards` shards take the remainder.
+        let base = capacity / shards;
+        let extra = capacity % shards;
         ProgramCache {
-            inner: Mutex::new(Inner {
-                capacity: capacity.max(1),
-                entries: HashMap::new(),
-                order: Vec::new(),
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-            }),
+            shards: (0..shards).map(|i| Shard::new(base + usize::from(i < extra))).collect(),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Shard {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// One locked probe of the key's shard: hit, lead, or join.
+    fn probe(&self, shard: &Shard, key: &CacheKey) -> Lookup {
+        let mut inner = shard.lock();
+        if let Some(program) = inner.entries.get(key).cloned() {
+            inner.hits += 1;
+            // Refresh recency: move the key to most-recent.
+            inner.order.retain(|k| k != key);
+            inner.order.push(key.clone());
+            return Lookup::Hit(program);
+        }
+        if let Some(flight) = inner.in_flight.get(key).map(Arc::clone) {
+            inner.hits += 1;
+            inner.coalesced += 1;
+            return Lookup::Join(flight);
+        }
+        inner.misses += 1;
+        let flight = InFlight::new();
+        inner.in_flight.insert(key.clone(), Arc::clone(&flight));
+        Lookup::Lead(flight)
     }
 
     /// Look up `key`, or compile it with `build` and insert the result.
     ///
-    /// Returns the program and whether the lookup was a hit.
+    /// Returns the program and whether the lookup was a hit (a lookup
+    /// that coalesced onto another thread's in-flight compile counts as a
+    /// hit: this caller ran no pass pipeline).
     ///
     /// # Errors
     ///
-    /// Propagates `build`'s error; nothing is inserted on failure.
+    /// Propagates `build`'s error; nothing is inserted on failure, and
+    /// coalesced waiters retry (the first becoming the new leader) rather
+    /// than inheriting the leader's error.
     pub fn get_or_insert_with<E>(
         &self,
         key: CacheKey,
         build: impl FnOnce() -> Result<Program, E>,
     ) -> Result<(Arc<Program>, bool), E> {
-        {
-            let mut inner = self.lock();
-            if let Some(program) = inner.entries.get(&key).cloned() {
-                inner.hits += 1;
-                // Refresh recency: move the key to most-recent.
-                inner.order.retain(|k| *k != key);
-                inner.order.push(key);
-                return Ok((program, true));
+        let shard = self.shard_for(&key);
+        let mut build = Some(build);
+        loop {
+            match self.probe(shard, &key) {
+                Lookup::Hit(program) => return Ok((program, true)),
+                Lookup::Join(flight) => match flight.wait() {
+                    FlightOutcome::Ready(program) => return Ok((program, true)),
+                    // The leader failed; loop back — this thread may now
+                    // become the leader and compile with its own builder.
+                    FlightOutcome::Failed => {}
+                },
+                Lookup::Lead(flight) => {
+                    // Compile outside every lock: patterns can take a
+                    // while and other shards (and other keys on this
+                    // shard) must not serialize behind them.
+                    let built = (build.take().expect("leader builds at most once"))();
+                    let mut inner = shard.lock();
+                    inner.in_flight.remove(&key);
+                    match built {
+                        Ok(program) => {
+                            let program = Arc::new(program);
+                            while inner.entries.len() >= inner.capacity {
+                                let oldest = inner.order.remove(0);
+                                inner.entries.remove(&oldest);
+                                inner.evictions += 1;
+                            }
+                            inner.entries.insert(key.clone(), Arc::clone(&program));
+                            inner.order.push(key.clone());
+                            drop(inner);
+                            flight.publish(FlightOutcome::Ready(Arc::clone(&program)));
+                            return Ok((program, false));
+                        }
+                        Err(e) => {
+                            drop(inner);
+                            flight.publish(FlightOutcome::Failed);
+                            return Err(e);
+                        }
+                    }
+                }
             }
-            inner.misses += 1;
         }
-        // Compile outside the lock: patterns can take a while and other
-        // requests must not serialize behind them.
-        let program = Arc::new(build()?);
-        let mut inner = self.lock();
-        if !inner.entries.contains_key(&key) {
-            while inner.entries.len() >= inner.capacity {
-                let oldest = inner.order.remove(0);
-                inner.entries.remove(&oldest);
-                inner.evictions += 1;
-            }
-            inner.entries.insert(key.clone(), program.clone());
-            inner.order.push(key);
-        }
-        Ok((program, false))
     }
 
-    /// Current statistics.
+    /// Current statistics, aggregated over every shard.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.lock();
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            entries: inner.entries.len(),
-            capacity: inner.capacity,
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            let inner = shard.lock();
+            stats.hits += inner.hits;
+            stats.misses += inner.misses;
+            stats.coalesced += inner.coalesced;
+            stats.evictions += inner.evictions;
+            stats.entries += inner.entries.len();
+            stats.capacity += inner.capacity;
         }
+        stats
     }
 
-    /// Drop every entry (counters are kept).
+    /// Drop every resident entry (counters are kept; in-flight compiles
+    /// are unaffected and will still publish to their waiters).
     pub fn clear(&self) {
-        let mut inner = self.lock();
-        inner.entries.clear();
-        inner.order.clear();
+        for shard in &self.shards {
+            let mut inner = shard.lock();
+            inner.entries.clear();
+            inner.order.clear();
+        }
     }
 }
 
@@ -230,8 +405,41 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_tracks_capacity_and_request() {
+        assert_eq!(ProgramCache::new(128).shard_count(), DEFAULT_SHARDS);
+        assert_eq!(ProgramCache::new(3).shard_count(), 3, "no shard may have zero capacity");
+        assert_eq!(ProgramCache::new(1).shard_count(), 1);
+        assert_eq!(ProgramCache::with_shards(16, 4).shard_count(), 4);
+        assert_eq!(ProgramCache::with_shards(16, 0).shard_count(), 1);
+        // Total capacity is preserved exactly, however it divides.
+        assert_eq!(ProgramCache::with_shards(10, 4).stats().capacity, 10);
+        assert_eq!(ProgramCache::new(0).stats().capacity, 1, "capacity clamps to >= 1");
+    }
+
+    #[test]
+    fn striped_lookups_still_hit_regardless_of_shard() {
+        let cache = ProgramCache::with_shards(64, 8);
+        // Enough distinct keys that every shard very likely sees traffic.
+        for i in 0..32u8 {
+            let pattern = format!("p{i}");
+            cache
+                .get_or_insert_with::<()>(key(&pattern), || Ok(tiny_program(b'a' + (i % 26))))
+                .unwrap();
+        }
+        for i in 0..32u8 {
+            let pattern = format!("p{i}");
+            let (_, hit) =
+                cache.get_or_insert_with::<()>(key(&pattern), || panic!("cached")).unwrap();
+            assert!(hit, "{pattern} must be resident");
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (32, 32, 32));
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
     fn evicts_least_recently_used() {
-        let cache = ProgramCache::new(2);
+        let cache = ProgramCache::with_shards(2, 1);
         cache.get_or_insert_with::<()>(key("a"), || Ok(tiny_program(b'a'))).unwrap();
         cache.get_or_insert_with::<()>(key("b"), || Ok(tiny_program(b'b'))).unwrap();
         // Touch "a" so "b" becomes the LRU entry.
@@ -273,10 +481,11 @@ mod tests {
 
     /// Evictions happen strictly in least-recently-*used* order — a hit
     /// refreshes recency, an insert counts as a use, and untouched entries
-    /// leave in insertion order.
+    /// leave in insertion order. (Single-shard: exact global LRU order is
+    /// a per-shard property of the striped cache.)
     #[test]
     fn eviction_follows_exact_lru_order() {
-        let cache = ProgramCache::new(3);
+        let cache = ProgramCache::with_shards(3, 1);
         for pattern in ["a", "b", "c"] {
             cache
                 .get_or_insert_with::<()>(key(pattern), || Ok(tiny_program(pattern.as_bytes()[0])))
@@ -346,5 +555,97 @@ mod tests {
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    /// The anti-stampede contract: N threads racing to a cold key run the
+    /// builder exactly once; everyone gets the same `Arc` and the racers
+    /// are accounted as coalesced hits.
+    #[test]
+    fn racing_misses_coalesce_onto_one_compile() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+
+        const THREADS: usize = 8;
+        let cache = Arc::new(ProgramCache::new(16));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let programs: Vec<Arc<Program>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let builds = Arc::clone(&builds);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let (program, _) = cache
+                            .get_or_insert_with::<()>(key("stampede"), || {
+                                builds.fetch_add(1, Ordering::SeqCst);
+                                // Hold the in-flight window open long
+                                // enough that the other threads arrive
+                                // while the compile is still running.
+                                std::thread::sleep(std::time::Duration::from_millis(50));
+                                Ok(tiny_program(b's'))
+                            })
+                            .unwrap();
+                        program
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one compilation per key");
+        for program in &programs[1..] {
+            assert!(Arc::ptr_eq(&programs[0], program), "all threads share one artifact");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, (THREADS - 1) as u64);
+        assert!(stats.coalesced >= 1, "racers must be accounted as coalesced");
+        assert_eq!(stats.entries, 1);
+    }
+
+    /// A failed leader does not strand its waiters: they wake, retry, and
+    /// the first to re-probe becomes the new leader.
+    #[test]
+    fn waiters_recover_when_the_leader_fails() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+
+        let cache = Arc::new(ProgramCache::new(4));
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(2));
+        let results: Vec<Result<bool, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let attempts = Arc::clone(&attempts);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        cache
+                            .get_or_insert_with(key("fallible"), || {
+                                let attempt = attempts.fetch_add(1, Ordering::SeqCst);
+                                std::thread::sleep(std::time::Duration::from_millis(30));
+                                if attempt == 0 {
+                                    Err("first compile fails".to_owned())
+                                } else {
+                                    Ok(tiny_program(b'f'))
+                                }
+                            })
+                            .map(|(_, hit)| hit)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // One thread saw the error, the other (whichever order they
+        // raced in) ended up with the program.
+        let errors = results.iter().filter(|r| r.is_err()).count();
+        let successes = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!((errors, successes), (1, 1), "{results:?}");
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+        let (_, hit) =
+            cache.get_or_insert_with::<()>(key("fallible"), || panic!("cached")).unwrap();
+        assert!(hit, "the successful retry must be resident");
     }
 }

@@ -43,7 +43,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use budget::{Budget, BudgetKind, GuardedBatch, MatchOutcome};
-pub use cache::{CacheKey, CacheStats, ProgramCache};
+pub use cache::{CacheKey, CacheStats, ProgramCache, DEFAULT_SHARDS};
 pub use stream::{StreamError, StreamOptions, StreamReport};
 
 use cicero_core::{CompileError, Compiler, CompilerOptions, PipelineReport};

@@ -4,15 +4,27 @@
 //! accelerator sitting behind deep-packet-inspection and log-scanning
 //! services (§1). This crate is the host-side serving tier for that
 //! story — a dependency-free HTTP front door over the existing
-//! [`Runtime`] (worker pool + LRU compiled-program cache), built from
-//! `std::net` only:
+//! [`Runtime`] (worker pool + sharded LRU compiled-program cache), built
+//! from `std::net` only:
 //!
-//! * **Admission control** — the acceptor pushes connections into a
-//!   *bounded* queue ([`ServerOptions::queue_depth`]). When the queue is
-//!   full the connection is answered `503` with a `Retry-After` hint and
-//!   closed immediately: overload sheds load at the front door instead of
-//!   piling up latency, and a rejected client always gets a response,
-//!   never a hang.
+//! * **Readiness loop** — the accept thread owns every idle keep-alive
+//!   connection in a *parked* set and polls it (nonblocking `peek`) for
+//!   readability. Only connections with request bytes actually waiting
+//!   are dispatched to the worker pool, so connection count decouples
+//!   from handler-thread count: a thousand idle keep-alive clients cost
+//!   one poller, not a thousand blocked workers. After a response, a
+//!   worker waits [`KEEPALIVE_GRACE`] for a pipelined follow-up (the
+//!   closed-loop fast path) and hands the connection back to the poller
+//!   when none arrives — or after [`KEEPALIVE_BURST`] requests, so one
+//!   fast client cannot monopolize a worker.
+//! * **Admission control** — ready connections flow through a *bounded*
+//!   dispatch queue ([`ServerOptions::queue_depth`]); total open
+//!   connections are capped at `workers + queue_depth`. Beyond the cap a
+//!   new connection is answered `503` and closed immediately, with a
+//!   `Retry-After` hint scaled from the observed `server.queue_wait_ms`
+//!   p50: overload sheds load at the front door instead of piling up
+//!   latency, and a rejected client always gets a response, never a
+//!   hang.
 //! * **Endpoints** — `POST /match` (per-pattern verdicts over one input),
 //!   `POST /scan` (multi-pattern set over 500-byte chunks, with
 //!   all-matches per-pattern counts via [`cicero_isa::run_all`]),
@@ -22,14 +34,17 @@
 //!   headers map onto the runtime's [`Budget`]; a tripped budget is a
 //!   typed `429` carrying whatever partial progress was made.
 //! * **Graceful drain** — shutdown (via [`ServerHandle::shutdown`] or
-//!   `POST /shutdown`) stops accepting, closes the listener, and lets
-//!   in-flight plus already-queued requests finish under
-//!   [`ServerOptions::drain_timeout`]; the [`DrainReport`] says whether
+//!   `POST /shutdown`) stops accepting, closes the listener, and sweeps
+//!   the parked set: connections with a request already waiting are
+//!   dispatched and served, truly idle ones are closed, and in-flight
+//!   requests finish under [`ServerOptions::drain_timeout`]. The sweep
+//!   ordering (dispatch-readable-before-close) is model-checked by the
+//!   `cicero-permute` drain protocol; the [`DrainReport`] says whether
 //!   the drain completed.
 //! * **Telemetry** — `server.*` metrics (requests by endpoint and status,
-//!   queue-depth gauge, latency histogram, admission rejections) join the
-//!   existing `runtime.*` / `sim.*` namespaces on one collector, so
-//!   `GET /metrics` shows the whole stack.
+//!   queue-depth and open-connection gauges, latency histogram, admission
+//!   rejections) join the existing `runtime.*` / `sim.*` namespaces on
+//!   one collector, so `GET /metrics` shows the whole stack.
 //!
 //! The CLI surfaces this as `cicero serve`.
 
@@ -40,7 +55,7 @@ pub mod json;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, TrySendError};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -50,14 +65,29 @@ use cicero_telemetry::{FlightRecorder, FlightRecorderOptions, Telemetry, TraceCo
 
 pub use cicero_runtime::Budget;
 
-/// How often the nonblocking acceptor polls for connections and the
-/// shutdown flag.
+/// How long the poller sleeps when an iteration made no progress (no
+/// accepts, no reclaimed connections, nothing readable).
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
-/// Socket read timeout. Idle keep-alive connections wake at this cadence
-/// to check the draining flag, which bounds how long a silent client can
-/// hold a worker after shutdown begins.
+/// Socket read timeout for a dispatched connection: its request bytes
+/// are already waiting (the poller saw them), so this only bounds how
+/// long a client may stall mid-request before the worker gives up.
 const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// After writing a response, how long a worker waits for the next
+/// request before re-parking the connection. Closed-loop clients send
+/// their follow-up within this window, keeping the hot path free of
+/// poller round-trips; anything slower costs one readiness-loop cycle.
+const KEEPALIVE_GRACE: Duration = Duration::from_millis(5);
+
+/// Fairness bound: after this many grace-window requests on one
+/// dispatch, the connection goes back to the poller even if more are
+/// pipelined, so one fast closed-loop client cannot monopolize a worker
+/// while ready connections sit parked.
+const KEEPALIVE_BURST: usize = 32;
+
+/// Ceiling on the scaled `Retry-After` admission hint, in seconds.
+const MAX_RETRY_AFTER_SECS: u64 = 30;
 
 /// Latency histogram bucket upper bounds, in milliseconds.
 const LATENCY_BUCKETS_MS: &[f64] =
@@ -69,9 +99,12 @@ pub struct ServerOptions {
     /// Listen address; port `0` binds an ephemeral port (see
     /// [`Server::local_addr`]).
     pub addr: String,
-    /// Connection-handler threads (each serves one connection at a time).
+    /// Handler threads serving dispatched (readable) connections. Idle
+    /// keep-alive connections are parked on the poller and cost no
+    /// worker.
     pub workers: usize,
-    /// Bound on accepted-but-unserved connections; beyond it new
+    /// Bound on ready-but-unserved dispatches. Total open connections
+    /// are capped at `workers + queue_depth`; beyond that, new
     /// connections are rejected with `503`.
     pub queue_depth: usize,
     /// How long shutdown waits for queued + in-flight requests to finish.
@@ -117,7 +150,7 @@ pub struct DrainReport {
     pub rejected: u64,
 }
 
-/// State shared between the acceptor, the workers, and handles.
+/// State shared between the poller, the workers, and handles.
 pub(crate) struct Shared {
     pub(crate) runtime: Runtime,
     pub(crate) telemetry: Telemetry,
@@ -125,6 +158,7 @@ pub(crate) struct Shared {
     pub(crate) config: ArchConfig,
     pub(crate) shutdown: AtomicBool,
     pub(crate) queued: AtomicUsize,
+    pub(crate) open: AtomicUsize,
     pub(crate) in_flight: AtomicUsize,
     pub(crate) requests: AtomicU64,
     pub(crate) rejected: AtomicU64,
@@ -148,6 +182,8 @@ impl Shared {
     /// Refresh the gauges surfaced by `GET /metrics`.
     pub(crate) fn refresh_gauges(&self) {
         self.telemetry.gauge_set("server.queue_depth", self.queued.load(Ordering::SeqCst) as f64);
+        self.telemetry
+            .gauge_set("server.open_connections", self.open.load(Ordering::SeqCst) as f64);
         self.telemetry.gauge_set("server.in_flight", self.in_flight.load(Ordering::SeqCst) as f64);
         self.telemetry.gauge_set("trace.retained", self.recorder.len() as f64);
         let stats = self.runtime.cache().stats();
@@ -155,6 +191,11 @@ impl Shared {
         if lookups > 0 {
             self.telemetry.gauge_set("server.cache_hit_ratio", stats.hits as f64 / lookups as f64);
         }
+    }
+
+    /// A connection is gone (closed by us or by the peer).
+    fn release_connection(&self) {
+        self.open.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -165,7 +206,7 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Begin draining: the acceptor stops taking connections and
+    /// Begin draining: the poller stops taking connections and
     /// [`Server::run`] returns once queued + in-flight requests finish
     /// (or the drain timeout passes). Idempotent.
     pub fn shutdown(&self) {
@@ -181,6 +222,15 @@ impl ServerHandle {
     pub fn requests(&self) -> u64 {
         self.shared.requests.load(Ordering::SeqCst)
     }
+}
+
+/// A connection owned by the serving tier: parked on the poller between
+/// requests, moved to a worker while one is being served.
+struct Conn {
+    stream: TcpStream,
+    /// When the poller first saw request bytes waiting (cleared on every
+    /// dispatch): the epoch for the admission-queue wait.
+    ready_at: Option<Instant>,
 }
 
 /// A bound-but-not-yet-running server.
@@ -220,6 +270,7 @@ impl Server {
             config: options.config.clone(),
             shutdown: AtomicBool::new(false),
             queued: AtomicUsize::new(0),
+            open: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -257,8 +308,9 @@ impl Server {
     /// Accept and serve until shutdown is requested, then drain.
     ///
     /// Blocks the calling thread for the server's whole lifetime; the
-    /// acceptor runs here while `workers` handler threads serve
-    /// connections from the bounded queue.
+    /// readiness loop runs here (accept, park, poll for readability,
+    /// dispatch) while `workers` handler threads serve ready
+    /// connections from the bounded dispatch queue.
     ///
     /// # Errors
     ///
@@ -266,15 +318,21 @@ impl Server {
     /// (and counted) without stopping the server.
     pub fn run(self) -> std::io::Result<DrainReport> {
         self.listener.set_nonblocking(true)?;
-        // Each queue entry carries its accept instant so latency (and the
-        // admission-wait span) starts at the front door, not at dequeue.
-        let (tx, rx) = mpsc::sync_channel::<(TcpStream, Instant)>(self.options.queue_depth.max(1));
+        let workers = self.options.workers.max(1);
+        let depth = self.options.queue_depth.max(1);
+        // Past this many open connections, admission rejects: every
+        // worker busy and the dispatch queue full, with nothing parked.
+        let capacity = workers + depth;
+        let (tx, rx) = mpsc::sync_channel::<Conn>(depth);
         let rx = Arc::new(Mutex::new(rx));
+        // Workers hand idle keep-alive connections back through here.
+        let (park_tx, park_rx) = mpsc::channel::<Conn>();
         let live = Arc::new(AtomicUsize::new(0));
         let mut joins = Vec::new();
-        for worker in 0..self.options.workers.max(1) {
+        for worker in 0..workers {
             let shared = Arc::clone(&self.shared);
             let rx = Arc::clone(&rx);
+            let park_tx = park_tx.clone();
             let live = Arc::clone(&live);
             live.fetch_add(1, Ordering::SeqCst);
             joins.push(std::thread::Builder::new().name(format!("cicero-serve-{worker}")).spawn(
@@ -286,55 +344,94 @@ impl Server {
                             let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
                             guard.recv()
                         };
-                        let Ok((stream, accepted_at)) = next else {
+                        let Ok(conn) = next else {
                             break; // queue closed and fully drained
                         };
                         shared.queued.fetch_sub(1, Ordering::SeqCst);
-                        serve_connection(&shared, stream, accepted_at);
+                        match serve_dispatch(&shared, conn) {
+                            Some(conn) => {
+                                // Idle again: back to the poller. If the
+                                // poller is gone (post-drain), close.
+                                if conn.stream.set_nonblocking(true).is_err()
+                                    || park_tx.send(conn).is_err()
+                                {
+                                    shared.release_connection();
+                                }
+                            }
+                            None => shared.release_connection(),
+                        }
                     }
                     live.fetch_sub(1, Ordering::SeqCst);
                 },
             )?);
         }
+        drop(park_tx);
 
+        let mut parked: Vec<Conn> = Vec::new();
         while !self.shared.is_draining() {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    self.shared.telemetry.counter_add("server.connections", 1);
-                    // Count the connection as queued *before* enqueueing it:
-                    // a worker can dequeue (and decrement) the instant
-                    // try_send returns, so incrementing afterwards would let
-                    // the counter underflow past zero.
-                    self.shared.queued.fetch_add(1, Ordering::SeqCst);
-                    match tx.try_send((stream, Instant::now())) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full((stream, _))) => {
-                            self.shared.queued.fetch_sub(1, Ordering::SeqCst);
-                            reject_at_admission(&self.shared, stream)
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            self.shared.queued.fetch_sub(1, Ordering::SeqCst);
-                            break;
+            let mut progressed = false;
+            // Accept everything waiting, up to the connection cap.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        progressed = true;
+                        self.shared.telemetry.counter_add("server.connections", 1);
+                        if self.shared.open.load(Ordering::SeqCst) >= capacity {
+                            reject_at_admission(&self.shared, stream);
+                        } else {
+                            self.shared.open.fetch_add(1, Ordering::SeqCst);
+                            let _ = stream.set_nodelay(true);
+                            if stream.set_nonblocking(true).is_ok() {
+                                parked.push(Conn { stream, ready_at: None });
+                            } else {
+                                self.shared.release_connection();
+                            }
                         }
                     }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+            }
+            // Reclaim connections workers finished with.
+            while let Ok(conn) = park_rx.try_recv() {
+                parked.push(conn);
+                progressed = true;
+            }
+            // Dispatch whatever became readable.
+            progressed |= poll_parked(&self.shared, &mut parked, &tx, false);
+            if !progressed {
+                std::thread::sleep(ACCEPT_POLL);
             }
         }
 
-        // Drain: close the front door, then let workers finish what was
-        // already admitted. Dropping `tx` makes `recv` fail once the
-        // queue empties, so each worker exits after its current
-        // connection.
-        drop(tx);
+        // Drain: close the front door, then sweep the parked set —
+        // connections with a request already waiting are dispatched and
+        // served, truly idle ones are closed. (The sweep ordering is
+        // model-checked by cicero-permute's DrainModel: closing parked
+        // connections indiscriminately drops requests.) Dropping `tx`
+        // afterwards makes `recv` fail once the queue empties, so each
+        // worker exits after its current connection.
         drop(self.listener);
         let drain_start = Instant::now();
-        while live.load(Ordering::SeqCst) > 0 && drain_start.elapsed() < self.options.drain_timeout
-        {
+        let deadline = drain_start + self.options.drain_timeout;
+        while self.shared.open.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            while let Ok(conn) = park_rx.try_recv() {
+                parked.push(conn);
+            }
+            poll_parked(&self.shared, &mut parked, &tx, true);
+            if self.shared.open.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Anything still parked at the deadline is abandoned.
+        for conn in parked.drain(..) {
+            drop(conn);
+            self.shared.release_connection();
+        }
+        drop(tx);
+        while live.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         let drained = live.load(Ordering::SeqCst) == 0;
@@ -365,7 +462,112 @@ impl Server {
     }
 }
 
-/// Queue full: answer `503` with a retry hint on the acceptor thread and
+/// One readiness pass over the parked set: dispatch connections with
+/// request bytes waiting, close ones the peer hung up on. When
+/// `draining`, idle connections are closed instead of staying parked.
+/// Returns whether anything happened.
+fn poll_parked(
+    shared: &Shared,
+    parked: &mut Vec<Conn>,
+    tx: &SyncSender<Conn>,
+    draining: bool,
+) -> bool {
+    let mut progressed = false;
+    let mut keep = Vec::with_capacity(parked.len());
+    for mut conn in parked.drain(..) {
+        let mut probe = [0u8; 1];
+        match conn.stream.peek(&mut probe) {
+            // Peer closed while parked.
+            Ok(0) => {
+                shared.release_connection();
+                progressed = true;
+            }
+            // Request bytes waiting: hand to a worker. The dispatch gets
+            // blocking reads back; the gauge counts it as queued from
+            // before the send so a fast worker's decrement cannot
+            // underflow (ordering model-checked by AdmissionModel).
+            Ok(_) => {
+                if conn.ready_at.is_none() {
+                    conn.ready_at = Some(Instant::now());
+                }
+                if conn.stream.set_nonblocking(false).is_err()
+                    || conn.stream.set_read_timeout(Some(READ_TIMEOUT)).is_err()
+                {
+                    shared.release_connection();
+                    progressed = true;
+                    continue;
+                }
+                shared.queued.fetch_add(1, Ordering::SeqCst);
+                match tx.try_send(conn) {
+                    Ok(()) => progressed = true,
+                    // Queue full: back to the parked set (ready_at keeps
+                    // accruing the wait) and retry next pass.
+                    Err(TrySendError::Full(conn)) => {
+                        shared.queued.fetch_sub(1, Ordering::SeqCst);
+                        if conn.stream.set_nonblocking(true).is_ok() {
+                            keep.push(conn);
+                        } else {
+                            shared.release_connection();
+                        }
+                    }
+                    Err(TrySendError::Disconnected(conn)) => {
+                        shared.queued.fetch_sub(1, Ordering::SeqCst);
+                        drop(conn);
+                        shared.release_connection();
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if draining {
+                    shared.release_connection();
+                    progressed = true;
+                } else {
+                    keep.push(conn);
+                }
+            }
+            Err(_) => {
+                shared.release_connection();
+                progressed = true;
+            }
+        }
+    }
+    *parked = keep;
+    progressed
+}
+
+/// The `Retry-After` hint on admission rejections: the p50 of the
+/// observed `server.queue_wait_ms` histogram rounded up to whole
+/// seconds, clamped to `[1, MAX_RETRY_AFTER_SECS]`. With no
+/// observations yet there is nothing to scale from, so the floor (1s)
+/// is used.
+fn retry_after_secs(telemetry: &Telemetry) -> u64 {
+    let Some(hist) = telemetry.histogram("server.queue_wait_ms") else {
+        return 1;
+    };
+    if hist.count == 0 {
+        return 1;
+    }
+    let target = hist.count.div_ceil(2);
+    let mut cumulative = 0u64;
+    let mut p50_ms = hist.max;
+    for (i, &bucket) in hist.bucket_counts.iter().enumerate() {
+        cumulative += bucket;
+        if cumulative >= target {
+            // The overflow bucket has no upper bound; fall back to the
+            // largest observation.
+            p50_ms = hist.bounds.get(i).copied().unwrap_or(hist.max);
+            break;
+        }
+    }
+    ((p50_ms / 1e3).ceil() as u64).clamp(1, MAX_RETRY_AFTER_SECS)
+}
+
+/// At capacity: answer `503` with a retry hint on the poller thread and
 /// close. The write gets a short timeout so a slow-reading client cannot
 /// stall admission for everyone else. The rejection never read the
 /// request head, so the echoed request id is always server-minted.
@@ -379,7 +581,7 @@ fn reject_at_admission(shared: &Shared, mut stream: TcpStream) {
         .field("error", "server at capacity; connection queue is full")
         .finish();
     let _ = http::Response::json(503, body)
-        .with_header("retry-after", "1".to_owned())
+        .with_header("retry-after", retry_after_secs(&shared.telemetry).to_string())
         .with_header("x-cicero-request-id", request_id)
         .write_to(&mut stream, true);
     let _ = stream.flush();
@@ -398,29 +600,34 @@ fn endpoint_label(path: &str) -> &'static str {
     }
 }
 
-/// Serve one connection until it closes, errors, or the server drains.
+/// Serve one dispatched (readable) connection: the waiting request, plus
+/// any follow-ups that arrive within [`KEEPALIVE_GRACE`] of a response.
 ///
-/// The first request's latency epoch is the *accept* instant, so the
-/// admission-queue wait (observed into `server.queue_wait_ms` and
-/// visible as the `admission.queue_wait` span) counts against it;
-/// subsequent keep-alive requests start their clock when their head
-/// finishes reading (the connection was idle, not queued, in between).
-fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted_at: Instant) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let _ = stream.set_nodelay(true);
-    let queue_wait = accepted_at.elapsed();
+/// Returns `Some(conn)` to re-park the still-open idle connection (the
+/// caller routes it back to the poller), `None` when it was closed (the
+/// caller releases the open-connection slot).
+///
+/// The first request's latency epoch is the instant the poller saw its
+/// bytes arrive, so the dispatch-queue wait (observed into
+/// `server.queue_wait_ms` and visible as the `admission.queue_wait`
+/// span) counts against it; grace-window follow-ups start their clock
+/// when their head finishes reading.
+fn serve_dispatch(shared: &Shared, mut conn: Conn) -> Option<Conn> {
+    let ready_at = conn.ready_at.take().unwrap_or_else(Instant::now);
+    let queue_wait = ready_at.elapsed();
     shared.telemetry.observe_with(
         "server.queue_wait_ms",
         queue_wait.as_secs_f64() * 1e3,
         LATENCY_BUCKETS_MS,
     );
-    let mut first_request = Some((accepted_at, queue_wait));
+    let mut first_request = Some((ready_at, queue_wait));
+    let mut served_this_dispatch = 0usize;
     loop {
-        match http::read_request(&mut stream) {
+        match http::read_request(&mut conn.stream) {
             Ok(request) => {
                 shared.in_flight.fetch_add(1, Ordering::SeqCst);
                 let (epoch, queue_wait) = match first_request.take() {
-                    Some((accepted_at, wait)) => (accepted_at, Some(wait)),
+                    Some((ready_at, wait)) => (ready_at, Some(wait)),
                     None => (Instant::now(), None),
                 };
                 let request_id = shared.request_id_for(&request);
@@ -448,7 +655,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted_at: Instant
                 let write_result = {
                     let span = root.child("response.write");
                     span.annotate("bytes", response.body.len());
-                    response.write_to(&mut stream, close)
+                    response.write_to(&mut conn.stream, close)
                 };
                 let latency_ms = epoch.elapsed().as_secs_f64() * 1e3;
                 root.annotate("status", u64::from(status));
@@ -474,23 +681,32 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted_at: Instant
                 shared.requests.fetch_add(1, Ordering::SeqCst);
                 shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                 if write_result.is_err() || close {
-                    break;
+                    return None;
+                }
+                served_this_dispatch += 1;
+                if served_this_dispatch >= KEEPALIVE_BURST {
+                    return Some(conn); // fairness: let parked peers in
+                }
+                // Pipelined follow-up fast path: wait briefly before
+                // giving the connection back to the poller.
+                if conn.stream.set_read_timeout(Some(KEEPALIVE_GRACE)).is_err() {
+                    return None;
                 }
             }
-            Err(http::ReadError::Eof) => break,
+            Err(http::ReadError::Eof) => return None,
             Err(http::ReadError::IdleTimeout) => {
-                if shared.is_draining() {
-                    break;
-                }
+                // Idle again. During a drain the poller would just close
+                // it, so do that here.
+                return if shared.is_draining() { None } else { Some(conn) };
             }
-            Err(http::ReadError::Io(_)) => break,
+            Err(http::ReadError::Io(_)) => return None,
             Err(error @ http::ReadError::Malformed(_)) => {
-                answer_read_error(shared, &mut stream, 400, &error);
-                break;
+                answer_read_error(shared, &mut conn.stream, 400, &error);
+                return None;
             }
             Err(error @ http::ReadError::TooLarge(_)) => {
-                answer_read_error(shared, &mut stream, 413, &error);
-                break;
+                answer_read_error(shared, &mut conn.stream, 413, &error);
+                return None;
             }
         }
     }
@@ -548,27 +764,62 @@ mod tests {
         parse_response(&roundtrip_raw(addr, request))
     }
 
+    /// Why [`read_one_response`] could not produce a full response.
+    #[derive(Debug)]
+    enum ResponseReadError {
+        /// The stream ended before the head terminator.
+        EarlyEof,
+        /// The head parsed but carried no `content-length`, so the body
+        /// length is unknowable (e.g. a header-only drain-path answer).
+        MissingContentLength { head: String },
+        /// The `content-length` value was not a number.
+        BadContentLength(String),
+        /// The transport failed mid-response.
+        Io(std::io::Error),
+    }
+
+    impl std::fmt::Display for ResponseReadError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                ResponseReadError::EarlyEof => write!(f, "eof before end of response head"),
+                ResponseReadError::MissingContentLength { head } => {
+                    write!(f, "response head has no content-length: {head:?}")
+                }
+                ResponseReadError::BadContentLength(value) => {
+                    write!(f, "unparseable content-length {value:?}")
+                }
+                ResponseReadError::Io(e) => write!(f, "i/o error mid-response: {e}"),
+            }
+        }
+    }
+
     /// Read exactly one keep-alive response: head to CRLFCRLF, then
-    /// `content-length` body bytes.
-    fn read_one_response(stream: &mut TcpStream) -> String {
+    /// `content-length` body bytes. Malformed or truncated responses are
+    /// typed errors, not panics, so a single bad answer (say a
+    /// header-only 503 on the drain path) fails its own assertion
+    /// instead of aborting the whole test.
+    fn read_one_response<R: std::io::Read>(stream: &mut R) -> Result<String, ResponseReadError> {
         let mut raw = Vec::new();
         let mut byte = [0u8; 1];
         while !raw.ends_with(b"\r\n\r\n") {
-            assert_eq!(stream.read(&mut byte).unwrap(), 1, "eof in response head");
-            raw.push(byte[0]);
+            match stream.read(&mut byte) {
+                Ok(0) => return Err(ResponseReadError::EarlyEof),
+                Ok(_) => raw.push(byte[0]),
+                Err(e) => return Err(ResponseReadError::Io(e)),
+            }
         }
-        let head = String::from_utf8(raw.clone()).unwrap();
-        let length: usize = head
-            .lines()
-            .find_map(|l| l.strip_prefix("content-length: "))
-            .expect("content-length header")
+        let head = String::from_utf8_lossy(&raw).into_owned();
+        let Some(length) = head.lines().find_map(|l| l.strip_prefix("content-length: ")) else {
+            return Err(ResponseReadError::MissingContentLength { head });
+        };
+        let length: usize = length
             .trim()
             .parse()
-            .unwrap();
+            .map_err(|_| ResponseReadError::BadContentLength(length.trim().to_owned()))?;
         let mut body = vec![0u8; length];
-        stream.read_exact(&mut body).unwrap();
+        stream.read_exact(&mut body).map_err(ResponseReadError::Io)?;
         raw.extend_from_slice(&body);
-        String::from_utf8(raw).unwrap()
+        Ok(String::from_utf8_lossy(&raw).into_owned())
     }
 
     fn parse_response(raw: &str) -> (u16, String) {
@@ -587,6 +838,68 @@ mod tests {
             "POST {path} HTTP/1.1\r\n{extra_headers}content-length: {}\r\nconnection: close\r\n\r\n{body}",
             body.len()
         )
+    }
+
+    #[test]
+    fn response_reader_returns_typed_errors_instead_of_panicking() {
+        // Header-only answer (no content-length): typed, not a panic.
+        let mut cursor =
+            std::io::Cursor::new(b"HTTP/1.1 503 unavailable\r\nretry-after: 2\r\n\r\n".to_vec());
+        match read_one_response(&mut cursor) {
+            Err(error @ ResponseReadError::MissingContentLength { .. }) => {
+                assert!(error.to_string().contains("503"), "{error}");
+            }
+            other => panic!("expected MissingContentLength, got {other:?}"),
+        }
+        // Truncated head.
+        let mut cursor = std::io::Cursor::new(b"HTTP/1.1 200 OK\r\n".to_vec());
+        assert!(matches!(read_one_response(&mut cursor), Err(ResponseReadError::EarlyEof)));
+        // Garbage length.
+        let mut cursor =
+            std::io::Cursor::new(b"HTTP/1.1 200 OK\r\ncontent-length: nope\r\n\r\n".to_vec());
+        assert!(matches!(
+            read_one_response(&mut cursor),
+            Err(ResponseReadError::BadContentLength(_))
+        ));
+        // And a well-formed response still reads through.
+        let mut cursor =
+            std::io::Cursor::new(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok".to_vec());
+        assert!(read_one_response(&mut cursor).unwrap().ends_with("ok"));
+    }
+
+    #[test]
+    fn retry_after_scales_with_observed_queue_wait() {
+        // No observations: the floor.
+        let telemetry = Telemetry::new();
+        assert_eq!(retry_after_secs(&telemetry), 1);
+        // Sub-millisecond waits round up to the floor.
+        let telemetry = Telemetry::new();
+        for _ in 0..10 {
+            telemetry.observe_with("server.queue_wait_ms", 0.2, LATENCY_BUCKETS_MS);
+        }
+        assert_eq!(retry_after_secs(&telemetry), 1);
+        // A backed-up queue scales the hint: p50 lands in the 5000ms
+        // bucket, so the client is told to come back in 5s.
+        let telemetry = Telemetry::new();
+        for _ in 0..10 {
+            telemetry.observe_with("server.queue_wait_ms", 4200.0, LATENCY_BUCKETS_MS);
+        }
+        assert_eq!(retry_after_secs(&telemetry), 5);
+        // Pathological waits clamp at the ceiling.
+        let telemetry = Telemetry::new();
+        for _ in 0..10 {
+            telemetry.observe_with("server.queue_wait_ms", 120_000.0, LATENCY_BUCKETS_MS);
+        }
+        assert_eq!(retry_after_secs(&telemetry), MAX_RETRY_AFTER_SECS);
+        // Mixed load: the p50, not the max, drives the hint.
+        let telemetry = Telemetry::new();
+        for _ in 0..8 {
+            telemetry.observe_with("server.queue_wait_ms", 0.2, LATENCY_BUCKETS_MS);
+        }
+        for _ in 0..2 {
+            telemetry.observe_with("server.queue_wait_ms", 120_000.0, LATENCY_BUCKETS_MS);
+        }
+        assert_eq!(retry_after_secs(&telemetry), 1);
     }
 
     #[test]
@@ -809,11 +1122,11 @@ mod tests {
     #[test]
     fn full_queue_rejects_with_503_and_a_retry_hint() {
         let (addr, handle, join) = start(ServerOptions { workers: 1, queue_depth: 1, ..options() });
-        // Occupy the single worker: a connection that never sends a
-        // request sits in the keep-alive idle loop.
+        // Two silent connections fill the open-connection budget
+        // (workers + queue_depth = 2); they park on the poller without
+        // costing a worker.
         let idle = TcpStream::connect(addr).unwrap();
         std::thread::sleep(Duration::from_millis(100));
-        // Fill the queue with a second silent connection.
         let queued = TcpStream::connect(addr).unwrap();
         std::thread::sleep(Duration::from_millis(100));
         // The third connection must be rejected at admission, instantly.
@@ -823,15 +1136,62 @@ mod tests {
         stream.read_to_string(&mut raw).unwrap();
         let (status, body) = parse_response(&raw);
         assert_eq!(status, 503, "{raw}");
+        // Nothing has waited in the dispatch queue yet, so the scaled
+        // hint sits at its floor.
         assert!(raw.contains("retry-after: 1"), "{raw}");
         assert!(body.contains("capacity"), "{body}");
-        // Free the worker and the queue slot, then drain.
+        // Free the connection slots, then drain.
         drop(idle);
         drop(queued);
         handle.shutdown();
         let report = join.join().unwrap();
         assert!(report.drained);
         assert_eq!(report.rejected, 1);
+    }
+
+    #[test]
+    fn idle_connections_do_not_occupy_workers() {
+        // One worker, but a pile of parked idle connections: a live
+        // request must still be served promptly because idle keep-alive
+        // connections wait on the poller, not on the worker pool.
+        let (addr, handle, join) = start(ServerOptions { workers: 1, queue_depth: 8, ..options() });
+        let idlers: Vec<TcpStream> = (0..6).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        std::thread::sleep(Duration::from_millis(100));
+        let (status, body) = roundtrip(addr, &get("/healthz"));
+        assert_eq!(status, 200, "{body}");
+        drop(idlers);
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert!(report.drained, "{report:?}");
+        assert_eq!(report.rejected, 0);
+    }
+
+    #[test]
+    fn requests_in_flight_at_shutdown_are_answered_not_dropped() {
+        // A parked connection with a request already written must be
+        // swept into the dispatch queue on drain, not closed: this is
+        // the DrainModel contract, end to end.
+        let (addr, handle, join) = start(ServerOptions { workers: 1, ..options() });
+        // Prime: one served request so the connection is parked idle.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let body = r#"{"patterns":["ab"],"input":"xaby"}"#;
+        let request =
+            format!("POST /match HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len());
+        stream.write_all(request.as_bytes()).unwrap();
+        let raw = read_one_response(&mut stream).unwrap_or_else(|e| panic!("{e}"));
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        // Park it (outlive the grace window), then race a request
+        // against shutdown.
+        std::thread::sleep(Duration::from_millis(50));
+        stream.write_all(request.as_bytes()).unwrap();
+        handle.shutdown();
+        stream.set_read_timeout(Some(Duration::from_millis(2000))).unwrap();
+        let raw = read_one_response(&mut stream).unwrap_or_else(|e| panic!("{e}"));
+        // Answered (maybe before the flag landed, maybe via the drain
+        // sweep) — never silently closed.
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        let report = join.join().unwrap();
+        assert!(report.drained, "{report:?}");
     }
 
     #[test]
@@ -856,7 +1216,7 @@ mod tests {
                         .as_bytes(),
                 )
                 .unwrap();
-            let raw = read_one_response(&mut stream);
+            let raw = read_one_response(&mut stream).unwrap_or_else(|e| panic!("{e}"));
             assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
             assert!(raw.contains("connection: keep-alive"), "{raw}");
         }

@@ -128,6 +128,51 @@ fn serve_answers_every_endpoint_and_drains_cleanly() {
     server.shutdown_and_wait();
 }
 
+/// One request over a fresh connection from any thread; returns the
+/// status code only (the concurrent-load test cares about answered vs
+/// dropped, not bodies).
+fn raw_roundtrip(addr: &str, method: &str, path: &str, body: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connecting to cicero serve");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("sending the request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reading the response");
+    response.split(' ').nth(1).and_then(|code| code.parse().ok()).unwrap_or(0)
+}
+
+/// The multi-core smoke contract (CI runs this binary with
+/// `--workers 4`): four concurrent clients hammering `/match` with
+/// distinct patterns — concurrent compiles through the sharded program
+/// cache — must all be answered `200`, and the server must still drain
+/// cleanly afterwards.
+#[test]
+fn multi_worker_serve_answers_concurrent_clients_and_drains() {
+    let server = ServeProcess::start(&["--workers", "4", "--queue-depth", "32"]);
+    let mut clients = Vec::new();
+    for client in 0..4 {
+        let addr = server.addr.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut ok = 0usize;
+            for i in 0..12 {
+                // A shared pattern (cache-hit traffic) plus a per-request
+                // unique one (cache-miss traffic) in each set.
+                let body = format!(r#"{{"patterns":["ab|cd","x{client}y{i}"],"input":"xxcdyy"}}"#);
+                if raw_roundtrip(&addr, "POST", "/match", &body) == 200 {
+                    ok += 1;
+                }
+            }
+            ok
+        }));
+    }
+    let answered: usize = clients.into_iter().map(|j| j.join().expect("client thread")).sum();
+    assert_eq!(answered, 48, "every concurrent request must be answered 200");
+    server.shutdown_and_wait();
+}
+
 #[test]
 fn serve_reports_tripped_budgets_as_429() {
     let server = ServeProcess::start(&[]);
