@@ -28,6 +28,15 @@
 //!   can interpret the column, and on a host with ≥ 4 CPUs the bench
 //!   *asserts* ≥ `HOST_SPEEDUP_FLOOR`× wall-clock scaling at 4 workers.
 //!
+//! A third sweep runs the same workload on the **host-native backend**
+//! (the bit-parallel NFA engine): there the engine *is* the host CPU, so
+//! wall-clock is the only throughput view, and its rows land in
+//! `host_backend_rows`. Every JSON row records the `host_cpus` it was
+//! measured on, and host-scaling assertions are skipped (and marked via
+//! `host_speedup_asserted: false`) on hosts with fewer than 4 CPUs, so a
+//! result produced on a pinned single core cannot masquerade as a
+//! scaling measurement.
+//!
 //! Scale via `CICERO_BENCH_SCALE` (quick/default/full); output path via
 //! `CICERO_BENCH_PARALLEL` (empty to disable, default
 //! `BENCH_parallel.json`).
@@ -36,7 +45,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use cicero_bench::{banner, f2, suites, Scale, Table};
-use cicero_runtime::{Runtime, RuntimeOptions};
+use cicero_core::Backend;
+use cicero_runtime::{Budget, Runtime, RuntimeOptions};
 use cicero_sim::{simulate_batch, ArchConfig};
 
 /// Serving rounds per suite: one cold round, the rest cache hits.
@@ -55,6 +65,16 @@ struct Row {
     host_kbps: f64,
     host_speedup: f64,
     cache_hit_rate: f64,
+}
+
+/// One measurement of the host-native backend: the same serving sweep,
+/// but executed by the bit-parallel host engine instead of the cycle
+/// simulator, so the only throughput view is wall-clock.
+struct HostRow {
+    suite: &'static str,
+    jobs: usize,
+    wall_mbps: f64,
+    speedup_vs_1_worker: f64,
 }
 
 fn main() {
@@ -114,6 +134,45 @@ fn main() {
         }
     }
 
+    // The same serving sweep on the host-native backend: the workers run
+    // the bit-parallel NFA engine instead of the cycle simulator, so the
+    // only throughput view is wall-clock — the axis that actually scales
+    // with worker threads (on a multicore host).
+    let mut host_rows: Vec<HostRow> = Vec::new();
+    for bench in suites(scale) {
+        let request_bytes: usize = bench.chunks.iter().map(Vec::len).sum();
+        let total_bytes = ROUNDS * bench.patterns.len() * request_bytes;
+        let mut mbps_at_1 = 0.0f64;
+        for jobs in WORKERS {
+            let runtime = Runtime::new(RuntimeOptions { jobs, ..RuntimeOptions::default() });
+            let start = Instant::now();
+            for _ in 0..ROUNDS {
+                for pattern in &bench.patterns {
+                    runtime
+                        .match_batch_guarded_traced_on(
+                            Backend::Host,
+                            pattern,
+                            &bench.chunks,
+                            &config,
+                            &Budget::default(),
+                            None,
+                        )
+                        .expect("suite compiles");
+                }
+            }
+            let wall_mbps = total_bytes as f64 / start.elapsed().as_secs_f64() / 1e6;
+            if jobs == 1 {
+                mbps_at_1 = wall_mbps;
+            }
+            host_rows.push(HostRow {
+                suite: bench.name,
+                jobs,
+                wall_mbps,
+                speedup_vs_1_worker: wall_mbps / mbps_at_1,
+            });
+        }
+    }
+
     let mut table = Table::new(vec![
         "Suite",
         "Workers",
@@ -135,6 +194,19 @@ fn main() {
         ]);
     }
     table.print();
+
+    let mut host_table =
+        Table::new(vec!["Suite", "Workers", "Host backend MB/s", "Speedup vs 1 worker"]);
+    for row in &host_rows {
+        host_table.row(vec![
+            row.suite.to_owned(),
+            row.jobs.to_string(),
+            f2(row.wall_mbps),
+            f2(row.speedup_vs_1_worker),
+        ]);
+    }
+    println!("\n  host-native backend (wall-clock only; scaling needs host_cpus > 1):");
+    host_table.print();
 
     let at4: Vec<f64> = rows.iter().filter(|r| r.jobs == 4).map(|r| r.sim_speedup).collect();
     let speedup_at_4 = at4.iter().sum::<f64>() / at4.len() as f64;
@@ -164,6 +236,31 @@ fn main() {
             "multi-core host must show >= {HOST_SPEEDUP_FLOOR}x wall-clock scaling at 4 workers, \
              got {host_speedup_at_4:.2}x"
         );
+    } else {
+        println!(
+            "  host-scaling assertion SKIPPED: host_cpus = {host_cpus} < 4 \
+             (thread scaling cannot show on a pinned core)"
+        );
+    }
+
+    // Host-backend wall-clock scaling at 4 workers, same gating.
+    let host_backend_at = |jobs: usize| -> f64 {
+        let v: Vec<f64> =
+            host_rows.iter().filter(|r| r.jobs == jobs).map(|r| r.wall_mbps).collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let host_backend_speedup_at_4 = host_backend_at(4) / host_backend_at(1);
+    println!(
+        "  host-native backend 4-worker wall-clock speedup: {}x \
+         (asserted only when host_cpus >= 4)",
+        f2(host_backend_speedup_at_4)
+    );
+    if host_speedup_asserted {
+        assert!(
+            host_backend_speedup_at_4 >= HOST_SPEEDUP_FLOOR,
+            "multi-core host must show >= {HOST_SPEEDUP_FLOOR}x host-backend scaling at 4 \
+             workers, got {host_backend_speedup_at_4:.2}x"
+        );
     }
 
     let path =
@@ -171,10 +268,12 @@ fn main() {
     if !path.is_empty() {
         let json = render_json(
             &rows,
+            &host_rows,
             &config,
             host_cpus,
             speedup_at_4,
             host_speedup_at_4,
+            host_backend_speedup_at_4,
             host_speedup_asserted,
         );
         match std::fs::write(&path, json) {
@@ -184,12 +283,15 @@ fn main() {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     rows: &[Row],
+    host_rows: &[HostRow],
     config: &ArchConfig,
     host_cpus: usize,
     speedup_at_4: f64,
     host_speedup_at_4: f64,
+    host_backend_speedup_at_4: f64,
     host_speedup_asserted: bool,
 ) -> String {
     let mut json = String::new();
@@ -202,16 +304,22 @@ fn render_json(
         "  \"notes\": \"aggregate_* is simulated: total bytes over the per-batch makespan \
          (slowest worker's cycles), i.e. N workers model N replicated engine arrays; host_* \
          is wall-clock and reflects the program cache (thread scaling needs host_cpus > \
-         1); the baseline compiles every request and runs chunks sequentially\",\n",
+         1); the baseline compiles every request and runs chunks sequentially; every row \
+         records the host_cpus it was measured on, and host-scaling assertions are skipped \
+         (host_speedup_asserted = false) on hosts with fewer than 4 CPUs; host_backend_rows \
+         run the same sweep on the bit-parallel host-native engine, where wall-clock is the \
+         only throughput view\",\n",
     );
     let _ = writeln!(json, "  \"aggregate_speedup_at_4_workers\": {speedup_at_4:.3},");
     let _ = writeln!(json, "  \"host_speedup_at_4_workers\": {host_speedup_at_4:.3},");
+    let _ =
+        writeln!(json, "  \"host_backend_speedup_at_4_workers\": {host_backend_speedup_at_4:.3},");
     let _ = writeln!(json, "  \"host_speedup_asserted\": {host_speedup_asserted},");
     json.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"suite\": \"{}\", \"workers\": {}, \
+            "    {{\"suite\": \"{}\", \"workers\": {}, \"host_cpus\": {}, \
              \"aggregate_throughput_mbps\": {:.3}, \
              \"aggregate_speedup_vs_sequential_baseline\": {:.3}, \
              \"host_throughput_kbps\": {:.1}, \
@@ -219,6 +327,7 @@ fn render_json(
              \"cache_hit_rate\": {:.3}}}",
             row.suite,
             row.jobs,
+            host_cpus,
             row.sim_mbps,
             row.sim_speedup,
             row.host_kbps,
@@ -226,6 +335,17 @@ fn render_json(
             row.cache_hit_rate,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"host_backend_rows\": [\n");
+    for (i, row) in host_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"suite\": \"{}\", \"workers\": {}, \"host_cpus\": {}, \
+             \"wall_throughput_mbps\": {:.3}, \"speedup_vs_1_worker\": {:.3}}}",
+            row.suite, row.jobs, host_cpus, row.wall_mbps, row.speedup_vs_1_worker,
+        );
+        json.push_str(if i + 1 < host_rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
     json

@@ -87,14 +87,69 @@ impl PassInstrumentation for TelemetrySpans {
     }
 }
 
+/// Execution target for a compiled program.
+///
+/// Compilation itself is backend-agnostic — both targets execute the same
+/// validated ISA [`Program`] — so this selects *how* the program runs, not
+/// what is produced:
+///
+/// - [`Backend::Sim`] runs the cycle-level simulator, the architecture
+///   oracle for the paper's hardware (cycle counts, icache behavior,
+///   engine-transfer stats).
+/// - [`Backend::Host`] runs the bit-parallel host-native engine
+///   (`cicero-hostexec`): same match semantics, no microarchitectural
+///   model, three orders of magnitude faster.
+///
+/// The default is `Host` — the serving path wants throughput; simulation
+/// is opt-in where architecture numbers matter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Cycle-level simulator (the architecture oracle).
+    Sim,
+    /// Bit-parallel host-native engine.
+    #[default]
+    Host,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Sim => "sim",
+            Backend::Host => "host",
+        })
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s {
+            "sim" | "simulator" => Ok(Backend::Sim),
+            "host" | "native" => Ok(Backend::Host),
+            other => Err(format!("unknown backend `{other}` (expected `sim` or `host`)")),
+        }
+    }
+}
+
 /// Per-transformation toggles (§3.2's "each transformation is optional and
 /// can be enabled or disabled individually").
 ///
 /// `Hash`/`Eq` matter operationally: the runtime's compiled-program cache
 /// is keyed by `(pattern, CompilerOptions)`, so two requests share a cache
-/// entry exactly when every toggle agrees.
+/// entry exactly when every toggle agrees. The [`backend`] field does not
+/// affect the compiled program, and the runtime normalizes it out of cache
+/// keys — sim and host requests for the same pattern share one entry.
+///
+/// [`backend`]: CompilerOptions::backend
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CompilerOptions {
+    /// Execution target for the compiled program (see [`Backend`]).
+    /// `optimized()`/`unoptimized()` pin [`Backend::Sim`] — they describe
+    /// the paper's simulated configurations; serving paths that want the
+    /// native engine set this to [`Backend::Host`] explicitly (the server
+    /// does so by default).
+    pub backend: Backend,
     /// Set 1: sub-regex simplification / canonicalization.
     pub canonicalize: bool,
     /// Set 2: alternation prefix factorization.
@@ -116,6 +171,7 @@ impl CompilerOptions {
     /// configuration).
     pub fn optimized() -> CompilerOptions {
         CompilerOptions {
+            backend: Backend::Sim,
             canonicalize: true,
             factorize: true,
             shortest_match: true,
@@ -128,6 +184,7 @@ impl CompilerOptions {
     /// All optimizations disabled (the paper's "w/o optimizations").
     pub fn unoptimized() -> CompilerOptions {
         CompilerOptions {
+            backend: Backend::Sim,
             canonicalize: false,
             factorize: false,
             shortest_match: false,
@@ -135,6 +192,13 @@ impl CompilerOptions {
             jump_simplification: false,
             verify_each: false,
         }
+    }
+
+    /// The same toggles, retargeted to `backend`.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> CompilerOptions {
+        self.backend = backend;
+        self
     }
 }
 

@@ -9,6 +9,11 @@
 //! * the functional ISA interpreter over the compiled program at `O0`
 //!   (all optimizations off) and `O2` (all on) — must reproduce both the
 //!   verdict and the earliest end exactly;
+//! * the host-native engine ([`cicero_hostexec::HostProgram`]) lowered
+//!   from each program — must reproduce the verdict and the earliest end
+//!   exactly (it implements the same earliest-match-end rule as the
+//!   interpreter), and its all-matches `run_all` must report the same id
+//!   set as [`cicero_isa::run_all`];
 //! * the cycle-level simulator over both programs on every configuration
 //!   in [`sim_matrix`] (the single-core reference at `CC_ID` 3, the
 //!   two-engine ring, plus multi-core organizations at `CC_ID` 1 and 2) —
@@ -22,7 +27,8 @@
 //!   byte-identical to the sequential [`simulate_batch`], and the
 //!   [`Runtime`]'s cached path must reproduce the same reports;
 //! * stream level (chunk-split invariance): the input re-run through the
-//!   resumable matchers — [`cicero_isa::run_chunked`] and
+//!   resumable matchers — [`cicero_isa::run_chunked`], the host engine's
+//!   [`cicero_hostexec::HostProgram::run_chunked`], and
 //!   [`cicero_sim::simulate_streaming`] over every simulator
 //!   configuration — split at chunk boundaries, must be *byte-identical*
 //!   to the whole-input cells. Every case gets the two deterministic
@@ -31,6 +37,7 @@
 //!   committed ones from the corpus).
 
 use cicero_core::{CompileError, Compiler, CompilerOptions};
+use cicero_hostexec::HostProgram;
 use cicero_isa::Program;
 use cicero_sim::{simulate, simulate_batch, simulate_batch_parallel, ArchConfig};
 use regex_oracle::Oracle;
@@ -101,6 +108,9 @@ pub struct PatternUnderTest {
     pub oracle: Oracle,
     /// `("O0"|"O2", program)` pairs.
     pub programs: Vec<(&'static str, Program)>,
+    /// The host-native lowering of each program, in the same order
+    /// (compiled once per pattern, reused across every input and split).
+    pub hosts: Vec<HostProgram>,
 }
 
 impl PatternUnderTest {
@@ -133,7 +143,8 @@ impl PatternUnderTest {
                 }
             }
         }
-        Ok(PatternUnderTest { pattern: pattern.to_owned(), oracle, programs })
+        let hosts = programs.iter().map(|(_, program)| HostProgram::compile(program)).collect();
+        Ok(PatternUnderTest { pattern: pattern.to_owned(), oracle, programs, hosts })
     }
 }
 
@@ -143,7 +154,7 @@ pub fn check_case(put: &PatternUnderTest, input: &[u8]) -> Outcome {
     let want_end = put.oracle.match_end(input);
     let valid_ends = put.oracle.match_ends(input);
 
-    for (level, program) in &put.programs {
+    for ((level, program), host) in put.programs.iter().zip(&put.hosts) {
         let out = cicero_isa::run(program, input);
         if out.accepted != want {
             return diverged(
@@ -157,6 +168,41 @@ pub fn check_case(put: &PatternUnderTest, input: &[u8]) -> Outcome {
             return diverged(
                 format!("interp/{level}"),
                 format!("match_end = {:?}, oracle says {want_end:?}", out.match_position),
+                put,
+                input,
+            );
+        }
+        // The host-native engine implements the interpreter's exact
+        // earliest-match-end semantics, so it is held to the oracle's
+        // single answer, not the any-match set the simulators get.
+        let host_out = host.run(input);
+        if host_out.accepted != want {
+            return diverged(
+                format!("host/{level}/{}", host.engine_kind()),
+                format!("is_match = {}, oracle says {want}", host_out.accepted),
+                put,
+                input,
+            );
+        }
+        if host_out.match_position != want_end {
+            return diverged(
+                format!("host/{level}/{}", host.engine_kind()),
+                format!("match_end = {:?}, oracle says {want_end:?}", host_out.match_position),
+                put,
+                input,
+            );
+        }
+        let host_all = host.run_all(input);
+        let interp_all = cicero_isa::run_all(program, input);
+        if host_all.matched_ids != interp_all.matched_ids
+            || host_all.accepted != interp_all.accepted
+        {
+            return diverged(
+                format!("host-all/{level}/{}", host.engine_kind()),
+                format!(
+                    "run_all ids = {:?}, interpreter says {:?}",
+                    host_all.matched_ids, interp_all.matched_ids
+                ),
                 put,
                 input,
             );
@@ -229,13 +275,25 @@ pub fn apply_splits(input: &[u8], splits: &[usize]) -> Vec<Vec<u8>> {
 pub fn check_stream_case(put: &PatternUnderTest, input: &[u8], splits: &[usize]) -> Outcome {
     let chunks = apply_splits(input, splits);
     let borrowed = || chunks.iter().map(Vec::as_slice);
-    for (level, program) in &put.programs {
+    for ((level, program), host) in put.programs.iter().zip(&put.hosts) {
         let whole = cicero_isa::run(program, input);
         let streamed = cicero_isa::run_chunked(program, borrowed());
         if streamed != whole {
             return diverged(
                 format!("stream/interp/{level}"),
                 format!("streamed at {splits:?} gives {streamed:?}, whole input gives {whole:?}"),
+                put,
+                input,
+            );
+        }
+        let host_whole = host.run(input);
+        let host_streamed = cicero_hostexec::run_chunked(host, borrowed());
+        if host_streamed != host_whole {
+            return diverged(
+                format!("stream/host/{level}/{}", host.engine_kind()),
+                format!(
+                    "streamed at {splits:?} gives {host_streamed:?}, whole input gives {host_whole:?}"
+                ),
                 put,
                 input,
             );
@@ -418,15 +476,37 @@ mod tests {
     fn a_wrong_verdict_is_reported_as_a_divergence() {
         // Hand-build a PatternUnderTest whose program is miscompiled: the
         // pattern `ab` paired with a program for `ac`.
+        let program = cicero_core::compile("ac").unwrap().into_program();
         let put = PatternUnderTest {
             pattern: "ab".to_owned(),
             oracle: Oracle::new("ab").unwrap(),
-            programs: vec![("O2", cicero_core::compile("ac").unwrap().into_program())],
+            hosts: vec![HostProgram::compile(&program)],
+            programs: vec![("O2", program)],
         };
         let outcome = check_case(&put, b"zzabzz");
         match outcome {
             Outcome::Diverged(d) => assert!(d.cell.starts_with("interp/"), "{d}"),
             other => panic!("miscompile not caught: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_host_engine_disagreement_is_reported_as_a_host_cell() {
+        // A correct program paired with a host lowering of a *different*
+        // program: the interpreter cells pass, so the first divergence
+        // must be attributed to the host column.
+        let good = cicero_core::compile("ab").unwrap().into_program();
+        let bad = cicero_core::compile("ac").unwrap().into_program();
+        let put = PatternUnderTest {
+            pattern: "ab".to_owned(),
+            oracle: Oracle::new("ab").unwrap(),
+            programs: vec![("O2", good)],
+            hosts: vec![HostProgram::compile(&bad)],
+        };
+        let outcome = check_case(&put, b"zzabzz");
+        match outcome {
+            Outcome::Diverged(d) => assert!(d.cell.starts_with("host/"), "{d}"),
+            other => panic!("host miscompile not caught: {other:?}"),
         }
     }
 }

@@ -1,0 +1,400 @@
+//! Epsilon elimination: `cicero` ISA programs to a byte-predicate NFA.
+//!
+//! The lowering walks every non-consuming path (`Split`, `Jump`,
+//! `NotMatch`) of the program once per entry PC, accumulating the byte
+//! constraint the path imposes on the *current* input byte (`NotMatch(u)`
+//! removes `u`; the other control instructions leave it alone). Reaching
+//! a consuming instruction emits an epsilon-free transition; reaching an
+//! acceptance emits an *accept arm* — a byte-conditional acceptance,
+//! because an acceptance guarded by `NotMatch` fires only while a
+//! permitted byte is current, and never at end of input (`NotMatch` kills
+//! its thread there, so only constraint-free paths accept at EOI).
+//!
+//! States are keyed by `(target PC, path predicate)`. Keeping the
+//! predicate in the state identity restores the Glushkov property the
+//! bit-parallel step relies on: every path *into* a state agrees on the
+//! byte predicate, so one shared table `enter[class]` can gate the whole
+//! next-state set with a single AND.
+//!
+//! The closure is memoized per PC (the constraint always restarts at the
+//! full alphabet after a byte is consumed) and budgeted: a pathological
+//! `NotMatch` lattice that would explode the `(pc, constraint)` space
+//! aborts the lowering, and the caller falls back to the reference
+//! interpreter instead of miscompiling.
+
+use std::collections::{HashMap, HashSet};
+
+use cicero_isa::{Instruction, Program};
+
+use crate::bytes::ByteSet;
+
+/// One byte-conditional acceptance attached to a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AcceptArm {
+    /// `AcceptPartialId` identifier; `None` for `Accept`/`AcceptPartial`.
+    pub id: Option<u16>,
+    /// Current bytes under which the arm fires mid-input.
+    pub bytes: ByteSet,
+    /// Whether the arm fires at end of input (only constraint-free paths
+    /// do — any `NotMatch` on the path dies at EOI).
+    pub eoi: bool,
+}
+
+/// The epsilon-free automaton. State 0 is the start configuration (active
+/// only at position 0, entry predicate empty so it is never re-entered);
+/// every other state is one `(pc, predicate)` group.
+#[derive(Debug, Clone)]
+pub(crate) struct Nfa {
+    /// Entry byte predicate per state.
+    pub preds: Vec<ByteSet>,
+    /// Consuming successors per state (deduplicated, discovery order
+    /// normalized by sorting — the engines are order-insensitive).
+    pub follow: Vec<Vec<u32>>,
+    /// Accept arms per state, merged by identifier.
+    pub arms: Vec<Vec<AcceptArm>>,
+}
+
+/// Cap on closure work (distinct `(pc, constraint)` pairs visited across
+/// the whole lowering). Real compiler output is linear in the program;
+/// only adversarial `NotMatch`/`Split` lattices approach this.
+const CLOSURE_BUDGET: usize = 1 << 18;
+
+/// Lower `program`; `None` when the closure budget is exhausted (caller
+/// falls back to the interpreter).
+pub(crate) fn lower(program: &Program) -> Option<Nfa> {
+    let mut builder = Builder {
+        program,
+        groups: Vec::new(),
+        group_ids: HashMap::new(),
+        closures: HashMap::new(),
+        budget: CLOSURE_BUDGET,
+    };
+    let start = builder.close(0)?;
+    // Closing a PC discovers new groups whose PCs need closures of their
+    // own; `groups` only ever grows, so this is a worklist.
+    let mut next_group = 0;
+    while next_group < builder.groups.len() {
+        let pc = builder.groups[next_group].0;
+        builder.close(pc)?;
+        next_group += 1;
+    }
+
+    let n = builder.groups.len() + 1;
+    let mut nfa = Nfa {
+        preds: Vec::with_capacity(n),
+        follow: Vec::with_capacity(n),
+        arms: Vec::with_capacity(n),
+    };
+    nfa.preds.push(ByteSet::EMPTY);
+    nfa.follow.push(start.follow);
+    nfa.arms.push(start.arms);
+    for &(pc, pred) in &builder.groups {
+        let closure = &builder.closures[&pc];
+        nfa.preds.push(pred);
+        nfa.follow.push(closure.follow.clone());
+        nfa.arms.push(closure.arms.clone());
+    }
+    Some(nfa)
+}
+
+#[derive(Debug, Clone)]
+struct Closure {
+    /// Group states reachable through one consumed byte, as NFA state ids
+    /// (group index + 1).
+    follow: Vec<u32>,
+    arms: Vec<AcceptArm>,
+}
+
+struct Builder<'p> {
+    program: &'p Program,
+    /// Discovered `(pc, predicate)` groups; NFA state id = index + 1.
+    groups: Vec<(u16, ByteSet)>,
+    group_ids: HashMap<(u16, ByteSet), u32>,
+    /// Memoized closures per entry PC (always explored from the full
+    /// alphabet — the constraint resets after each consumed byte).
+    closures: HashMap<u16, Closure>,
+    budget: usize,
+}
+
+impl Builder<'_> {
+    fn close(&mut self, entry: u16) -> Option<Closure> {
+        if let Some(closure) = self.closures.get(&entry) {
+            return Some(closure.clone());
+        }
+        let mut follow: Vec<u32> = Vec::new();
+        let mut arms: Vec<AcceptArm> = Vec::new();
+        let mut seen: HashSet<(u16, ByteSet)> = HashSet::new();
+        let mut stack: Vec<(u16, ByteSet)> = vec![(entry, ByteSet::FULL)];
+        while let Some((pc, constraint)) = stack.pop() {
+            if !seen.insert((pc, constraint)) {
+                continue;
+            }
+            self.budget = self.budget.checked_sub(1)?;
+            match self.program.get(pc).expect("validated program") {
+                Instruction::Match(expected) => {
+                    if constraint.contains(expected) {
+                        follow.push(self.group(pc + 1, ByteSet::single(expected)));
+                    }
+                }
+                Instruction::MatchAny => {
+                    follow.push(self.group(pc + 1, constraint));
+                }
+                Instruction::NotMatch(unexpected) => {
+                    let narrowed = constraint.without(unexpected);
+                    if !narrowed.is_empty() {
+                        stack.push((pc + 1, narrowed));
+                    }
+                }
+                Instruction::Split(target) => {
+                    stack.push((pc + 1, constraint));
+                    stack.push((target, constraint));
+                }
+                Instruction::Jump(target) => {
+                    stack.push((target, constraint));
+                }
+                Instruction::Accept => {
+                    if constraint.is_full() {
+                        arms.push(AcceptArm { id: None, bytes: ByteSet::EMPTY, eoi: true });
+                    }
+                }
+                Instruction::AcceptPartial => {
+                    arms.push(AcceptArm { id: None, bytes: constraint, eoi: constraint.is_full() });
+                }
+                Instruction::AcceptPartialId(id) => {
+                    arms.push(AcceptArm {
+                        id: Some(id),
+                        bytes: constraint,
+                        eoi: constraint.is_full(),
+                    });
+                }
+            }
+        }
+        follow.sort_unstable();
+        follow.dedup();
+        let closure = Closure { follow, arms: merge_arms(arms) };
+        self.closures.insert(entry, closure.clone());
+        Some(closure)
+    }
+
+    fn group(&mut self, pc: u16, pred: ByteSet) -> u32 {
+        if let Some(&id) = self.group_ids.get(&(pc, pred)) {
+            return id + 1;
+        }
+        let id = self.groups.len() as u32;
+        self.groups.push((pc, pred));
+        self.group_ids.insert((pc, pred), id);
+        id + 1
+    }
+}
+
+/// Merge arms that report the same identifier: union the byte conditions,
+/// OR the EOI flags. One arm per identifier keeps the engines' per-arm
+/// bookkeeping proportional to the pattern-set size, not the path count.
+fn merge_arms(arms: Vec<AcceptArm>) -> Vec<AcceptArm> {
+    let mut merged: Vec<AcceptArm> = Vec::new();
+    for arm in arms {
+        if let Some(existing) = merged.iter_mut().find(|a| a.id == arm.id) {
+            existing.bytes = existing.bytes.union(arm.bytes);
+            existing.eoi |= arm.eoi;
+        } else {
+            merged.push(arm);
+        }
+    }
+    // Deterministic arm order: unidentified acceptance first, then ids
+    // ascending (this is also the `matched_id` resolution order).
+    merged.sort_by_key(|arm| arm.id.map_or(-1i32, i32::from));
+    merged
+}
+
+/// Prefix factoring: merge states that are provably *co-active*.
+///
+/// Two states with the same entry predicate and the same incoming source
+/// set are activated under exactly the same conditions (induction over
+/// input positions), so replacing them with one state carrying the union
+/// of their follow sets and arms changes nothing observable. On
+/// `compile_set` programs this folds the duplicated per-member scan loops
+/// and shared literal prefixes (`abcd|abce|…`) into one spine, shrinking
+/// the automaton — often below the 64-state line that selects the fastest
+/// engine. Unreachable states are pruned on the way. Runs to fixpoint:
+/// each round either merges/prunes something (state count strictly
+/// drops) or stops.
+pub(crate) fn factor(nfa: &mut Nfa) {
+    loop {
+        let n = nfa.preds.len();
+        let mut incoming: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (source, follows) in nfa.follow.iter().enumerate() {
+            for &target in follows {
+                incoming[target as usize].push(source as u32);
+            }
+        }
+        for sources in &mut incoming {
+            sources.sort_unstable();
+            sources.dedup();
+        }
+
+        // alias[s] = the representative s collapses into (itself if kept);
+        // u32::MAX marks an unreachable state scheduled for pruning.
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut repr: HashMap<(ByteSet, Vec<u32>), u32> = HashMap::new();
+        let mut changed = false;
+        for state in 1..n {
+            if incoming[state].is_empty() {
+                alias[state] = u32::MAX;
+                changed = true;
+                continue;
+            }
+            let key = (nfa.preds[state], incoming[state].clone());
+            match repr.entry(key) {
+                std::collections::hash_map::Entry::Occupied(entry) => {
+                    alias[state] = *entry.get();
+                    changed = true;
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    entry.insert(state as u32);
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+
+        // Fold merged states into their representatives.
+        for (state, &target) in alias.iter().enumerate().take(n).skip(1) {
+            if target == state as u32 || target == u32::MAX {
+                continue;
+            }
+            let follows = std::mem::take(&mut nfa.follow[state]);
+            nfa.follow[target as usize].extend(follows);
+            let arms = std::mem::take(&mut nfa.arms[state]);
+            let mut merged = std::mem::take(&mut nfa.arms[target as usize]);
+            merged.extend(arms);
+            nfa.arms[target as usize] = merge_arms(merged);
+        }
+
+        // Renumber the kept states and rewrite every follow edge through
+        // the alias map.
+        let mut renumber: Vec<u32> = vec![u32::MAX; n];
+        let mut kept = 0u32;
+        for state in 0..n {
+            if alias[state] == state as u32 {
+                renumber[state] = kept;
+                kept += 1;
+            }
+        }
+        let mut next = Nfa {
+            preds: Vec::with_capacity(kept as usize),
+            follow: Vec::with_capacity(kept as usize),
+            arms: Vec::with_capacity(kept as usize),
+        };
+        for state in 0..n {
+            if alias[state] != state as u32 {
+                continue;
+            }
+            let mut follows: Vec<u32> = nfa.follow[state]
+                .iter()
+                .filter_map(|&t| {
+                    let target = alias[t as usize];
+                    (target != u32::MAX).then(|| renumber[target as usize])
+                })
+                .collect();
+            follows.sort_unstable();
+            follows.dedup();
+            next.preds.push(nfa.preds[state]);
+            next.follow.push(follows);
+            next.arms.push(std::mem::take(&mut nfa.arms[state]));
+        }
+        *nfa = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cicero_isa::Instruction::*;
+
+    fn lowered(instructions: Vec<Instruction>) -> Nfa {
+        let program = Program::from_instructions(instructions).unwrap();
+        lower(&program).expect("lowering within budget")
+    }
+
+    #[test]
+    fn anchored_literal_is_a_chain() {
+        // `^ab$`
+        let nfa = lowered(vec![Match(b'a'), Match(b'b'), Accept]);
+        assert_eq!(nfa.preds.len(), 3);
+        assert_eq!(nfa.follow[0], vec![1]);
+        assert!(nfa.preds[1].contains(b'a') && nfa.preds[1].len() == 1);
+        assert_eq!(nfa.follow[1], vec![2]);
+        // The accepting state fires only at EOI (plain `Accept`).
+        assert_eq!(nfa.arms[2].len(), 1);
+        assert!(nfa.arms[2][0].eoi && nfa.arms[2][0].bytes.is_empty());
+    }
+
+    #[test]
+    fn notmatch_guards_narrow_acceptance() {
+        // `[^ab]c`-ish shape: NotMatch a; NotMatch b; MatchAny; AcceptPartial
+        let nfa = lowered(vec![NotMatch(b'a'), NotMatch(b'b'), MatchAny, AcceptPartial]);
+        // Start consumes one byte under the narrowed predicate.
+        assert_eq!(nfa.follow[0].len(), 1);
+        let state = nfa.follow[0][0] as usize;
+        assert!(!nfa.preds[state].contains(b'a'));
+        assert!(!nfa.preds[state].contains(b'b'));
+        assert!(nfa.preds[state].contains(b'c'));
+        // The arm on the consumed state is unconditional (the guard was on
+        // the previous position) and fires at EOI too.
+        assert!(nfa.arms[state][0].bytes.is_full() && nfa.arms[state][0].eoi);
+    }
+
+    #[test]
+    fn notmatch_guarded_acceptance_never_fires_at_eoi() {
+        // Match x; NotMatch a; AcceptPartial — accepting only while a
+        // non-`a` byte is current.
+        let nfa = lowered(vec![Match(b'x'), NotMatch(b'a'), AcceptPartial]);
+        let state = nfa.follow[0][0] as usize;
+        let arm = &nfa.arms[state][0];
+        assert!(!arm.eoi, "NotMatch kills the thread at end of input");
+        assert!(!arm.bytes.contains(b'a') && arm.bytes.contains(b'b'));
+    }
+
+    #[test]
+    fn split_loops_close_within_budget() {
+        // Pathological `(a*)*` loop shape closes fine (dedup on (pc, set)).
+        let nfa = lowered(vec![Split(2), Jump(0), Match(b'a'), Jump(0), Accept]);
+        assert!(nfa.preds.len() >= 2);
+    }
+
+    #[test]
+    fn factoring_merges_shared_prefixes() {
+        // `^(ab|ac)$` written as two duplicated branches: the two `a`
+        // states have identical predicate + incoming and must merge.
+        let mut nfa = lowered(vec![
+            Split(4),
+            Match(b'a'),
+            Match(b'b'),
+            Jump(7),
+            Match(b'a'),
+            Match(b'c'),
+            Jump(7),
+            Accept,
+        ]);
+        let before = nfa.preds.len();
+        factor(&mut nfa);
+        assert!(nfa.preds.len() < before, "shared `a` prefix must fold");
+        // Exactly one state is entered on `a`.
+        let a_states = nfa.preds.iter().filter(|p| p.contains(b'a') && p.len() == 1).count();
+        assert_eq!(a_states, 1);
+    }
+
+    #[test]
+    fn factoring_prunes_unreachable_states() {
+        // Match(z) at PC 3 is reachable only through Match(a)'s successor;
+        // shape chosen so pruning has something to do after merging.
+        let mut nfa = lowered(vec![Match(b'a'), Match(b'b'), AcceptPartial, Accept]);
+        factor(&mut nfa);
+        for follows in &nfa.follow {
+            for &t in follows {
+                assert!((t as usize) < nfa.preds.len());
+            }
+        }
+    }
+}

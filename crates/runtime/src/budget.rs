@@ -22,12 +22,12 @@
 
 use std::time::{Duration, Instant};
 
-use cicero_core::CompileError;
+use cicero_core::{Backend, CompileError};
 use cicero_isa::Program;
 use cicero_sim::{ArchConfig, ExecReport, Machine, WorkerStats};
 use cicero_telemetry::{TraceContext, TraceSpan};
 
-use crate::Runtime;
+use crate::{host_exec_report, Runtime};
 
 /// Resource limits for one request (batch or stream). The default is
 /// unlimited on both axes.
@@ -210,8 +210,30 @@ impl Runtime {
         budget: &Budget,
         trace: Option<&TraceSpan>,
     ) -> Result<GuardedBatch, CompileError> {
+        self.match_batch_guarded_traced_on(self.backend(), pattern, inputs, config, budget, trace)
+    }
+
+    /// [`Runtime::match_batch_guarded_traced`] on an explicit backend
+    /// (the per-request override the server's `X-Cicero-Backend` header
+    /// resolves to). The compiled program is identical either way; only
+    /// the execution engine differs.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors only; execution failures are reported per input
+    /// in [`GuardedBatch::outcomes`].
+    pub fn match_batch_guarded_traced_on(
+        &self,
+        backend: Backend,
+        pattern: &str,
+        inputs: &[Vec<u8>],
+        config: &ArchConfig,
+        budget: &Budget,
+        trace: Option<&TraceSpan>,
+    ) -> Result<GuardedBatch, CompileError> {
         let (program, cache_hit) = self.compile_traced(pattern, trace)?;
-        Ok(self.run_batch_guarded_inner(&program, inputs, config, budget, cache_hit, trace))
+        Ok(self
+            .run_batch_guarded_inner(backend, &program, inputs, config, budget, cache_hit, trace))
     }
 
     /// Run an already-compiled program over every input with budgets and
@@ -223,7 +245,7 @@ impl Runtime {
         config: &ArchConfig,
         budget: &Budget,
     ) -> GuardedBatch {
-        self.run_batch_guarded_inner(program, inputs, config, budget, false, None)
+        self.run_batch_guarded_inner(self.backend(), program, inputs, config, budget, false, None)
     }
 
     /// [`Runtime::run_batch_guarded`] with request tracing (see
@@ -236,11 +258,26 @@ impl Runtime {
         budget: &Budget,
         trace: Option<&TraceSpan>,
     ) -> GuardedBatch {
-        self.run_batch_guarded_inner(program, inputs, config, budget, false, trace)
+        self.run_batch_guarded_inner(self.backend(), program, inputs, config, budget, false, trace)
     }
 
+    /// [`Runtime::run_batch_guarded_traced`] on an explicit backend.
+    pub fn run_batch_guarded_traced_on(
+        &self,
+        backend: Backend,
+        program: &Program,
+        inputs: &[Vec<u8>],
+        config: &ArchConfig,
+        budget: &Budget,
+        trace: Option<&TraceSpan>,
+    ) -> GuardedBatch {
+        self.run_batch_guarded_inner(backend, program, inputs, config, budget, false, trace)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_batch_guarded_inner(
         &self,
+        backend: Backend,
         program: &Program,
         inputs: &[Vec<u8>],
         config: &ArchConfig,
@@ -252,8 +289,13 @@ impl Runtime {
             let span = t.span("runtime.guarded_batch");
             span.annotate("inputs", inputs.len());
             span.annotate("fuel", budget.fuel.map_or(-1i64, |f| f as i64));
+            span.annotate("backend", backend.to_string());
             span
         });
+        // On the host backend every worker shares one immutable lowered
+        // engine; the fuel budget becomes a byte budget through the same
+        // `max_cycles` clamp the simulator uses.
+        let host_program = (backend == Backend::Host).then(|| self.host.get_or_lower(program));
         let start = Instant::now();
         let deadline_at = budget.deadline.map(|d| start + d);
         let run_config = budget.clamp_config(config);
@@ -280,13 +322,18 @@ impl Runtime {
                         let run_config = run_config.clone();
                         let hook = hook.clone();
                         let worker_trace = worker_trace.clone();
+                        let host_program = host_program.clone();
                         scope.spawn(move || {
+                            let engine = if host_program.is_some() { "host" } else { "sim" };
                             let worker_span = worker_trace.as_ref().map(|(ctx, parent)| {
-                                ctx.child_of(Some(*parent), format!("sim.worker-{worker}"))
+                                ctx.child_of(Some(*parent), format!("{engine}.worker-{worker}"))
                             });
-                            // `None` after a panic poisons the machine;
-                            // the next input respawns a fresh one.
-                            let mut machine = Some(Machine::new(program, run_config.clone()));
+                            // Sim path only. `None` after a panic poisons
+                            // the machine; the next input respawns a
+                            // fresh one.
+                            let mut machine = host_program
+                                .is_none()
+                                .then(|| Machine::new(program, run_config.clone()));
                             let mut out = Vec::new();
                             let mut stats = WorkerStats { worker, ..WorkerStats::default() };
                             loop {
@@ -304,18 +351,32 @@ impl Runtime {
                                 }
                                 let mut attempts = 0u32;
                                 let outcome = loop {
-                                    let m = machine.get_or_insert_with(|| {
-                                        Machine::new(program, run_config.clone())
-                                    });
-                                    let result = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| {
-                                            if let Some(hook) = &hook {
-                                                hook(index);
-                                            }
-                                            m.prefetch_icache();
-                                            m.run(input)
-                                        }),
-                                    );
+                                    let result = if let Some(host) = &host_program {
+                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                            || {
+                                                if let Some(hook) = &hook {
+                                                    hook(index);
+                                                }
+                                                host_exec_report(&host.run_budgeted(
+                                                    input,
+                                                    Some(run_config.max_cycles),
+                                                ))
+                                            },
+                                        ))
+                                    } else {
+                                        let m = machine.get_or_insert_with(|| {
+                                            Machine::new(program, run_config.clone())
+                                        });
+                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                            || {
+                                                if let Some(hook) = &hook {
+                                                    hook(index);
+                                                }
+                                                m.prefetch_icache();
+                                                m.run(input)
+                                            },
+                                        ))
+                                    };
                                     match result {
                                         Ok(report) => break budget.classify(report, config),
                                         Err(payload) => {
@@ -677,6 +738,101 @@ mod tests {
         let compiles: Vec<_> = trace2.spans.iter().filter(|s| s.name == "compile").collect();
         assert_eq!(compiles.len(), 2);
         assert!(compiles[1].attrs.iter().any(|(k, v)| k == "cache_hit" && v.to_string() == "true"));
+    }
+
+    fn host_runtime(jobs: usize) -> Runtime {
+        let compiler = cicero_core::CompilerOptions::optimized().with_backend(Backend::Host);
+        Runtime::new(RuntimeOptions { jobs, compiler, ..RuntimeOptions::default() })
+    }
+
+    #[test]
+    fn host_backend_agrees_with_sim_verdicts_and_positions() {
+        let config = ArchConfig::new_organization(8, 1);
+        let sim = runtime(2)
+            .match_batch_guarded(PATTERN, &chunks(), &config, &Budget::UNLIMITED)
+            .unwrap();
+        let host = host_runtime(2)
+            .match_batch_guarded(PATTERN, &chunks(), &config, &Budget::UNLIMITED)
+            .unwrap();
+        assert_eq!(host.outcomes.len(), sim.outcomes.len());
+        for (h, s) in host.outcomes.iter().zip(&sim.outcomes) {
+            let (h, s) = (h.report().unwrap(), s.report().unwrap());
+            assert_eq!(h.accepted, s.accepted);
+            assert_eq!(h.match_position, s.match_position);
+        }
+        assert_eq!(host.matches(), sim.matches());
+    }
+
+    #[test]
+    fn host_fuel_is_a_byte_budget() {
+        // 500 non-matching bytes under 8 bytes of fuel: the host engine
+        // stops after 8 bytes and reports a clean fuel cut-off, exactly
+        // like the sim path's 8-cycle cut-off.
+        let config = ArchConfig::old_organization(1);
+        let inputs = vec![vec![b'x'; 500]];
+        let batch = host_runtime(1)
+            .match_batch_guarded(PATTERN, &inputs, &config, &Budget::with_fuel(8))
+            .unwrap();
+        match &batch.outcomes[0] {
+            MatchOutcome::Budget { kind: BudgetKind::Fuel, partial: Some(report) } => {
+                assert_eq!(report.cycles, 8, "host cycles mean bytes examined");
+                assert!(report.hit_cycle_limit);
+                assert!(!report.accepted);
+            }
+            other => panic!("expected a fuel cut-off, got {other:?}"),
+        }
+        // A match inside the budget completes despite tight fuel.
+        let batch = host_runtime(1)
+            .match_batch_guarded(PATTERN, &[b"abcdxxxx".to_vec()], &config, &Budget::with_fuel(8))
+            .unwrap();
+        assert!(matches!(&batch.outcomes[0], MatchOutcome::Complete(r) if r.accepted));
+    }
+
+    #[test]
+    fn explicit_backend_overrides_the_runtime_default() {
+        // A sim-default runtime can serve a host request and vice versa,
+        // with identical verdicts from the shared program cache entry.
+        let config = ArchConfig::old_organization(1);
+        let sim_runtime = runtime(1);
+        let via_host = sim_runtime
+            .match_batch_guarded_traced_on(
+                Backend::Host,
+                PATTERN,
+                &chunks(),
+                &config,
+                &Budget::UNLIMITED,
+                None,
+            )
+            .unwrap();
+        assert_eq!(via_host.matches(), 2);
+        // Second call on the other backend hits the same cache entry.
+        let via_sim = sim_runtime
+            .match_batch_guarded(PATTERN, &chunks(), &config, &Budget::UNLIMITED)
+            .unwrap();
+        assert!(via_sim.cache_hit, "backends must share one program cache entry");
+        assert_eq!(via_sim.matches(), 2);
+    }
+
+    #[test]
+    fn host_worker_panic_isolation_still_works() {
+        // The injected hook panic exercises the host path's catch_unwind:
+        // one retry succeeds and the batch completes.
+        let config = ArchConfig::old_organization(1);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook = {
+            let fired = Arc::clone(&fired);
+            Arc::new(move |index: usize| {
+                if index == 3 && fired.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("injected fault on input 3");
+                }
+            })
+        };
+        let runtime = host_runtime(2).with_run_hook(hook);
+        let batch = quietly(|| {
+            runtime.match_batch_guarded(PATTERN, &chunks(), &config, &Budget::UNLIMITED).unwrap()
+        });
+        assert!(batch.worker_restarts >= 1);
+        assert_eq!(batch.completed(), chunks().len(), "{:?}", batch.outcomes);
     }
 
     #[test]

@@ -44,12 +44,63 @@ use std::time::{Duration, Instant};
 
 pub use budget::{Budget, BudgetKind, GuardedBatch, MatchOutcome};
 pub use cache::{CacheKey, CacheStats, ProgramCache, DEFAULT_SHARDS};
+pub use cicero_hostexec::{EngineKind, HostAllOutcome, HostOutcome, HostProgram, HostRun};
 pub use stream::{StreamError, StreamOptions, StreamReport};
 
-use cicero_core::{CompileError, Compiler, CompilerOptions, PipelineReport};
+use cicero_core::{Backend, CompileError, Compiler, CompilerOptions, PipelineReport};
 use cicero_isa::Program;
 use cicero_sim::{simulate_batch_parallel_stats, ArchConfig, ExecReport, WorkerStats};
 use cicero_telemetry::{Telemetry, TraceSpan, Value};
+
+/// Synthesize an [`ExecReport`] from a host-engine run so the host
+/// backend flows through the same budget classification, batch
+/// accounting, and serving plumbing as the simulator. The convention:
+/// `cycles` and `instructions` both mean *input bytes examined* (one
+/// byte per step is exactly what the engine does), the i-cache and stall
+/// counters stay zero (no microarchitectural model), and
+/// `hit_cycle_limit` means the byte budget tripped — so fuel on the host
+/// backend is a byte budget.
+pub(crate) fn host_exec_report(run: &HostRun) -> ExecReport {
+    ExecReport {
+        cycles: run.scanned,
+        accepted: run.outcome.accepted,
+        match_position: run.outcome.match_position,
+        matched_id: run.outcome.matched_id,
+        instructions: run.scanned,
+        hit_cycle_limit: run.hit_byte_limit,
+        ..ExecReport::default()
+    }
+}
+
+/// Bounded memoization of host-engine lowerings, keyed by the program
+/// itself. Lowering runs outside the lock (a racing duplicate is merely
+/// wasted work); at capacity the map is flushed wholesale — entries are
+/// cheap to rebuild and the working set of distinct programs is small.
+struct HostCache {
+    map: std::sync::Mutex<std::collections::HashMap<Program, Arc<HostProgram>>>,
+    capacity: usize,
+}
+
+impl HostCache {
+    fn new(capacity: usize) -> HostCache {
+        HostCache {
+            map: std::sync::Mutex::new(std::collections::HashMap::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get_or_lower(&self, program: &Program) -> Arc<HostProgram> {
+        if let Some(hit) = self.map.lock().unwrap_or_else(|p| p.into_inner()).get(program) {
+            return Arc::clone(hit);
+        }
+        let lowered = Arc::new(HostProgram::compile(program));
+        let mut map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        map.entry(program.clone()).or_insert_with(|| Arc::clone(&lowered)).clone()
+    }
+}
 
 /// Backfill per-pass compile timings under `span` as synthetic child
 /// spans, laid out end-to-end from the span's start (the pass manager
@@ -143,6 +194,7 @@ pub struct Runtime {
     options: RuntimeOptions,
     jobs: usize,
     cache: ProgramCache,
+    host: HostCache,
     telemetry: Option<Telemetry>,
     run_hook: Option<RunHook>,
 }
@@ -177,6 +229,7 @@ impl Runtime {
         Runtime {
             jobs,
             cache: ProgramCache::new(options.cache_capacity),
+            host: HostCache::new(options.cache_capacity),
             options,
             telemetry: None,
             run_hook: None,
@@ -214,6 +267,19 @@ impl Runtime {
         &self.cache
     }
 
+    /// The backend requests run on unless they say otherwise (from
+    /// [`RuntimeOptions::compiler`]).
+    pub fn backend(&self) -> Backend {
+        self.options.compiler.backend
+    }
+
+    /// The host-engine lowering of `program`, memoized per runtime. Use
+    /// this to inspect engine selection or to run host-only entry points
+    /// like [`HostProgram::run_all`] directly.
+    pub fn host_program(&self, program: &Program) -> Arc<HostProgram> {
+        self.host.get_or_lower(program)
+    }
+
     /// Compile `pattern` through the cache.
     ///
     /// # Errors
@@ -240,7 +306,9 @@ impl Runtime {
     ) -> Result<(Arc<Program>, bool), CompileError> {
         let span = trace.map(|parent| parent.child("compile"));
         let mut report: Option<PipelineReport> = None;
-        let key = CacheKey::pattern(pattern, self.options.compiler);
+        // Compilation is backend-agnostic, so the backend is normalized
+        // out of the key: sim and host requests share one cache entry.
+        let key = CacheKey::pattern(pattern, self.options.compiler.with_backend(Backend::Sim));
         let result: Result<(Arc<Program>, bool), CompileError> =
             self.cache.get_or_insert_with(key, || {
                 let compiled = Compiler::with_options(self.options.compiler).compile(pattern)?;
@@ -291,7 +359,7 @@ impl Runtime {
             span
         });
         let mut report: Option<PipelineReport> = None;
-        let key = CacheKey::set(patterns, self.options.compiler);
+        let key = CacheKey::set(patterns, self.options.compiler.with_backend(Backend::Sim));
         let result: Result<(Arc<Program>, bool), CompileError> =
             self.cache.get_or_insert_with(key, || {
                 let set = Compiler::with_options(self.options.compiler).compile_set(patterns)?;

@@ -13,13 +13,13 @@
 use std::io::{self, Read};
 use std::time::{Duration, Instant};
 
-use cicero_core::CompileError;
+use cicero_core::{Backend, CompileError};
 use cicero_isa::Program;
 use cicero_sim::{ArchConfig, StreamMachine, StreamStatus};
 use cicero_telemetry::TraceSpan;
 
 use crate::budget::{Budget, BudgetKind, MatchOutcome};
-use crate::Runtime;
+use crate::{host_exec_report, HostRun, Runtime};
 
 /// Knobs for one streaming session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +142,29 @@ impl Runtime {
     pub fn scan_stream_traced<R: Read + Send>(
         &self,
         program: &Program,
+        reader: R,
+        config: &ArchConfig,
+        options: &StreamOptions,
+        trace: Option<&TraceSpan>,
+    ) -> Result<StreamReport, StreamError> {
+        self.scan_stream_traced_on(self.backend(), program, reader, config, options, trace)
+    }
+
+    /// [`Runtime::scan_stream_traced`] on an explicit backend. On
+    /// [`Backend::Host`] the session feeds a resumable
+    /// [`HostMatcher`](crate::HostProgram::matcher) instead of the
+    /// [`StreamMachine`]: the verdict is still chunk-split invariant, the
+    /// fuel budget becomes a byte budget, and the reported
+    /// [`ExecReport`] follows the host synthesis convention
+    /// (`cycles` = bytes examined).
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::scan_stream`].
+    pub fn scan_stream_traced_on<R: Read + Send>(
+        &self,
+        backend: Backend,
+        program: &Program,
         mut reader: R,
         config: &ArchConfig,
         options: &StreamOptions,
@@ -157,14 +180,19 @@ impl Runtime {
             let span = t.span("stream.session");
             span.annotate("chunk_size", options.chunk_size);
             span.annotate("queue_depth", options.queue_depth);
+            span.annotate("backend", backend.to_string());
             span
         });
         let trace_span = trace.map(|parent| {
             let span = parent.child("stream.execute");
             span.annotate("chunk_size", options.chunk_size);
             span.annotate("queue_depth", options.queue_depth);
+            span.annotate("backend", backend.to_string());
             span
         });
+        if backend == Backend::Host {
+            return self.scan_stream_host(program, reader, config, options, span, trace_span);
+        }
         let start = Instant::now();
         let deadline_at = options.budget.deadline.map(|d| start + d);
         let mut stream = StreamMachine::new(program, options.budget.clamp_config(config));
@@ -245,6 +273,145 @@ impl Runtime {
             telemetry.observe("stream.peak_buffered", report.peak_buffered as f64);
             if matches!(report.outcome, MatchOutcome::Budget { .. }) {
                 telemetry.counter_add("stream.budget_exceeded", 1);
+            }
+            if let Some(span) = span {
+                span.annotate("bytes", report.bytes);
+                span.annotate("complete", report.outcome.is_complete());
+            }
+        }
+        if let Some(span) = trace_span {
+            span.annotate("bytes", report.bytes);
+            span.annotate("chunks", report.chunks);
+            span.annotate("suspends", report.suspends);
+            span.annotate("complete", report.outcome.is_complete());
+        }
+        Ok(report)
+    }
+
+    /// The host-backend streaming session: the same bounded reader queue,
+    /// feeding a resumable host matcher instead of the stream machine.
+    /// The fuel budget clamps the session's byte count exactly as it
+    /// clamps simulated cycles on the sim path (`cycles` = bytes in the
+    /// host report convention), and the verdict is chunk-split invariant
+    /// because the matcher state is one machine word (or one DFA id).
+    fn scan_stream_host<R: Read + Send>(
+        &self,
+        program: &Program,
+        mut reader: R,
+        config: &ArchConfig,
+        options: &StreamOptions,
+        span: Option<cicero_telemetry::Span>,
+        trace_span: Option<TraceSpan>,
+    ) -> Result<StreamReport, StreamError> {
+        let start = Instant::now();
+        let deadline_at = options.budget.deadline.map(|d| start + d);
+        let byte_cap = options.budget.clamp_config(config).max_cycles;
+        let host = self.host.get_or_lower(program);
+        let mut matcher = host.matcher();
+
+        let chunk_size = options.chunk_size;
+        let mut bytes = 0u64;
+        let mut chunks = 0u64;
+        let mut suspends = 0u64;
+        let mut peak_buffered = 0usize;
+        let mut io_error: Option<io::Error> = None;
+        let mut deadline_hit = false;
+        let mut limit_hit = false;
+        let mut concluded: Option<crate::HostOutcome> = None;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<io::Result<Vec<u8>>>(options.queue_depth);
+        std::thread::scope(|scope| {
+            scope.spawn(move || loop {
+                let mut buf = vec![0u8; chunk_size];
+                match read_chunk(&mut reader, &mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        buf.truncate(n);
+                        if tx.send(Ok(buf)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            });
+            while let Ok(message) = rx.recv() {
+                match message {
+                    Ok(chunk) => {
+                        if deadline_at.is_some_and(|at| Instant::now() >= at) {
+                            deadline_hit = true;
+                            break;
+                        }
+                        peak_buffered = peak_buffered.max(chunk.len());
+                        chunks += 1;
+                        let remaining = byte_cap.saturating_sub(matcher.position() as u64);
+                        let take = (chunk.len() as u64).min(remaining) as usize;
+                        bytes += take as u64;
+                        if let Some(outcome) = matcher.feed(&chunk[..take]) {
+                            concluded = Some(outcome);
+                            break;
+                        }
+                        if take < chunk.len() {
+                            limit_hit = true;
+                            break;
+                        }
+                        suspends += 1;
+                    }
+                    Err(e) => {
+                        io_error = Some(e);
+                        break;
+                    }
+                }
+            }
+            drop(rx);
+        });
+        if let Some(e) = io_error {
+            return Err(StreamError::Io(e));
+        }
+
+        let outcome = if deadline_hit {
+            let partial = HostRun {
+                outcome: crate::HostOutcome {
+                    accepted: false,
+                    match_position: None,
+                    matched_id: None,
+                },
+                scanned: matcher.position() as u64,
+                hit_byte_limit: false,
+            };
+            MatchOutcome::Budget {
+                kind: BudgetKind::Deadline,
+                partial: Some(host_exec_report(&partial)),
+            }
+        } else {
+            let final_outcome = match concluded {
+                Some(outcome) => outcome,
+                None if limit_hit => {
+                    crate::HostOutcome { accepted: false, match_position: None, matched_id: None }
+                }
+                None => matcher.finish(),
+            };
+            let run = HostRun {
+                outcome: final_outcome,
+                scanned: matcher.position() as u64,
+                hit_byte_limit: limit_hit,
+            };
+            options.budget.classify(host_exec_report(&run), config)
+        };
+        let report =
+            StreamReport { outcome, bytes, chunks, suspends, peak_buffered, wall: start.elapsed() };
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.counter_add("stream.sessions", 1);
+            telemetry.counter_add("stream.chunks", report.chunks);
+            telemetry.counter_add("stream.bytes", report.bytes);
+            telemetry.counter_add("stream.suspends", report.suspends);
+            telemetry.observe("stream.peak_buffered", report.peak_buffered as f64);
+            if matches!(report.outcome, MatchOutcome::Budget { .. }) {
+                telemetry.counter_add("stream.budget_exceeded", 1);
+            }
+            if let Some(exec) = report.outcome.report() {
+                exec.record_into(telemetry);
             }
             if let Some(span) = span {
                 span.annotate("bytes", report.bytes);
@@ -411,6 +578,64 @@ mod tests {
         assert_eq!(telemetry.counter("sim.runs"), 1);
         let spans = telemetry.spans();
         assert_eq!(spans.iter().filter(|s| s.name == "stream.session").count(), 1);
+    }
+
+    fn host_runtime() -> Runtime {
+        let compiler =
+            cicero_core::CompilerOptions::optimized().with_backend(cicero_core::Backend::Host);
+        Runtime::new(RuntimeOptions { jobs: 1, compiler, ..RuntimeOptions::default() })
+    }
+
+    #[test]
+    fn host_streamed_scan_is_chunk_split_invariant() {
+        let runtime = host_runtime();
+        let config = ArchConfig::new_organization(8, 1);
+        let program = runtime.compile("ab|cd").unwrap();
+        let mut input = vec![b'x'; 10_000];
+        input.extend_from_slice(b"cd");
+        input.extend(vec![b'y'; 100]);
+        let host = runtime.host_program(&program);
+        let whole = host.run(&input);
+        for chunk_size in [1usize, 7, 256, 100_000] {
+            let report = runtime
+                .scan_stream(&program, Cursor::new(input.clone()), &config, &options(chunk_size))
+                .unwrap();
+            let exec = report.outcome.report().expect("complete");
+            assert!(report.outcome.is_complete(), "chunk={chunk_size}");
+            assert_eq!(exec.accepted, whole.accepted, "chunk={chunk_size}");
+            assert_eq!(exec.match_position, whole.match_position, "chunk={chunk_size}");
+            // And the host verdict equals the interpreter oracle.
+            let oracle = cicero_isa::run(&program, &input);
+            assert_eq!(exec.accepted, oracle.accepted);
+            assert_eq!(exec.match_position, oracle.match_position);
+        }
+    }
+
+    #[test]
+    fn host_stream_fuel_cuts_off_by_bytes() {
+        let runtime = host_runtime();
+        let config = ArchConfig::old_organization(1);
+        let opts = StreamOptions { budget: Budget::with_fuel(16), ..options(64) };
+        let report =
+            runtime.match_stream("ab|cd", Cursor::new(vec![b'x'; 4096]), &config, &opts).unwrap();
+        match report.outcome {
+            MatchOutcome::Budget { kind: BudgetKind::Fuel, partial: Some(partial) } => {
+                assert_eq!(partial.cycles, 16, "host fuel is a byte budget");
+            }
+            other => panic!("expected a fuel cut-off, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn host_stream_stops_reading_early_on_acceptance() {
+        let runtime = host_runtime();
+        let config = ArchConfig::old_organization(1);
+        let mut input = b"xxabxx".to_vec();
+        input.extend(vec![b'z'; 1 << 20]);
+        let report = runtime.match_stream("ab", Cursor::new(input), &config, &options(64)).unwrap();
+        assert!(report.outcome.is_complete());
+        assert!(report.outcome.report().unwrap().accepted);
+        assert!(report.bytes < 1024, "read {} bytes", report.bytes);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::time::Duration;
 
+use cicero_core::Backend;
 use cicero_runtime::{Budget, BudgetKind, MatchOutcome};
 use cicero_sim::ArchConfig;
 use cicero_telemetry::{render_chrome_trace, JsonObject, TraceSpan};
@@ -64,6 +65,18 @@ fn budget_from_headers(request: &Request) -> Result<Budget, Response> {
         budget.deadline = Some(Duration::from_millis(ms));
     }
     Ok(budget)
+}
+
+/// The `X-Cicero-Backend` header (`sim` or `host`); absent, the
+/// runtime's configured default (the server serves host-native unless
+/// started with `--backend sim`).
+fn backend_from_headers(shared: &Shared, request: &Request) -> Result<Backend, Response> {
+    match request.header("x-cicero-backend") {
+        None => Ok(shared.runtime.backend()),
+        Some(value) => value
+            .parse()
+            .map_err(|e: String| error_response(400, &format!("bad X-Cicero-Backend value: {e}"))),
+    }
 }
 
 /// The paper's `NxM` architecture naming, as also used by the CLI's
@@ -189,6 +202,10 @@ fn handle_match(shared: &Shared, request: &Request, root: &TraceSpan) -> Respons
         Ok(budget) => budget,
         Err(response) => return response,
     };
+    let backend = match backend_from_headers(shared, request) {
+        Ok(backend) => backend,
+        Err(response) => return response,
+    };
     let body = match parse_match_body(shared, request) {
         Ok(body) => body,
         Err(response) => return response,
@@ -198,7 +215,8 @@ fn handle_match(shared: &Shared, request: &Request, root: &TraceSpan) -> Respons
     let mut budget_kind = None;
     let mut faults = 0usize;
     for pattern in &body.patterns {
-        let batch = match shared.runtime.match_batch_guarded_traced(
+        let batch = match shared.runtime.match_batch_guarded_traced_on(
+            backend,
             pattern,
             &inputs,
             &body.config,
@@ -249,12 +267,17 @@ fn handle_match(shared: &Shared, request: &Request, root: &TraceSpan) -> Respons
 
 /// `POST /scan`: the patterns compile as one multi-matching set (through
 /// the LRU cache), the input is scanned in 500-byte chunks on the worker
-/// pool, and per-pattern chunk counts come from the all-matches
-/// interpreter ([`cicero_isa::run_all`]) so overlapping set members are
-/// all reported — the same accounting as `cicero scan --jobs N`.
+/// pool, and per-pattern chunk counts come from an all-matches pass
+/// (host engine `run_all`, or [`cicero_isa::run_all`] under
+/// `X-Cicero-Backend: sim`) so overlapping set members are all
+/// reported — the same accounting as `cicero scan --jobs N`.
 fn handle_scan(shared: &Shared, request: &Request, root: &TraceSpan) -> Response {
     let budget = match budget_from_headers(request) {
         Ok(budget) => budget,
+        Err(response) => return response,
+    };
+    let backend = match backend_from_headers(shared, request) {
+        Ok(backend) => backend,
         Err(response) => return response,
     };
     let body = match parse_match_body(shared, request) {
@@ -267,7 +290,8 @@ fn handle_scan(shared: &Shared, request: &Request, root: &TraceSpan) -> Response
         Err(e) => return error_response(400, &format!("compiling the pattern set: {e}")),
     };
     let chunks = chunk_input(&body.input);
-    let batch = shared.runtime.run_batch_guarded_traced(
+    let batch = shared.runtime.run_batch_guarded_traced_on(
+        backend,
         &program,
         &chunks,
         &body.config,
@@ -287,10 +311,19 @@ fn handle_scan(shared: &Shared, request: &Request, root: &TraceSpan) -> Response
             MatchOutcome::Complete(report) => {
                 cycles += report.cycles;
                 if report.accepted {
-                    // The cycle-level run halts on the first acceptance
-                    // (hardware semantics); the functional all-matches
-                    // interpreter reports every distinct set member.
-                    for id in cicero_isa::run_all(&program, chunk).matched_ids {
+                    // The first-acceptance run halts on any set member
+                    // (hardware semantics); the all-matches pass reports
+                    // every distinct one. On the host backend that pass
+                    // is the memoized host engine; on sim it is the
+                    // functional interpreter. Their id sets are
+                    // byte-identical (proptested in cicero-runtime).
+                    let ids = match backend {
+                        Backend::Host => {
+                            shared.runtime.host_program(&program).run_all(chunk).matched_ids
+                        }
+                        Backend::Sim => cicero_isa::run_all(&program, chunk).matched_ids,
+                    };
+                    for id in ids {
                         if let Some(count) = per_pattern.get_mut(usize::from(id)) {
                             *count += 1;
                         }

@@ -33,6 +33,12 @@
 //! * **Per-request budgets** — `X-Cicero-Fuel` and `X-Cicero-Deadline-Ms`
 //!   headers map onto the runtime's [`Budget`]; a tripped budget is a
 //!   typed `429` carrying whatever partial progress was made.
+//! * **Backend selection** — requests execute on the host-native
+//!   bit-parallel engine by default (`cicero-hostexec`); the
+//!   `X-Cicero-Backend: sim` header routes a request through the
+//!   cycle-level simulator instead (and `host` forces the default
+//!   explicitly). The two backends share one compiled-program cache
+//!   entry per pattern.
 //! * **Graceful drain** — shutdown (via [`ServerHandle::shutdown`] or
 //!   `POST /shutdown`) stops accepting, closes the listener, and sweeps
 //!   the parked set: connections with a request already waiting are
@@ -59,6 +65,7 @@ use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use cicero_core::{Backend, CompilerOptions};
 use cicero_runtime::{Runtime, RuntimeOptions};
 use cicero_sim::ArchConfig;
 use cicero_telemetry::{FlightRecorder, FlightRecorderOptions, Telemetry, TraceContext};
@@ -109,7 +116,9 @@ pub struct ServerOptions {
     pub queue_depth: usize,
     /// How long shutdown waits for queued + in-flight requests to finish.
     pub drain_timeout: Duration,
-    /// Options for the inner matching [`Runtime`].
+    /// Options for the inner matching [`Runtime`]. The default serves
+    /// with the host-native backend ([`Backend::Host`]); a request can
+    /// pick the cycle-level simulator with `X-Cicero-Backend: sim`.
     pub runtime: RuntimeOptions,
     /// Architecture simulated when a request does not name one.
     pub config: ArchConfig,
@@ -128,7 +137,10 @@ impl Default for ServerOptions {
             workers: 4,
             queue_depth: 64,
             drain_timeout: Duration::from_millis(5000),
-            runtime: RuntimeOptions::default(),
+            runtime: RuntimeOptions {
+                compiler: CompilerOptions::optimized().with_backend(Backend::Host),
+                ..RuntimeOptions::default()
+            },
             config: ArchConfig::new_organization(16, 1),
             recorder: FlightRecorderOptions::default(),
             trace_dump: None,
@@ -745,7 +757,9 @@ mod tests {
             workers: 2,
             queue_depth: 8,
             drain_timeout: Duration::from_millis(3000),
-            runtime: RuntimeOptions { jobs: 1, ..RuntimeOptions::default() },
+            // Inherit the server's default compiler options (host
+            // backend) so the test fleet exercises the served default.
+            runtime: RuntimeOptions { jobs: 1, ..ServerOptions::default().runtime },
             ..ServerOptions::default()
         }
     }
@@ -990,8 +1004,14 @@ mod tests {
     #[test]
     fn traced_scan_reconstructs_a_connected_span_tree() {
         use crate::json::{self, Json};
+        // Pinned to the sim backend: this test documents the simulator's
+        // cycle/icache span attributes (host serving is covered below).
         let (addr, handle, join) = start(ServerOptions {
-            runtime: RuntimeOptions { jobs: 2, ..RuntimeOptions::default() },
+            runtime: RuntimeOptions {
+                jobs: 2,
+                compiler: CompilerOptions::optimized().with_backend(Backend::Sim),
+                ..RuntimeOptions::default()
+            },
             ..options()
         });
         // ~1320 bytes → three 500-byte chunks across two sim workers.
@@ -1056,6 +1076,73 @@ mod tests {
         assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
         let (status, _) = roundtrip(addr, &get("/debug/traces/unknown-id"));
         assert_eq!(status, 404);
+
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+    }
+
+    /// The served default path runs the host-native engine: worker
+    /// spans are named `host.worker-N`, `/scan` per-pattern counts come
+    /// from the host `run_all`, and `X-Cicero-Backend` flips a single
+    /// request to the simulator (or rejects garbage with a 400).
+    #[test]
+    fn host_backend_is_the_served_default_and_header_selects_sim() {
+        use crate::json::{self, Json};
+        let (addr, handle, join) = start(options());
+        assert_eq!(
+            ServerOptions::default().runtime.compiler.backend,
+            cicero_core::Backend::Host,
+            "the server default must serve host-native"
+        );
+
+        // Default path: host execution, same verdicts and counts.
+        let input = "GET /index POST /x ".repeat(60);
+        let body = format!(r#"{{"patterns":["GET /","POST /"],"input":"{input}"}}"#);
+        let raw = roundtrip_raw(addr, &post("/scan", &body, "x-cicero-request-id: host-e2e\r\n"));
+        let (status, scan_body) = parse_response(&raw);
+        assert_eq!(status, 200, "{raw}");
+        assert!(scan_body.contains("\"matched\":true"), "{scan_body}");
+        // Every 500-byte chunk contains both set members.
+        let chunks = scan_body
+            .split("\"chunks\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|n| n.parse::<u64>().ok())
+            .unwrap();
+        assert!(
+            scan_body.matches(&format!("\"chunks_matched\":{chunks}")).count() == 2,
+            "{scan_body}"
+        );
+
+        // The trace shows host workers, not sim workers.
+        let (status, trace_body) = roundtrip(addr, &get("/debug/traces/host-e2e"));
+        assert_eq!(status, 200, "{trace_body}");
+        let doc = json::parse(&trace_body).unwrap();
+        let names: Vec<String> = doc
+            .get("spans")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|s| s.get("name").and_then(Json::as_str).unwrap().to_owned())
+            .collect();
+        assert!(names.iter().any(|n| n.starts_with("host.worker-")), "{names:?}");
+        assert!(!names.iter().any(|n| n.starts_with("sim.worker-")), "{names:?}");
+
+        // Header override: one request on the simulator, same answer.
+        let body = r#"{"patterns":["ab|cd"],"input":"xxcdxx"}"#;
+        let (status, sim_body) =
+            roundtrip(addr, &post("/match", body, "x-cicero-backend: sim\r\n"));
+        assert_eq!(status, 200, "{sim_body}");
+        assert!(sim_body.contains("\"matched\":true"), "{sim_body}");
+        let (status, host_body) =
+            roundtrip(addr, &post("/match", body, "x-cicero-backend: host\r\n"));
+        assert_eq!(status, 200, "{host_body}");
+        assert!(host_body.contains("\"matched\":true"), "{host_body}");
+
+        // Garbage backend names are a 400, not a silent default.
+        let (status, err) = roundtrip(addr, &post("/match", body, "x-cicero-backend: fpga\r\n"));
+        assert_eq!(status, 400, "{err}");
+        assert!(err.contains("X-Cicero-Backend"), "{err}");
 
         handle.shutdown();
         assert!(join.join().unwrap().drained);

@@ -3,11 +3,12 @@
 //! ```text
 //! cicero compile <pattern> [--old] [-O0] [--emit asm|bin|regex-ir|cicero-ir] [-o FILE]
 //! cicero run     <pattern> [--text STR | --input FILE] [--config NxM] [--old] [-O0]
-//!                [--jobs N]
+//!                [--jobs N] [--backend sim|host]
 //! cicero scan    <pattern>... (--text STR | --input FILE) [--config NxM] [--jobs N]
-//!                [--stream] [--chunk-size N] [--fuel N] [--deadline-ms N]
+//!                [--backend sim|host] [--stream] [--chunk-size N] [--fuel N]
+//!                [--deadline-ms N]
 //! cicero serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
-//!                [--drain-timeout-ms N] [--config NxM] [--jobs N]
+//!                [--drain-timeout-ms N] [--config NxM] [--jobs N] [--backend sim|host]
 //!                [--trace-dump PATH] [--slow-trace-ms N] [--trace-capacity N]
 //! cicero trace   <pattern>... (--text STR | --input FILE) [--config NxM] [--jobs N]
 //!                [--export tree|json|chrome] [-o FILE] [--request-id ID]
@@ -26,6 +27,13 @@
 //! matched chunk-by-chunk on a pool of `N` workers (`auto` = all host
 //! cores; a literal `0` is rejected as ambiguous), with the compiled
 //! program served from the runtime's LRU cache.
+//!
+//! `--backend host` executes on the host-native bit-parallel NFA engine
+//! (`cicero-hostexec`) instead of the cycle-level simulator: same
+//! verdicts and match positions, no cycle model, wall-clock throughput
+//! instead. `run`/`scan` default to `sim`; `serve` defaults to `host`
+//! with the simulator still selectable per request via the
+//! `X-Cicero-Backend` header.
 //!
 //! `scan --stream` switches to the streaming runtime: the input is read
 //! chunk by chunk (`--chunk-size N` bytes, default 64 KiB) through a
@@ -92,11 +100,13 @@ USAGE:
     cicero compile <pattern> [--old] [-O0|--O0] [--emit KIND] [-o|--output FILE]
                    [--pass-timing]
     cicero run     <pattern> [--text STR | --input FILE] [--config NxM] [--old] [-O0]
-                   [--jobs N] [--pass-timing] [--metrics PATH] [--metrics-format FORMAT]
+                   [--jobs N] [--backend sim|host] [--pass-timing] [--metrics PATH]
+                   [--metrics-format FORMAT]
     cicero scan    <p1> <p2> ... (--text STR | --input FILE) [--config NxM] [--jobs N]
-                   [--stream] [--chunk-size N] [--fuel N] [--deadline-ms N]
+                   [--backend sim|host] [--stream] [--chunk-size N] [--fuel N]
+                   [--deadline-ms N]
     cicero serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
-                   [--drain-timeout-ms N] [--config NxM] [--jobs N]
+                   [--drain-timeout-ms N] [--config NxM] [--jobs N] [--backend sim|host]
                    [--metrics PATH] [--metrics-format FORMAT]
                    [--trace-dump PATH] [--slow-trace-ms N] [--trace-capacity N]
     cicero trace   <p1> <p2> ... (--text STR | --input FILE) [--config NxM]
@@ -127,6 +137,10 @@ OPTIONS:
     --jobs N          batch mode: split the input into 500-byte chunks and match
                       them on N runtime workers (N >= 1, or `auto` for all host
                       cores; a literal 0 is rejected as ambiguous)
+    --backend KIND    `sim` runs the cycle-level DSA simulator, `host` the
+                      host-native bit-parallel NFA engine. run/scan default to
+                      sim (they report cycle counts); serve defaults to host
+                      (requests can still pick with X-Cicero-Backend)
     --stream          scan: stream the input chunk by chunk in bounded memory
                       (byte-identical verdict to a whole-input scan); not
                       combinable with --jobs
@@ -382,6 +396,16 @@ fn parse_jobs(value: &str) -> Result<usize, String> {
     }
 }
 
+/// Parse a `--backend` value for `run`/`scan`, defaulting to the
+/// simulator: those commands report the paper's cycle counts, so the
+/// host engine is opt-in there (the server defaults the other way).
+fn parse_backend(flags: &Flags) -> Result<Backend, String> {
+    match flags.value("backend") {
+        None => Ok(Backend::Sim),
+        Some(value) => value.parse(),
+    }
+}
+
 /// Split an input into the paper's §6 batch granularity (500-byte
 /// chunks); an empty input still yields one (empty) chunk so the batch
 /// path reports something.
@@ -397,7 +421,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     // long `--O0` spelling works too (same fix as `cmd_compile`).
     let flags = parse_flags(
         args,
-        &["text", "input", "config", "metrics", "metrics-format", "jobs"],
+        &["text", "input", "config", "metrics", "metrics-format", "jobs", "backend"],
         &["old", "pass-timing", "O0"],
     )?;
     let [pattern] = flags.positional.as_slice() else {
@@ -409,8 +433,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         _ => read_input(&flags)?,
     };
     let config = parse_config(flags.value("config"))?;
+    let backend = parse_backend(&flags)?;
     if let Some(jobs) = flags.value("jobs") {
-        return run_batch_mode(pattern, &input, &config, parse_jobs(jobs)?, &flags);
+        return run_batch_mode(pattern, &input, &config, parse_jobs(jobs)?, backend, &flags);
+    }
+    if backend == Backend::Host {
+        return run_host_mode(pattern, &input, &flags);
     }
     let telemetry = Telemetry::new();
     let (program, pass_report) =
@@ -437,12 +465,51 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     write_metrics(&flags, &telemetry)
 }
 
-/// `run --jobs N`: chunk the input and match it on the parallel runtime.
+/// `run --backend host` (sequential): one pass over the whole input on
+/// the host-native engine — same verdict and match position as the
+/// simulator, but no cycle model, so the summary reports wall-clock
+/// throughput and which engine tier the lowering picked.
+fn run_host_mode(pattern: &str, input: &[u8], flags: &Flags) -> Result<(), String> {
+    let telemetry = Telemetry::new();
+    let (program, pass_report) =
+        compile_one(pattern, flags.has("old"), flags.has("O0"), Some(&telemetry))?;
+    let host = HostProgram::compile(&program);
+    let start = std::time::Instant::now();
+    let outcome = host.run(input);
+    let wall = start.elapsed();
+    println!("pattern    : {pattern}");
+    println!(
+        "backend    : host ({}, {} state(s), {} byte class(es))",
+        host.engine_kind(),
+        host.state_count(),
+        host.byte_class_count()
+    );
+    println!("verdict    : {}", if outcome.accepted { "MATCH" } else { "no match" });
+    if let Some(position) = outcome.match_position {
+        println!("match ends : {position}");
+    }
+    println!("bytes      : {}", input.len());
+    println!(
+        "host wall  : {:.3} ms ({:.1} MB/s)",
+        wall.as_secs_f64() * 1e3,
+        input.len() as f64 / wall.as_secs_f64().max(1e-9) / 1e6
+    );
+    if flags.has("pass-timing") {
+        println!();
+        println!("{}", pass_timing_text(pass_report.as_ref()));
+    }
+    write_metrics(flags, &telemetry)
+}
+
+/// `run --jobs N`: chunk the input and match it on the parallel runtime
+/// (the simulator worker pool, or the host engine under
+/// `--backend host`).
 fn run_batch_mode(
     pattern: &str,
     input: &[u8],
     config: &ArchConfig,
     jobs: usize,
+    backend: Backend,
     flags: &Flags,
 ) -> Result<(), String> {
     let telemetry = Telemetry::new();
@@ -451,6 +518,9 @@ fn run_batch_mode(
     let compiler = if o0 { CompilerOptions::unoptimized() } else { CompilerOptions::optimized() };
     let runtime = Runtime::new(RuntimeOptions { jobs, compiler, ..RuntimeOptions::default() })
         .with_telemetry(telemetry.clone());
+    if backend == Backend::Host {
+        return run_batch_host(pattern, input, &chunks, config, &runtime, flags, &telemetry);
+    }
     let batch = if flags.has("old") {
         // The legacy compiler is outside the runtime's cache; compile once
         // here and hand the program straight to the pool.
@@ -487,21 +557,82 @@ fn run_batch_mode(
     write_metrics(flags, &telemetry)
 }
 
+/// `run --jobs N --backend host`: the same chunked batch, dispatched to
+/// the host engine through the runtime's guarded path (per-worker
+/// panic isolation, shared program cache).
+fn run_batch_host(
+    pattern: &str,
+    input: &[u8],
+    chunks: &[Vec<u8>],
+    config: &ArchConfig,
+    runtime: &Runtime,
+    flags: &Flags,
+    telemetry: &Telemetry,
+) -> Result<(), String> {
+    let batch = if flags.has("old") {
+        let program =
+            LegacyCompiler::new(!flags.has("O0")).compile(pattern).map_err(|e| e.to_string())?;
+        runtime.run_batch_guarded_traced_on(
+            Backend::Host,
+            &program,
+            chunks,
+            config,
+            &Budget::default(),
+            None,
+        )
+    } else {
+        runtime
+            .match_batch_guarded_traced_on(
+                Backend::Host,
+                pattern,
+                chunks,
+                config,
+                &Budget::default(),
+                None,
+            )
+            .map_err(|e| e.to_string())?
+    };
+    println!("pattern    : {pattern}");
+    println!("backend    : host");
+    println!(
+        "batch      : {} chunk(s) of <= {} B on {} worker(s)",
+        chunks.len(),
+        workloads::CHUNK_BYTES,
+        batch.jobs
+    );
+    match batch.matches() {
+        0 => println!("verdict    : no match"),
+        n => println!("verdict    : MATCH in {n}/{} chunk(s)", chunks.len()),
+    }
+    println!("bytes      : {}", input.len());
+    println!(
+        "host wall  : {:.3} ms ({:.1} MB/s)",
+        batch.wall.as_secs_f64() * 1e3,
+        input.len() as f64 / batch.wall.as_secs_f64().max(1e-9) / 1e6
+    );
+    if flags.has("pass-timing") {
+        println!();
+        println!("per-pass timing: n/a in --jobs batch mode (use a sequential run)");
+    }
+    write_metrics(flags, telemetry)
+}
+
 fn cmd_scan(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
-        &["text", "input", "config", "jobs", "chunk-size", "fuel", "deadline-ms"],
+        &["text", "input", "config", "jobs", "chunk-size", "fuel", "deadline-ms", "backend"],
         &["stream"],
     )?;
     if flags.positional.is_empty() {
         return Err("scan takes one or more patterns".to_owned());
     }
     let config = parse_config(flags.value("config"))?;
+    let backend = parse_backend(&flags)?;
     if flags.has("stream") {
         if flags.value("jobs").is_some() {
             return Err("--stream and --jobs cannot be combined; pick one runtime".to_owned());
         }
-        return scan_stream_mode(&flags.positional, &config, &flags);
+        return scan_stream_mode(&flags.positional, &config, backend, &flags);
     }
     for flag in ["chunk-size", "fuel", "deadline-ms"] {
         if flags.value(flag).is_some() {
@@ -510,9 +641,24 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     }
     let input = read_input(&flags)?;
     if let Some(jobs) = flags.value("jobs") {
-        return scan_batch_mode(&flags.positional, &input, &config, parse_jobs(jobs)?);
+        return scan_batch_mode(&flags.positional, &input, &config, parse_jobs(jobs)?, backend);
     }
     let set = Compiler::new().compile_set(&flags.positional).map_err(|e| e.to_string())?;
+    if backend == Backend::Host {
+        // One all-matches pass on the host engine: every set member that
+        // fires is reported, like the sim path below, minus the cycle
+        // count (the host engine has no cycle model).
+        let host = HostProgram::compile(set.program());
+        let all = host.run_all(&input);
+        if all.matched_ids.is_empty() {
+            println!("no match in {} bytes", input.len());
+        } else {
+            for &id in &all.matched_ids {
+                println!("MATCH: pattern {} ({:?}) [host]", id, set.pattern(id).unwrap_or("?"));
+            }
+        }
+        return Ok(());
+    }
     let report = simulate(set.program(), &input, &config);
     // The cycle-level run halts at the first acceptance (hardware
     // semantics); the all-matches interpreter reports every set member
@@ -540,10 +686,14 @@ fn scan_batch_mode(
     input: &[u8],
     config: &ArchConfig,
     jobs: usize,
+    backend: Backend,
 ) -> Result<(), String> {
     let chunks = chunk_input(input);
     let runtime = Runtime::new(RuntimeOptions { jobs, ..RuntimeOptions::default() });
     let program = runtime.compile_set(patterns).map_err(|e| e.to_string())?;
+    if backend == Backend::Host {
+        return scan_batch_host(patterns, &chunks, config, &runtime, &program);
+    }
     let batch = runtime.run_batch(&program, &chunks, config);
     println!(
         "{} chunk(s) of <= {} B on {} worker(s), {} cycles total",
@@ -579,9 +729,67 @@ fn scan_batch_mode(
     Ok(())
 }
 
+/// `scan --jobs N --backend host`: the chunked set scan on the host
+/// engine through the guarded path, with per-pattern counts from the
+/// host `run_all` — the same accounting as the server's host `/scan`.
+fn scan_batch_host(
+    patterns: &[String],
+    chunks: &[Vec<u8>],
+    config: &ArchConfig,
+    runtime: &Runtime,
+    program: &Program,
+) -> Result<(), String> {
+    use cicero::runtime::MatchOutcome;
+    let batch = runtime.run_batch_guarded_traced_on(
+        Backend::Host,
+        program,
+        chunks,
+        config,
+        &Budget::default(),
+        None,
+    );
+    println!(
+        "{} chunk(s) of <= {} B on {} worker(s) [host backend, {:.3} ms]",
+        chunks.len(),
+        workloads::CHUNK_BYTES,
+        batch.jobs,
+        batch.wall.as_secs_f64() * 1e3
+    );
+    let host = runtime.host_program(program);
+    let mut per_pattern = vec![0usize; patterns.len()];
+    for (chunk, outcome) in chunks.iter().zip(&batch.outcomes) {
+        if let MatchOutcome::Complete(report) = outcome {
+            if report.accepted {
+                for id in host.run_all(chunk).matched_ids {
+                    if let Some(count) = per_pattern.get_mut(usize::from(id)) {
+                        *count += 1;
+                    }
+                }
+            }
+        }
+    }
+    if batch.matches() == 0 {
+        println!("no match");
+    } else {
+        for (id, count) in per_pattern.iter().enumerate() {
+            if *count > 0 {
+                println!("MATCH: pattern {} ({:?}) in {} chunk(s)", id, patterns[id], count);
+            }
+        }
+    }
+    Ok(())
+}
+
 /// `scan --stream`: feed the input through the bounded-memory streaming
-/// runtime, with optional fuel / deadline budgets.
-fn scan_stream_mode(patterns: &[String], config: &ArchConfig, flags: &Flags) -> Result<(), String> {
+/// runtime, with optional fuel / deadline budgets. `--backend host`
+/// drives the same session on the host engine (fuel becomes a byte
+/// budget there).
+fn scan_stream_mode(
+    patterns: &[String],
+    config: &ArchConfig,
+    backend: Backend,
+    flags: &Flags,
+) -> Result<(), String> {
     use cicero::runtime::{BudgetKind, MatchOutcome, StreamOptions};
 
     let mut options = StreamOptions::default();
@@ -614,9 +822,18 @@ fn scan_stream_mode(patterns: &[String], config: &ArchConfig, flags: &Flags) -> 
         }
         _ => return Err("provide exactly one of --text STR or --input FILE".to_owned()),
     };
-    let runtime = Runtime::new(RuntimeOptions::default());
+    let runtime = Runtime::new(RuntimeOptions {
+        compiler: CompilerOptions::optimized().with_backend(backend),
+        ..RuntimeOptions::default()
+    });
     let report =
         runtime.scan_stream(set.program(), source, config, &options).map_err(|e| e.to_string())?;
+    // The host engine has no cycle model: its reports count bytes
+    // examined where the simulator counts cycles.
+    let unit = match backend {
+        Backend::Sim => "cycles",
+        Backend::Host => "bytes",
+    };
 
     println!("config     : {} @ {} MHz", config.name(), config.clock_mhz());
     println!(
@@ -629,12 +846,12 @@ fn scan_stream_mode(patterns: &[String], config: &ArchConfig, flags: &Flags) -> 
         MatchOutcome::Complete(exec) => {
             match exec.matched_id {
                 Some(id) => println!(
-                    "verdict    : MATCH: pattern {} ({:?}) in {} cycles",
+                    "verdict    : MATCH: pattern {} ({:?}) in {} {unit}",
                     id,
                     set.pattern(id).unwrap_or("?"),
                     exec.cycles
                 ),
-                None => println!("verdict    : no match in {} cycles", exec.cycles),
+                None => println!("verdict    : no match in {} {unit}", exec.cycles),
             }
             Ok(())
         }
@@ -644,7 +861,7 @@ fn scan_stream_mode(patterns: &[String], config: &ArchConfig, flags: &Flags) -> 
                 BudgetKind::Deadline => "deadline",
             };
             if let Some(partial) = partial {
-                println!("partial    : {} cycles before the cut-off", partial.cycles);
+                println!("partial    : {} {unit} before the cut-off", partial.cycles);
             }
             Err(format!("{kind} budget exceeded before the stream concluded"))
         }
@@ -666,6 +883,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "drain-timeout-ms",
             "config",
             "jobs",
+            "backend",
             "metrics",
             "metrics-format",
             "trace-dump",
@@ -701,6 +919,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(value) = flags.value("jobs") {
         options.runtime.jobs = parse_jobs(value)?;
+    }
+    // The server default is the host-native engine; `--backend sim`
+    // serves on the cycle-level simulator instead. Requests can still
+    // override per call with the `X-Cicero-Backend` header.
+    if let Some(value) = flags.value("backend") {
+        options.runtime.compiler.backend = value.parse()?;
     }
     if let Some(path) = flags.value("trace-dump") {
         options.trace_dump = Some(std::path::PathBuf::from(path));

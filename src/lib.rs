@@ -16,6 +16,9 @@
 //! * [`compiler`] — the new multi-dialect compiler driver;
 //! * [`legacy`] — the old single-IR compiler with Code Restructuring;
 //! * [`isa`] — the Cicero ISA, encoding, interpreter, `D_offset` metric;
+//! * [`hostexec`] — the host-native backend: lowering from the ISA to a
+//!   bit-parallel NFA engine (with a lazy-DFA tier and a literal
+//!   prefilter) that executes on the host CPU instead of the simulator;
 //! * [`sim`] — the cycle-level DSA simulator with power/resource models;
 //! * [`runtime`] — the parallel batch-matching runtime: worker pool over
 //!   the simulator fronted by an LRU compiled-program cache;
@@ -49,6 +52,7 @@
 pub use cicero_core as compiler;
 pub use cicero_dialect;
 pub use cicero_difftest as difftest;
+pub use cicero_hostexec as hostexec;
 pub use cicero_isa as isa;
 pub use cicero_legacy as legacy;
 pub use cicero_runtime as runtime;
@@ -63,7 +67,8 @@ pub use workloads;
 
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
-    pub use cicero_core::{compile, Compiler, CompilerOptions};
+    pub use cicero_core::{compile, Backend, Compiler, CompilerOptions};
+    pub use cicero_hostexec::{HostOutcome, HostProgram};
     pub use cicero_isa::{Instruction, Program};
     pub use cicero_legacy::LegacyCompiler;
     pub use cicero_runtime::{

@@ -421,3 +421,63 @@ fn trace_exports_chrome_and_json_documents() {
     assert!(!output.status.success());
     assert!(stderr(&output).contains("unknown export kind"));
 }
+
+/// `--backend host` runs the host-native engine: same verdict and match
+/// position as the simulator, throughput instead of cycles, and the
+/// summary names the engine tier the lowering picked.
+#[test]
+fn run_backend_host_agrees_with_sim_on_verdict_and_position() {
+    let sim = cicero(&["run", "th(is|at|ose)", "--text", "take that!"]);
+    assert!(sim.status.success(), "stderr: {}", stderr(&sim));
+    let host = cicero(&["run", "th(is|at|ose)", "--text", "take that!", "--backend", "host"]);
+    assert!(host.status.success(), "stderr: {}", stderr(&host));
+    let (sim, host) = (stdout(&sim), stdout(&host));
+    assert!(sim.contains("verdict    : MATCH"), "sim: {sim}");
+    assert!(host.contains("verdict    : MATCH"), "host: {host}");
+    assert!(host.contains("backend    : host (bit64"), "host: {host}");
+    // Same earliest match end on both backends.
+    assert!(sim.contains("match ends : 9"), "sim: {sim}");
+    assert!(host.contains("match ends : 9"), "host: {host}");
+    assert!(!host.contains("cycles"), "the host engine has no cycle model: {host}");
+}
+
+/// `scan --jobs --backend host` reports the same per-pattern counts as
+/// the sim path, through the guarded host worker pool.
+#[test]
+fn scan_backend_host_counts_match_the_sim_path() {
+    let text = format!("{}cd{}ab", "x".repeat(600), "y".repeat(600));
+    let sim = cicero(&["scan", "ab", "cd", "--text", &text, "--jobs", "2"]);
+    let host = cicero(&["scan", "ab", "cd", "--text", &text, "--jobs", "2", "--backend", "host"]);
+    assert!(sim.status.success(), "stderr: {}", stderr(&sim));
+    assert!(host.status.success(), "stderr: {}", stderr(&host));
+    let (sim, host) = (stdout(&sim), stdout(&host));
+    for expect in
+        ["MATCH: pattern 0 (\"ab\") in 1 chunk(s)", "MATCH: pattern 1 (\"cd\") in 1 chunk(s)"]
+    {
+        assert!(sim.contains(expect), "sim: {sim}");
+        assert!(host.contains(expect), "host: {host}");
+    }
+}
+
+/// `scan --stream --backend host` concludes with the same verdict as the
+/// sim stream, reporting bytes instead of cycles.
+#[test]
+fn scan_stream_backend_host_reports_bytes() {
+    let output = cicero(&["scan", "ab", "--text", "xxabyy", "--stream", "--backend", "host"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let stdout = stdout(&output);
+    assert!(stdout.contains("MATCH: pattern 0 (\"ab\") in 4 bytes"), "stdout: {stdout}");
+}
+
+/// Garbage `--backend` values are rejected with the expected spellings.
+#[test]
+fn backend_flag_rejects_unknown_values() {
+    for cmd in [
+        &["run", "ab", "--text", "ab", "--backend", "fpga"][..],
+        &["serve", "--backend", "fpga"][..],
+    ] {
+        let output = cicero(cmd);
+        assert!(!output.status.success());
+        assert!(stderr(&output).contains("unknown backend `fpga`"), "{}", stderr(&output));
+    }
+}

@@ -51,3 +51,33 @@ fn corpus_files_roundtrip_through_the_writer() {
 fn replay_all() -> Vec<(difftest::CorpusCase, difftest::Outcome)> {
     difftest::replay_corpus(&difftest::default_corpus_dir()).expect("corpus loads")
 }
+
+/// The host-backend satellite cases must stay committed, and they must
+/// actually select the engine tiers they claim to pin: an empty
+/// alternative, a prefilter-defeating dot pattern, a u128-tier NFA, a
+/// lazy-DFA blowup, and a shared-prefix set.
+#[test]
+fn the_host_backend_corpus_cases_cover_every_engine_tier() {
+    use cicero::hostexec::{EngineKind, HostProgram};
+    let replayed = replay_all();
+    let tier = |pattern: &str| {
+        let program = cicero::compiler::compile(pattern).unwrap().into_program();
+        HostProgram::compile(&program).engine_kind()
+    };
+    for (pattern, want) in [
+        ("c(a|)t", EngineKind::Bit64),
+        ("....", EngineKind::Bit64),
+        ("a{70}b", EngineKind::Bit128),
+        ("(ab|cd|ef){1,40}x", EngineKind::LazyDfa),
+        ("abcd|abce|abcf", EngineKind::Bit64),
+    ] {
+        assert!(
+            replayed.iter().any(|(case, _)| case.pattern == pattern),
+            "missing the host corpus case for {pattern:?}"
+        );
+        assert_eq!(tier(pattern), want, "{pattern:?} no longer selects {want:?}");
+    }
+    // The dot-heavy case must really defeat the prefilter.
+    let dots = cicero::compiler::compile("....").unwrap().into_program();
+    assert_eq!(HostProgram::compile(&dots).prefilter_stop_bytes(), None);
+}

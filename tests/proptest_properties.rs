@@ -267,3 +267,80 @@ proptest! {
         prop_assert_eq!(new, old, "pattern {:?}", &pattern);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The host-native backend gives the Pike-VM oracle's verdict *and*
+    /// earliest match end over the full supported grammar, at both
+    /// optimization levels — whichever engine tier (bit64 / bit128 /
+    /// lazy-DFA) the program selects. The host engine is held to the
+    /// oracle's single answer, not just any-match agreement.
+    #[test]
+    fn host_engine_matches_oracle(pattern in pattern_strategy(), input in input_strategy()) {
+        let oracle = regex_oracle::Oracle::new(&pattern).unwrap();
+        let want = oracle.is_match(&input);
+        let want_end = oracle.match_end(&input);
+        let opt = cicero_core::compile(&pattern).unwrap().into_program();
+        let unopt = cicero_core::Compiler::with_options(
+            cicero_core::CompilerOptions::unoptimized(),
+        )
+        .compile(&pattern)
+        .unwrap()
+        .into_program();
+        for (level, program) in [("O2", &opt), ("O0", &unopt)] {
+            let host = cicero::hostexec::HostProgram::compile(program);
+            let outcome = host.run(&input);
+            prop_assert_eq!(
+                outcome.accepted,
+                want,
+                "host {} verdict diverged from oracle on {:?} / {:?} ({})",
+                level,
+                &pattern,
+                String::from_utf8_lossy(&input),
+                host.engine_kind()
+            );
+            prop_assert_eq!(
+                outcome.match_position,
+                want_end,
+                "host {} match end diverged from oracle on {:?} / {:?} ({})",
+                level,
+                &pattern,
+                String::from_utf8_lossy(&input),
+                host.engine_kind()
+            );
+        }
+    }
+
+    /// On multi-pattern sets, the host engine's `run_all` reports the
+    /// byte-identical per-pattern id set (and verdict) the interpreter
+    /// reports — the invariant the server's `/scan` endpoint relies on
+    /// when it swaps backends per request.
+    #[test]
+    fn host_run_all_matches_interpreter_on_sets(
+        patterns in prop::collection::vec(pattern_strategy(), 1..4),
+        input in input_strategy(),
+    ) {
+        let set = cicero_core::Compiler::new().compile_set(&patterns).unwrap();
+        let program = set.program();
+        let want = cicero_isa::run_all(program, &input);
+        let host = cicero::hostexec::HostProgram::compile(program);
+        let got = host.run_all(&input);
+        prop_assert_eq!(
+            got.accepted,
+            want.accepted,
+            "set verdict diverged on {:?} / {:?} ({})",
+            &patterns,
+            String::from_utf8_lossy(&input),
+            host.engine_kind()
+        );
+        prop_assert_eq!(
+            &got.matched_ids,
+            &want.matched_ids,
+            "per-pattern id sets diverged on {:?} / {:?} ({})",
+            &patterns,
+            String::from_utf8_lossy(&input),
+            host.engine_kind()
+        );
+    }
+}
