@@ -1,0 +1,368 @@
+//! **Registry swap under load** — closed-loop `/scan?ruleset=` traffic
+//! against the `cicero-server` front door while the ruleset is hot-
+//! swapped mid-run, exported to `BENCH_registry.json`.
+//!
+//! The scenario is the zero-downtime reload contract: `CLIENTS`
+//! closed-loop clients hammer `POST /scan?ruleset=live` on keep-alive
+//! connections while a swapper thread `PUT`s fresh pattern sets over the
+//! same id at fixed points in the run. Three properties are *asserted*,
+//! not just measured:
+//!
+//! * **zero drops** — every scan gets a `200` and the final drain report
+//!   accounts for every request (served = sent, nothing rejected);
+//! * **zero wrong-version responses** — every response's
+//!   `x-cicero-ruleset-version` is a version that was actually installed,
+//!   and never one *older* than the newest version whose `PUT` had been
+//!   acknowledged before the request was sent (a request admitted after
+//!   a swap must be served by the new version);
+//! * **per-connection monotonicity** — on one keep-alive connection
+//!   requests are serial, so the observed version sequence must follow
+//!   install order; a step backwards would mean a retired version served
+//!   a fresh request.
+//!
+//! Each client also counts the swap transitions it directly observes, so
+//! the bench fails loudly if the swaps all landed outside the measured
+//! window (a vacuous run).
+//!
+//! Request volume follows `CICERO_BENCH_SCALE`: `quick` 20 000, default
+//! 100 000, `full` 1 000 000 (the issue's headline run: at least one
+//! million requests with live swaps mid-run). Output path via
+//! `CICERO_BENCH_REGISTRY` (empty to disable, default
+//! `BENCH_registry.json`).
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use cicero_bench::{banner, f2, Scale};
+use cicero_runtime::RuntimeOptions;
+use cicero_server::{Server, ServerOptions};
+
+/// Concurrent closed-loop scan clients.
+const CLIENTS: usize = 4;
+
+/// Live swaps performed while the clients run (plus the initial
+/// install, the run sees `SWAPS + 1` distinct versions).
+const SWAPS: usize = 8;
+
+/// The ruleset id every request pins.
+const RULESET: &str = "live";
+
+fn total_requests(scale: Scale) -> usize {
+    match scale.patterns {
+        8 => 20_000,      // quick
+        200 => 1_000_000, // full: the issue's >= 1M headline run
+        _ => 100_000,
+    }
+}
+
+/// The pattern set for version `i`: a shared member plus one that only
+/// version `i` has, so every swap changes the content hash and the
+/// matching behavior observably.
+fn version_patterns(i: usize) -> Vec<String> {
+    vec!["ab|cd".to_owned(), format!("v{i}x+y"), "gh+i".to_owned()]
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let quoted: Vec<String> =
+        items.iter().map(|s| format!("\"{}\"", cicero_telemetry::escape_json(s))).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Read one keep-alive response; returns the status and the
+/// `x-cicero-ruleset-version` header.
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, Option<String>) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("response status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    let mut version = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(value) = line.strip_prefix("content-length: ") {
+            content_length = value.parse().expect("content-length value");
+        }
+        if let Some(value) = line.strip_prefix("x-cicero-ruleset-version: ") {
+            version = Some(value.to_owned());
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("response body");
+    (status, version)
+}
+
+/// One request on an existing keep-alive connection.
+fn roundtrip(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Option<String>) {
+    let request =
+        format!("{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len());
+    writer.write_all(request.as_bytes()).expect("send request");
+    read_response(reader)
+}
+
+/// Install version `i` over the live id; returns the content version the
+/// server reported.
+fn put_version(addr: std::net::SocketAddr, i: usize) -> String {
+    let stream = TcpStream::connect(addr).expect("connect for put");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let body = format!("{{\"patterns\":{}}}", json_str_array(&version_patterns(i)));
+    let (status, version) =
+        roundtrip(&mut writer, &mut reader, "PUT", &format!("/rulesets/{RULESET}"), &body);
+    assert!(status == 200 || status == 201, "PUT of version {i} must succeed, got {status}");
+    version.expect("put response carries the content version")
+}
+
+/// What one closed-loop client measured.
+struct ClientResult {
+    latencies_ms: Vec<f64>,
+    /// Swap transitions this connection directly observed.
+    transitions: usize,
+}
+
+/// One closed-loop client: `count` scans on a single keep-alive
+/// connection, validating the version tag of every response against the
+/// shared install log.
+fn run_client(
+    addr: std::net::SocketAddr,
+    versions: &RwLock<Vec<String>>,
+    count: usize,
+    progress: &AtomicUsize,
+) -> ClientResult {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let body = r#"{"input":"xxabyy v0x gh"}"#;
+    let path = format!("/scan?ruleset={RULESET}");
+    let mut latencies_ms = Vec::with_capacity(count);
+    let mut last_index = 0usize;
+    let mut transitions = 0usize;
+    for _ in 0..count {
+        // The newest version whose PUT was acknowledged before this
+        // request was sent: the response may never be older than it.
+        let floor = versions.read().expect("install log").len() - 1;
+        let start = Instant::now();
+        let (status, version) = roundtrip(&mut writer, &mut reader, "POST", &path, body);
+        latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(status, 200, "a scan during a swap must not fail");
+        let version = version.expect("every scan response is version-tagged");
+        // A scan can see a fresh version before the swapper's PUT ack
+        // reaches the log (install happens server-side first); give the
+        // log a moment to catch up before calling the version bogus.
+        let index = {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                {
+                    let log = versions.read().expect("install log");
+                    if let Some(i) = log.iter().position(|v| *v == version) {
+                        break i;
+                    }
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "response version {version} was never installed"
+                );
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        };
+        assert!(
+            index >= floor,
+            "wrong-version response: got install #{index} ({version}) after \
+             install #{floor} was already acknowledged"
+        );
+        assert!(
+            index >= last_index,
+            "version went backwards on one connection: install #{index} after #{last_index}"
+        );
+        if index != last_index {
+            transitions += 1;
+            last_index = index;
+        }
+        progress.fetch_add(1, Ordering::Relaxed);
+    }
+    ClientResult { latencies_ms, transitions }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let index = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[index]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Registry", "ruleset hot swaps under closed-loop /scan load", scale);
+    let total = total_requests(scale);
+    let per_client = total / CLIENTS;
+
+    let server = Server::bind(ServerOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: CLIENTS,
+        queue_depth: 64,
+        drain_timeout: Duration::from_millis(10_000),
+        runtime: RuntimeOptions { jobs: 1, ..RuntimeOptions::default() },
+        ..ServerOptions::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    // Version 0 is installed before any client starts; the install log
+    // orders every later swap.
+    let versions = Arc::new(RwLock::new(vec![put_version(addr, 0)]));
+    let progress = Arc::new(AtomicUsize::new(0));
+
+    println!(
+        "  {total} scans from {CLIENTS} closed-loop clients, {SWAPS} live swaps \
+         spread across the run"
+    );
+
+    let run_start = Instant::now();
+    let mut clients = Vec::new();
+    for _ in 0..CLIENTS {
+        let versions = Arc::clone(&versions);
+        let progress = Arc::clone(&progress);
+        clients
+            .push(std::thread::spawn(move || run_client(addr, &versions, per_client, &progress)));
+    }
+
+    // The swapper: each swap waits for the run to reach its slice of the
+    // request volume, so every swap happens with scans in flight.
+    let swapper = {
+        let versions = Arc::clone(&versions);
+        let progress = Arc::clone(&progress);
+        std::thread::spawn(move || {
+            for i in 1..=SWAPS {
+                let threshold = per_client * CLIENTS * i / (SWAPS + 1);
+                while progress.load(Ordering::Relaxed) < threshold {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                let version = put_version(addr, i);
+                versions.write().expect("install log").push(version);
+            }
+        })
+    };
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(total);
+    let mut transitions = 0usize;
+    for client in clients {
+        let result = client.join().expect("client thread");
+        latencies.extend(result.latencies_ms);
+        transitions += result.transitions;
+    }
+    swapper.join().expect("swapper thread");
+    let run_wall = run_start.elapsed();
+    let served = latencies.len();
+    assert_eq!(served, per_client * CLIENTS, "every closed-loop scan must be answered");
+    let installed = versions.read().expect("install log").clone();
+    assert_eq!(installed.len(), SWAPS + 1, "every swap must have been installed");
+    assert!(
+        transitions >= SWAPS,
+        "the {SWAPS} swaps must be visible to the measured traffic \
+         (saw only {transitions} transitions)"
+    );
+
+    // Graceful drain with full accounting: scans + the initial install +
+    // the swaps + the shutdown itself, nothing rejected, nothing lost.
+    let drain_requested = Instant::now();
+    {
+        let stream = TcpStream::connect(addr).expect("connect for shutdown");
+        let mut writer = stream.try_clone().expect("clone stream");
+        let mut reader = BufReader::new(stream);
+        let (status, _) = roundtrip(&mut writer, &mut reader, "POST", "/shutdown", "");
+        assert_eq!(status, 200, "shutdown must be acknowledged");
+    }
+    let report = server_thread.join().expect("server thread");
+    let drain_wall = drain_requested.elapsed();
+    assert!(report.drained, "drain must complete inside the timeout: {report:?}");
+    assert_eq!(report.rejected, 0, "a closed loop within capacity never trips admission");
+    let expected = served as u64 + SWAPS as u64 + 2; // + initial put + shutdown
+    assert_eq!(report.requests, expected, "no request may be dropped during swaps or drain");
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let throughput = served as f64 / run_wall.as_secs_f64();
+    let (p50, p90, p99) =
+        (percentile(&latencies, 0.50), percentile(&latencies, 0.90), percentile(&latencies, 0.99));
+    let max = latencies.last().copied().unwrap_or(0.0);
+
+    println!();
+    println!(
+        "  throughput   : {} scans/s over {:.2} s ({served} served, {} versions)",
+        f2(throughput),
+        run_wall.as_secs_f64(),
+        installed.len()
+    );
+    println!(
+        "  latency      : p50 {} ms  p90 {} ms  p99 {} ms  max {} ms",
+        f2(p50),
+        f2(p90),
+        f2(p99),
+        f2(max)
+    );
+    println!(
+        "  swap safety  : 0 dropped, 0 wrong-version, 0 monotonicity violations \
+         ({transitions} observed transitions); drain {:.1} ms",
+        report.wall.as_secs_f64() * 1e3
+    );
+
+    let path =
+        std::env::var("CICERO_BENCH_REGISTRY").unwrap_or_else(|_| "BENCH_registry.json".to_owned());
+    if !path.is_empty() {
+        let quoted: Vec<String> = installed.iter().map(|v| format!("\"{v}\"")).collect();
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"registry_swap_under_load\",\n");
+        let _ = writeln!(json, "  \"requests\": {served},");
+        let _ = writeln!(json, "  \"clients\": {CLIENTS},");
+        let _ = writeln!(json, "  \"swaps\": {SWAPS},");
+        let _ = writeln!(json, "  \"versions\": [{}],", quoted.join(", "));
+        json.push_str(
+            "  \"notes\": \"closed-loop POST /scan?ruleset=live over keep-alive loopback TCP \
+             while a swapper thread PUTs fresh pattern sets over the same id mid-run; asserted: \
+             every scan answered 200 (zero drops, drain accounts for every request), every \
+             response tagged with an installed version no older than the newest PUT acknowledged \
+             before the request was sent, and per-connection version order follows install \
+             order\",\n",
+        );
+        let _ = writeln!(json, "  \"throughput_rps\": {throughput:.1},");
+        let _ = writeln!(
+            json,
+            "  \"latency_ms\": {{\"p50\": {p50:.3}, \"p90\": {p90:.3}, \"p99\": {p99:.3}, \
+             \"max\": {max:.3}}},"
+        );
+        let _ = writeln!(json, "  \"run_seconds\": {:.3},", run_wall.as_secs_f64());
+        let _ = writeln!(json, "  \"observed_transitions\": {transitions},");
+        let _ = writeln!(json, "  \"dropped\": 0,");
+        let _ = writeln!(json, "  \"wrong_version\": 0,");
+        let _ = writeln!(json, "  \"monotonicity_violations\": 0,");
+        let _ = writeln!(json, "  \"drained\": {},", report.drained);
+        let _ = writeln!(json, "  \"drain_ms\": {:.1},", drain_wall.as_secs_f64() * 1e3);
+        let _ = writeln!(json, "  \"served_total\": {},", report.requests);
+        let _ = writeln!(json, "  \"rejected_at_admission\": {}", report.rejected);
+        json.push_str("}\n");
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("\n  results written to {path}"),
+            Err(e) => eprintln!("  warning: could not write {path}: {e}"),
+        }
+    }
+}

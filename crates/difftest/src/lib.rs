@@ -13,7 +13,10 @@
 //! * [`shrink`] — greedy delta debugging that reduces a failing
 //!   `(pattern, inputs)` pair to a minimal reproducer;
 //! * [`corpus`] — the committed TOML regression corpus, replayed as a
-//!   normal `cargo test` (see `tests/corpus_replay.rs`).
+//!   normal `cargo test` (see `tests/corpus_replay.rs`);
+//! * [`registry`] — the serving-path axis: pattern sets round-tripped
+//!   through the ruleset registry's compile → persist → reload pipeline
+//!   and held to the oracle on both backends.
 //!
 //! The [`fuzz`] entry point ties them together and is what the
 //! `cicero difftest` subcommand invokes.
@@ -21,6 +24,7 @@
 pub mod corpus;
 pub mod generate;
 pub mod harness;
+pub mod registry;
 pub mod shrink;
 
 use cicero_telemetry::Telemetry;
@@ -31,6 +35,7 @@ pub use harness::{
     apply_splits, check_all, check_batch, check_case, check_stream_case, check_with_splits,
     Divergence, Outcome, PatternUnderTest,
 };
+pub use registry::{check_registry_case, split_set};
 pub use shrink::{shrink, shrink_streamed, Shrunk, ShrunkStreamed};
 
 /// Options for one fuzzing run.
@@ -280,14 +285,40 @@ pub fn fuzz(options: &FuzzOptions) -> FuzzReport {
 /// outcomes, not as errors.
 pub fn replay_corpus(dir: &std::path::Path) -> Result<Vec<(CorpusCase, Outcome)>, String> {
     let cases = corpus::load_dir(dir)?;
+    // Registry cases need a runtime for the compile/persist round trip;
+    // built lazily so a corpus without them pays nothing.
+    let mut runtime = None;
     Ok(cases
         .into_iter()
         .map(|case| {
-            // Cases minimized on the streaming axis carry their split
-            // points; replaying them re-streams every input at those
-            // splits on top of the whole-input matrix.
-            let outcome =
-                check_with_splits(&case.pattern, &case.inputs, std::slice::from_ref(&case.splits));
+            let outcome = if case.kind == "registry" {
+                // A registry case's `pattern` is a newline-joined set,
+                // round-tripped through persist/reload instead of the
+                // in-memory matrix.
+                let runtime = runtime.get_or_insert_with(|| {
+                    cicero_runtime::Runtime::new(cicero_runtime::RuntimeOptions {
+                        jobs: 1,
+                        ..cicero_runtime::RuntimeOptions::default()
+                    })
+                });
+                let scratch = registry::case_dir(&case.name);
+                let _ = std::fs::remove_dir_all(&scratch);
+                let outcome = check_registry_case(
+                    runtime,
+                    &scratch,
+                    &registry::split_set(&case.pattern),
+                    &case.inputs,
+                );
+                if !outcome.diverged() {
+                    let _ = std::fs::remove_dir_all(&scratch);
+                }
+                outcome
+            } else {
+                // Cases minimized on the streaming axis carry their split
+                // points; replaying them re-streams every input at those
+                // splits on top of the whole-input matrix.
+                check_with_splits(&case.pattern, &case.inputs, std::slice::from_ref(&case.splits))
+            };
             (case, outcome)
         })
         .collect())

@@ -37,6 +37,7 @@
 
 mod budget;
 mod cache;
+mod handle;
 mod stream;
 
 use std::sync::Arc;
@@ -45,6 +46,7 @@ use std::time::{Duration, Instant};
 pub use budget::{Budget, BudgetKind, GuardedBatch, MatchOutcome};
 pub use cache::{CacheKey, CacheStats, ProgramCache, DEFAULT_SHARDS};
 pub use cicero_hostexec::{EngineKind, HostAllOutcome, HostOutcome, HostProgram, HostRun};
+pub use handle::{PinGuard, SetHandle};
 pub use stream::{StreamError, StreamOptions, StreamReport};
 
 use cicero_core::{Backend, CompileError, Compiler, CompilerOptions, PipelineReport};

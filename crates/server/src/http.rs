@@ -1,8 +1,9 @@
 //! Minimal HTTP/1.1 framing: request parsing and response writing over a
 //! raw byte stream. Implements exactly what the serving API needs —
-//! request line + headers + `Content-Length` bodies, keep-alive, and
-//! explicit `Connection: close` — with hard caps on header and body sizes
-//! so a misbehaving client cannot make the server buffer unbounded input.
+//! request line + headers + `Content-Length` or chunked
+//! transfer-encoding bodies, keep-alive, and explicit
+//! `Connection: close` — with hard caps on header and body sizes so a
+//! misbehaving client cannot make the server buffer unbounded input.
 
 use std::io::{self, Read, Write};
 
@@ -147,28 +148,122 @@ pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, ReadError> {
 
     let mut body = Vec::new();
     let content_length = headers.iter().find(|(n, _)| n == "content-length").map(|(_, v)| v);
-    if let Some(value) = content_length {
-        let length: usize = value
-            .parse()
-            .map_err(|_| ReadError::Malformed(format!("bad content-length {value:?}")))?;
-        if length > MAX_BODY_BYTES {
-            return Err(ReadError::TooLarge(format!(
-                "declared body of {length} B exceeds {MAX_BODY_BYTES} B"
-            )));
+    let transfer_encoding = headers.iter().find(|(n, _)| n == "transfer-encoding").map(|(_, v)| v);
+    match (transfer_encoding, content_length) {
+        // RFC 9112 §6.1: a message with both is a smuggling vector;
+        // reject rather than pick one.
+        (Some(_), Some(_)) => {
+            return Err(ReadError::Malformed(
+                "both transfer-encoding and content-length present".to_owned(),
+            ));
         }
-        body.resize(length, 0);
-        let mut filled = 0;
-        while filled < length {
+        (Some(encoding), None) => {
+            if !encoding.eq_ignore_ascii_case("chunked") {
+                return Err(ReadError::Malformed(format!(
+                    "unsupported transfer-encoding {encoding:?}"
+                )));
+            }
+            body = read_chunked_body(stream)?;
+        }
+        (None, Some(value)) => {
+            let length: usize = value
+                .parse()
+                .map_err(|_| ReadError::Malformed(format!("bad content-length {value:?}")))?;
+            if length > MAX_BODY_BYTES {
+                return Err(ReadError::TooLarge(format!(
+                    "declared body of {length} B exceeds {MAX_BODY_BYTES} B"
+                )));
+            }
+            body.resize(length, 0);
+            let mut filled = 0;
+            while filled < length {
+                match stream.read(&mut body[filled..]) {
+                    Ok(0) => {
+                        return Err(ReadError::Malformed("connection closed mid-body".to_owned()))
+                    }
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(ReadError::Io(e)),
+                }
+            }
+        }
+        (None, None) => {}
+    }
+
+    Ok(Request { method: method.to_ascii_uppercase(), path, query, headers, body })
+}
+
+/// One CRLF-terminated line of chunked-body framing (size lines,
+/// trailers). The terminator is stripped.
+fn read_framing_line<S: Read>(stream: &mut S) -> Result<String, ReadError> {
+    let mut line = Vec::with_capacity(16);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(ReadError::Malformed("connection closed mid-chunked-body".to_owned()))
+            }
+            Ok(_) => line.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+        if line.ends_with(b"\r\n") {
+            line.truncate(line.len() - 2);
+            return Ok(String::from_utf8_lossy(&line).into_owned());
+        }
+        if line.len() > 1024 {
+            return Err(ReadError::TooLarge("chunked framing line exceeds 1024 B".to_owned()));
+        }
+    }
+}
+
+/// Decode a `Transfer-Encoding: chunked` body: hex-size lines (chunk
+/// extensions after `;` are ignored), chunk data, CRLF, terminated by a
+/// zero-size chunk and its (possibly empty) trailer section. The
+/// decoded total is capped at [`MAX_BODY_BYTES`] like any other body —
+/// the caller sees only the reassembled bytes, so where the client cut
+/// its chunks is invisible to handlers (chunk-split invariance over the
+/// wire).
+fn read_chunked_body<S: Read>(stream: &mut S) -> Result<Vec<u8>, ReadError> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_framing_line(stream)?;
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16)
+            .map_err(|_| ReadError::Malformed(format!("bad chunk size line {size_line:?}")))?;
+        if size == 0 {
+            // Trailer section: lines until the empty terminator. The
+            // trailers themselves are ignored (none are defined here).
+            loop {
+                if read_framing_line(stream)?.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        if body.len() + size > MAX_BODY_BYTES {
+            return Err(ReadError::TooLarge(format!("chunked body exceeds {MAX_BODY_BYTES} B")));
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        let mut filled = start;
+        while filled < body.len() {
             match stream.read(&mut body[filled..]) {
-                Ok(0) => return Err(ReadError::Malformed("connection closed mid-body".to_owned())),
+                Ok(0) => {
+                    return Err(ReadError::Malformed("connection closed mid-chunk".to_owned()))
+                }
                 Ok(n) => filled += n,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(ReadError::Io(e)),
             }
         }
+        // Each chunk's data is followed by its own CRLF.
+        let terminator = read_framing_line(stream)?;
+        if !terminator.is_empty() {
+            return Err(ReadError::Malformed(format!(
+                "expected CRLF after chunk data, got {terminator:?}"
+            )));
+        }
     }
-
-    Ok(Request { method: method.to_ascii_uppercase(), path, query, headers, body })
 }
 
 /// An HTTP response under construction.
@@ -216,6 +311,7 @@ impl Response {
     pub fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            201 => "Created",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
@@ -294,6 +390,61 @@ mod tests {
     fn rejects_oversized_declarations_before_reading_them() {
         let huge = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
         assert!(matches!(parse(huge.as_bytes()), Err(ReadError::TooLarge(_))));
+    }
+
+    #[test]
+    fn chunked_bodies_reassemble_regardless_of_chunking() {
+        // Two splits of the same body decode to identical bytes.
+        let req = parse(
+            b"POST /scan/stream HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n4\r\nGET \r\n2\r\n/x\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"GET /x");
+        let req = parse(
+            b"POST /scan/stream HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n6\r\nGET /x\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"GET /x");
+        // Chunk extensions, uppercase hex, and trailers are tolerated.
+        let req = parse(
+            b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nA;ext=1\r\n0123456789\r\n0\r\nx-trailer: v\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"0123456789");
+        // An empty chunked body is fine.
+        let req = parse(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n").unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_chunked_framing_is_rejected() {
+        // Bad size line.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        // Missing CRLF after chunk data.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n2\r\nabXX\r\n0\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        // Truncated mid-chunk.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n8\r\nab"),
+            Err(ReadError::Malformed(_))
+        ));
+        // Smuggling shape: both framings present.
+        assert!(matches!(
+            parse(
+                b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\ncontent-length: 2\r\n\r\n0\r\n\r\n"
+            ),
+            Err(ReadError::Malformed(_))
+        ));
+        // Only `chunked` is implemented.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ntransfer-encoding: gzip\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -51,12 +51,20 @@
 //!   queue-depth and open-connection gauges, latency histogram, admission
 //!   rejections) join the existing `runtime.*` / `sim.*` namespaces on
 //!   one collector, so `GET /metrics` shows the whole stack.
+//! * **Ruleset registry** — `PUT/GET/DELETE /rulesets/{id}` manage
+//!   named, content-hash-versioned compiled pattern sets;
+//!   `POST /scan?ruleset={id}` (and the chunked-transfer
+//!   `POST /scan/stream`) serve against them with zero-downtime hot
+//!   swaps (see [`registry`]). Per-tenant quotas and token-bucket rate
+//!   limits key on `X-Cicero-Tenant` (see [`tenants`]).
 //!
 //! The CLI surfaces this as `cicero serve`.
 
 pub mod api;
 pub mod http;
 pub mod json;
+pub mod registry;
+pub mod tenants;
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -128,6 +136,12 @@ pub struct ServerOptions {
     /// When set, the retained traces are dumped to this path as Chrome
     /// `trace_event` JSON on graceful drain.
     pub trace_dump: Option<std::path::PathBuf>,
+    /// When set, ruleset artifacts persist here (`{id}.ruleset`) and are
+    /// restored on the next bind.
+    pub ruleset_dir: Option<std::path::PathBuf>,
+    /// Per-tenant admission limits (quota + token bucket), keyed on the
+    /// `X-Cicero-Tenant` header. Disabled by default.
+    pub tenants: tenants::TenantPolicy,
 }
 
 impl Default for ServerOptions {
@@ -144,6 +158,8 @@ impl Default for ServerOptions {
             config: ArchConfig::new_organization(16, 1),
             recorder: FlightRecorderOptions::default(),
             trace_dump: None,
+            ruleset_dir: None,
+            tenants: tenants::TenantPolicy::unlimited(),
         }
     }
 }
@@ -167,6 +183,8 @@ pub(crate) struct Shared {
     pub(crate) runtime: Runtime,
     pub(crate) telemetry: Telemetry,
     pub(crate) recorder: FlightRecorder,
+    pub(crate) registry: registry::RulesetRegistry,
+    pub(crate) tenants: tenants::TenantGovernor,
     pub(crate) config: ArchConfig,
     pub(crate) shutdown: AtomicBool,
     pub(crate) queued: AtomicUsize,
@@ -275,10 +293,16 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&options.addr)?;
         let runtime = Runtime::new(options.runtime).with_telemetry(telemetry.clone());
+        let registry =
+            registry::RulesetRegistry::new(options.ruleset_dir.clone(), telemetry.clone());
+        registry.load_dir(&runtime).map_err(std::io::Error::other)?;
+        let tenants = tenants::TenantGovernor::new(options.tenants, telemetry.clone());
         let shared = Arc::new(Shared {
             runtime,
             telemetry,
             recorder: FlightRecorder::new(options.recorder),
+            registry,
+            tenants,
             config: options.config.clone(),
             shutdown: AtomicBool::new(false),
             queued: AtomicUsize::new(0),
@@ -552,12 +576,13 @@ fn poll_parked(
     progressed
 }
 
-/// The `Retry-After` hint on admission rejections: the p50 of the
-/// observed `server.queue_wait_ms` histogram rounded up to whole
-/// seconds, clamped to `[1, MAX_RETRY_AFTER_SECS]`. With no
-/// observations yet there is nothing to scale from, so the floor (1s)
-/// is used.
-fn retry_after_secs(telemetry: &Telemetry) -> u64 {
+/// The `Retry-After` hint on every backpressure answer — admission
+/// `503`s, budget `429`s, and tenant-limit `429`s all call this one
+/// function: the p50 of the observed `server.queue_wait_ms` histogram
+/// rounded up to whole seconds, clamped to `[1, MAX_RETRY_AFTER_SECS]`.
+/// With no observations yet there is nothing to scale from, so the
+/// floor (1s) is used.
+pub(crate) fn retry_after_secs(telemetry: &Telemetry) -> u64 {
     let Some(hist) = telemetry.histogram("server.queue_wait_ms") else {
         return 1;
     };
@@ -604,12 +629,21 @@ fn endpoint_label(path: &str) -> &'static str {
     match path {
         "/match" => "match",
         "/scan" => "scan",
+        "/scan/stream" => "scan_stream",
         "/metrics" => "metrics",
         "/healthz" => "healthz",
         "/shutdown" => "shutdown",
+        _ if path == "/rulesets" || path.starts_with("/rulesets/") => "rulesets",
         _ if path == "/debug/traces" || path.starts_with("/debug/traces/") => "traces",
         _ => "other",
     }
+}
+
+/// Whether `path` is subject to per-tenant admission (the scan/match
+/// work endpoints; control-plane and observability paths are exempt so
+/// a rate-limited tenant can still read its metrics).
+fn tenant_governed(path: &str) -> bool {
+    matches!(path, "/match" | "/scan" | "/scan/stream")
 }
 
 /// Serve one dispatched (readable) connection: the waiting request, plus
@@ -658,8 +692,15 @@ fn serve_dispatch(shared: &Shared, mut conn: Conn) -> Option<Conn> {
                     );
                 }
 
-                let response = api::handle(shared, &request, &root)
-                    .with_header("x-cicero-request-id", request_id.clone());
+                // Per-tenant admission happens after the head is read
+                // (the tenant is a header) but before any work; the
+                // permit is held for the duration of the handler so the
+                // in-flight quota reflects real concurrency.
+                let response = match admit_tenant(shared, &request) {
+                    Ok(_permit) => api::handle(shared, &request, &root),
+                    Err(denied) => denied,
+                }
+                .with_header("x-cicero-request-id", request_id.clone());
                 let status = response.status;
                 // Draining closes after the response: the client gets its
                 // answer, the worker gets free to exit.
@@ -720,6 +761,36 @@ fn serve_dispatch(shared: &Shared, mut conn: Conn) -> Option<Conn> {
                 answer_read_error(shared, &mut conn.stream, 413, &error);
                 return None;
             }
+        }
+    }
+}
+
+/// Per-tenant admission for the work endpoints: `Ok` carries the permit
+/// to hold while the request is served (`None` when ungoverned), `Err`
+/// the ready-to-send `429` with the same p50-scaled `Retry-After` as
+/// every other backpressure path.
+fn admit_tenant(
+    shared: &Shared,
+    request: &http::Request,
+) -> Result<Option<tenants::TenantPermit>, http::Response> {
+    if !tenant_governed(&request.path) || !shared.tenants.policy().is_active() {
+        return Ok(None);
+    }
+    let tenant = request.header("x-cicero-tenant").unwrap_or(tenants::DEFAULT_TENANT);
+    match shared.tenants.admit(tenant) {
+        Ok(permit) => Ok(Some(permit)),
+        Err(denial) => {
+            let reason = match denial {
+                tenants::TenantDenial::RateLimited => "rate limit exceeded",
+                tenants::TenantDenial::QuotaExceeded => "in-flight quota exceeded",
+            };
+            let body = cicero_telemetry::JsonObject::new()
+                .field("error", format!("tenant {tenant:?}: {reason}"))
+                .field("tenant", tenant)
+                .field("reason", denial.label())
+                .finish();
+            Err(http::Response::json(429, body)
+                .with_header("retry-after", retry_after_secs(&shared.telemetry).to_string()))
         }
     }
 }
@@ -1289,6 +1360,287 @@ mod tests {
         assert!(body.contains("draining"), "{body}");
         let report = join.join().unwrap();
         assert!(report.drained);
+    }
+
+    /// One chunked-transfer POST over a fresh connection.
+    fn post_chunked(path: &str, parts: &[&str], extra_headers: &str) -> String {
+        let mut request = format!(
+            "POST {path} HTTP/1.1\r\n{extra_headers}transfer-encoding: chunked\r\nconnection: close\r\n\r\n"
+        );
+        for part in parts {
+            request.push_str(&format!("{:x}\r\n{part}\r\n", part.len()));
+        }
+        request.push_str("0\r\n\r\n");
+        request
+    }
+
+    #[test]
+    fn ruleset_lifecycle_put_scan_swap_delete_over_http() {
+        let (addr, handle, join) = start(options());
+
+        // First install: 201 + a content-hash version header.
+        let raw = roundtrip_raw(
+            addr,
+            &format!(
+                "PUT /rulesets/web HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+                r#"{"patterns":["GET /","POST /"]}"#.len(),
+                r#"{"patterns":["GET /","POST /"]}"#
+            ),
+        );
+        let (status, body) = parse_response(&raw);
+        assert_eq!(status, 201, "{raw}");
+        let version = raw
+            .lines()
+            .find_map(|l| l.strip_prefix("x-cicero-ruleset-version: "))
+            .expect("version header")
+            .to_owned();
+        assert_eq!(version.len(), 16, "{raw}");
+        assert!(body.contains(&format!("\"version\":\"{version}\"")), "{body}");
+
+        // GET describes it; the collection lists it.
+        let (status, body) = roundtrip(addr, &get("/rulesets/web"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"patterns\":[\"GET /\",\"POST /\"]"), "{body}");
+        let (status, body) = roundtrip(addr, &get("/rulesets"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"id\":\"web\""), "{body}");
+
+        // Scan against it: no patterns in the body, version tagged on
+        // the response (field and header).
+        let raw = roundtrip_raw(addr, &post("/scan?ruleset=web", r#"{"input":"GET /index"}"#, ""));
+        let (status, body) = parse_response(&raw);
+        assert_eq!(status, 200, "{raw}");
+        assert!(body.contains("\"matched\":true"), "{body}");
+        assert!(body.contains(&format!("\"ruleset_version\":\"{version}\"")), "{body}");
+        assert!(raw.contains(&format!("x-cicero-ruleset-version: {version}")), "{raw}");
+
+        // Patterns alongside ?ruleset= are rejected: the registry is
+        // the pattern source.
+        let (status, body) =
+            roundtrip(addr, &post("/scan?ruleset=web", r#"{"patterns":["x"],"input":"y"}"#, ""));
+        assert_eq!(status, 400, "{body}");
+
+        // Hot swap: a new pattern set replaces the version in place.
+        let put_body = r#"{"patterns":["DELETE /"]}"#;
+        let raw = roundtrip_raw(
+            addr,
+            &format!(
+                "PUT /rulesets/web HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{put_body}",
+                put_body.len()
+            ),
+        );
+        let (status, body) = parse_response(&raw);
+        assert_eq!(status, 200, "swap is 200, not 201: {raw}");
+        assert!(body.contains(&format!("\"replaced\":\"{version}\"")), "{body}");
+        let raw = roundtrip_raw(addr, &post("/scan?ruleset=web", r#"{"input":"GET /index"}"#, ""));
+        let (status, body) = parse_response(&raw);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"matched\":false"), "old version must be gone: {body}");
+        assert!(!raw.contains(&format!("x-cicero-ruleset-version: {version}")), "{raw}");
+
+        // Delete, then the scan path 404s.
+        let (status, body) =
+            roundtrip(addr, "DELETE /rulesets/web HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert_eq!(status, 200, "{body}");
+        let (status, _) = roundtrip(addr, &post("/scan?ruleset=web", r#"{"input":"x"}"#, ""));
+        assert_eq!(status, 404);
+        let (status, _) = roundtrip(addr, &get("/rulesets/web"));
+        assert_eq!(status, 404);
+
+        // Invalid ids and bad methods are typed answers.
+        let long_id = "x".repeat(registry::MAX_RULESET_ID + 1);
+        let (status, _) = roundtrip(
+            addr,
+            &format!(
+                "PUT /rulesets/{long_id} HTTP/1.1\r\ncontent-length: 18\r\nconnection: close\r\n\r\n{{\"patterns\":[\"a\"]}}"
+            ),
+        );
+        assert_eq!(status, 400);
+        let (status, _) = roundtrip(addr, &post("/rulesets/web", "{}", ""));
+        assert_eq!(status, 405);
+
+        // The registry.* namespace recorded the lifecycle.
+        let (_, metrics) = roundtrip(addr, &get("/metrics?format=summary"));
+        assert!(metrics.contains("registry.puts"), "{metrics}");
+        assert!(metrics.contains("registry.deletes"), "{metrics}");
+
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+    }
+
+    #[test]
+    fn scan_stream_is_invariant_to_http_chunk_boundaries() {
+        let (addr, handle, join) = start(options());
+        let put_body = r#"{"patterns":["GET /","POST /"]}"#;
+        let raw = roundtrip_raw(
+            addr,
+            &format!(
+                "PUT /rulesets/web HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{put_body}",
+                put_body.len()
+            ),
+        );
+        assert!(raw.contains("201"), "{raw}");
+
+        // The same input three ways: whole body, two chunks, byte-wise
+        // chunks. Pinned request ids make the raw responses comparable.
+        let input = "xxxxxxxxxx GET /index yyyyyyyy";
+        let id_header = "x-cicero-request-id: stream-inv\r\n";
+        let whole = roundtrip_raw(addr, &post("/scan/stream?ruleset=web", input, id_header));
+        let halves = roundtrip_raw(
+            addr,
+            &post_chunked("/scan/stream?ruleset=web", &[&input[..7], &input[7..]], id_header),
+        );
+        let bytes: Vec<String> = input.chars().map(|c| c.to_string()).collect();
+        let byte_refs: Vec<&str> = bytes.iter().map(String::as_str).collect();
+        let bytewise =
+            roundtrip_raw(addr, &post_chunked("/scan/stream?ruleset=web", &byte_refs, id_header));
+        assert_eq!(whole, halves, "HTTP chunking must not change a byte of the response");
+        assert_eq!(whole, bytewise);
+        let (status, body) = parse_response(&whole);
+        assert_eq!(status, 200, "{whole}");
+        assert!(body.contains("\"matched\":true"), "{body}");
+        assert!(body.contains("\"ruleset_version\""), "{body}");
+
+        // Engine chunk size is honored (and still deterministic).
+        let raw = roundtrip_raw(
+            addr,
+            &post_chunked(
+                "/scan/stream?ruleset=web",
+                &[input],
+                "x-cicero-request-id: stream-inv\r\nx-cicero-chunk-size: 8\r\n",
+            ),
+        );
+        let (status, body) = parse_response(&raw);
+        assert_eq!(status, 200, "{raw}");
+        assert!(body.contains("\"chunk_bytes\":8"), "{body}");
+
+        // Missing ?ruleset= and unknown ids are typed errors.
+        let (status, _) = roundtrip(addr, &post("/scan/stream", "abc", ""));
+        assert_eq!(status, 400);
+        let (status, _) = roundtrip(addr, &post("/scan/stream?ruleset=nope", "abc", ""));
+        assert_eq!(status, 404);
+
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+    }
+
+    /// Satellite: both 429 paths — budget trips and tenant rate limits —
+    /// share [`retry_after_secs`], so a backed-up queue scales both
+    /// `Retry-After` hints identically (no hardcoded constants).
+    #[test]
+    fn budget_and_tenant_429s_share_the_scaled_retry_after() {
+        let telemetry = Telemetry::new();
+        // Seed the queue-wait histogram so the p50 lands at the 5000ms
+        // bucket: the shared helper must answer 5 on every path.
+        for _ in 0..20 {
+            telemetry.observe_with("server.queue_wait_ms", 4200.0, LATENCY_BUCKETS_MS);
+        }
+        assert_eq!(retry_after_secs(&telemetry), 5);
+        let server = Server::bind_with_telemetry(
+            ServerOptions {
+                tenants: tenants::TenantPolicy {
+                    max_in_flight: 0,
+                    rate_per_sec: 0.001,
+                    burst: 1.0,
+                },
+                ..options()
+            },
+            telemetry,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+
+        // Path 1: a tripped budget.
+        let raw = roundtrip_raw(
+            addr,
+            &post(
+                "/match",
+                r#"{"patterns":["(ab|ba)+x"],"input":"abbaabbaabba"}"#,
+                "x-cicero-fuel: 1\r\n",
+            ),
+        );
+        let (status, _) = parse_response(&raw);
+        assert_eq!(status, 429, "{raw}");
+        assert!(raw.contains("retry-after: 5"), "budget 429 must scale: {raw}");
+
+        // Path 2: the token bucket (burst 1, negligible refill) denies
+        // the second request.
+        let body = r#"{"patterns":["ab"],"input":"xaby"}"#;
+        let (status, _) = roundtrip(addr, &post("/match", body, "x-cicero-tenant: acme\r\n"));
+        assert_eq!(status, 200);
+        let raw = roundtrip_raw(addr, &post("/match", body, "x-cicero-tenant: acme\r\n"));
+        let (status, deny_body) = parse_response(&raw);
+        assert_eq!(status, 429, "{raw}");
+        assert!(raw.contains("retry-after: 5"), "tenant 429 must scale identically: {raw}");
+        assert!(deny_body.contains("rate_limited"), "{deny_body}");
+
+        // Tenant-labeled counters joined the server.* namespace.
+        let (_, metrics) = roundtrip(addr, &get("/metrics?format=summary"));
+        assert!(metrics.contains("server.tenant.acme.requests"), "{metrics}");
+        assert!(metrics.contains("server.tenant.acme.rate_limited"), "{metrics}");
+
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+    }
+
+    #[test]
+    fn tenant_quota_bounds_in_flight_per_tenant_not_globally() {
+        let policy = tenants::TenantPolicy { max_in_flight: 1, rate_per_sec: 0.0, burst: 0.0 };
+        let (addr, handle, join) = start(ServerOptions { tenants: policy, ..options() });
+        // Quota is per tenant: serial requests from one tenant all pass
+        // (the permit releases with each response), and two tenants
+        // never contend.
+        let body = r#"{"patterns":["ab"],"input":"xaby"}"#;
+        for tenant in ["a", "a", "b", "a"] {
+            let (status, out) =
+                roundtrip(addr, &post("/match", body, &format!("x-cicero-tenant: {tenant}\r\n")));
+            assert_eq!(status, 200, "{out}");
+        }
+        // Control-plane endpoints are never tenant-governed.
+        let (status, _) = roundtrip(addr, &get("/healthz"));
+        assert_eq!(status, 200);
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+    }
+
+    #[test]
+    fn rulesets_persist_across_server_restarts() {
+        let dir =
+            std::env::temp_dir().join(format!("cicero-server-rulesets-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = || ServerOptions { ruleset_dir: Some(dir.clone()), ..options() };
+        let (addr, handle, join) = start(opts());
+        let put_body = r#"{"patterns":["GET /"]}"#;
+        let raw = roundtrip_raw(
+            addr,
+            &format!(
+                "PUT /rulesets/web HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{put_body}",
+                put_body.len()
+            ),
+        );
+        let (status, body) = parse_response(&raw);
+        assert_eq!(status, 201, "{body}");
+        let version = raw
+            .lines()
+            .find_map(|l| l.strip_prefix("x-cicero-ruleset-version: "))
+            .unwrap()
+            .to_owned();
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+
+        // A fresh bind restores the ruleset from the artifact, same
+        // content-hash version.
+        let (addr, handle, join) = start(opts());
+        let raw = roundtrip_raw(addr, &post("/scan?ruleset=web", r#"{"input":"GET /x"}"#, ""));
+        let (status, body) = parse_response(&raw);
+        assert_eq!(status, 200, "{raw}");
+        assert!(body.contains("\"matched\":true"), "{body}");
+        assert!(raw.contains(&format!("x-cicero-ruleset-version: {version}")), "{raw}");
+        handle.shutdown();
+        assert!(join.join().unwrap().drained);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! cicero serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!                [--drain-timeout-ms N] [--config NxM] [--jobs N] [--backend sim|host]
 //!                [--trace-dump PATH] [--slow-trace-ms N] [--trace-capacity N]
+//!                [--ruleset-dir PATH] [--tenant-quota N] [--tenant-rate R]
+//!                [--tenant-burst B]
+//! cicero ruleset put <id> <p1> <p2> ... [--addr HOST:PORT]
+//! cicero ruleset get|rm <id> [--addr HOST:PORT]
+//! cicero ruleset list [--addr HOST:PORT]
 //! cicero trace   <pattern>... (--text STR | --input FILE) [--config NxM] [--jobs N]
 //!                [--export tree|json|chrome] [-o FILE] [--request-id ID]
 //! cicero explain <pattern>
@@ -44,11 +49,20 @@
 //! error instead of a hang.
 //!
 //! `serve` starts the std-only HTTP front door (`crates/server`): `POST
-//! /match`, `POST /scan`, `GET /metrics`, `GET /healthz`, and `POST
-//! /shutdown` for a graceful drain. It prints one `listening on ADDR`
-//! line at startup (so `--addr host:0` ephemeral ports are
-//! discoverable), and exits `0` only when the drain completed within
-//! `--drain-timeout-ms`.
+//! /match`, `POST /scan`, `GET /metrics`, `GET /healthz`, the
+//! `PUT/GET/DELETE /rulesets/{id}` registry, and `POST /shutdown` for a
+//! graceful drain. It prints one `listening on ADDR` line at startup
+//! (so `--addr host:0` ephemeral ports are discoverable), and exits `0`
+//! only when the drain completed within `--drain-timeout-ms`.
+//! `--ruleset-dir` persists installed rulesets and restores them on the
+//! next start; `--tenant-quota`/`--tenant-rate`/`--tenant-burst` turn
+//! on per-`X-Cicero-Tenant` admission limits.
+//!
+//! `cicero ruleset put|get|rm|list` manages that registry on a *running*
+//! server over HTTP (default `--addr 127.0.0.1:8787`): a `put` over an
+//! existing id hot-swaps it atomically with zero downtime. `scan
+//! --ruleset ID` ships the input to the server (`POST /scan/stream`) so
+//! the CLI matches against exactly the version the server is serving.
 //!
 //! A `--` separator ends flag parsing; everything after it is positional,
 //! which is how patterns beginning with `-` are expressed
@@ -71,6 +85,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("ruleset") => cmd_ruleset(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("configs") => cmd_configs(),
@@ -105,10 +120,17 @@ USAGE:
     cicero scan    <p1> <p2> ... (--text STR | --input FILE) [--config NxM] [--jobs N]
                    [--backend sim|host] [--stream] [--chunk-size N] [--fuel N]
                    [--deadline-ms N]
+    cicero scan    --ruleset ID (--text STR | --input FILE) [--addr HOST:PORT]
+                   [--backend sim|host] [--chunk-size N] [--fuel N] [--deadline-ms N]
     cicero serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
                    [--drain-timeout-ms N] [--config NxM] [--jobs N] [--backend sim|host]
                    [--metrics PATH] [--metrics-format FORMAT]
                    [--trace-dump PATH] [--slow-trace-ms N] [--trace-capacity N]
+                   [--ruleset-dir PATH] [--tenant-quota N] [--tenant-rate R]
+                   [--tenant-burst B]
+    cicero ruleset put <id> <p1> <p2> ... [--addr HOST:PORT]
+    cicero ruleset get|rm <id> [--addr HOST:PORT]
+    cicero ruleset list [--addr HOST:PORT]
     cicero trace   <p1> <p2> ... (--text STR | --input FILE) [--config NxM]
                    [--jobs N] [--export tree|json|chrome] [-o|--output FILE]
                    [--request-id ID] [--fuel N] [--deadline-ms N]
@@ -150,8 +172,26 @@ OPTIONS:
                       exceeding it exits with a budget error
     --deadline-ms N   scan --stream: cap the session at N milliseconds of
                       wall-clock time; exceeding it exits with a budget error
+    --ruleset ID      scan: skip local compilation and ship the input to a
+                      running server's registry ruleset ID instead (`POST
+                      /scan/stream`); the response carries the version that
+                      served it
     --addr HOST:PORT  serve: listen address (default 127.0.0.1:8787; port 0
-                      binds an ephemeral port, printed as `listening on ADDR`)
+                      binds an ephemeral port, printed as `listening on ADDR`);
+                      ruleset / scan --ruleset: the server to contact
+                      (default 127.0.0.1:8787, the serve default)
+    --ruleset-dir PATH
+                      serve: persist installed rulesets under PATH and restore
+                      them (hash-verified) on the next start, so hot swaps
+                      survive restarts
+    --tenant-quota N  serve: max in-flight requests per X-Cicero-Tenant;
+                      beyond it requests get 429 + Retry-After (0 = no quota,
+                      the default)
+    --tenant-rate R   serve: sustained admissions/second per tenant via a
+                      token bucket (0 = no rate limit, the default)
+    --tenant-burst B  serve: token-bucket capacity — how large a burst a
+                      freshly idle tenant may send (clamped to >= 1 when
+                      --tenant-rate is on)
     --workers N       serve: connection-handler threads (default 4)
     --queue-depth N   serve: bound on accepted-but-unserved connections; beyond
                       it new connections get 503 + Retry-After (default 64)
@@ -620,9 +660,26 @@ fn run_batch_host(
 fn cmd_scan(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
-        &["text", "input", "config", "jobs", "chunk-size", "fuel", "deadline-ms", "backend"],
+        &[
+            "text",
+            "input",
+            "config",
+            "jobs",
+            "chunk-size",
+            "fuel",
+            "deadline-ms",
+            "backend",
+            "ruleset",
+            "addr",
+        ],
         &["stream"],
     )?;
+    if let Some(id) = flags.value("ruleset") {
+        return scan_ruleset_mode(id, &flags);
+    }
+    if flags.value("addr").is_some() {
+        return Err("--addr only applies to `scan --ruleset`".to_owned());
+    }
     if flags.positional.is_empty() {
         return Err("scan takes one or more patterns".to_owned());
     }
@@ -869,6 +926,160 @@ fn scan_stream_mode(
     }
 }
 
+/// The address `cicero serve` binds by default — and therefore the one
+/// the `ruleset` / `scan --ruleset` client commands contact by default.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:8787";
+
+/// One HTTP/1.1 request over a fresh connection; returns
+/// (status, raw response head, body).
+fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+) -> Result<(u16, String, String), String> {
+    use std::io::Read as _;
+
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("connecting to {addr}: {e} (is `cicero serve` running there?)"))?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).map_err(|e| e.to_string())?;
+    let mut request = format!("{method} {path} HTTP/1.1\r\nhost: {addr}\r\n");
+    for (name, value) in headers {
+        request.push_str(&format!("{name}: {value}\r\n"));
+    }
+    request.push_str(&format!("content-length: {}\r\nconnection: close\r\n\r\n", body.len()));
+    let mut bytes = request.into_bytes();
+    bytes.extend_from_slice(body);
+    stream.write_all(&bytes).map_err(|e| format!("sending the request: {e}"))?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).map_err(|e| format!("reading the response: {e}"))?;
+    let text = String::from_utf8_lossy(&response).into_owned();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed response from {addr}: {text:?}"))?;
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((text.as_str(), ""));
+    Ok((status, head.to_owned(), body.to_owned()))
+}
+
+/// Case-insensitive header lookup in a raw response head.
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        n.trim().eq_ignore_ascii_case(name).then(|| v.trim().to_owned())
+    })
+}
+
+/// `scan --ruleset ID`: ship the input to a running `cicero serve` and
+/// match it against the named registry ruleset (`POST /scan/stream`), so
+/// the CLI sees exactly the version the server is serving. `--backend`,
+/// `--chunk-size`, `--fuel`, `--deadline-ms`, and `--config` map onto
+/// the corresponding `X-Cicero-*` request headers.
+fn scan_ruleset_mode(id: &str, flags: &Flags) -> Result<(), String> {
+    if !flags.positional.is_empty() {
+        return Err("scan --ruleset takes its patterns from the server's registry; \
+             drop the positional patterns (or use `cicero ruleset put` to change them)"
+            .to_owned());
+    }
+    if flags.value("jobs").is_some() || flags.has("stream") {
+        return Err("--jobs/--stream do not apply to scan --ruleset; the server owns the runtime"
+            .to_owned());
+    }
+    let input = read_input(flags)?;
+    let addr = flags.value("addr").unwrap_or(DEFAULT_SERVE_ADDR);
+    let mut headers: Vec<(&str, String)> = Vec::new();
+    for (flag, header) in [
+        ("backend", "x-cicero-backend"),
+        ("chunk-size", "x-cicero-chunk-size"),
+        ("fuel", "x-cicero-fuel"),
+        ("deadline-ms", "x-cicero-deadline-ms"),
+        ("config", "x-cicero-config"),
+    ] {
+        if let Some(value) = flags.value(flag) {
+            headers.push((header, value.to_owned()));
+        }
+    }
+    let (status, head, body) =
+        http_request(addr, "POST", &format!("/scan/stream?ruleset={id}"), &headers, &input)?;
+    if status != 200 {
+        return Err(format!("scan against ruleset {id:?} failed ({status}): {body}"));
+    }
+    let version = header_value(&head, "x-cicero-ruleset-version").unwrap_or_default();
+    println!("ruleset    : {id} @ {version}");
+    println!("{body}");
+    Ok(())
+}
+
+/// `cicero ruleset put|get|rm|list`: manage the live registry of a
+/// running `cicero serve` over HTTP. A `put` over an existing id is an
+/// atomic hot swap: in-flight requests drain on the old version while
+/// new requests pin the new one.
+fn cmd_ruleset(args: &[String]) -> Result<(), String> {
+    use cicero::telemetry::escape_json;
+
+    let flags = parse_flags(args, &["addr"], &[])?;
+    let addr = flags.value("addr").unwrap_or(DEFAULT_SERVE_ADDR);
+    let Some(verb) = flags.positional.first().map(String::as_str) else {
+        return Err(format!("ruleset takes a subcommand: put|get|rm|list\n\n{USAGE}"));
+    };
+    match verb {
+        "put" => {
+            let id =
+                flags.positional.get(1).ok_or("ruleset put takes <id> and one or more patterns")?;
+            let patterns = &flags.positional[2..];
+            if patterns.is_empty() {
+                return Err("ruleset put takes at least one pattern".to_owned());
+            }
+            let members: Vec<String> =
+                patterns.iter().map(|p| format!("\"{}\"", escape_json(p))).collect();
+            let body = format!("{{\"patterns\":[{}]}}", members.join(","));
+            let (status, head, response) =
+                http_request(addr, "PUT", &format!("/rulesets/{id}"), &[], body.as_bytes())?;
+            if status != 200 && status != 201 {
+                return Err(format!("PUT /rulesets/{id} failed ({status}): {response}"));
+            }
+            let version = header_value(&head, "x-cicero-ruleset-version").unwrap_or_default();
+            println!(
+                "{} {id} @ {version} ({} pattern(s))",
+                if status == 201 { "installed" } else { "swapped" },
+                patterns.len()
+            );
+            Ok(())
+        }
+        "get" => {
+            let id = flags.positional.get(1).ok_or("ruleset get takes <id>")?;
+            let (status, _, response) =
+                http_request(addr, "GET", &format!("/rulesets/{id}"), &[], b"")?;
+            if status != 200 {
+                return Err(format!("GET /rulesets/{id} failed ({status}): {response}"));
+            }
+            println!("{response}");
+            Ok(())
+        }
+        "rm" => {
+            let id = flags.positional.get(1).ok_or("ruleset rm takes <id>")?;
+            let (status, _, response) =
+                http_request(addr, "DELETE", &format!("/rulesets/{id}"), &[], b"")?;
+            if status != 200 {
+                return Err(format!("DELETE /rulesets/{id} failed ({status}): {response}"));
+            }
+            println!("deleted {id}");
+            Ok(())
+        }
+        "list" => {
+            let (status, _, response) = http_request(addr, "GET", "/rulesets", &[], b"")?;
+            if status != 200 {
+                return Err(format!("GET /rulesets failed ({status}): {response}"));
+            }
+            println!("{response}");
+            Ok(())
+        }
+        other => Err(format!("unknown ruleset subcommand `{other}` (put|get|rm|list)")),
+    }
+}
+
 /// `cicero serve`: run the HTTP match-serving front door until a
 /// `POST /shutdown` begins the graceful drain.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -889,6 +1100,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "trace-dump",
             "slow-trace-ms",
             "trace-capacity",
+            "ruleset-dir",
+            "tenant-quota",
+            "tenant-rate",
+            "tenant-burst",
         ],
         &[],
     )?;
@@ -938,6 +1153,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         options.recorder.capacity = value
             .parse::<usize>()
             .map_err(|_| format!("--trace-capacity `{value}` is not a number"))?;
+    }
+    if let Some(path) = flags.value("ruleset-dir") {
+        options.ruleset_dir = Some(std::path::PathBuf::from(path));
+    }
+    if let Some(value) = flags.value("tenant-quota") {
+        options.tenants.max_in_flight =
+            value.parse().map_err(|_| format!("--tenant-quota `{value}` is not a number"))?;
+    }
+    if let Some(value) = flags.value("tenant-rate") {
+        options.tenants.rate_per_sec = match value.parse::<f64>() {
+            Ok(rate) if rate >= 0.0 && rate.is_finite() => rate,
+            _ => return Err(format!("--tenant-rate `{value}` is not a non-negative number")),
+        };
+    }
+    if let Some(value) = flags.value("tenant-burst") {
+        options.tenants.burst = match value.parse::<f64>() {
+            Ok(burst) if burst >= 0.0 && burst.is_finite() => burst,
+            _ => return Err(format!("--tenant-burst `{value}` is not a non-negative number")),
+        };
     }
 
     let telemetry = Telemetry::new();

@@ -481,3 +481,43 @@ fn backend_flag_rejects_unknown_values() {
         assert!(stderr(&output).contains("unknown backend `fpga`"), "{}", stderr(&output));
     }
 }
+
+/// The registry-client flags validate before any socket is touched:
+/// `--addr` is meaningless without `--ruleset`, patterns cannot be mixed
+/// with `--ruleset`, and the `ruleset` subcommand rejects unknown verbs.
+#[test]
+fn ruleset_client_flags_are_validated_offline() {
+    let output = cicero(&["scan", "ab", "--text", "x", "--addr", "127.0.0.1:1"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("--addr only applies"), "{}", stderr(&output));
+
+    let output =
+        cicero(&["scan", "ab", "--ruleset", "web", "--text", "x", "--addr", "127.0.0.1:1"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("drop the positional patterns"), "{}", stderr(&output));
+
+    let output = cicero(&["scan", "--ruleset", "web", "--text", "x", "--jobs", "2"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("the server owns the runtime"), "{}", stderr(&output));
+
+    let output = cicero(&["ruleset", "install", "web", "ab"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("unknown ruleset subcommand"), "{}", stderr(&output));
+
+    let output = cicero(&["ruleset", "put", "web"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("at least one pattern"), "{}", stderr(&output));
+}
+
+/// The tenant-governor serve flags parse and reject garbage without
+/// binding a listener.
+#[test]
+fn serve_tenant_flags_are_validated() {
+    for (flag, value) in
+        [("--tenant-quota", "many"), ("--tenant-rate", "-1"), ("--tenant-burst", "NaN")]
+    {
+        let output = cicero(&["serve", flag, value]);
+        assert!(!output.status.success(), "{flag} {value} must be rejected");
+        assert!(stderr(&output).contains(flag), "{}", stderr(&output));
+    }
+}

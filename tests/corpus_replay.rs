@@ -52,6 +52,24 @@ fn replay_all() -> Vec<(difftest::CorpusCase, difftest::Outcome)> {
     difftest::replay_corpus(&difftest::default_corpus_dir()).expect("corpus loads")
 }
 
+/// The registry-axis satellite cases must stay committed: at least two
+/// `kind = "registry"` sets, one of them multi-member (a newline-joined
+/// `pattern`), each actually round-tripped (Pass, not Skip — a set the
+/// compiler rejects would silently stop guarding the persist format).
+#[test]
+fn the_registry_corpus_cases_round_trip_the_persist_format() {
+    let replayed = replay_all();
+    let registry: Vec<_> = replayed.iter().filter(|(case, _)| case.kind == "registry").collect();
+    assert!(registry.len() >= 2, "expected >= 2 registry corpus cases, found {}", registry.len());
+    assert!(
+        registry.iter().any(|(case, _)| case.pattern.contains('\n')),
+        "no committed registry case exercises a multi-member set"
+    );
+    for (case, outcome) in registry {
+        assert_eq!(*outcome, difftest::Outcome::Pass, "registry case `{}`: {outcome:?}", case.name);
+    }
+}
+
 /// The host-backend satellite cases must stay committed, and they must
 /// actually select the engine tiers they claim to pin: an empty
 /// alternative, a prefilter-defeating dot pattern, a u128-tier NFA, a

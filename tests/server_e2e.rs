@@ -263,3 +263,91 @@ fn served_scan_matches_the_cli_scan_on_a_seeded_workload() {
     assert!(server_counts.iter().any(|c| *c > 0), "workload must produce at least one match");
     server.shutdown_and_wait();
 }
+
+/// Run the `cicero` binary; returns (success, stdout, stderr).
+fn cli(args: &[&str]) -> (bool, String, String) {
+    let output =
+        Command::new(env!("CARGO_BIN_EXE_cicero")).args(args).output().expect("running cicero");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+/// The registry lifecycle end to end through the real binary: `serve
+/// --ruleset-dir`, `cicero ruleset put/get/list/rm` as HTTP clients,
+/// `scan --ruleset` on both backends, a hot swap visible as a version
+/// change, and the persisted artifact restored by a second server.
+#[test]
+fn ruleset_cli_drives_the_registry_lifecycle_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("cicero-e2e-rulesets-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = ServeProcess::start(&["--ruleset-dir", dir.to_str().unwrap()]);
+    let addr = server.addr.clone();
+
+    // Install: a content-hash version comes back on stdout.
+    let (ok, stdout, stderr) = cli(&["ruleset", "put", "web", "ab|cd", "gh+i", "--addr", &addr]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.starts_with("installed web @ "), "{stdout}");
+    let v1 = stdout.split(" @ ").nth(1).unwrap().split(' ').next().unwrap().to_owned();
+    assert_eq!(v1.len(), 16, "content version must be 16 hex chars: {stdout}");
+
+    // Scan against the served ruleset on both backends: the response is
+    // tagged with the version that served it and the verdicts agree.
+    for backend in ["host", "sim"] {
+        let (ok, stdout, stderr) = cli(&[
+            "scan",
+            "--ruleset",
+            "web",
+            "--text",
+            "xxabyy",
+            "--addr",
+            &addr,
+            "--backend",
+            backend,
+        ]);
+        assert!(ok, "[{backend}] {stderr}");
+        assert!(stdout.contains(&format!("ruleset    : web @ {v1}")), "[{backend}] {stdout}");
+        assert!(stdout.contains("\"verdict\":\"match\""), "[{backend}] {stdout}");
+    }
+
+    // get / list see the installed id and version.
+    let (ok, stdout, stderr) = cli(&["ruleset", "get", "web", "--addr", &addr]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains(&v1) && stdout.contains("ab|cd"), "{stdout}");
+    let (ok, stdout, stderr) = cli(&["ruleset", "list", "--addr", &addr]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"web\""), "{stdout}");
+
+    // Hot swap: put over the same id reports the replacement and scans
+    // pick up the new version (and the new patterns) immediately.
+    let (ok, stdout, stderr) = cli(&["ruleset", "put", "web", "zz+9", "--addr", &addr]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.starts_with("swapped web @ "), "{stdout}");
+    let v2 = stdout.split(" @ ").nth(1).unwrap().split(' ').next().unwrap().to_owned();
+    assert_ne!(v1, v2, "swapping different patterns must change the content version");
+    let (ok, stdout, stderr) =
+        cli(&["scan", "--ruleset", "web", "--text", "azz9b", "--addr", &addr]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains(&format!("ruleset    : web @ {v2}")), "{stdout}");
+    assert!(stdout.contains("\"verdict\":\"match\""), "{stdout}");
+
+    // A restarted server over the same --ruleset-dir restores the swap.
+    server.shutdown_and_wait();
+    let revived = ServeProcess::start(&["--ruleset-dir", dir.to_str().unwrap()]);
+    let (ok, stdout, stderr) = cli(&["ruleset", "get", "web", "--addr", &revived.addr]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains(&v2), "restart must restore version {v2}: {stdout}");
+
+    // rm deletes it everywhere: the client reports it, scans 404.
+    let (ok, stdout, stderr) = cli(&["ruleset", "rm", "web", "--addr", &revived.addr]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("deleted web"), "{stdout}");
+    let (ok, _, stderr) =
+        cli(&["scan", "--ruleset", "web", "--text", "x", "--addr", &revived.addr]);
+    assert!(!ok, "scanning a deleted ruleset must fail");
+    assert!(stderr.contains("404"), "{stderr}");
+    revived.shutdown_and_wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
