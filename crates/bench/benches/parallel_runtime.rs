@@ -320,6 +320,7 @@ fn render_json(
         let _ = write!(
             json,
             "    {{\"suite\": \"{}\", \"workers\": {}, \"host_cpus\": {}, \
+             \"config_source\": \"default\", \
              \"aggregate_throughput_mbps\": {:.3}, \
              \"aggregate_speedup_vs_sequential_baseline\": {:.3}, \
              \"host_throughput_kbps\": {:.1}, \
@@ -342,6 +343,7 @@ fn render_json(
         let _ = write!(
             json,
             "    {{\"suite\": \"{}\", \"workers\": {}, \"host_cpus\": {}, \
+             \"config_source\": \"default\", \
              \"wall_throughput_mbps\": {:.3}, \"speedup_vs_1_worker\": {:.3}}}",
             row.suite, row.jobs, host_cpus, row.wall_mbps, row.speedup_vs_1_worker,
         );

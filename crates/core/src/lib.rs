@@ -162,6 +162,10 @@ pub struct CompilerOptions {
     pub shortest_match_leading: bool,
     /// Back-end Jump Simplification on the `cicero` dialect (§5).
     pub jump_simplification: bool,
+    /// Relative order of the enabled high-level sets (default: the
+    /// paper's canonicalize → factorize → shortest-match). A tunable —
+    /// `cicero tune` searches all six permutations.
+    pub pass_order: regex_dialect::transforms::PassOrder,
     /// Verify the IR after every pass (slower; invaluable in tests).
     pub verify_each: bool,
 }
@@ -177,6 +181,7 @@ impl CompilerOptions {
             shortest_match: true,
             shortest_match_leading: false,
             jump_simplification: true,
+            pass_order: regex_dialect::transforms::PassOrder::default(),
             verify_each: false,
         }
     }
@@ -190,6 +195,7 @@ impl CompilerOptions {
             shortest_match: false,
             shortest_match_leading: false,
             jump_simplification: false,
+            pass_order: regex_dialect::transforms::PassOrder::default(),
             verify_each: false,
         }
     }
@@ -491,6 +497,7 @@ impl Compiler {
             factorize: self.options.factorize,
             shortest_match: self.options.shortest_match,
             shortest_match_leading: self.options.shortest_match_leading,
+            order: self.options.pass_order,
         }
     }
 

@@ -104,6 +104,37 @@ enum Repr {
     Interp(Program),
 }
 
+/// Engine-tier selection thresholds: the largest automaton (in states)
+/// each bit-parallel width accepts before compilation falls through to
+/// the next tier. Exposed as autotuner knobs — a workload whose automata
+/// hover just above a width boundary can trade the wider engine's extra
+/// per-byte cost against the lazy DFA's construction overhead.
+///
+/// Values are clamped to the representation's hard capacity (64 / 128
+/// states), and `bit128_max` is clamped up to `bit64_max` so the tiers
+/// stay ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostTiers {
+    /// Max states handled by the one-`u64`-mask engine (≤ 64).
+    pub bit64_max: usize,
+    /// Max states handled by the one-`u128`-mask engine (≤ 128).
+    pub bit128_max: usize,
+}
+
+impl Default for HostTiers {
+    fn default() -> HostTiers {
+        HostTiers { bit64_max: 64, bit128_max: 128 }
+    }
+}
+
+impl HostTiers {
+    fn clamped(self) -> HostTiers {
+        let bit64_max = self.bit64_max.min(64);
+        let bit128_max = self.bit128_max.min(128).max(bit64_max);
+        HostTiers { bit64_max, bit128_max }
+    }
+}
+
 /// A `cicero` program lowered to a host-native engine. Immutable and
 /// `Sync`: share one behind an `Arc` across worker threads; per-run
 /// mutable state lives in [`HostMatcher`].
@@ -126,14 +157,22 @@ impl HostProgram {
     /// program the lowering cannot handle within budget degrades to the
     /// reference interpreter rather than failing.
     pub fn compile(program: &Program) -> HostProgram {
+        HostProgram::compile_with_tiers(program, HostTiers::default())
+    }
+
+    /// [`compile`](HostProgram::compile) with explicit engine-tier
+    /// thresholds (see [`HostTiers`]); out-of-range thresholds are
+    /// clamped, never an error.
+    pub fn compile_with_tiers(program: &Program, tiers: HostTiers) -> HostProgram {
+        let tiers = tiers.clamped();
         let repr = match nfa::lower(program) {
             None => Repr::Interp(program.clone()),
             Some(mut nfa) => {
                 nfa::factor(&mut nfa);
                 let states = nfa.preds.len();
-                if states <= 64 {
+                if states <= tiers.bit64_max {
                     Repr::W64(BitEngine::build(&nfa))
-                } else if states <= 128 {
+                } else if states <= tiers.bit128_max {
                     Repr::W128(BitEngine::build(&nfa))
                 } else {
                     Repr::Dfa(dfa::SparseNfa::build(&nfa))
@@ -571,6 +610,40 @@ mod tests {
         let mut input = vec![b'x'; 50];
         input.extend(vec![b'a'; 80]);
         assert_agrees(&p, &input);
+    }
+
+    #[test]
+    fn tier_thresholds_steer_engine_selection_without_changing_results() {
+        // A ~4-state pattern lands on Bit64 by default; lowering the
+        // bit64 ceiling pushes it to Bit128, lowering both pushes it to
+        // the lazy DFA — same answers everywhere.
+        let p = cicero_core::compile("ab+c").unwrap().into_program();
+        let default = HostProgram::compile(&p);
+        assert_eq!(default.engine_kind(), EngineKind::Bit64);
+        let w128 = HostProgram::compile_with_tiers(&p, HostTiers { bit64_max: 0, bit128_max: 128 });
+        assert_eq!(w128.engine_kind(), EngineKind::Bit128);
+        let dfa = HostProgram::compile_with_tiers(&p, HostTiers { bit64_max: 0, bit128_max: 0 });
+        assert_eq!(dfa.engine_kind(), EngineKind::LazyDfa);
+        for input in inputs() {
+            let expected = from_exec(run(&p, &input));
+            assert_eq!(default.run(&input), expected, "{input:?}");
+            assert_eq!(w128.run(&input), expected, "{input:?}");
+            assert_eq!(dfa.run(&input), expected, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn tier_thresholds_clamp_to_hard_capacity() {
+        // Requesting more than the mask width is clamped, not honored:
+        // a 70-state automaton cannot ride a u64 mask.
+        let pattern = "a".repeat(70);
+        let p = cicero_core::compile(&pattern).unwrap().into_program();
+        let host =
+            HostProgram::compile_with_tiers(&p, HostTiers { bit64_max: 999, bit128_max: 999 });
+        assert_eq!(host.engine_kind(), EngineKind::Bit128, "{} states", host.state_count());
+        // And an inverted pair (bit128 < bit64) is reordered.
+        let tiers = HostTiers { bit64_max: 64, bit128_max: 0 }.clamped();
+        assert_eq!(tiers, HostTiers { bit64_max: 64, bit128_max: 64 });
     }
 
     #[test]

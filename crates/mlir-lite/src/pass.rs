@@ -142,6 +142,82 @@ impl fmt::Display for PipelineReport {
     }
 }
 
+/// A name-keyed catalogue of pass factories, for building pipelines from
+/// configuration rather than code.
+///
+/// Mirrors MLIR's pass registration: dialects register each pass under
+/// its stable diagnostic name once, and drivers (or an autotuner
+/// exploring pass orderings) assemble a [`PassManager`] from a list of
+/// names. Unknown names fail loudly instead of silently shortening the
+/// pipeline, so a stale `tune.toml` cannot masquerade as a valid
+/// configuration.
+#[derive(Default)]
+pub struct PassRegistry {
+    factories: Vec<(&'static str, PassFactory)>,
+}
+
+/// A factory producing a fresh instance of one registered pass.
+type PassFactory = Box<dyn Fn() -> Box<dyn Pass>>;
+
+impl fmt::Debug for PassRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassRegistry").field("passes", &self.names()).finish()
+    }
+}
+
+impl PassRegistry {
+    /// An empty registry.
+    pub fn new() -> PassRegistry {
+        PassRegistry { factories: Vec::new() }
+    }
+
+    /// Register `factory` under `name`. Re-registering a name replaces
+    /// the earlier factory (latest wins), matching how drivers layer
+    /// overrides.
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        factory: impl Fn() -> Box<dyn Pass> + 'static,
+    ) -> &mut Self {
+        self.factories.retain(|(n, _)| *n != name);
+        self.factories.push((name, Box::new(factory)));
+        self
+    }
+
+    /// Registered pass names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.factories.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Instantiate one registered pass by name.
+    pub fn create(&self, name: &str) -> Option<Box<dyn Pass>> {
+        self.factories.iter().find(|(n, _)| *n == name).map(|(_, f)| f())
+    }
+
+    /// Append the named passes to `pm`, in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PassError`] naming the first unknown pass; nothing is
+    /// added to `pm` in that case (the pipeline is validated before
+    /// construction, so a half-built manager can never run).
+    pub fn build(&self, pm: &mut PassManager, pipeline: &[&str]) -> Result<(), PassError> {
+        if let Some(unknown) = pipeline.iter().find(|name| self.create(name).is_none()) {
+            return Err(PassError {
+                pass: (*unknown).to_owned(),
+                message: format!(
+                    "unknown pass `{unknown}` (registered: {})",
+                    self.names().join(", ")
+                ),
+            });
+        }
+        for name in pipeline {
+            pm.add_pass(self.create(name).expect("validated above"));
+        }
+        Ok(())
+    }
+}
+
 /// An ordered pipeline of passes with optional inter-pass verification.
 ///
 /// Mirrors `mlir::PassManager`: passes run in order, and when
@@ -421,6 +497,39 @@ mod tests {
         assert_eq!(instr.before.load(Ordering::SeqCst), 2);
         assert_eq!(instr.after.load(Ordering::SeqCst), 1);
         assert_eq!(instr.failed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn registry_builds_pipelines_in_the_requested_order() {
+        let mut registry = PassRegistry::new();
+        registry.register("append-leaf", || Box::new(AppendLeaf));
+        registry.register("fail", || Box::new(Fail));
+        let mut pm = PassManager::new();
+        registry.build(&mut pm, &["append-leaf", "append-leaf"]).unwrap();
+        assert_eq!(pm.len(), 2);
+        let mut m = module();
+        pm.run(&mut m, &ctx()).unwrap();
+        assert_eq!(m.only_region().len(), 2);
+    }
+
+    #[test]
+    fn registry_rejects_unknown_passes_without_building_anything() {
+        let mut registry = PassRegistry::new();
+        registry.register("append-leaf", || Box::new(AppendLeaf));
+        let mut pm = PassManager::new();
+        let err = registry.build(&mut pm, &["append-leaf", "no-such-pass"]).unwrap_err();
+        assert_eq!(err.pass, "no-such-pass");
+        assert!(err.message.contains("registered: append-leaf"), "{err}");
+        assert!(pm.is_empty(), "a failed build must not half-populate the manager");
+    }
+
+    #[test]
+    fn registry_reregistration_replaces_the_factory() {
+        let mut registry = PassRegistry::new();
+        registry.register("p", || Box::new(Fail));
+        registry.register("p", || Box::new(AppendLeaf));
+        assert_eq!(registry.names(), vec!["p"]);
+        assert_eq!(registry.create("p").unwrap().name(), "append-leaf");
     }
 
     #[test]

@@ -45,7 +45,9 @@ use std::time::{Duration, Instant};
 
 pub use budget::{Budget, BudgetKind, GuardedBatch, MatchOutcome};
 pub use cache::{CacheKey, CacheStats, ProgramCache, DEFAULT_SHARDS};
-pub use cicero_hostexec::{EngineKind, HostAllOutcome, HostOutcome, HostProgram, HostRun};
+pub use cicero_hostexec::{
+    EngineKind, HostAllOutcome, HostOutcome, HostProgram, HostRun, HostTiers,
+};
 pub use handle::{PinGuard, SetHandle};
 pub use stream::{StreamError, StreamOptions, StreamReport};
 
@@ -81,13 +83,15 @@ pub(crate) fn host_exec_report(run: &HostRun) -> ExecReport {
 struct HostCache {
     map: std::sync::Mutex<std::collections::HashMap<Program, Arc<HostProgram>>>,
     capacity: usize,
+    tiers: HostTiers,
 }
 
 impl HostCache {
-    fn new(capacity: usize) -> HostCache {
+    fn new(capacity: usize, tiers: HostTiers) -> HostCache {
         HostCache {
             map: std::sync::Mutex::new(std::collections::HashMap::new()),
             capacity: capacity.max(1),
+            tiers,
         }
     }
 
@@ -95,7 +99,7 @@ impl HostCache {
         if let Some(hit) = self.map.lock().unwrap_or_else(|p| p.into_inner()).get(program) {
             return Arc::clone(hit);
         }
-        let lowered = Arc::new(HostProgram::compile(program));
+        let lowered = Arc::new(HostProgram::compile_with_tiers(program, self.tiers));
         let mut map = self.map.lock().unwrap_or_else(|p| p.into_inner());
         if map.len() >= self.capacity {
             map.clear();
@@ -132,6 +136,13 @@ pub struct RuntimeOptions {
     pub jobs: usize,
     /// Maximum entries in the compiled-program cache.
     pub cache_capacity: usize,
+    /// Lock stripes in the compiled-program cache; `0` resolves to the
+    /// cache's built-in default ([`cache::DEFAULT_SHARDS`]). An autotuner
+    /// knob: more stripes cut contention, fewer keep LRU order closer to
+    /// global.
+    pub cache_shards: usize,
+    /// Host-backend engine-tier thresholds (see [`HostTiers`]).
+    pub host_tiers: HostTiers,
     /// Compiler configuration used for every compilation (and part of
     /// every cache key).
     pub compiler: CompilerOptions,
@@ -139,7 +150,13 @@ pub struct RuntimeOptions {
 
 impl Default for RuntimeOptions {
     fn default() -> RuntimeOptions {
-        RuntimeOptions { jobs: 0, cache_capacity: 128, compiler: CompilerOptions::optimized() }
+        RuntimeOptions {
+            jobs: 0,
+            cache_capacity: 128,
+            cache_shards: 0,
+            host_tiers: HostTiers::default(),
+            compiler: CompilerOptions::optimized(),
+        }
     }
 }
 
@@ -228,10 +245,12 @@ impl Runtime {
         } else {
             options.jobs
         };
+        let shards =
+            if options.cache_shards == 0 { cache::DEFAULT_SHARDS } else { options.cache_shards };
         Runtime {
             jobs,
-            cache: ProgramCache::new(options.cache_capacity),
-            host: HostCache::new(options.cache_capacity),
+            cache: ProgramCache::with_shards(options.cache_capacity, shards),
+            host: HostCache::new(options.cache_capacity, options.host_tiers),
             options,
             telemetry: None,
             run_hook: None,

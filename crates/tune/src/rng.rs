@@ -1,0 +1,77 @@
+//! A tiny deterministic PRNG for the searcher.
+//!
+//! The vendored `rand` crate serves the workload generators; the tuner
+//! carries its own SplitMix64 so its sampling sequence is pinned by this
+//! crate alone — a `rand` implementation change can never silently change
+//! which configs a given `--seed` visits (the determinism contract is
+//! byte-identical `tune.toml` for identical seed/workload/budget).
+
+/// SplitMix64 (Steele, Lea & Flood; the seeding PRNG of the xoshiro
+/// family). Full 2^64 period, passes BigCrush, two lines of state-free
+/// arithmetic.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose entire sequence is determined by `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses the widening-multiply trick (Lemire); the modulo bias is at
+    /// most 2^-64 per draw — irrelevant for picking among a handful of
+    /// axis values, and still perfectly deterministic.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn below_stays_in_bounds_and_covers_small_ranges() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let draw = rng.below(5);
+            assert!(draw < 5);
+            seen[draw] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+    }
+}

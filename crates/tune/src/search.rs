@@ -1,0 +1,291 @@
+//! The searcher: exhaustive over small spaces, seeded random + greedy
+//! mutation over large ones, memoized by `(workload fingerprint, config)`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cicero_telemetry::Telemetry;
+
+use crate::config::TuneConfig;
+use crate::cost::{CostModel, CostReport};
+use crate::rng::SplitMix64;
+use crate::space::SearchSpace;
+use crate::workload::Workload;
+use crate::TuneError;
+
+/// How much searching to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// At most this many cost-model evaluations (memo hits are free).
+    /// This is the deterministic budget: identical seed + workload +
+    /// budget visit identical candidates.
+    Evals(usize),
+    /// Stop proposing new candidates once this much wall-clock has
+    /// elapsed. Inherently machine-dependent; reproducibility is only
+    /// promised for [`Budget::Evals`].
+    TimeMs(u64),
+}
+
+/// What a tuning run concluded.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// The winning config. Never worse than [`TuneConfig::default`] under
+    /// the run's cost model: the default is always candidate zero and the
+    /// incumbent only changes on strictly lower cost.
+    pub best: TuneConfig,
+    /// The winner's evaluation.
+    pub best_report: CostReport,
+    /// The baseline's evaluation (for tuned-vs-default reporting).
+    pub default_report: CostReport,
+    /// Cost-model invocations actually performed.
+    pub evals: usize,
+    /// Proposals answered from the memo table instead of the model.
+    pub memo_hits: usize,
+    /// `exhaustive` or `random-mutation`.
+    pub strategy: &'static str,
+}
+
+/// Search `space` for the lowest-cost config on `workload`.
+///
+/// Strategy selection: if an eval budget covers the whole space the sweep
+/// is exhaustive (in index order, so deterministic regardless of seed);
+/// otherwise seeded random sampling interleaved with greedy single-axis
+/// mutations of the incumbent. Either way the default config is evaluated
+/// first and ties never dethrone it.
+///
+/// Telemetry (when given): a `tune.search` span plus `tune.evals` /
+/// `tune.memo_hits` counters and a `tune.best_cost` gauge.
+///
+/// # Errors
+///
+/// [`TuneError::Invalid`] for an empty workload or zero budget;
+/// [`TuneError::Compile`] if the *default* config cannot compile the
+/// workload (candidate compile failures just disqualify the candidate).
+pub fn tune(
+    workload: &Workload,
+    space: &SearchSpace,
+    model: &dyn CostModel,
+    budget: Budget,
+    seed: u64,
+    telemetry: Option<&Telemetry>,
+) -> Result<TuneOutcome, TuneError> {
+    if workload.patterns.is_empty() {
+        return Err(TuneError::Invalid("workload has no patterns".to_owned()));
+    }
+    match budget {
+        Budget::Evals(0) => {
+            return Err(TuneError::Invalid("budget must allow at least one eval".to_owned()))
+        }
+        Budget::Evals(_) | Budget::TimeMs(_) => {}
+    }
+    let _span = telemetry.map(|t| t.span("tune.search"));
+    let fingerprint = workload.fingerprint();
+    let started = Instant::now();
+    let mut memo: HashMap<(u64, TuneConfig), CostReport> = HashMap::new();
+    let mut evals = 0usize;
+    let mut memo_hits = 0usize;
+
+    // One evaluation, through the memo table. `None` = candidate failed
+    // to compile (disqualified, budget still charged).
+    let mut evaluate = |config: &TuneConfig,
+                        evals: &mut usize,
+                        memo_hits: &mut usize|
+     -> Result<Option<CostReport>, TuneError> {
+        if let Some(report) = memo.get(&(fingerprint, *config)) {
+            *memo_hits += 1;
+            if let Some(t) = telemetry {
+                t.counter_add("tune.memo_hits", 1);
+            }
+            return Ok(Some(*report));
+        }
+        *evals += 1;
+        if let Some(t) = telemetry {
+            t.counter_add("tune.evals", 1);
+        }
+        match model.evaluate(workload, config) {
+            Ok(report) => {
+                memo.insert((fingerprint, *config), report);
+                Ok(Some(report))
+            }
+            Err(TuneError::Compile(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    };
+
+    let exhausted = |evals: usize| match budget {
+        Budget::Evals(max) => evals >= max,
+        Budget::TimeMs(ms) => started.elapsed().as_millis() >= u128::from(ms),
+    };
+
+    // The baseline is always candidate zero — and its failure is the
+    // run's failure: a tuner that cannot score the default has nothing
+    // sound to compare against.
+    let default_config = TuneConfig::default();
+    let default_report = match evaluate(&default_config, &mut evals, &mut memo_hits)? {
+        Some(report) => report,
+        None => {
+            return Err(model
+                .evaluate(workload, &default_config)
+                .err()
+                .unwrap_or_else(|| TuneError::Invalid("default evaluation failed".to_owned())))
+        }
+    };
+    let mut best = default_config;
+    let mut best_report = default_report;
+    let mut best_indices: Vec<usize> = vec![0; space.axis_sizes().len()];
+
+    let exhaustive = matches!(budget, Budget::Evals(max) if space.size() <= max);
+    let strategy = if exhaustive { "exhaustive" } else { "random-mutation" };
+
+    if exhaustive {
+        // Index 0 is the default config — already evaluated above.
+        for index in 1..space.size() {
+            if exhausted(evals) {
+                break;
+            }
+            let config = space.config_at(index);
+            if let Some(report) = evaluate(&config, &mut evals, &mut memo_hits)? {
+                if report.cost < best_report.cost {
+                    best = config;
+                    best_report = report;
+                }
+            }
+        }
+    } else {
+        let mut rng = SplitMix64::new(seed);
+        let sizes = space.axis_sizes();
+        // Cap total proposals so a fully-memoized neighborhood cannot
+        // spin forever on free memo hits.
+        let proposal_cap = match budget {
+            Budget::Evals(max) => max.saturating_mul(10),
+            Budget::TimeMs(_) => usize::MAX,
+        };
+        let mut proposals = 0usize;
+        while !exhausted(evals) && proposals < proposal_cap {
+            proposals += 1;
+            // Alternate exploration (fresh uniform draw) with
+            // exploitation (mutate one axis of the incumbent).
+            let indices: Vec<usize> = if proposals.is_multiple_of(2) {
+                sizes.iter().map(|&size| rng.below(size)).collect()
+            } else {
+                let mut indices = best_indices.clone();
+                // Pick an axis with at least two candidates.
+                let mutable: Vec<usize> = (0..sizes.len()).filter(|&a| sizes[a] > 1).collect();
+                if mutable.is_empty() {
+                    break; // single-point space: nothing to search
+                }
+                let axis = mutable[rng.below(mutable.len())];
+                let bump = 1 + rng.below(sizes[axis] - 1);
+                indices[axis] = (indices[axis] + bump) % sizes[axis];
+                indices
+            };
+            let config = space.config_from_indices(&indices);
+            if let Some(report) = evaluate(&config, &mut evals, &mut memo_hits)? {
+                if report.cost < best_report.cost {
+                    best = config;
+                    best_report = report;
+                    best_indices = indices;
+                }
+            }
+        }
+    }
+
+    if let Some(t) = telemetry {
+        t.gauge_set("tune.best_cost", best_report.cost);
+        t.gauge_set("tune.default_cost", default_report.cost);
+    }
+    debug_assert!(best_report.cost <= default_report.cost, "tuned can never lose to default");
+    Ok(TuneOutcome { best, best_report, default_report, evals, memo_hits, strategy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SimCostModel;
+
+    fn workload() -> Workload {
+        Workload::from_patterns(&["ab+c".to_owned(), "th(is|at)".to_owned()]).unwrap()
+    }
+
+    #[test]
+    fn small_space_goes_exhaustive_and_beats_or_matches_default() {
+        let workload = workload();
+        let space = SearchSpace::compiler_only();
+        let outcome = tune(&workload, &space, &SimCostModel, Budget::Evals(100), 42, None).unwrap();
+        assert_eq!(outcome.strategy, "exhaustive");
+        assert!(outcome.evals <= space.size());
+        assert!(outcome.best_report.cost <= outcome.default_report.cost);
+    }
+
+    #[test]
+    fn large_space_uses_seeded_search_deterministically() {
+        let workload = workload();
+        let space = SearchSpace::full();
+        let a = tune(&workload, &space, &SimCostModel, Budget::Evals(12), 42, None).unwrap();
+        let b = tune(&workload, &space, &SimCostModel, Budget::Evals(12), 42, None).unwrap();
+        assert_eq!(a.strategy, "random-mutation");
+        assert_eq!(a.best, b.best, "same seed, same winner");
+        assert_eq!(a.evals, b.evals);
+        assert!(a.best_report.cost <= a.default_report.cost);
+    }
+
+    #[test]
+    fn different_seeds_may_visit_different_candidates_but_never_regress() {
+        let workload = workload();
+        let space = SearchSpace::full();
+        for seed in [1u64, 7, 99] {
+            let outcome =
+                tune(&workload, &space, &SimCostModel, Budget::Evals(8), seed, None).unwrap();
+            assert!(outcome.best_report.cost <= outcome.default_report.cost, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn memo_answers_repeat_proposals() {
+        let workload = workload();
+        // A 12-point space with a 100-eval budget sweeps exhaustively
+        // with no repeats; force the sampling path instead, where the
+        // proposal stream revisits configs.
+        let space = SearchSpace::full();
+        let outcome = tune(&workload, &space, &SimCostModel, Budget::Evals(40), 3, None).unwrap();
+        // 40 evals over ~7k points rarely collide, but mutation
+        // re-proposes neighbors of the incumbent constantly; at least
+        // one memo hit is effectively guaranteed. If this ever flakes,
+        // the seed is pinned, so it cannot: the run is deterministic.
+        assert!(outcome.memo_hits > 0, "memo must absorb repeat proposals");
+        assert_eq!(outcome.evals, 40);
+    }
+
+    #[test]
+    fn telemetry_counters_land_in_the_tune_namespace() {
+        let workload = workload();
+        let telemetry = Telemetry::new();
+        let space = SearchSpace::compiler_only();
+        tune(&workload, &space, &SimCostModel, Budget::Evals(20), 1, Some(&telemetry)).unwrap();
+        let summary = telemetry.render_summary();
+        assert!(summary.contains("tune.evals"), "{summary}");
+        assert!(summary.contains("tune.best_cost"), "{summary}");
+    }
+
+    #[test]
+    fn zero_budget_and_empty_workloads_are_rejected() {
+        let space = SearchSpace::compiler_only();
+        assert!(matches!(
+            tune(&workload(), &space, &SimCostModel, Budget::Evals(0), 1, None),
+            Err(TuneError::Invalid(_))
+        ));
+        let empty = Workload { name: "empty".to_owned(), patterns: vec![], chunks: vec![] };
+        assert!(matches!(
+            tune(&empty, &space, &SimCostModel, Budget::Evals(5), 1, None),
+            Err(TuneError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn time_budget_terminates() {
+        let workload = workload();
+        let space = SearchSpace::full();
+        let outcome = tune(&workload, &space, &SimCostModel, Budget::TimeMs(50), 5, None).unwrap();
+        assert!(outcome.evals >= 1, "at least the default is evaluated");
+    }
+}

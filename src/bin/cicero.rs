@@ -17,6 +17,8 @@
 //! cicero ruleset list [--addr HOST:PORT]
 //! cicero trace   <pattern>... (--text STR | --input FILE) [--config NxM] [--jobs N]
 //!                [--export tree|json|chrome] [-o FILE] [--request-id ID]
+//! cicero tune    (--workload PACK | <pattern>...) [--budget N|Nms] [--seed N]
+//!                [--out FILE] [--cost sim|host] [--space full|compiler]
 //! cicero explain <pattern>
 //! cicero configs
 //! cicero difftest [--seed N] [--iters K] [--jobs J] [--corpus DIR] [--save]
@@ -64,6 +66,13 @@
 //! --ruleset ID` ships the input to the server (`POST /scan/stream`) so
 //! the CLI matches against exactly the version the server is serving.
 //!
+//! `tune` searches pass orderings × architecture/runtime parameters for
+//! the lowest-cost configuration on a workload (docs/TUNING.md) and
+//! writes the winner to a strictly-validated `tune.toml`; `run`, `scan`,
+//! and `serve` load one via `--tuned-config` (explicit flags still win,
+//! and a file that fails validation aborts the command — `serve`
+//! refuses to start).
+//!
 //! A `--` separator ends flag parsing; everything after it is positional,
 //! which is how patterns beginning with `-` are expressed
 //! (`cicero run --text a-b -- '-b'`).
@@ -87,6 +96,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("ruleset") => cmd_ruleset(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("configs") => cmd_configs(),
         Some("difftest") => cmd_difftest(&args[1..]),
@@ -134,6 +144,9 @@ USAGE:
     cicero trace   <p1> <p2> ... (--text STR | --input FILE) [--config NxM]
                    [--jobs N] [--export tree|json|chrome] [-o|--output FILE]
                    [--request-id ID] [--fuel N] [--deadline-ms N]
+    cicero tune    (--workload PACK | <p1> <p2> ...) [--budget N|Nms] [--seed N]
+                   [--out FILE] [--cost sim|host] [--space full|compiler]
+                   [--metrics PATH] [--metrics-format FORMAT]
     cicero explain <pattern>
     cicero configs
     cicero difftest [--seed N] [--iters K] [--jobs J] [--corpus DIR] [--save]
@@ -211,6 +224,26 @@ OPTIONS:
                       for Perfetto); `-o FILE` writes it to a file
     --request-id ID   trace: the request id stamped on the trace
                       (default cli-trace)
+    --workload PACK   tune: a named workload pack (protomata, brill,
+                      protomata4, brill4); positional patterns build a custom
+                      workload with synthesized inputs instead
+    --budget SPEC     tune: `N` caps cost-model evaluations (deterministic,
+                      default 24); `Nms` caps wall-clock milliseconds
+                      (machine-dependent)
+    --out FILE        tune: where the winning config is written
+                      (default tune.toml)
+    --cost KIND       tune: `sim` scores by simulated cycles + icache misses
+                      (default, reproducible); `host` scores by host
+                      wall-clock (nondeterministic)
+    --space KIND      tune: `full` searches pass orders x machines x cache
+                      geometries x host tiers x runtime knobs (default);
+                      `compiler` restricts to pass orderings only
+    --tuned-config FILE
+                      run/scan/serve: load a `cicero tune` result and use its
+                      compiler, architecture, and runtime settings as the
+                      defaults; explicit flags (--config, --jobs, --backend,
+                      -O0) still win, and a file that fails validation aborts
+                      the command (serve refuses to start)
     --seed N          difftest: base seed (default 42); the run is reproducible
                       for a fixed (seed, iters, jobs)
     --iters K         difftest: number of generated patterns (default 1000)
@@ -240,7 +273,22 @@ fn parse_flags(
     bool_flags: &[&str],
 ) -> Result<Flags, String> {
     let mut positional = Vec::new();
-    let mut pairs = Vec::new();
+    let mut pairs: Vec<(String, Option<String>)> = Vec::new();
+    // A value-taking flag given twice is rejected, not last-one-wins:
+    // `--jobs 2 --jobs 4` is almost always a script bug, and silently
+    // dropping one of the values hides it.
+    let push_value = |pairs: &mut Vec<(String, Option<String>)>,
+                      name: &str,
+                      value: String|
+     -> Result<(), String> {
+        if pairs.iter().any(|(n, v)| n == name && v.is_some()) {
+            return Err(format!(
+                "--{name} given more than once; value-taking flags accept a single value"
+            ));
+        }
+        pairs.push((name.to_owned(), Some(value)));
+        Ok(())
+    };
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         if arg == "--" {
@@ -253,7 +301,7 @@ fn parse_flags(
             if value_flags.contains(&name) {
                 let value =
                     iter.next().ok_or_else(|| format!("--{name} requires a value"))?.clone();
-                pairs.push((name.to_owned(), Some(value)));
+                push_value(&mut pairs, name, value)?;
             } else if bool_flags.contains(&name) {
                 pairs.push((name.to_owned(), None));
             } else {
@@ -263,7 +311,9 @@ fn parse_flags(
             pairs.push(("O0".to_owned(), None));
         } else if arg == "-o" {
             let value = iter.next().ok_or("-o requires a file name")?.clone();
-            pairs.push(("output".to_owned(), Some(value)));
+            // `-o` and `--output` are one flag; doubling up across the
+            // two spellings is rejected like any other duplicate.
+            push_value(&mut pairs, "output", value)?;
         } else {
             positional.push(arg.clone());
         }
@@ -304,22 +354,55 @@ fn read_input(flags: &Flags) -> Result<Vec<u8>, String> {
     }
 }
 
+/// Load `--tuned-config FILE` if given. Any validation failure (unknown
+/// keys, future version, corrupted values) is surfaced as the command's
+/// error — a tuned run never silently falls back to defaults.
+fn load_tuned(flags: &Flags) -> Result<Option<cicero::tune::TuneFile>, String> {
+    match flags.value("tuned-config") {
+        Some(path) => cicero::tune::TuneFile::load(path).map(Some).map_err(|e| e.to_string()),
+        None => Ok(None),
+    }
+}
+
+/// Compiler-options precedence: `-O0` (explicit flag) > `--tuned-config`
+/// > the built-in optimized default.
+fn compiler_base(tuned: Option<&cicero::tune::TuneFile>, o0: bool) -> CompilerOptions {
+    if o0 {
+        CompilerOptions::unoptimized()
+    } else {
+        tuned.map_or_else(CompilerOptions::optimized, |t| t.compiler_options())
+    }
+}
+
+/// Architecture precedence: `--config NxM` > `--tuned-config` > the
+/// built-in 16x1 default.
+fn resolve_config(
+    flags: &Flags,
+    tuned: Option<&cicero::tune::TuneFile>,
+) -> Result<ArchConfig, String> {
+    match (flags.value("config"), tuned) {
+        (None, Some(t)) => Ok(t.arch_config()),
+        (spec, _) => parse_config(spec),
+    }
+}
+
 /// Compile with either compiler. The multi-dialect compiler also returns
 /// its per-pass report (and streams spans into `telemetry` when given);
 /// the legacy single-IR compiler has no pass pipeline, so it returns
-/// `None`.
+/// `None`. `options` is the multi-dialect baseline (usually
+/// [`compiler_base`]); `--old`/`-O0` still take precedence.
 fn compile_one(
     pattern: &str,
     old: bool,
     o0: bool,
+    options: CompilerOptions,
     telemetry: Option<&Telemetry>,
 ) -> Result<(Program, Option<cicero::mlir::PipelineReport>), String> {
     if old {
         let program = LegacyCompiler::new(!o0).compile(pattern).map_err(|e| e.to_string())?;
         Ok((program, None))
     } else {
-        let options =
-            if o0 { CompilerOptions::unoptimized() } else { CompilerOptions::optimized() };
+        let options = if o0 { CompilerOptions::unoptimized() } else { options };
         let mut compiler = Compiler::with_options(options);
         if let Some(telemetry) = telemetry {
             compiler = compiler.with_telemetry(telemetry.clone());
@@ -388,7 +471,8 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     };
     match emit {
         "asm" | "bin" => {
-            let (program, pass_report) = compile_one(pattern, old, o0, None)?;
+            let (program, pass_report) =
+                compile_one(pattern, old, o0, CompilerOptions::optimized(), None)?;
             if emit == "asm" {
                 output(program.to_asm().as_bytes())?;
             } else {
@@ -461,7 +545,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     // long `--O0` spelling works too (same fix as `cmd_compile`).
     let flags = parse_flags(
         args,
-        &["text", "input", "config", "metrics", "metrics-format", "jobs", "backend"],
+        &[
+            "text",
+            "input",
+            "config",
+            "metrics",
+            "metrics-format",
+            "jobs",
+            "backend",
+            "tuned-config",
+        ],
         &["old", "pass-timing", "O0"],
     )?;
     let [pattern] = flags.positional.as_slice() else {
@@ -472,17 +565,27 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         (None, None) => Vec::new(),
         _ => read_input(&flags)?,
     };
-    let config = parse_config(flags.value("config"))?;
+    let tuned = load_tuned(&flags)?;
+    let config = resolve_config(&flags, tuned.as_ref())?;
     let backend = parse_backend(&flags)?;
     if let Some(jobs) = flags.value("jobs") {
-        return run_batch_mode(pattern, &input, &config, parse_jobs(jobs)?, backend, &flags);
+        return run_batch_mode(
+            pattern,
+            &input,
+            &config,
+            parse_jobs(jobs)?,
+            backend,
+            tuned.as_ref(),
+            &flags,
+        );
     }
     if backend == Backend::Host {
-        return run_host_mode(pattern, &input, &flags);
+        return run_host_mode(pattern, &input, tuned.as_ref(), &flags);
     }
     let telemetry = Telemetry::new();
+    let base = compiler_base(tuned.as_ref(), flags.has("O0"));
     let (program, pass_report) =
-        compile_one(pattern, flags.has("old"), flags.has("O0"), Some(&telemetry))?;
+        compile_one(pattern, flags.has("old"), flags.has("O0"), base, Some(&telemetry))?;
     let report = simulate_with_telemetry(&program, &input, &config, &telemetry);
     println!("pattern    : {pattern}");
     println!("config     : {} @ {} MHz", config.name(), config.clock_mhz());
@@ -509,11 +612,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 /// the host-native engine — same verdict and match position as the
 /// simulator, but no cycle model, so the summary reports wall-clock
 /// throughput and which engine tier the lowering picked.
-fn run_host_mode(pattern: &str, input: &[u8], flags: &Flags) -> Result<(), String> {
+fn run_host_mode(
+    pattern: &str,
+    input: &[u8],
+    tuned: Option<&cicero::tune::TuneFile>,
+    flags: &Flags,
+) -> Result<(), String> {
     let telemetry = Telemetry::new();
+    let base = compiler_base(tuned, flags.has("O0"));
     let (program, pass_report) =
-        compile_one(pattern, flags.has("old"), flags.has("O0"), Some(&telemetry))?;
-    let host = HostProgram::compile(&program);
+        compile_one(pattern, flags.has("old"), flags.has("O0"), base, Some(&telemetry))?;
+    let tiers = tuned.map(|t| t.host_tiers()).unwrap_or_default();
+    let host = HostProgram::compile_with_tiers(&program, tiers);
     let start = std::time::Instant::now();
     let outcome = host.run(input);
     let wall = start.elapsed();
@@ -550,14 +660,21 @@ fn run_batch_mode(
     config: &ArchConfig,
     jobs: usize,
     backend: Backend,
+    tuned: Option<&cicero::tune::TuneFile>,
     flags: &Flags,
 ) -> Result<(), String> {
     let telemetry = Telemetry::new();
     let chunks = chunk_input(input);
     let o0 = flags.has("O0");
-    let compiler = if o0 { CompilerOptions::unoptimized() } else { CompilerOptions::optimized() };
-    let runtime = Runtime::new(RuntimeOptions { jobs, compiler, ..RuntimeOptions::default() })
-        .with_telemetry(telemetry.clone());
+    let compiler = compiler_base(tuned, o0);
+    let runtime = Runtime::new(RuntimeOptions {
+        jobs,
+        compiler,
+        cache_shards: tuned.map_or(0, |t| t.config.cache_shards),
+        host_tiers: tuned.map(|t| t.host_tiers()).unwrap_or_default(),
+        ..RuntimeOptions::default()
+    })
+    .with_telemetry(telemetry.clone());
     if backend == Backend::Host {
         return run_batch_host(pattern, input, &chunks, config, &runtime, flags, &telemetry);
     }
@@ -671,10 +788,18 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
             "backend",
             "ruleset",
             "addr",
+            "tuned-config",
         ],
         &["stream"],
     )?;
     if let Some(id) = flags.value("ruleset") {
+        if flags.value("tuned-config").is_some() {
+            return Err(
+                "--tuned-config only applies to local scans; `scan --ruleset` matches on the \
+                 server with the server's configuration"
+                    .to_owned(),
+            );
+        }
         return scan_ruleset_mode(id, &flags);
     }
     if flags.value("addr").is_some() {
@@ -683,13 +808,14 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     if flags.positional.is_empty() {
         return Err("scan takes one or more patterns".to_owned());
     }
-    let config = parse_config(flags.value("config"))?;
+    let tuned = load_tuned(&flags)?;
+    let config = resolve_config(&flags, tuned.as_ref())?;
     let backend = parse_backend(&flags)?;
     if flags.has("stream") {
         if flags.value("jobs").is_some() {
             return Err("--stream and --jobs cannot be combined; pick one runtime".to_owned());
         }
-        return scan_stream_mode(&flags.positional, &config, backend, &flags);
+        return scan_stream_mode(&flags.positional, &config, backend, tuned.as_ref(), &flags);
     }
     for flag in ["chunk-size", "fuel", "deadline-ms"] {
         if flags.value(flag).is_some() {
@@ -698,14 +824,24 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     }
     let input = read_input(&flags)?;
     if let Some(jobs) = flags.value("jobs") {
-        return scan_batch_mode(&flags.positional, &input, &config, parse_jobs(jobs)?, backend);
+        return scan_batch_mode(
+            &flags.positional,
+            &input,
+            &config,
+            parse_jobs(jobs)?,
+            backend,
+            tuned.as_ref(),
+        );
     }
-    let set = Compiler::new().compile_set(&flags.positional).map_err(|e| e.to_string())?;
+    let base = compiler_base(tuned.as_ref(), false);
+    let set =
+        Compiler::with_options(base).compile_set(&flags.positional).map_err(|e| e.to_string())?;
     if backend == Backend::Host {
         // One all-matches pass on the host engine: every set member that
         // fires is reported, like the sim path below, minus the cycle
         // count (the host engine has no cycle model).
-        let host = HostProgram::compile(set.program());
+        let tiers = tuned.as_ref().map(|t| t.host_tiers()).unwrap_or_default();
+        let host = HostProgram::compile_with_tiers(set.program(), tiers);
         let all = host.run_all(&input);
         if all.matched_ids.is_empty() {
             println!("no match in {} bytes", input.len());
@@ -744,9 +880,16 @@ fn scan_batch_mode(
     config: &ArchConfig,
     jobs: usize,
     backend: Backend,
+    tuned: Option<&cicero::tune::TuneFile>,
 ) -> Result<(), String> {
     let chunks = chunk_input(input);
-    let runtime = Runtime::new(RuntimeOptions { jobs, ..RuntimeOptions::default() });
+    let runtime = Runtime::new(RuntimeOptions {
+        jobs,
+        compiler: compiler_base(tuned, false),
+        cache_shards: tuned.map_or(0, |t| t.config.cache_shards),
+        host_tiers: tuned.map(|t| t.host_tiers()).unwrap_or_default(),
+        ..RuntimeOptions::default()
+    });
     let program = runtime.compile_set(patterns).map_err(|e| e.to_string())?;
     if backend == Backend::Host {
         return scan_batch_host(patterns, &chunks, config, &runtime, &program);
@@ -845,6 +988,7 @@ fn scan_stream_mode(
     patterns: &[String],
     config: &ArchConfig,
     backend: Backend,
+    tuned: Option<&cicero::tune::TuneFile>,
     flags: &Flags,
 ) -> Result<(), String> {
     use cicero::runtime::{BudgetKind, MatchOutcome, StreamOptions};
@@ -870,7 +1014,8 @@ fn scan_stream_mode(
 
     // The set keeps the id -> pattern mapping for the verdict line; the
     // runtime only needs the compiled program.
-    let set = Compiler::new().compile_set(patterns).map_err(|e| e.to_string())?;
+    let base = compiler_base(tuned, false);
+    let set = Compiler::with_options(base).compile_set(patterns).map_err(|e| e.to_string())?;
     let source: Box<dyn std::io::Read + Send> = match (flags.value("text"), flags.value("input")) {
         (Some(text), None) => Box::new(std::io::Cursor::new(text.as_bytes().to_vec())),
         (None, Some(path)) => {
@@ -880,7 +1025,9 @@ fn scan_stream_mode(
         _ => return Err("provide exactly one of --text STR or --input FILE".to_owned()),
     };
     let runtime = Runtime::new(RuntimeOptions {
-        compiler: CompilerOptions::optimized().with_backend(backend),
+        compiler: base.with_backend(backend),
+        cache_shards: tuned.map_or(0, |t| t.config.cache_shards),
+        host_tiers: tuned.map(|t| t.host_tiers()).unwrap_or_default(),
         ..RuntimeOptions::default()
     });
     let report =
@@ -1104,6 +1251,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "tenant-quota",
             "tenant-rate",
             "tenant-burst",
+            "tuned-config",
         ],
         &[],
     )?;
@@ -1112,6 +1260,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let mut options =
         ServerOptions { config: parse_config(flags.value("config"))?, ..ServerOptions::default() };
+    // `--tuned-config` is validated and applied before any explicit flag,
+    // so flags below still win — and an invalid file returns here, long
+    // before the listener binds: the server refuses to start on a config
+    // it cannot trust.
+    if let Some(tuned) = load_tuned(&flags)? {
+        if flags.value("config").is_none() {
+            options.config = tuned.arch_config();
+        }
+        // tune.toml does not carry a backend; keep the server's default
+        // (host) unless `--backend` says otherwise below.
+        let backend = options.runtime.compiler.backend;
+        options.runtime.compiler = tuned.compiler_options().with_backend(backend);
+        options.runtime.jobs = tuned.config.jobs;
+        options.runtime.cache_shards = tuned.config.cache_shards;
+        options.runtime.host_tiers = tuned.host_tiers();
+    }
     if let Some(addr) = flags.value("addr") {
         options.addr = addr.to_owned();
     }
@@ -1273,6 +1437,108 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// `cicero tune`: search the compiler × architecture space for the
+/// lowest-cost configuration on a workload and persist the winner to a
+/// `tune.toml` that `run`/`scan`/`serve` load via `--tuned-config`.
+///
+/// With `--budget N` (an eval count) the run is deterministic: the same
+/// seed, workload, and budget produce a byte-identical `tune.toml`.
+fn cmd_tune(args: &[String]) -> Result<(), String> {
+    use cicero::tune::{
+        tune, Budget as TuneBudget, CostModel, HostCostModel, SearchSpace, SimCostModel, TuneFile,
+        Workload,
+    };
+
+    let flags = parse_flags(
+        args,
+        &["workload", "budget", "seed", "out", "cost", "space", "metrics", "metrics-format"],
+        &[],
+    )?;
+    let workload = if !flags.positional.is_empty() {
+        if flags.value("workload").is_some() {
+            return Err("give either --workload PACK or positional patterns, not both".to_owned());
+        }
+        Workload::from_patterns(&flags.positional).map_err(|e| e.to_string())?
+    } else if let Some(name) = flags.value("workload") {
+        Workload::pack(name).map_err(|e| e.to_string())?
+    } else {
+        return Err(
+            "tune needs a workload: --workload protomata|brill|protomata4|brill4, or one or \
+             more positional patterns"
+                .to_owned(),
+        );
+    };
+    let spec = flags.value("budget").unwrap_or("24");
+    let budget = match spec.strip_suffix("ms") {
+        Some(ms) => TuneBudget::TimeMs(
+            ms.parse().map_err(|_| format!("--budget `{spec}` is not `N` evals or `Nms`"))?,
+        ),
+        None => TuneBudget::Evals(
+            spec.parse().map_err(|_| format!("--budget `{spec}` is not `N` evals or `Nms`"))?,
+        ),
+    };
+    let seed: u64 = match flags.value("seed") {
+        Some(v) => v.parse().map_err(|_| format!("--seed `{v}` is not a number"))?,
+        None => 42,
+    };
+    let out = flags.value("out").unwrap_or("tune.toml");
+    let space = match flags.value("space").unwrap_or("full") {
+        "full" => SearchSpace::full(),
+        "compiler" => SearchSpace::compiler_only(),
+        other => return Err(format!("unknown search space `{other}` (use full or compiler)")),
+    };
+    let sim = SimCostModel;
+    let host = HostCostModel::default();
+    let (model, model_name): (&dyn CostModel, &str) = match flags.value("cost").unwrap_or("sim") {
+        "sim" => (&sim, "sim"),
+        "host" => (&host, "host"),
+        other => return Err(format!("unknown cost model `{other}` (use sim or host)")),
+    };
+
+    let telemetry = Telemetry::new();
+    let outcome = tune(&workload, &space, model, budget, seed, Some(&telemetry))
+        .map_err(|e| e.to_string())?;
+    let file = TuneFile::from_outcome(&workload, &outcome, model_name, seed);
+
+    println!(
+        "workload   : {} ({} pattern(s), {} B)",
+        workload.name,
+        workload.patterns.len(),
+        workload.total_bytes()
+    );
+    println!("space      : {} point(s), strategy {}", space.size(), outcome.strategy);
+    println!("evals      : {} ({} memo hit(s))", outcome.evals, outcome.memo_hits);
+    println!(
+        "default    : cost {:.3} ({} cycles, D_offset {})",
+        outcome.default_report.cost, outcome.default_report.cycles, outcome.default_report.d_offset
+    );
+    println!(
+        "tuned      : cost {:.3} ({} cycles, D_offset {})",
+        outcome.best_report.cost, outcome.best_report.cycles, outcome.best_report.d_offset
+    );
+    let default_cost = outcome.default_report.cost;
+    if outcome.best_report.cost < default_cost && default_cost > 0.0 {
+        println!(
+            "improvement: {:.1}% lower cost than the default",
+            (1.0 - outcome.best_report.cost / default_cost) * 100.0
+        );
+    } else {
+        println!("improvement: none — the default configuration is already the winner");
+    }
+    println!("pass order : {}", file.config.compiler.pass_order.to_token_string());
+    println!("machine    : {}", file.config.arch.name());
+    println!(
+        "host tiers : bit64<= {}, bit128<= {}; jobs {}, cache shards {}",
+        file.config.host.bit64_max,
+        file.config.host.bit128_max,
+        file.config.jobs,
+        file.config.cache_shards
+    );
+    file.save(out).map_err(|e| e.to_string())?;
+    println!("wrote      : {out}");
+    write_metrics(&flags, &telemetry)
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {

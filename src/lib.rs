@@ -26,6 +26,8 @@
 //!   runtime: admission control, per-request budgets, graceful draining;
 //! * [`telemetry`] — spans, metrics, and summary/JSON-lines sinks shared
 //!   by the compiler, simulator, CLI, and benchmark drivers;
+//! * [`tune`] — the autotuner: seeded search over pass orderings and
+//!   architecture/runtime parameters, persisting winners to `tune.toml`;
 //! * [`oracle`] — the reference Pike-VM matcher (ground truth);
 //! * [`difftest`] — the differential fuzzing subsystem: oracle-vs-compiler
 //!   equivalence over a configuration matrix, divergence minimization, and
@@ -59,6 +61,7 @@ pub use cicero_runtime as runtime;
 pub use cicero_server as server;
 pub use cicero_sim as sim;
 pub use cicero_telemetry as telemetry;
+pub use cicero_tune as tune;
 pub use mlir_lite as mlir;
 pub use regex_dialect;
 pub use regex_frontend as frontend;

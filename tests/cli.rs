@@ -521,3 +521,145 @@ fn serve_tenant_flags_are_validated() {
         assert!(stderr(&output).contains(flag), "{}", stderr(&output));
     }
 }
+
+/// Satellite of the tuning issue: a value-taking flag given twice is a
+/// hard error, not silent first-one-wins.
+#[test]
+fn duplicate_value_flags_are_rejected() {
+    let output = cicero(&["run", "ab", "--text", "ab", "--jobs", "2", "--jobs", "3"]);
+    assert!(!output.status.success(), "duplicate --jobs must be rejected");
+    assert!(stderr(&output).contains("--jobs given more than once"), "{}", stderr(&output));
+
+    // The `-o` shorthand and `--output` long form are one flag.
+    let output = cicero(&["compile", "ab", "-o", "/tmp/x.bin", "--output", "/tmp/y.bin"]);
+    assert!(!output.status.success(), "-o plus --output must be rejected");
+    assert!(stderr(&output).contains("--output given more than once"), "{}", stderr(&output));
+
+    // Boolean flags stay idempotent: repeating them is harmless.
+    let output = cicero(&["run", "ab", "--text", "ab", "--old", "--old"]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+}
+
+fn golden_tune_toml() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/crates/tune/testdata/golden.toml")
+}
+
+/// `cicero tune --seed N` is reproducible: the same seed, workload, and
+/// eval budget write byte-identical tune.toml files (the issue's
+/// acceptance criterion).
+#[test]
+fn tune_is_deterministic_given_a_seed() {
+    let a_path = temp_file("tune-a.toml");
+    let b_path = temp_file("tune-b.toml");
+    for path in [&a_path, &b_path] {
+        let output = cicero(&[
+            "tune",
+            "--budget",
+            "8",
+            "--seed",
+            "7",
+            "--out",
+            path.to_str().unwrap(),
+            "--",
+            "ab+c",
+            "th(is|at)",
+        ]);
+        assert!(output.status.success(), "stderr: {}", stderr(&output));
+    }
+    let a = std::fs::read(&a_path).expect("first tune.toml");
+    let b = std::fs::read(&b_path).expect("second tune.toml");
+    assert_eq!(a, b, "same seed + workload + budget must write identical bytes");
+    std::fs::remove_file(&a_path).ok();
+    std::fs::remove_file(&b_path).ok();
+}
+
+/// `--tuned-config` supplies the defaults; explicit flags still win.
+#[test]
+fn tuned_config_sets_defaults_and_explicit_flags_override() {
+    // The committed golden file pins an old-organization 1x8 machine.
+    let output = cicero(&["run", "ab+c", "--text", "xabbc", "--tuned-config", golden_tune_toml()]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("OLD 1x8"), "tuned arch must apply: {text}");
+    assert!(text.contains("MATCH"), "{text}");
+
+    // An explicit --config beats the tuned file.
+    let output = cicero(&[
+        "run",
+        "ab+c",
+        "--text",
+        "xabbc",
+        "--tuned-config",
+        golden_tune_toml(),
+        "--config",
+        "16x1",
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("NEW 16x1"), "{}", stdout(&output));
+
+    // scan accepts the file too (set compilation under the tuned options).
+    let output = cicero(&[
+        "scan",
+        "ab+c",
+        "th(is|at)",
+        "--text",
+        "this abbc",
+        "--tuned-config",
+        golden_tune_toml(),
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    assert!(stdout(&output).contains("MATCH"), "{}", stdout(&output));
+}
+
+/// A tuned config that fails validation aborts the command — and `serve`
+/// must refuse to start (no "listening on" line) rather than fall back
+/// to defaults.
+#[test]
+fn bad_tuned_config_refuses_to_run() {
+    let bad_path = temp_file("bad-tune.toml");
+    std::fs::write(&bad_path, "version = 99\n").unwrap();
+    for subcommand in ["run", "scan"] {
+        let output = cicero(&[
+            subcommand,
+            "ab",
+            "--text",
+            "ab",
+            "--tuned-config",
+            bad_path.to_str().unwrap(),
+        ]);
+        assert!(!output.status.success(), "{subcommand} must reject the bad file");
+        assert!(stderr(&output).contains("unsupported tune.toml version"), "{}", stderr(&output));
+    }
+    let output = cicero(&["serve", "--tuned-config", bad_path.to_str().unwrap()]);
+    assert!(!output.status.success(), "serve must refuse to start");
+    assert!(stderr(&output).contains("unsupported tune.toml version"), "{}", stderr(&output));
+    assert!(
+        !stdout(&output).contains("listening on"),
+        "the listener must never bind under a bad tuned config: {}",
+        stdout(&output)
+    );
+
+    // Unknown keys are corruption, not extension points.
+    std::fs::write(
+        &bad_path,
+        include_str!("../crates/tune/testdata/golden.toml")
+            .replace("jobs = 4", "jobs = 4\nturbo = yes"),
+    )
+    .unwrap();
+    let output =
+        cicero(&["run", "ab", "--text", "ab", "--tuned-config", bad_path.to_str().unwrap()]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("unknown key"), "{}", stderr(&output));
+    std::fs::remove_file(&bad_path).ok();
+}
+
+/// `--tuned-config` tunes local execution; remote `scan --ruleset`
+/// matches with the server's configuration, so combining them is an
+/// error rather than a silent no-op.
+#[test]
+fn tuned_config_is_rejected_for_remote_ruleset_scans() {
+    let output =
+        cicero(&["scan", "--ruleset", "web", "--text", "x", "--tuned-config", golden_tune_toml()]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("only applies to local scans"), "{}", stderr(&output));
+}
